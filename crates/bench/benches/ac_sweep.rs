@@ -1,0 +1,58 @@
+//! Criterion microbenchmarks for the "simulate with the full circuit vs
+//! evaluate the reduced model" trade-off that motivates the whole paper.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpvl_circuit::generators::{interconnect, InterconnectParams};
+use mpvl_circuit::MnaSystem;
+use mpvl_la::Complex64;
+use mpvl_sim::ac_sweep;
+use sympvl::{sympvl, SympvlOptions};
+
+fn bench_full_vs_reduced_point(c: &mut Criterion) {
+    let ckt = interconnect(&InterconnectParams::default());
+    let sys = MnaSystem::assemble(&ckt).expect("valid circuit");
+    let model = sympvl(&sys, 34, &SympvlOptions::default()).expect("reduce");
+    let mut group = c.benchmark_group("ac_point");
+    group.sample_size(10);
+    group.bench_function("full_sparse_solve", |b| {
+        b.iter(|| ac_sweep(&sys, &[1.0e9]).expect("sweep"));
+    });
+    group.bench_function("reduced_model_eval", |b| {
+        let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * 1.0e9);
+        b.iter(|| model.eval(s).expect("eval"));
+    });
+    group.finish();
+}
+
+fn bench_transient_step_costs(c: &mut Criterion) {
+    use mpvl_sim::{transient, Integrator, Waveform};
+    use sympvl::{synthesize_rc, SynthesisOptions};
+    let ckt = interconnect(&InterconnectParams {
+        wires: 8,
+        segments: 40,
+        coupling_reach: 4,
+        ..InterconnectParams::default()
+    });
+    let full_sys = MnaSystem::assemble_general(&ckt).expect("assemble");
+    let rc_sys = MnaSystem::assemble(&ckt).expect("assemble");
+    let model = sympvl(&rc_sys, 24, &SympvlOptions::default()).expect("reduce");
+    let synth = synthesize_rc(&model, &SynthesisOptions::default()).expect("synthesize");
+    let red_sys = MnaSystem::assemble_general(&synth.circuit).expect("assemble");
+    let mut drive = vec![Waveform::Zero; rc_sys.num_ports()];
+    drive[0] = Waveform::Step {
+        t0: 0.0,
+        amplitude: 1e-3,
+    };
+    let mut group = c.benchmark_group("transient_200_steps");
+    group.sample_size(10);
+    group.bench_function("full", |b| {
+        b.iter(|| transient(&full_sys, &drive, 1e-11, 200, Integrator::Trapezoidal).expect("run"));
+    });
+    group.bench_function("synthesized", |b| {
+        b.iter(|| transient(&red_sys, &drive, 1e-11, 200, Integrator::Trapezoidal).expect("run"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_vs_reduced_point, bench_transient_step_costs);
+criterion_main!(benches);

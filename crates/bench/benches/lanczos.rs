@@ -1,0 +1,73 @@
+//! Criterion microbenchmarks of the SyMPVL reduction itself: cost vs
+//! order and vs circuit size, and the full-reorthogonalization toggle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpvl_circuit::generators::{interconnect, InterconnectParams};
+use mpvl_circuit::MnaSystem;
+use sympvl::{sympvl, LanczosOptions, SympvlOptions};
+
+fn bench_order_sweep(c: &mut Criterion) {
+    let ckt = interconnect(&InterconnectParams {
+        wires: 8,
+        segments: 40,
+        coupling_reach: 3,
+        ..InterconnectParams::default()
+    });
+    let sys = MnaSystem::assemble(&ckt).expect("valid circuit");
+    let mut group = c.benchmark_group("sympvl_order");
+    for order in [8usize, 16, 32, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(order), &order, |b, &n| {
+            b.iter(|| sympvl(&sys, n, &SympvlOptions::default()).expect("reduce"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_size_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sympvl_size");
+    group.sample_size(10);
+    for wires in [4usize, 8, 17] {
+        let ckt = interconnect(&InterconnectParams {
+            wires,
+            coupling_reach: 4,
+            ..InterconnectParams::default()
+        });
+        let sys = MnaSystem::assemble(&ckt).expect("valid circuit");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(sys.dim()),
+            &sys,
+            |b, sys| {
+                b.iter(|| sympvl(sys, 24, &SympvlOptions::default()).expect("reduce"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_reorth_policy(c: &mut Criterion) {
+    let ckt = interconnect(&InterconnectParams {
+        wires: 8,
+        segments: 40,
+        coupling_reach: 3,
+        ..InterconnectParams::default()
+    });
+    let sys = MnaSystem::assemble(&ckt).expect("valid circuit");
+    let mut group = c.benchmark_group("sympvl_reorth");
+    group.bench_function("full", |b| {
+        b.iter(|| sympvl(&sys, 48, &SympvlOptions::default()).expect("reduce"));
+    });
+    group.bench_function("banded", |b| {
+        let opts = SympvlOptions {
+            lanczos: LanczosOptions {
+                full_reorth: false,
+                ..LanczosOptions::default()
+            },
+            ..SympvlOptions::default()
+        };
+        b.iter(|| sympvl(&sys, 48, &opts).expect("reduce"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_order_sweep, bench_size_sweep, bench_reorth_policy);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion comparison of the reduction methods at a fixed order: the
+//! cost side of the accuracy comparisons in `tests/baselines.rs` and the
+//! `ablation_*` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpvl_circuit::generators::{interconnect, random_rc, InterconnectParams};
+use mpvl_circuit::MnaSystem;
+use sympvl::baselines::arnoldi::ArnoldiModel;
+use sympvl::baselines::awe::AweModel;
+use sympvl::baselines::modal::ModalModel;
+use sympvl::baselines::pvl_per_entry::PerEntryModel;
+use sympvl::{sympvl, Shift, SympvlOptions};
+
+fn bench_methods_multiport(c: &mut Criterion) {
+    let ckt = interconnect(&InterconnectParams {
+        wires: 4,
+        segments: 40,
+        coupling_reach: 3,
+        ..InterconnectParams::default()
+    });
+    let sys = MnaSystem::assemble(&ckt).expect("assemble");
+    let order = 16;
+    let mut group = c.benchmark_group("methods_multiport_n16");
+    group.sample_size(20);
+    group.bench_function("sympvl", |b| {
+        b.iter(|| sympvl(&sys, order, &SympvlOptions::default()).expect("reduce"));
+    });
+    group.bench_function("block_arnoldi", |b| {
+        b.iter(|| ArnoldiModel::new(&sys, order, Shift::Auto).expect("reduce"));
+    });
+    group.bench_function("per_entry_pvl", |b| {
+        b.iter(|| PerEntryModel::new(&sys, order / 4, &SympvlOptions::default()).expect("reduce"));
+    });
+    group.bench_function("modal_truncation", |b| {
+        b.iter(|| ModalModel::new(&sys, order, Shift::Auto).expect("reduce"));
+    });
+    group.finish();
+}
+
+fn bench_methods_single_port(c: &mut Criterion) {
+    let sys = MnaSystem::assemble(&random_rc(2024, 120, 1)).expect("assemble");
+    let order = 8;
+    let mut group = c.benchmark_group("methods_single_port_n8");
+    group.bench_function("sypvl_via_block", |b| {
+        b.iter(|| sympvl(&sys, order, &SympvlOptions::default()).expect("reduce"));
+    });
+    group.bench_function("awe_explicit_moments", |b| {
+        b.iter(|| AweModel::new(&sys, order, 0.0).expect("reduce"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods_multiport, bench_methods_single_port);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion microbenchmarks of reduced-circuit synthesis (§6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpvl_circuit::generators::{interconnect, random_rc, InterconnectParams};
+use mpvl_circuit::MnaSystem;
+use sympvl::{foster_synthesis, sympvl, synthesize_rc, SympvlOptions, SynthesisOptions};
+
+fn bench_unstamp(c: &mut Criterion) {
+    let ckt = interconnect(&InterconnectParams::default());
+    let sys = MnaSystem::assemble(&ckt).expect("assemble");
+    let mut group = c.benchmark_group("synthesize_rc");
+    for order in [17usize, 34, 68] {
+        let model = sympvl(&sys, order, &SympvlOptions::default()).expect("reduce");
+        group.bench_with_input(BenchmarkId::from_parameter(order), &model, |b, m| {
+            b.iter(|| synthesize_rc(m, &SynthesisOptions::default()).expect("synthesize"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_foster(c: &mut Criterion) {
+    let sys = MnaSystem::assemble(&random_rc(3, 60, 1)).expect("assemble");
+    let model = sympvl(&sys, 12, &SympvlOptions::default()).expect("reduce");
+    c.bench_function("foster_synthesis_n12", |b| {
+        b.iter(|| foster_synthesis(&model, 1e-12).expect("synthesize"));
+    });
+}
+
+criterion_group!(benches, bench_unstamp, bench_foster);
+criterion_main!(benches);

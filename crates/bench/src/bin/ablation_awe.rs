@@ -1,0 +1,74 @@
+//! **Ablation A1** — the §3.1 claim that explicit-moment Padé (AWE) "can
+//! be used only for very moderate values of n, such as n < 10", while the
+//! Lanczos route keeps improving.
+//!
+//! Sweeps the order on a single-port RC network and reports the in-band
+//! error of AWE vs SyPVL (= single-port SyMPVL) models at each order.
+//!
+//! ```sh
+//! cargo run --release -p mpvl-bench --bin ablation_awe
+//! ```
+
+use mpvl_bench::{median, rel_err, write_csv};
+use mpvl_circuit::generators::random_rc;
+use mpvl_circuit::MnaSystem;
+use mpvl_la::Complex64;
+use sympvl::baselines::awe::AweModel;
+use sympvl::{sympvl, SympvlOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== Ablation A1: AWE (explicit moments) vs SyPVL (Lanczos) ===");
+    let ckt = random_rc(2024, 120, 1);
+    let sys = MnaSystem::assemble(&ckt)?;
+    println!("workload: random grounded RC network, dim {}", sys.dim());
+
+    let freqs: Vec<f64> = (0..15).map(|k| 10f64.powf(7.0 + 0.2 * k as f64)).collect();
+    let eval_errors = |f_model: &dyn Fn(Complex64) -> Option<Complex64>| -> Option<f64> {
+        let mut errs = Vec::new();
+        for &f in &freqs {
+            let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * f);
+            let zx = sys.dense_z(s).ok()?[(0, 0)];
+            errs.push(rel_err(f_model(s)?, zx));
+        }
+        Some(median(&errs))
+    };
+
+    println!(
+        "{:>6} {:>14} {:>14} {:>10}",
+        "order", "AWE med err", "SyPVL med err", "AWE state"
+    );
+    let mut rows = Vec::new();
+    for n in [2usize, 4, 6, 8, 10, 12, 16, 20, 24, 28] {
+        let lan = sympvl(&sys, n, &SympvlOptions::default())?;
+        let lan_err =
+            eval_errors(&|s| lan.eval(s).ok().map(|z| z[(0, 0)])).unwrap_or(f64::NAN);
+        let (awe_err, alive) = match AweModel::new(&sys, n, lan.shift()) {
+            Ok(awe) => (
+                eval_errors(&|s| Some(awe.eval(s))).unwrap_or(f64::NAN),
+                1.0,
+            ),
+            Err(_) => (f64::NAN, 0.0),
+        };
+        let status = if alive == 0.0 {
+            "FAILED (singular Hankel)".to_string()
+        } else {
+            format!("{awe_err:.3e}")
+        };
+        println!("{n:>6} {status:>14} {lan_err:>14.3e} {:>10}", if alive > 0.0 { "alive" } else { "dead" });
+        rows.push(vec![
+            n as f64,
+            if awe_err.is_nan() { -1.0 } else { awe_err },
+            lan_err,
+            alive,
+        ]);
+    }
+    println!(
+        "\npaper shape check: AWE tracks SyPVL at low order, then stalls or fails near n ≈ 10–20;\nthe Lanczos-based model keeps converging (same mathematical Padé approximant, stable computation)"
+    );
+    write_csv(
+        "ablation_awe",
+        &["order", "awe_median_err", "sympvl_median_err", "awe_alive"],
+        &rows,
+    );
+    Ok(())
+}

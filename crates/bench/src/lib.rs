@@ -1,0 +1,77 @@
+//! Shared plumbing for the figure-regeneration binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper (see `DESIGN.md` §3 for the index), printing an aligned table to
+//! stdout and writing a CSV under `target/figures/` for plotting.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Returns the output directory for figure CSVs, creating it if needed.
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created.
+pub fn figures_dir() -> PathBuf {
+    let dir = PathBuf::from("target/figures");
+    fs::create_dir_all(&dir).expect("create target/figures");
+    dir
+}
+
+/// Writes a CSV file with the given header and rows into
+/// `target/figures/<name>.csv` and reports the path on stdout.
+///
+/// # Panics
+///
+/// Panics on I/O errors (benchmark binaries want loud failures).
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<f64>]) {
+    let path = figures_dir().join(format!("{name}.csv"));
+    let mut f = fs::File::create(&path).expect("create csv");
+    writeln!(f, "{}", header.join(",")).expect("write header");
+    for row in rows {
+        let line: Vec<String> = row.iter().map(|v| format!("{v:.12e}")).collect();
+        writeln!(f, "{}", line.join(",")).expect("write row");
+    }
+    println!("wrote {}", path.display());
+}
+
+/// Median of a slice (sorted copy); 0 for empty input.
+pub fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    v[v.len() / 2]
+}
+
+/// Maximum of a slice; 0 for empty input.
+pub fn max(values: &[f64]) -> f64 {
+    values.iter().copied().fold(0.0, f64::max)
+}
+
+/// Relative error between two complex numbers.
+pub fn rel_err(a: mpvl_la::Complex64, b: mpvl_la::Complex64) -> f64 {
+    (a - b).abs() / b.abs().max(1e-300)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_and_max() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(max(&[1.0, 5.0, 2.0]), 5.0);
+    }
+
+    #[test]
+    fn rel_err_basics() {
+        use mpvl_la::Complex64;
+        let a = Complex64::new(1.1, 0.0);
+        let b = Complex64::new(1.0, 0.0);
+        assert!((rel_err(a, b) - 0.1).abs() < 1e-12);
+    }
+}

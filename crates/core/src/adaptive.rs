@@ -1,0 +1,255 @@
+//! Adaptive order selection.
+//!
+//! The paper picks reduction orders by hand ("an approximation of order
+//! n = 50 was needed…"; "the reduction level depends on the desired
+//! accuracy", §7.2). This module automates that judgement: grow the order
+//! until two successive models agree over the target band — the standard
+//! practitioner's convergence estimate for Padé-type reductions, where
+//! the difference between consecutive orders tracks the true error
+//! remarkably well (both are dominated by the first unmatched moments).
+
+use crate::{sympvl, ReducedModel, SympvlError, SympvlOptions};
+use mpvl_circuit::MnaSystem;
+use mpvl_la::Complex64;
+
+/// Options for [`reduce_adaptive`].
+#[derive(Debug, Clone)]
+pub struct AdaptiveOptions {
+    /// Relative agreement (entrywise, worst over the band) between
+    /// consecutive orders that counts as converged.
+    pub tol: f64,
+    /// First order to try.
+    pub initial_order: usize,
+    /// Additive order step between attempts (rounded up to a multiple of
+    /// the port count internally, so each step adds whole block moments).
+    pub order_step: usize,
+    /// Hard cap on the order.
+    pub max_order: usize,
+    /// Frequencies (Hz) at which agreement is measured.
+    pub probe_freqs_hz: Vec<f64>,
+    /// Reduction options passed through to [`sympvl`].
+    pub sympvl: SympvlOptions,
+}
+
+impl AdaptiveOptions {
+    /// Sensible defaults for a band `f_lo..f_hi` (log-spaced probes).
+    pub fn for_band(f_lo: f64, f_hi: f64) -> Self {
+        assert!(f_lo > 0.0 && f_hi > f_lo, "need a positive band");
+        let probes = 9;
+        let (l0, l1) = (f_lo.ln(), f_hi.ln());
+        AdaptiveOptions {
+            tol: 1e-4,
+            initial_order: 4,
+            order_step: 4,
+            max_order: 200,
+            probe_freqs_hz: (0..probes)
+                .map(|i| (l0 + (l1 - l0) * i as f64 / (probes - 1) as f64).exp())
+                .collect(),
+            sympvl: SympvlOptions::default(),
+        }
+    }
+}
+
+/// Outcome of an adaptive reduction.
+#[derive(Debug, Clone)]
+pub struct AdaptiveOutcome {
+    /// The converged model.
+    pub model: ReducedModel,
+    /// Worst entrywise relative difference to the previous order.
+    pub estimated_error: f64,
+    /// Orders attempted, in sequence.
+    pub orders_tried: Vec<usize>,
+    /// `true` when the loop stopped at [`AdaptiveOptions::max_order`]
+    /// without meeting the tolerance.
+    pub hit_order_cap: bool,
+}
+
+/// Grows the reduction order until two consecutive models agree to
+/// `opts.tol` at every probe frequency (or the cap/exhaustion is hit —
+/// an exhausted Krylov space means the model is exact and wins outright).
+///
+/// # Errors
+///
+/// Propagates [`sympvl`] and evaluation failures.
+///
+/// # Examples
+///
+/// ```
+/// use mpvl_circuit::{generators::rc_ladder, MnaSystem};
+/// use sympvl::{reduce_adaptive, AdaptiveOptions};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let sys = MnaSystem::assemble(&rc_ladder(80, 60.0, 1e-12))?;
+/// let out = reduce_adaptive(&sys, &AdaptiveOptions::for_band(1e7, 2e9))?;
+/// assert!(out.estimated_error <= 1e-4);
+/// assert!(out.model.order() < sys.dim());
+/// # Ok(())
+/// # }
+/// ```
+pub fn reduce_adaptive(
+    sys: &MnaSystem,
+    opts: &AdaptiveOptions,
+) -> Result<AdaptiveOutcome, SympvlError> {
+    assert!(!opts.probe_freqs_hz.is_empty(), "need probe frequencies");
+    let p = sys.num_ports().max(1);
+    let step = opts.order_step.max(1).div_ceil(p) * p;
+    let mut order = opts.initial_order.max(1);
+    let mut orders_tried = vec![order];
+    let mut prev = sympvl(sys, order, &opts.sympvl)?;
+    loop {
+        if prev.is_exact() || prev.order() < order {
+            // Krylov space exhausted: the model is as good as it gets.
+            return Ok(AdaptiveOutcome {
+                estimated_error: 0.0,
+                model: prev,
+                orders_tried,
+                hit_order_cap: false,
+            });
+        }
+        let next_order = (order + step).min(opts.max_order);
+        if next_order == order {
+            return Ok(AdaptiveOutcome {
+                estimated_error: f64::INFINITY,
+                model: prev,
+                orders_tried,
+                hit_order_cap: true,
+            });
+        }
+        let next = sympvl(sys, next_order, &opts.sympvl)?;
+        orders_tried.push(next_order);
+        let diff = band_difference(&prev, &next, &opts.probe_freqs_hz)?;
+        if diff <= opts.tol {
+            return Ok(AdaptiveOutcome {
+                model: next,
+                estimated_error: diff,
+                orders_tried,
+                hit_order_cap: false,
+            });
+        }
+        if next_order >= opts.max_order {
+            return Ok(AdaptiveOutcome {
+                model: next,
+                estimated_error: diff,
+                orders_tried,
+                hit_order_cap: true,
+            });
+        }
+        order = next_order;
+        prev = next;
+    }
+}
+
+/// Worst entrywise relative difference between two models over the probes.
+fn band_difference(
+    a: &ReducedModel,
+    b: &ReducedModel,
+    freqs: &[f64],
+) -> Result<f64, SympvlError> {
+    let mut worst = 0.0f64;
+    for &f in freqs {
+        let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * f);
+        let za = match a.eval(s) {
+            Ok(z) => z,
+            Err(SympvlError::Singular { .. }) => continue, // pole hit
+            Err(e) => return Err(e),
+        };
+        let zb = match b.eval(s) {
+            Ok(z) => z,
+            Err(SympvlError::Singular { .. }) => continue,
+            Err(e) => return Err(e),
+        };
+        let scale = zb.max_abs().max(1e-300);
+        worst = worst.max((&za - &zb).max_abs() / scale);
+    }
+    Ok(worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpvl_circuit::generators::{interconnect, random_rc, InterconnectParams};
+
+    #[test]
+    fn converges_and_is_actually_accurate() {
+        let ckt = interconnect(&InterconnectParams {
+            wires: 3,
+            segments: 20,
+            coupling_reach: 2,
+            ..InterconnectParams::default()
+        });
+        let sys = MnaSystem::assemble(&ckt).unwrap();
+        let opts = AdaptiveOptions {
+            tol: 1e-5,
+            ..AdaptiveOptions::for_band(1e7, 5e9)
+        };
+        let out = reduce_adaptive(&sys, &opts).unwrap();
+        assert!(!out.hit_order_cap, "orders tried {:?}", out.orders_tried);
+        assert!(out.orders_tried.len() >= 2);
+        // The convergence estimate must predict true accuracy within ~100x.
+        let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * 1e9);
+        let zx = sys.dense_z(s).unwrap();
+        let z = out.model.eval(s).unwrap();
+        let true_err = (&z - &zx).max_abs() / zx.max_abs();
+        assert!(
+            true_err < out.estimated_error * 100.0 + 1e-9,
+            "estimate {} vs true {}",
+            out.estimated_error,
+            true_err
+        );
+        assert!(true_err < 1e-3);
+    }
+
+    #[test]
+    fn small_system_exhausts_and_returns_exact() {
+        let sys = MnaSystem::assemble(&random_rc(5, 6, 1)).unwrap();
+        let opts = AdaptiveOptions {
+            initial_order: 2,
+            order_step: 2,
+            ..AdaptiveOptions::for_band(1e7, 1e9)
+        };
+        let out = reduce_adaptive(&sys, &opts).unwrap();
+        assert!(out.model.order() <= sys.dim());
+        assert!(!out.hit_order_cap);
+    }
+
+    #[test]
+    fn order_cap_is_reported() {
+        let ckt = interconnect(&InterconnectParams {
+            wires: 4,
+            segments: 30,
+            coupling_reach: 3,
+            ..InterconnectParams::default()
+        });
+        let sys = MnaSystem::assemble(&ckt).unwrap();
+        let opts = AdaptiveOptions {
+            tol: 1e-14, // unreachably tight
+            initial_order: 4,
+            order_step: 4,
+            max_order: 12,
+            ..AdaptiveOptions::for_band(1e7, 5e9)
+        };
+        let out = reduce_adaptive(&sys, &opts).unwrap();
+        assert!(out.hit_order_cap);
+        assert!(out.model.order() <= 12);
+    }
+
+    #[test]
+    fn steps_align_to_port_blocks() {
+        let ckt = interconnect(&InterconnectParams {
+            wires: 3,
+            segments: 15,
+            coupling_reach: 2,
+            ..InterconnectParams::default()
+        });
+        let sys = MnaSystem::assemble(&ckt).unwrap();
+        let opts = AdaptiveOptions {
+            tol: 1e-3,
+            initial_order: 3,
+            order_step: 1, // should round up to p = 3
+            ..AdaptiveOptions::for_band(1e7, 1e9)
+        };
+        let out = reduce_adaptive(&sys, &opts).unwrap();
+        for w in out.orders_tried.windows(2) {
+            assert_eq!((w[1] - w[0]) % 3, 0, "orders {:?}", out.orders_tried);
+        }
+    }
+}

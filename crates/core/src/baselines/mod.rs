@@ -1,0 +1,24 @@
+//! Baseline reduction methods the paper compares against (or positions
+//! itself relative to):
+//!
+//! * [`awe`] — explicit-moment Padé (Asymptotic Waveform Evaluation,
+//!   §3.1): numerically unstable beyond n ≈ 10, motivating the Lanczos
+//!   route.
+//! * [`arnoldi`] — block-Arnoldi congruence projection (the Silveira et
+//!   al. alternative cited in §1): stable and passive by construction but
+//!   matches only half as many moments per state.
+//! * [`pvl_per_entry`] — p² scalar Padé approximations, one per matrix
+//!   entry (§3.2's strawman): correct but produces much larger combined
+//!   models than one block run.
+//! * [`modal`] — exact-pole modal truncation (the PACT/pole-matching
+//!   family of §1): the accuracy yardstick per retained pole, at O(N³)
+//!   spectral cost.
+//! * [`mpvl`] — the general two-sided (MPVL, ref. \[6]) reduction that
+//!   SyMPVL specializes: covers *active* (non-reciprocal) circuits, where
+//!   the symmetric machinery does not apply.
+
+pub mod arnoldi;
+pub mod awe;
+pub mod modal;
+pub mod mpvl;
+pub mod pvl_per_entry;

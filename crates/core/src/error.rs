@@ -1,0 +1,64 @@
+//! Error type for the SyMPVL core.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from reduction, synthesis, and the baselines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SympvlError {
+    /// `G + s₀C` could not be factored even after the dense fallback;
+    /// usually means the expansion point sits on a pole or the circuit is
+    /// degenerate (floating nodes with no elements).
+    Factorization {
+        /// Explanation from the failing factorization.
+        reason: String,
+    },
+    /// An eigenvalue iteration inside a certificate or pole computation
+    /// failed to converge.
+    Eigen {
+        /// Explanation.
+        reason: String,
+    },
+    /// The requested operation needs a `J = I` (RC/RL/LC) model but the
+    /// model was built from an indefinite `G`.
+    RequiresDefiniteForm {
+        /// What was requested.
+        operation: &'static str,
+    },
+    /// A dense solve inside evaluation or synthesis hit a singular matrix.
+    Singular {
+        /// Where it happened.
+        context: &'static str,
+    },
+    /// The requested reduction order is not achievable (e.g. zero).
+    BadOrder {
+        /// The offending order.
+        order: usize,
+    },
+    /// Reduced-circuit synthesis could not proceed.
+    Synthesis {
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SympvlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SympvlError::Factorization { reason } => {
+                write!(f, "cannot factor G + s0*C: {reason}")
+            }
+            SympvlError::Eigen { reason } => write!(f, "eigenvalue iteration failed: {reason}"),
+            SympvlError::RequiresDefiniteForm { operation } => {
+                write!(f, "{operation} requires an RC/RL/LC (J = I) model")
+            }
+            SympvlError::Singular { context } => {
+                write!(f, "singular matrix encountered in {context}")
+            }
+            SympvlError::BadOrder { order } => write!(f, "invalid reduction order {order}"),
+            SympvlError::Synthesis { reason } => write!(f, "synthesis failed: {reason}"),
+        }
+    }
+}
+
+impl Error for SympvlError {}

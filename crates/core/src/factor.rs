@@ -1,0 +1,226 @@
+//! The `G = M J Mᵀ` factorization driver (paper eq. 15).
+//!
+//! Dispatches between the sparse unpivoted LDLᵀ (the fast path; valid for
+//! the semidefinite RC/RL/LC matrices and the quasi-definite shifted RLC
+//! matrices) and a dense Bunch–Kaufman fallback for the rare structurally
+//! awkward cases (e.g. nodes touched only by inductors, where unpivoted
+//! elimination can hit a zero pivot).
+
+use crate::SympvlError;
+use mpvl_la::{BunchKaufman, Mat, MjFactor};
+use mpvl_sparse::{CscMat, Ordering, SparseLdlt};
+
+/// A factorization of a symmetric matrix `G` as `M J Mᵀ` with
+/// `J = diag(±1)`, exposing the operations the Lanczos process needs:
+/// `M⁻¹x`, `M⁻ᵀx`, and the signature `J`.
+#[derive(Debug)]
+pub enum GFactor {
+    /// Sparse LDLᵀ path (possibly indefinite diagonal).
+    Sparse {
+        /// The factorization itself.
+        fac: SparseLdlt<f64>,
+        /// `√|dᵢ|` scaling.
+        sqrt_d: Vec<f64>,
+        /// Signature `sign(dᵢ)`.
+        j_sign: Vec<f64>,
+    },
+    /// Dense Bunch–Kaufman fallback.
+    Dense(MjFactor),
+}
+
+impl GFactor {
+    /// Factors `g`, preferring the sparse path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SympvlError::Factorization`] when both the sparse LDLᵀ and
+    /// the dense Bunch–Kaufman factorization fail (singular `G`; apply a
+    /// frequency shift per eq. 26 and retry).
+    pub fn factor(g: &CscMat<f64>) -> Result<Self, SympvlError> {
+        match SparseLdlt::factor(g, Ordering::MinDegree) {
+            Ok(fac) => {
+                let sqrt_d: Vec<f64> = fac.d().iter().map(|&v| v.abs().sqrt()).collect();
+                let j_sign: Vec<f64> = fac.d().iter().map(|&v| v.signum()).collect();
+                Ok(GFactor::Sparse {
+                    fac,
+                    sqrt_d,
+                    j_sign,
+                })
+            }
+            Err(sparse_err) => {
+                let bk = BunchKaufman::new(&g.to_dense()).map_err(|e| {
+                    SympvlError::Factorization {
+                        reason: format!("sparse: {sparse_err}; dense: {e}"),
+                    }
+                })?;
+                let mj = bk.to_mj().map_err(|e| SympvlError::Factorization {
+                    reason: format!("sparse: {sparse_err}; dense block: {e}"),
+                })?;
+                Ok(GFactor::Dense(mj))
+            }
+        }
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        match self {
+            GFactor::Sparse { fac, .. } => fac.dim(),
+            GFactor::Dense(mj) => mj.dim(),
+        }
+    }
+
+    /// The signature `J = diag(±1)`.
+    pub fn j_diag(&self) -> Vec<f64> {
+        match self {
+            GFactor::Sparse { j_sign, .. } => j_sign.clone(),
+            GFactor::Dense(mj) => mj.j_diag().to_vec(),
+        }
+    }
+
+    /// Pivot magnitude range `(min |d|, max |d|)` of the factorization —
+    /// a cheap conditioning signal (an ungrounded Laplacian factors with
+    /// one near-zero pivot instead of failing outright).
+    pub fn pivot_range(&self) -> (f64, f64) {
+        let fold = |it: &mut dyn Iterator<Item = f64>| -> (f64, f64) {
+            it.fold((f64::INFINITY, 0.0), |(lo, hi), v| (lo.min(v), hi.max(v)))
+        };
+        match self {
+            GFactor::Sparse { fac, .. } => {
+                fold(&mut fac.d().iter().map(|v| v.abs()))
+            }
+            GFactor::Dense(mj) => fold(&mut mj.pivot_magnitudes().into_iter()),
+        }
+    }
+
+    /// `true` when `J = I`, i.e. `G` is positive definite — the RC/RL/LC
+    /// fast path of §5 with guaranteed stability and passivity.
+    pub fn is_identity_j(&self) -> bool {
+        match self {
+            GFactor::Sparse { j_sign, .. } => j_sign.iter().all(|&s| s > 0.0),
+            GFactor::Dense(mj) => mj.j_diag().iter().all(|&s| s > 0.0),
+        }
+    }
+
+    /// Applies `M⁻¹` to `x`.
+    pub fn apply_minv(&self, x: &[f64]) -> Vec<f64> {
+        match self {
+            GFactor::Sparse { fac, sqrt_d, .. } => {
+                let n = fac.dim();
+                let mut y: Vec<f64> = (0..n).map(|i| x[fac.perm()[i]]).collect();
+                fac.l_solve(&mut y);
+                for k in 0..n {
+                    y[k] /= sqrt_d[k];
+                }
+                y
+            }
+            GFactor::Dense(mj) => mj.apply_minv(x),
+        }
+    }
+
+    /// Applies `M⁻ᵀ` to `x`.
+    pub fn apply_minv_t(&self, x: &[f64]) -> Vec<f64> {
+        match self {
+            GFactor::Sparse { fac, sqrt_d, .. } => {
+                let n = fac.dim();
+                let mut y: Vec<f64> = (0..n).map(|k| x[k] / sqrt_d[k]).collect();
+                fac.lt_solve(&mut y);
+                let mut out = vec![0.0; n];
+                for i in 0..n {
+                    out[fac.perm()[i]] = y[i];
+                }
+                out
+            }
+            GFactor::Dense(mj) => mj.apply_minv_t(x),
+        }
+    }
+
+    /// Applies `M⁻¹` column-wise to a dense matrix.
+    pub fn apply_minv_mat(&self, x: &Mat<f64>) -> Mat<f64> {
+        let mut out = Mat::zeros(x.nrows(), x.ncols());
+        for j in 0..x.ncols() {
+            let col = self.apply_minv(x.col(j));
+            out.col_mut(j).copy_from_slice(&col);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpvl_sparse::TripletMat;
+
+    fn check_mjm(g: &CscMat<f64>, f: &GFactor) {
+        // M^{-1} G M^{-T} must equal J.
+        let n = g.nrows();
+        let j = f.j_diag();
+        for i in 0..n {
+            let mut e = vec![0.0; n];
+            e[i] = 1.0;
+            let w = f.apply_minv_t(&e);
+            let gw = g.matvec(&w);
+            let res = f.apply_minv(&gw);
+            for (k, &v) in res.iter().enumerate() {
+                let expect = if k == i { j[i] } else { 0.0 };
+                assert!((v - expect).abs() < 1e-9, "({k},{i}): {v} vs {expect}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_spd_path() {
+        let mut t = TripletMat::new(6, 6);
+        for i in 0..6 {
+            t.push(i, i, 3.0);
+            if i + 1 < 6 {
+                t.push_sym(i, i + 1, -1.0);
+            }
+        }
+        let g = t.to_csc();
+        let f = GFactor::factor(&g).unwrap();
+        assert!(matches!(f, GFactor::Sparse { .. }));
+        assert!(f.is_identity_j());
+        check_mjm(&g, &f);
+    }
+
+    #[test]
+    fn sparse_indefinite_path() {
+        // Quasi-definite: positive block, negative block, coupling.
+        let mut t = TripletMat::new(6, 6);
+        for i in 0..3 {
+            t.push(i, i, 2.0);
+            t.push(3 + i, 3 + i, -1.5);
+            t.push_sym(i, 3 + i, 1.0);
+        }
+        let g = t.to_csc();
+        let f = GFactor::factor(&g).unwrap();
+        assert!(!f.is_identity_j());
+        let j = f.j_diag();
+        assert_eq!(j.iter().filter(|&&s| s > 0.0).count(), 3);
+        check_mjm(&g, &f);
+    }
+
+    #[test]
+    fn dense_fallback_on_zero_diagonal() {
+        // Saddle point with zero diagonal: unpivoted sparse LDLT breaks,
+        // dense Bunch-Kaufman succeeds.
+        let mut t = TripletMat::new(3, 3);
+        t.push_sym(0, 2, 1.0);
+        t.push_sym(1, 2, 1.0);
+        t.push(0, 0, 1.0);
+        // node 1 and 2 diagonals zero
+        let g = t.to_csc();
+        let f = GFactor::factor(&g).unwrap();
+        assert!(matches!(f, GFactor::Dense(_)));
+        check_mjm(&g, &f);
+    }
+
+    #[test]
+    fn reports_singular() {
+        let g = CscMat::<f64>::zero(3, 3);
+        assert!(matches!(
+            GFactor::factor(&g),
+            Err(SympvlError::Factorization { .. })
+        ));
+    }
+}

@@ -1,0 +1,72 @@
+//! # sympvl — matrix-Padé reduced-order modeling of RLC multi-ports
+//!
+//! A from-scratch Rust reproduction of **Freund & Feldmann, "Reduced-Order
+//! Modeling of Large Linear Passive Multi-Terminal Circuits Using
+//! Matrix-Padé Approximation" (DATE 1998)** — the SyMPVL algorithm.
+//!
+//! Given an RLC multi-port assembled as `Z(s) = Bᵀ(G + σC)⁻¹B`
+//! ([`mpvl_circuit::MnaSystem`]), [`sympvl`] factors `G + s₀C = M J Mᵀ`,
+//! runs a symmetric block-Lanczos process with deflation and look-ahead
+//! ([`block_lanczos`], Algorithm 1 of the paper), and returns a
+//! [`ReducedModel`] — the `n`-th matrix-Padé approximant `Zₙ(s)` of the
+//! full transfer function, typically orders of magnitude smaller than the
+//! circuit. For RC, RL, and LC circuits the model is **provably stable and
+//! passive** at every order ([`certify`], §5 of the paper); it can be
+//! synthesized back into a netlist ([`synthesize_rc`], §6) or stamped
+//! directly into a simulator Jacobian ([`ReducedModel::stamp`], eq. 23).
+//!
+//! # Examples
+//!
+//! ```
+//! use mpvl_circuit::{generators::rc_ladder, MnaSystem};
+//! use mpvl_la::Complex64;
+//! use sympvl::{sympvl, certify, Certificate, SympvlOptions};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let sys = MnaSystem::assemble(&rc_ladder(100, 50.0, 1e-12))?;
+//! let model = sympvl(&sys, 10, &SympvlOptions::default())?;
+//! // 10 states stand in for 100, matching 20 moments of Z(s)...
+//! assert_eq!(model.matched_moments(), 20);
+//! // ...and the model is provably passive (RC circuit, §5).
+//! assert!(matches!(certify(&model, 1e-10)?, Certificate::ProvablyPassive { .. }));
+//! let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * 1e8);
+//! let err = (model.eval(s)?[(0, 0)] - sys.dense_z(s)?[(0, 0)]).abs();
+//! assert!(err / sys.dense_z(s)?[(0, 0)].abs() < 1e-4);
+//! # Ok(())
+//! # }
+//! ```
+
+// Numerical kernels follow the textbook index-based formulations;
+// iterator rewrites obscure the math they mirror.
+#![allow(clippy::needless_range_loop)]
+
+mod adaptive;
+mod error;
+mod factor;
+mod io;
+mod lanczos;
+mod model;
+mod moments;
+mod passivity;
+mod postprocess;
+mod rational;
+mod reduce;
+mod state_space;
+mod sypvl;
+
+pub mod baselines;
+pub mod synthesis;
+
+pub use adaptive::{reduce_adaptive, AdaptiveOptions, AdaptiveOutcome};
+pub use error::SympvlError;
+pub use factor::GFactor;
+pub use io::{read_model, write_model};
+pub use lanczos::{block_lanczos, LanczosOptions, LanczosOutcome};
+pub use model::{ReducedModel, StampMatrices};
+pub use moments::exact_moments;
+pub use passivity::{certify, is_stable, sampled_passivity, Certificate, PassivityScan};
+pub use postprocess::{stabilize, PoleResidueModel, PostprocessOptions};
+pub use rational::{ExpansionPoint, RationalModel};
+pub use reduce::{sympvl, Shift, SympvlOptions};
+pub use state_space::{simulate_stamp, StampTransient};
+pub use sypvl::{cauer_synthesis, CauerSection, SypvlModel};
+pub use synthesis::{foster_synthesis, synthesize_rc, SynthesisOptions};

@@ -1,0 +1,299 @@
+//! Multi-point (rational Krylov) reduction — the follow-on direction of
+//! the single-expansion-point algorithms in the paper.
+//!
+//! A Padé model is extraordinarily accurate near its expansion point and
+//! decays away from it (visible in Figure 2: order 50 about one point to
+//! cover 0.1–5 GHz). The classical refinement matches a few moments at
+//! *several* points `s₀⁽¹⁾ … s₀⁽ᵏ⁾` instead: union the shifted Krylov
+//! blocks
+//!
+//! ```text
+//! span{ (G + s₀⁽ⁱ⁾C)⁻¹B, [(G + s₀⁽ⁱ⁾C)⁻¹C]·(…)⁻¹B, … }
+//! ```
+//!
+//! and project `G`, `C`, `B` congruently. For RC/RL/LC circuits the
+//! congruence preserves positive semi-definiteness, so the multi-point
+//! model inherits the §5 stability/passivity guarantees — at any order
+//! and any choice of expansion points.
+
+use crate::reduce::factor_with_shift;
+use crate::{Shift, SympvlError};
+use mpvl_circuit::MnaSystem;
+use mpvl_la::{general_eigenvalues, orthonormalize_columns, Complex64, Lu, Mat};
+
+/// One expansion point of a multi-point reduction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExpansionPoint {
+    /// The σ-domain expansion point `s₀` (real, as in eq. 26).
+    pub s0: f64,
+    /// Block Krylov sweeps at this point (each sweep adds up to `p`
+    /// states and two matched moments at `s₀`).
+    pub sweeps: usize,
+}
+
+/// A congruence-projected multi-point reduced model
+/// `Z(σ) ≈ B̂ᵀ(Ĝ + σĈ)⁻¹B̂`.
+#[derive(Debug, Clone)]
+pub struct RationalModel {
+    ghat: Mat<f64>,
+    chat: Mat<f64>,
+    bhat: Mat<f64>,
+    identity_j: bool,
+    s_power: u32,
+    output_s_factor: u32,
+}
+
+impl RationalModel {
+    /// Builds a multi-point model from the given expansion points.
+    ///
+    /// # Errors
+    ///
+    /// * [`SympvlError::BadOrder`] when `points` is empty or all sweep
+    ///   counts are zero.
+    /// * Factorization errors when some `G + s₀C` is singular.
+    pub fn new(sys: &MnaSystem, points: &[ExpansionPoint]) -> Result<Self, SympvlError> {
+        if points.is_empty() || points.iter().all(|pt| pt.sweeps == 0) {
+            return Err(SympvlError::BadOrder { order: 0 });
+        }
+        let n = sys.dim();
+        let mut identity_j = true;
+        // Accumulate the union of shifted Krylov blocks.
+        let mut union_cols: Vec<Vec<f64>> = Vec::new();
+        for pt in points {
+            let (factor, _) = factor_with_shift(sys, Shift::Value(pt.s0))?;
+            identity_j &= factor.is_identity_j();
+            // K^{-1} x = M^{-T} J M^{-1} x.
+            let kinv = |x: &[f64]| -> Vec<f64> {
+                let y = factor.apply_minv(x);
+                let jy: Vec<f64> = y
+                    .iter()
+                    .zip(factor.j_diag())
+                    .map(|(&v, s)| v * s)
+                    .collect();
+                factor.apply_minv_t(&jy)
+            };
+            let mut block: Vec<Vec<f64>> = (0..sys.num_ports())
+                .map(|j| kinv(sys.b.col(j)))
+                .collect();
+            for _sweep in 0..pt.sweeps {
+                for col in block.iter() {
+                    union_cols.push(col.clone());
+                }
+                block = block
+                    .iter()
+                    .map(|col| kinv(&sys.c.matvec(col)))
+                    .collect();
+            }
+        }
+        let mut stacked = Mat::zeros(n, union_cols.len());
+        for (j, col) in union_cols.iter().enumerate() {
+            stacked.col_mut(j).copy_from_slice(col);
+        }
+        let x = orthonormalize_columns(&stacked, 1e-10);
+        if x.ncols() == 0 {
+            return Err(SympvlError::BadOrder { order: 0 });
+        }
+        // Congruence projection (preserves PSD for the J = I classes).
+        let mul = |m: &mpvl_sparse::CscMat<f64>, x: &Mat<f64>| -> Mat<f64> {
+            let mut out = Mat::zeros(n, x.ncols());
+            for j in 0..x.ncols() {
+                let col = m.matvec(x.col(j));
+                out.col_mut(j).copy_from_slice(&col);
+            }
+            out
+        };
+        Ok(RationalModel {
+            ghat: x.t_matmul(&mul(&sys.g, &x)),
+            chat: x.t_matmul(&mul(&sys.c, &x)),
+            bhat: x.t_matmul(&sys.b),
+            identity_j,
+            s_power: sys.s_power,
+            output_s_factor: sys.output_s_factor,
+        })
+    }
+
+    /// Model order (states).
+    pub fn order(&self) -> usize {
+        self.ghat.nrows()
+    }
+
+    /// Number of ports.
+    pub fn num_ports(&self) -> usize {
+        self.bhat.ncols()
+    }
+
+    /// `true` when every expansion point produced `J = I` (RC/RL/LC):
+    /// the congruence then guarantees stability and passivity.
+    pub fn guarantees_passivity(&self) -> bool {
+        self.identity_j
+    }
+
+    /// Evaluates `Z(s)` with the usual `σ = s^{sp}` / leading-`s`
+    /// conventions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SympvlError::Singular`] on an exact pole hit.
+    pub fn eval(&self, s: Complex64) -> Result<Mat<Complex64>, SympvlError> {
+        let mut sigma = Complex64::ONE;
+        for _ in 0..self.s_power {
+            sigma *= s;
+        }
+        let m = self.order();
+        let k = Mat::from_fn(m, m, |i, j| {
+            Complex64::from_real(self.ghat[(i, j)]) + sigma * self.chat[(i, j)]
+        });
+        let lu = Lu::new(k).map_err(|_| SympvlError::Singular {
+            context: "rational-model evaluation",
+        })?;
+        let b = self.bhat.map(Complex64::from_real);
+        let y = lu.solve_mat(&b).map_err(|_| SympvlError::Singular {
+            context: "rational-model evaluation",
+        })?;
+        let mut factor = Complex64::ONE;
+        for _ in 0..self.output_s_factor {
+            factor *= s;
+        }
+        Ok(b.t_matmul(&y).scale(factor))
+    }
+
+    /// σ-domain poles (`σ = −1/μ` over eigenvalues `μ` of `Ĝ⁻¹Ĉ`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SympvlError::Singular`] when `Ĝ` is singular, or
+    /// eigensolver failures.
+    pub fn sigma_poles(&self) -> Result<Vec<Complex64>, SympvlError> {
+        let ginv_c = Lu::new(self.ghat.clone())
+            .and_then(|lu| lu.solve_mat(&self.chat))
+            .map_err(|_| SympvlError::Singular {
+                context: "rational-model poles",
+            })?;
+        let mu = general_eigenvalues(&ginv_c).map_err(|e| SympvlError::Eigen {
+            reason: e.to_string(),
+        })?;
+        Ok(mu
+            .into_iter()
+            .filter(|m| m.abs() > 1e-300)
+            .map(|m| -m.recip())
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{sympvl, SympvlOptions};
+    use mpvl_circuit::generators::{interconnect, random_rc, InterconnectParams};
+
+    fn band_errors(
+        sys: &MnaSystem,
+        eval: &dyn Fn(Complex64) -> Option<Mat<Complex64>>,
+        freqs: &[f64],
+    ) -> Vec<f64> {
+        freqs
+            .iter()
+            .filter_map(|&f| {
+                let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * f);
+                let z = eval(s)?;
+                let zx = sys.dense_z(s).ok()?;
+                Some((&z - &zx).max_abs() / zx.max_abs())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn interpolates_at_each_expansion_point() {
+        let sys = MnaSystem::assemble(&random_rc(91, 30, 2)).unwrap();
+        let pts = [
+            ExpansionPoint { s0: 1e8, sweeps: 3 },
+            ExpansionPoint { s0: 1e10, sweeps: 3 },
+        ];
+        let model = RationalModel::new(&sys, &pts).unwrap();
+        // Exact interpolation AT each (real) expansion point: sigma = s0.
+        for s0 in [1e8, 1e10] {
+            let s = Complex64::from_real(s0);
+            let z = model.eval(s).unwrap();
+            let zx = sys.dense_z(s).unwrap();
+            let e = (&z - &zx).max_abs() / zx.max_abs();
+            assert!(e < 1e-10, "at s0={s0}: err {e}");
+        }
+        // And strong accuracy on the imaginary axis at matching magnitude.
+        for s0 in [1e8f64, 1e10] {
+            let f = s0 / (2.0 * std::f64::consts::PI);
+            let errs = band_errors(&sys, &|s| model.eval(s).ok(), &[f]);
+            for e in errs {
+                assert!(e < 1e-2, "near s0={s0}: err {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn wideband_beats_single_point_at_equal_order() {
+        // A wide band (5 decades): two-point model vs one-point Padé with
+        // the same state count.
+        let ckt = interconnect(&InterconnectParams {
+            wires: 3,
+            segments: 30,
+            coupling_reach: 2,
+            ..InterconnectParams::default()
+        });
+        let sys = MnaSystem::assemble(&ckt).unwrap();
+        let pts = [
+            ExpansionPoint { s0: 1e8, sweeps: 2 },
+            ExpansionPoint { s0: 3e10, sweeps: 2 },
+        ];
+        let multi = RationalModel::new(&sys, &pts).unwrap();
+        let single = sympvl(&sys, multi.order(), &SympvlOptions::default()).unwrap();
+        let freqs: Vec<f64> = (0..15).map(|k| 10f64.powf(6.5 + 0.3 * k as f64)).collect();
+        let em = band_errors(&sys, &|s| multi.eval(s).ok(), &freqs);
+        let es = band_errors(&sys, &|s| single.eval(s).ok(), &freqs);
+        let worst_m = em.iter().copied().fold(0.0f64, f64::max);
+        let worst_s = es.iter().copied().fold(0.0f64, f64::max);
+        assert!(
+            worst_m < worst_s || worst_m < 1e-8,
+            "multi-point ({worst_m}) should beat single-point ({worst_s}) across 5 decades"
+        );
+    }
+
+    #[test]
+    fn rc_multipoint_model_is_stable() {
+        let sys = MnaSystem::assemble(&random_rc(92, 25, 2)).unwrap();
+        let pts = [
+            ExpansionPoint { s0: 1e7, sweeps: 2 },
+            ExpansionPoint { s0: 1e9, sweeps: 2 },
+        ];
+        let model = RationalModel::new(&sys, &pts).unwrap();
+        assert!(model.guarantees_passivity());
+        for p in model.sigma_poles().unwrap() {
+            assert!(p.re <= 1e-3 * p.abs().max(1.0), "pole {p}");
+        }
+    }
+
+    #[test]
+    fn rejects_empty_points() {
+        let sys = MnaSystem::assemble(&random_rc(93, 10, 1)).unwrap();
+        assert!(RationalModel::new(&sys, &[]).is_err());
+        assert!(RationalModel::new(
+            &sys,
+            &[ExpansionPoint { s0: 1e8, sweeps: 0 }]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn duplicate_points_deduplicate_via_orthonormalization() {
+        let sys = MnaSystem::assemble(&random_rc(94, 15, 1)).unwrap();
+        let once = RationalModel::new(&sys, &[ExpansionPoint { s0: 1e8, sweeps: 3 }]).unwrap();
+        let twice = RationalModel::new(
+            &sys,
+            &[
+                ExpansionPoint { s0: 1e8, sweeps: 3 },
+                ExpansionPoint { s0: 1e8, sweeps: 3 },
+            ],
+        )
+        .unwrap();
+        // The duplicated point adds no new directions.
+        assert_eq!(once.order(), twice.order());
+    }
+}

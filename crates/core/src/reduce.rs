@@ -1,0 +1,310 @@
+//! The SyMPVL driver: from an assembled [`MnaSystem`] to a
+//! [`ReducedModel`].
+
+use crate::{block_lanczos, GFactor, LanczosOptions, ReducedModel, SympvlError};
+use mpvl_circuit::MnaSystem;
+
+/// Expansion-point policy (paper eq. 26).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Shift {
+    /// Expand about `σ = 0`; fails if `G` is singular.
+    None,
+    /// Expand about `σ = 0` when `G` factors; otherwise pick a small
+    /// regularizing shift automatically (`s₀ = 10⁻³·‖G‖_F/‖C‖_F`, backing
+    /// off toward the full scale if that still hits a zero pivot).
+    Auto,
+    /// Expand about the given `σ = s₀`.
+    Value(f64),
+}
+
+/// Options for [`sympvl`].
+#[derive(Debug, Clone)]
+pub struct SympvlOptions {
+    /// Expansion-point policy.
+    pub shift: Shift,
+    /// Lanczos-process tuning.
+    pub lanczos: LanczosOptions,
+}
+
+impl Default for SympvlOptions {
+    fn default() -> Self {
+        SympvlOptions {
+            shift: Shift::Auto,
+            lanczos: LanczosOptions::default(),
+        }
+    }
+}
+
+/// Runs SyMPVL: reduces the multi-port system `Z(s) = Bᵀ(G + σC)⁻¹B` to an
+/// order-`order` matrix-Padé model.
+///
+/// Pipeline (paper §4): factor `G + s₀C = M J Mᵀ` ([`GFactor`]), run the
+/// symmetric block-Lanczos process on `A = M⁻¹CM⁻ᵀ` with starting block
+/// `M⁻¹B` ([`block_lanczos`]), and package `(Δₙ, Tₙ, ρₙ)` as a
+/// [`ReducedModel`]. The achieved order can be lower than requested when
+/// deflation exhausts the Krylov space (then the model is *exact*) or when
+/// the trailing look-ahead cluster cannot be closed.
+///
+/// # Errors
+///
+/// * [`SympvlError::BadOrder`] for `order == 0`.
+/// * [`SympvlError::Factorization`] when `G + s₀C` cannot be factored
+///   (e.g. `Shift::None` on an LC circuit whose `G` is singular — use
+///   `Shift::Auto` or an explicit value, as the paper does in §7.1).
+///
+/// # Examples
+///
+/// ```
+/// use mpvl_circuit::{generators::rc_ladder, MnaSystem};
+/// use sympvl::{sympvl, SympvlOptions};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let sys = MnaSystem::assemble(&rc_ladder(50, 100.0, 1e-12))?;
+/// let model = sympvl(&sys, 8, &SympvlOptions::default())?;
+/// assert_eq!(model.order(), 8);
+/// assert!(model.guarantees_passivity()); // RC circuit: J = I
+/// # Ok(())
+/// # }
+/// ```
+pub fn sympvl(
+    sys: &MnaSystem,
+    order: usize,
+    opts: &SympvlOptions,
+) -> Result<ReducedModel, SympvlError> {
+    if order == 0 {
+        return Err(SympvlError::BadOrder { order });
+    }
+    let (factor, s0) = factor_with_shift(sys, opts.shift)?;
+    let op = |x: &[f64]| -> Vec<f64> {
+        let y = factor.apply_minv_t(x);
+        let cy = sys.c.matvec(&y);
+        factor.apply_minv(&cy)
+    };
+    let start = factor.apply_minv_mat(&sys.b);
+    let out = block_lanczos(&op, &factor.j_diag(), &start, order, &opts.lanczos);
+    let n = out.order();
+    if n == 0 {
+        return Err(SympvlError::BadOrder { order });
+    }
+    Ok(ReducedModel {
+        t: out.t,
+        delta: out.delta,
+        rho: out.rho,
+        shift: s0,
+        s_power: sys.s_power,
+        output_s_factor: sys.output_s_factor,
+        identity_j: factor.is_identity_j(),
+        original_dim: sys.dim(),
+        p1: out.p1,
+        deflations: out.deflation_steps.len(),
+        exhausted: out.exhausted,
+    })
+}
+
+/// Factors `G + s₀C` per the shift policy, returning the factor and the
+/// shift actually used.
+pub(crate) fn factor_with_shift(
+    sys: &MnaSystem,
+    shift: Shift,
+) -> Result<(GFactor, f64), SympvlError> {
+    if !sys.is_symmetric() {
+        return Err(SympvlError::RequiresDefiniteForm {
+            operation: "SyMPVL (symmetric G, C; use baselines::mpvl for active circuits)",
+        });
+    }
+    match shift {
+        Shift::None => Ok((GFactor::factor(&sys.g)?, 0.0)),
+        Shift::Value(s0) => {
+            let shifted = sys.g.add_scaled(1.0, &sys.c, s0);
+            Ok((GFactor::factor(&shifted)?, s0))
+        }
+        Shift::Auto => match GFactor::factor(&sys.g) {
+            // Accept the unshifted factorization only when it is
+            // well-conditioned: an ungrounded Laplacian is rank-deficient
+            // but can squeak past the pivot floor with one tiny (even
+            // negative) pivot, silently poisoning the reduction.
+            Ok(f) if {
+                let (lo, hi) = f.pivot_range();
+                lo > 1e-10 * hi
+            } =>
+            {
+                Ok((f, 0.0))
+            }
+            _ => {
+                let gn = frob(&sys.g);
+                let cn = frob(&sys.c);
+                if cn == 0.0 {
+                    return Err(SympvlError::Factorization {
+                        reason: "G singular and C is zero".to_string(),
+                    });
+                }
+                // ‖G‖/‖C‖ is the σ-scale of the *fastest* pole; expanding
+                // there ruins in-band convergence. A shift three decades
+                // below it regularizes the factorization while keeping the
+                // expansion effectively at DC. (If even that hits a zero
+                // pivot, back off toward the full scale.)
+                for eps in [1e-3, 1e-1, 1.0] {
+                    let s0 = eps * gn / cn;
+                    let shifted = sys.g.add_scaled(1.0, &sys.c, s0);
+                    if let Ok(f) = GFactor::factor(&shifted) {
+                        return Ok((f, s0));
+                    }
+                }
+                Err(SympvlError::Factorization {
+                    reason: "G + s0*C singular for every automatic shift".to_string(),
+                })
+            }
+        },
+    }
+}
+
+fn frob(m: &mpvl_sparse::CscMat<f64>) -> f64 {
+    m.values().iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpvl_circuit::generators::{peec, random_rc, rc_ladder, rc_line, PeecParams};
+    use mpvl_la::Complex64;
+
+    fn rel_err(a: Complex64, b: Complex64) -> f64 {
+        (a - b).abs() / b.abs().max(1e-300)
+    }
+
+    #[test]
+    fn full_order_model_is_exact() {
+        // With n = N the Krylov space is complete and Z_n == Z everywhere.
+        let sys = MnaSystem::assemble(&rc_ladder(8, 120.0, 2e-12)).unwrap();
+        let n = sys.dim();
+        let model = sympvl(&sys, n, &SympvlOptions::default()).unwrap();
+        assert_eq!(model.order(), n);
+        for f in [1e6, 1e8, 3e9, 7e10] {
+            let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * f);
+            let z = model.eval(s).unwrap()[(0, 0)];
+            let zx = sys.dense_z(s).unwrap()[(0, 0)];
+            assert!(rel_err(z, zx) < 1e-9, "f={f}: {z} vs {zx}");
+        }
+    }
+
+    #[test]
+    fn moments_match_pade_property_single_port() {
+        // q(n) = 2n moments for p = 1.
+        let sys = MnaSystem::assemble(&rc_ladder(20, 80.0, 1e-12)).unwrap();
+        let n = 5;
+        let model = sympvl(&sys, n, &SympvlOptions::default()).unwrap();
+        let exact = crate::exact_moments(&sys, model.shift(), 2 * n).unwrap();
+        for k in 0..2 * n {
+            let mk = model.moment(k)[(0, 0)];
+            let ek = exact[k][(0, 0)];
+            let scale = ek.abs().max(1e-300);
+            assert!(
+                ((mk - ek) / scale).abs() < 1e-6,
+                "moment {k}: {mk} vs {ek}"
+            );
+        }
+    }
+
+    #[test]
+    fn moments_match_pade_property_two_port() {
+        // q(n) = 2*floor(n/p) matrix moments for p = 2.
+        let sys = MnaSystem::assemble(&rc_line(20, 60.0, 1e-12)).unwrap();
+        let n = 8;
+        let model = sympvl(&sys, n, &SympvlOptions::default()).unwrap();
+        let q = model.matched_moments();
+        assert_eq!(q, 8);
+        let exact = crate::exact_moments(&sys, model.shift(), q).unwrap();
+        for k in 0..q {
+            let mk = model.moment(k);
+            let ek = &exact[k];
+            let scale = ek.max_abs().max(1e-300);
+            assert!(
+                (&mk - ek).max_abs() / scale < 1e-6,
+                "matrix moment {k} mismatch: {}",
+                (&mk - ek).max_abs() / scale
+            );
+        }
+    }
+
+    #[test]
+    fn accuracy_improves_with_order() {
+        let sys = MnaSystem::assemble(&rc_ladder(60, 100.0, 1e-12)).unwrap();
+        let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * 2e9);
+        let zx = sys.dense_z(s).unwrap()[(0, 0)];
+        let mut last = f64::INFINITY;
+        for n in [2, 4, 8, 14] {
+            let model = sympvl(&sys, n, &SympvlOptions::default()).unwrap();
+            let err = rel_err(model.eval(s).unwrap()[(0, 0)], zx);
+            assert!(
+                err < last.max(1e-12) * 1.5,
+                "order {n}: err {err} vs previous {last}"
+            );
+            last = err;
+        }
+        assert!(last < 1e-3, "order 14 should be accurate, got {last}");
+    }
+
+    #[test]
+    fn lc_circuit_requires_and_uses_auto_shift() {
+        let model = peec(&PeecParams {
+            cells: 24,
+            output_cell: 12,
+            ..PeecParams::default()
+        });
+        // G of an LC circuit in sigma-form is A_l^T L^{-1} A_l which here is
+        // nonsingular (chain to ground) — but C-only nodes can make plain
+        // factorization fine; force a shift comparison anyway:
+        let m_auto = sympvl(&model.system, 12, &SympvlOptions::default()).unwrap();
+        let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * 5e8);
+        let z = m_auto.eval(s).unwrap();
+        let zx = model.system.dense_z(s).unwrap();
+        // Moderate order on a 24-cell LC: should be a decent match at low f.
+        assert!(
+            rel_err(z[(0, 0)], zx[(0, 0)]) < 1e-2,
+            "err {}",
+            rel_err(z[(0, 0)], zx[(0, 0)])
+        );
+        assert_eq!(m_auto.s_power, 2);
+    }
+
+    #[test]
+    fn explicit_shift_matches_auto_on_rc() {
+        let sys = MnaSystem::assemble(&random_rc(3, 25, 2)).unwrap();
+        let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * 1e9);
+        let zx = sys.dense_z(s).unwrap();
+        let m0 = sympvl(&sys, 14, &SympvlOptions::default()).unwrap();
+        let m1 = sympvl(
+            &sys,
+            14,
+            &SympvlOptions {
+                shift: Shift::Value(1e9),
+                ..SympvlOptions::default()
+            },
+        )
+        .unwrap();
+        // Both should be accurate; they are different Padé expansions.
+        assert!(rel_err(m0.eval(s).unwrap()[(0, 0)], zx[(0, 0)]) < 1e-3);
+        assert!(rel_err(m1.eval(s).unwrap()[(0, 0)], zx[(0, 0)]) < 1e-3);
+        assert_eq!(m1.shift(), 1e9);
+    }
+
+    #[test]
+    fn rejects_zero_order() {
+        let sys = MnaSystem::assemble(&rc_ladder(5, 1.0, 1e-12)).unwrap();
+        assert!(matches!(
+            sympvl(&sys, 0, &SympvlOptions::default()),
+            Err(SympvlError::BadOrder { .. })
+        ));
+    }
+
+    #[test]
+    fn exhaustion_yields_exact_smaller_model() {
+        // Request more than N: the model caps at N and is exact.
+        let sys = MnaSystem::assemble(&rc_ladder(6, 100.0, 1e-12)).unwrap();
+        let model = sympvl(&sys, 50, &SympvlOptions::default()).unwrap();
+        assert!(model.order() <= sys.dim());
+        let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * 1e9);
+        let z = model.eval(s).unwrap()[(0, 0)];
+        let zx = sys.dense_z(s).unwrap()[(0, 0)];
+        assert!(rel_err(z, zx) < 1e-8);
+    }
+}

@@ -1,0 +1,191 @@
+//! Dense Cholesky factorization of real symmetric positive-definite matrices.
+
+use crate::{Mat, SingularMatrixError};
+
+/// A Cholesky factorization `A = L Lᵀ` with `L` lower triangular.
+///
+/// This is the `J = I` branch of the paper's eq. (15): for RC, RL, and LC
+/// circuits the matrix `G` is symmetric positive (semi-)definite, so
+/// `M = L` and `J` is the identity.
+///
+/// # Examples
+///
+/// ```
+/// use mpvl_la::{Mat, Cholesky};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let a = Mat::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+/// let ch = Cholesky::new(&a)?;
+/// let x = ch.solve(&[8.0, 7.0]);
+/// assert!((x[0] - 1.25).abs() < 1e-14 && (x[1] - 1.5).abs() < 1e-14);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Mat<f64>,
+}
+
+impl Cholesky {
+    /// Factors the symmetric positive-definite matrix `a`.
+    ///
+    /// Only the lower triangle of `a` is read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] when a pivot is not strictly positive,
+    /// i.e. the matrix is not numerically positive definite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not square.
+    pub fn new(a: &Mat<f64>) -> Result<Self, SingularMatrixError> {
+        let n = a.nrows();
+        assert_eq!(n, a.ncols(), "Cholesky requires a square matrix");
+        let mut l = Mat::zeros(n, n);
+        for j in 0..n {
+            let mut d = a[(j, j)];
+            for k in 0..j {
+                d -= l[(j, k)] * l[(j, k)];
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return Err(SingularMatrixError { step: j });
+            }
+            let dj = d.sqrt();
+            l[(j, j)] = dj;
+            for i in j + 1..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / dj;
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.nrows()
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Mat<f64> {
+        &self.l
+    }
+
+    /// Solves `A x = b` via two triangular solves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = b.to_vec();
+        self.solve_lower_in_place(&mut x);
+        self.solve_upper_in_place(&mut x);
+        x
+    }
+
+    /// In-place forward substitution `L x = b`.
+    pub fn solve_lower_in_place(&self, x: &mut [f64]) {
+        let n = self.dim();
+        assert_eq!(x.len(), n, "dimension mismatch");
+        for k in 0..n {
+            x[k] /= self.l[(k, k)];
+            let xk = x[k];
+            for i in k + 1..n {
+                x[i] -= self.l[(i, k)] * xk;
+            }
+        }
+    }
+
+    /// In-place back substitution `Lᵀ x = b`.
+    pub fn solve_upper_in_place(&self, x: &mut [f64]) {
+        let n = self.dim();
+        assert_eq!(x.len(), n, "dimension mismatch");
+        for k in (0..n).rev() {
+            let mut s = x[k];
+            for i in k + 1..n {
+                s -= self.l[(i, k)] * x[i];
+            }
+            x[k] = s / self.l[(k, k)];
+        }
+    }
+
+    /// Determinant (product of squared diagonal pivots).
+    pub fn det(&self) -> f64 {
+        let mut d = 1.0;
+        for k in 0..self.dim() {
+            d *= self.l[(k, k)] * self.l[(k, k)];
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd(n: usize) -> Mat<f64> {
+        // Tridiagonal SPD: 2 on diagonal, -1 off.
+        Mat::from_fn(n, n, |i, j| {
+            if i == j {
+                2.0
+            } else if i.abs_diff(j) == 1 {
+                -1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn reconstructs_matrix() {
+        let a = spd(6);
+        let ch = Cholesky::new(&a).expect("SPD");
+        let rec = ch.l().matmul(&ch.l().transpose());
+        assert!((&rec - &a).max_abs() < 1e-14);
+    }
+
+    #[test]
+    fn solve_matches_residual() {
+        let a = spd(8);
+        let ch = Cholesky::new(&a).expect("SPD");
+        let b: Vec<f64> = (0..8).map(|i| (i as f64).sin() + 2.0).collect();
+        let x = ch.solve(&b);
+        let r = a.matvec(&x);
+        for (u, v) in r.iter().zip(&b) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(Cholesky::new(&a).is_err());
+    }
+
+    #[test]
+    fn rejects_semidefinite() {
+        let a = Mat::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        assert!(Cholesky::new(&a).is_err());
+    }
+
+    #[test]
+    fn det_of_known_matrix() {
+        let a = spd(3); // det = 4
+        let ch = Cholesky::new(&a).unwrap();
+        assert!((ch.det() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangular_solves_compose() {
+        let a = spd(5);
+        let ch = Cholesky::new(&a).unwrap();
+        let b = vec![1.0; 5];
+        let mut y = b.clone();
+        ch.solve_lower_in_place(&mut y);
+        let mut x = y.clone();
+        ch.solve_upper_in_place(&mut x);
+        assert_eq!(x, ch.solve(&b));
+    }
+}

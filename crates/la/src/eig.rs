@@ -1,0 +1,633 @@
+//! Dense eigensolvers.
+//!
+//! Two solvers cover everything the reproduction needs:
+//!
+//! * [`sym_eigen`] — real symmetric matrices, via Householder
+//!   tridiagonalization followed by the implicit-shift QL iteration. Used for
+//!   the stability/passivity certificates of §5 (eigenvalues of `Tₙ`), for
+//!   Foster pole–residue synthesis, and throughout the tests.
+//! * [`general_eigenvalues`] — real non-symmetric matrices, via Hessenberg
+//!   reduction and the Francis double-shift QR iteration. Used for the poles
+//!   of general-RLC reduced models (where `Tₙ` is `Δₙ⁻¹`·symmetric, hence
+//!   non-symmetric) and for the AWE baseline's companion-matrix root finding.
+
+use crate::{Complex64, Mat};
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when an eigenvalue iteration fails to converge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EigenConvergenceError {
+    /// Index of the eigenvalue being isolated when iteration stalled.
+    pub index: usize,
+}
+
+impl fmt::Display for EigenConvergenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "eigenvalue iteration failed to converge at index {}",
+            self.index
+        )
+    }
+}
+
+impl Error for EigenConvergenceError {}
+
+/// Eigendecomposition of a real symmetric matrix.
+#[derive(Debug, Clone)]
+pub struct SymEigen {
+    /// Eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors; column `k` pairs with `values[k]`.
+    pub vectors: Mat<f64>,
+}
+
+/// Computes all eigenvalues and eigenvectors of a real symmetric matrix.
+///
+/// Only the lower triangle is referenced. Eigenvalues are returned in
+/// ascending order with matching orthonormal eigenvector columns.
+///
+/// # Errors
+///
+/// Returns [`EigenConvergenceError`] if the QL iteration exceeds its
+/// iteration budget (practically unreachable for symmetric input).
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+///
+/// # Examples
+///
+/// ```
+/// use mpvl_la::{Mat, sym_eigen};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let a = Mat::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+/// let e = sym_eigen(&a)?;
+/// assert!((e.values[0] - 1.0).abs() < 1e-12);
+/// assert!((e.values[1] - 3.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn sym_eigen(a: &Mat<f64>) -> Result<SymEigen, EigenConvergenceError> {
+    let n = a.nrows();
+    assert_eq!(n, a.ncols(), "symmetric eigensolver requires square input");
+    if n == 0 {
+        return Ok(SymEigen {
+            values: vec![],
+            vectors: Mat::zeros(0, 0),
+        });
+    }
+    // --- Householder tridiagonalization with accumulation (tred2). ---
+    let mut z = a.clone();
+    // Symmetrize defensively from the lower triangle.
+    for j in 0..n {
+        for i in 0..j {
+            z[(i, j)] = z[(j, i)];
+        }
+    }
+    let mut d = vec![0.0f64; n]; // diagonal
+    let mut e = vec![0.0f64; n]; // sub-diagonal (e[0] unused)
+
+    for i in (1..n).rev() {
+        let l = i - 1;
+        let mut h = 0.0;
+        if l > 0 {
+            let mut scale = 0.0;
+            for k in 0..=l {
+                scale += z[(i, k)].abs();
+            }
+            if scale == 0.0 {
+                e[i] = z[(i, l)];
+            } else {
+                for k in 0..=l {
+                    z[(i, k)] /= scale;
+                    h += z[(i, k)] * z[(i, k)];
+                }
+                let mut f = z[(i, l)];
+                let g = if f >= 0.0 { -h.sqrt() } else { h.sqrt() };
+                e[i] = scale * g;
+                h -= f * g;
+                z[(i, l)] = f - g;
+                f = 0.0;
+                for j in 0..=l {
+                    z[(j, i)] = z[(i, j)] / h;
+                    let mut g = 0.0;
+                    for k in 0..=j {
+                        g += z[(j, k)] * z[(i, k)];
+                    }
+                    for k in j + 1..=l {
+                        g += z[(k, j)] * z[(i, k)];
+                    }
+                    e[j] = g / h;
+                    f += e[j] * z[(i, j)];
+                }
+                let hh = f / (h + h);
+                for j in 0..=l {
+                    let fj = z[(i, j)];
+                    let gj = e[j] - hh * fj;
+                    e[j] = gj;
+                    for k in 0..=j {
+                        let upd = fj * e[k] + gj * z[(i, k)];
+                        z[(j, k)] -= upd;
+                    }
+                }
+            }
+        } else {
+            e[i] = z[(i, l)];
+        }
+        d[i] = h;
+    }
+    d[0] = 0.0;
+    e[0] = 0.0;
+    for i in 0..n {
+        if d[i] != 0.0 {
+            for j in 0..i {
+                let mut g = 0.0;
+                for k in 0..i {
+                    g += z[(i, k)] * z[(k, j)];
+                }
+                for k in 0..i {
+                    let upd = g * z[(k, i)];
+                    z[(k, j)] -= upd;
+                }
+            }
+        }
+        d[i] = z[(i, i)];
+        z[(i, i)] = 1.0;
+        for j in 0..i {
+            z[(j, i)] = 0.0;
+            z[(i, j)] = 0.0;
+        }
+    }
+
+    // --- Implicit-shift QL iteration (tqli). ---
+    for i in 1..n {
+        e[i - 1] = e[i];
+    }
+    e[n - 1] = 0.0;
+    for l in 0..n {
+        let mut iter = 0;
+        loop {
+            // Find a small sub-diagonal element to split.
+            let mut m = l;
+            while m + 1 < n {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= f64::EPSILON * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            if iter > 60 {
+                return Err(EigenConvergenceError { index: l });
+            }
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = g.hypot(1.0);
+            let sign_r = if g >= 0.0 { r.abs() } else { -r.abs() };
+            g = d[m] - d[l] + e[l] / (g + sign_r);
+            let (mut s, mut c) = (1.0, 1.0);
+            let mut p = 0.0;
+            for i in (l..m).rev() {
+                let mut f = s * e[i];
+                let b = c * e[i];
+                r = f.hypot(g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+                for k in 0..n {
+                    f = z[(k, i + 1)];
+                    z[(k, i + 1)] = s * z[(k, i)] + c * f;
+                    z[(k, i)] = c * z[(k, i)] - s * f;
+                }
+            }
+            if r == 0.0 && m > l + 1 {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+
+    // Sort ascending, permuting vectors.
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| d[a].partial_cmp(&d[b]).expect("finite eigenvalues"));
+    let values: Vec<f64> = idx.iter().map(|&i| d[i]).collect();
+    let vectors = Mat::from_fn(n, n, |i, j| z[(i, idx[j])]);
+    Ok(SymEigen { values, vectors })
+}
+
+/// Computes all eigenvalues of a real (generally non-symmetric) matrix.
+///
+/// Reduction to upper Hessenberg form by Householder reflections, then the
+/// Francis implicit double-shift QR iteration. Complex conjugate pairs are
+/// returned as such; ordering is by ascending real part then imaginary part.
+///
+/// # Errors
+///
+/// Returns [`EigenConvergenceError`] if the QR iteration exceeds 100
+/// iterations for some eigenvalue.
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+///
+/// # Examples
+///
+/// ```
+/// use mpvl_la::{Mat, general_eigenvalues};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Rotation-like matrix with eigenvalues ±i.
+/// let a = Mat::from_rows(&[&[0.0, -1.0], &[1.0, 0.0]]);
+/// let e = general_eigenvalues(&a)?;
+/// assert!((e[0].im + 1.0).abs() < 1e-12 || (e[0].im - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn general_eigenvalues(a: &Mat<f64>) -> Result<Vec<Complex64>, EigenConvergenceError> {
+    let n = a.nrows();
+    assert_eq!(n, a.ncols(), "eigenvalue solver requires square input");
+    if n == 0 {
+        return Ok(vec![]);
+    }
+    let mut h = a.clone();
+
+    // --- Householder reduction to upper Hessenberg form. ---
+    for k in 1..n.saturating_sub(1) {
+        let mut norm = 0.0f64;
+        for i in k..n {
+            norm = norm.hypot(h[(i, k - 1)]);
+        }
+        if norm == 0.0 {
+            continue;
+        }
+        let alpha = if h[(k, k - 1)] >= 0.0 { -norm } else { norm };
+        let v0 = h[(k, k - 1)] - alpha;
+        let mut v = vec![0.0; n];
+        v[k] = v0;
+        for i in k + 1..n {
+            v[i] = h[(i, k - 1)];
+        }
+        let vtv: f64 = v[k..].iter().map(|x| x * x).sum();
+        if vtv == 0.0 {
+            continue;
+        }
+        let beta = 2.0 / vtv;
+        // H <- (I - beta v v^T) H
+        for j in 0..n {
+            let mut s = 0.0;
+            for i in k..n {
+                s += v[i] * h[(i, j)];
+            }
+            s *= beta;
+            for i in k..n {
+                h[(i, j)] -= s * v[i];
+            }
+        }
+        // H <- H (I - beta v v^T)
+        for i in 0..n {
+            let mut s = 0.0;
+            for j in k..n {
+                s += h[(i, j)] * v[j];
+            }
+            s *= beta;
+            for j in k..n {
+                h[(i, j)] -= s * v[j];
+            }
+        }
+        h[(k, k - 1)] = alpha;
+        for i in k + 1..n {
+            h[(i, k - 1)] = 0.0;
+        }
+    }
+
+    // --- Francis double-shift QR (hqr). ---
+    let mut eig = vec![Complex64::ZERO; n];
+    let anorm: f64 = {
+        let mut s = 0.0;
+        for i in 0..n {
+            for j in i.saturating_sub(1)..n {
+                s += h[(i, j)].abs();
+            }
+        }
+        s.max(f64::MIN_POSITIVE)
+    };
+    let mut nn = n as isize - 1;
+    let mut t = 0.0f64;
+    while nn >= 0 {
+        let mut its = 0;
+        loop {
+            // Look for a single small sub-diagonal element.
+            let mut l = nn;
+            while l >= 1 {
+                let s = h[((l - 1) as usize, (l - 1) as usize)].abs()
+                    + h[(l as usize, l as usize)].abs();
+                let s = if s == 0.0 { anorm } else { s };
+                if h[(l as usize, (l - 1) as usize)].abs() <= f64::EPSILON * s {
+                    h[(l as usize, (l - 1) as usize)] = 0.0;
+                    break;
+                }
+                l -= 1;
+            }
+            let x = h[(nn as usize, nn as usize)];
+            if l == nn {
+                // One root found.
+                eig[nn as usize] = Complex64::from_real(x + t);
+                nn -= 1;
+                break;
+            }
+            let y = h[((nn - 1) as usize, (nn - 1) as usize)];
+            let w = h[(nn as usize, (nn - 1) as usize)] * h[((nn - 1) as usize, nn as usize)];
+            if l == nn - 1 {
+                // Two roots found.
+                let p = 0.5 * (y - x);
+                let q = p * p + w;
+                let z = q.abs().sqrt();
+                let x_t = x + t;
+                if q >= 0.0 {
+                    let z = p + if p >= 0.0 { z } else { -z };
+                    eig[(nn - 1) as usize] = Complex64::from_real(x_t + z);
+                    eig[nn as usize] = if z != 0.0 {
+                        Complex64::from_real(x_t - w / z)
+                    } else {
+                        Complex64::from_real(x_t + z)
+                    };
+                } else {
+                    eig[(nn - 1) as usize] = Complex64::new(x_t + p, z);
+                    eig[nn as usize] = Complex64::new(x_t + p, -z);
+                }
+                nn -= 2;
+                break;
+            }
+            // No root yet: QR step.
+            if its == 100 {
+                return Err(EigenConvergenceError { index: nn as usize });
+            }
+            let mut x = x;
+            let mut y = y;
+            let mut w = w;
+            if its == 10 || its == 20 {
+                // Exceptional shift.
+                t += x;
+                for i in 0..=nn as usize {
+                    h[(i, i)] -= x;
+                }
+                let s = h[(nn as usize, (nn - 1) as usize)].abs()
+                    + h[((nn - 1) as usize, (nn - 2) as usize)].abs();
+                x = 0.75 * s;
+                y = x;
+                w = -0.4375 * s * s;
+            }
+            its += 1;
+            // Look for two consecutive small sub-diagonal elements.
+            let mut m = nn - 2;
+            let (mut p, mut q, mut r) = (0.0f64, 0.0f64, 0.0f64);
+            while m >= l {
+                let z = h[(m as usize, m as usize)];
+                let rr = x - z;
+                let ss = y - z;
+                p = (rr * ss - w) / h[((m + 1) as usize, m as usize)] + h[(m as usize, (m + 1) as usize)];
+                q = h[((m + 1) as usize, (m + 1) as usize)] - z - rr - ss;
+                r = h[((m + 2) as usize, (m + 1) as usize)];
+                let s = p.abs() + q.abs() + r.abs();
+                p /= s;
+                q /= s;
+                r /= s;
+                if m == l {
+                    break;
+                }
+                let u = h[(m as usize, (m - 1) as usize)].abs() * (q.abs() + r.abs());
+                let v = p.abs()
+                    * (h[((m - 1) as usize, (m - 1) as usize)].abs()
+                        + h[(m as usize, m as usize)].abs()
+                        + h[((m + 1) as usize, (m + 1) as usize)].abs());
+                if u <= f64::EPSILON * v {
+                    break;
+                }
+                m -= 1;
+            }
+            for i in m + 2..=nn {
+                h[(i as usize, (i - 2) as usize)] = 0.0;
+                if i != m + 2 {
+                    h[(i as usize, (i - 3) as usize)] = 0.0;
+                }
+            }
+            // Double QR step on rows l..=nn, columns m..=nn.
+            for k in m..=nn - 1 {
+                if k != m {
+                    p = h[(k as usize, (k - 1) as usize)];
+                    q = h[((k + 1) as usize, (k - 1) as usize)];
+                    r = if k != nn - 1 {
+                        h[((k + 2) as usize, (k - 1) as usize)]
+                    } else {
+                        0.0
+                    };
+                    x = p.abs() + q.abs() + r.abs();
+                    if x != 0.0 {
+                        p /= x;
+                        q /= x;
+                        r /= x;
+                    }
+                }
+                let s = {
+                    let mag = (p * p + q * q + r * r).sqrt();
+                    if p >= 0.0 {
+                        mag
+                    } else {
+                        -mag
+                    }
+                };
+                if s == 0.0 {
+                    continue;
+                }
+                if k == m {
+                    if l != m {
+                        h[(k as usize, (k - 1) as usize)] = -h[(k as usize, (k - 1) as usize)];
+                    }
+                } else {
+                    h[(k as usize, (k - 1) as usize)] = -s * x;
+                }
+                p += s;
+                let x2 = p / s;
+                let y2 = q / s;
+                let z2 = r / s;
+                q /= p;
+                r /= p;
+                // Row modification.
+                for j in k as usize..=nn as usize {
+                    let mut pp = h[(k as usize, j)] + q * h[((k + 1) as usize, j)];
+                    if k != nn - 1 {
+                        pp += r * h[((k + 2) as usize, j)];
+                        h[((k + 2) as usize, j)] -= pp * z2;
+                    }
+                    h[((k + 1) as usize, j)] -= pp * y2;
+                    h[(k as usize, j)] -= pp * x2;
+                }
+                // Column modification.
+                let mmin = if nn < k + 3 { nn } else { k + 3 };
+                for i in l as usize..=mmin as usize {
+                    let mut pp = x2 * h[(i, k as usize)] + y2 * h[(i, (k + 1) as usize)];
+                    if k != nn - 1 {
+                        pp += z2 * h[(i, (k + 2) as usize)];
+                        h[(i, (k + 2) as usize)] -= pp * r;
+                    }
+                    h[(i, (k + 1) as usize)] -= pp * q;
+                    h[(i, k as usize)] -= pp;
+                }
+            }
+        }
+    }
+    eig.sort_by(|a, b| {
+        a.re.partial_cmp(&b.re)
+            .expect("finite eigenvalues")
+            .then(a.im.partial_cmp(&b.im).expect("finite eigenvalues"))
+    });
+    Ok(eig)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sym_eigen_diagonal() {
+        let a = Mat::from_diag(&[3.0, -1.0, 2.0]);
+        let e = sym_eigen(&a).unwrap();
+        assert!((e.values[0] + 1.0).abs() < 1e-14);
+        assert!((e.values[1] - 2.0).abs() < 1e-14);
+        assert!((e.values[2] - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn sym_eigen_laplacian_known_spectrum() {
+        // 1-D Laplacian: eigenvalues 2 - 2cos(k pi / (n+1)).
+        let n = 12;
+        let a = Mat::from_fn(n, n, |i, j| {
+            if i == j {
+                2.0
+            } else if i.abs_diff(j) == 1 {
+                -1.0
+            } else {
+                0.0
+            }
+        });
+        let e = sym_eigen(&a).unwrap();
+        for (k, &v) in e.values.iter().enumerate() {
+            let expect = 2.0 - 2.0 * ((k + 1) as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos();
+            assert!((v - expect).abs() < 1e-10, "eig {k}: {v} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn sym_eigen_vectors_orthonormal_and_consistent() {
+        let n = 10;
+        let mut seed = 42u64;
+        let mut rng = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((seed >> 33) as f64) / (u32::MAX as f64) - 0.5
+        };
+        let mut a = Mat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = rng();
+                a[(i, j)] = v;
+                a[(j, i)] = v;
+            }
+        }
+        let e = sym_eigen(&a).unwrap();
+        let vtv = e.vectors.t_matmul(&e.vectors);
+        assert!((&vtv - &Mat::identity(n)).max_abs() < 1e-11);
+        // A v_k = lambda_k v_k
+        for k in 0..n {
+            let av = a.matvec(e.vectors.col(k));
+            for i in 0..n {
+                assert!(
+                    (av[i] - e.values[k] * e.vectors[(i, k)]).abs() < 1e-10,
+                    "residual too large"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn general_real_spectrum_upper_triangular() {
+        let a = Mat::from_rows(&[&[1.0, 5.0, -3.0], &[0.0, 4.0, 2.0], &[0.0, 0.0, -2.0]]);
+        let e = general_eigenvalues(&a).unwrap();
+        let mut re: Vec<f64> = e.iter().map(|z| z.re).collect();
+        re.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((re[0] + 2.0).abs() < 1e-10);
+        assert!((re[1] - 1.0).abs() < 1e-10);
+        assert!((re[2] - 4.0).abs() < 1e-10);
+        assert!(e.iter().all(|z| z.im.abs() < 1e-10));
+    }
+
+    #[test]
+    fn general_complex_pair() {
+        let a = Mat::from_rows(&[&[0.0, -4.0], &[1.0, 0.0]]); // eigs ±2i
+        let e = general_eigenvalues(&a).unwrap();
+        assert!((e[0].im + 2.0).abs() < 1e-12);
+        assert!((e[1].im - 2.0).abs() < 1e-12);
+        assert!(e[0].re.abs() < 1e-12);
+    }
+
+    #[test]
+    fn general_matches_symmetric_on_symmetric_input() {
+        let a = Mat::from_fn(8, 8, |i, j| {
+            if i == j {
+                2.0 + i as f64 * 0.1
+            } else if i.abs_diff(j) == 1 {
+                -0.8
+            } else {
+                0.0
+            }
+        });
+        let es = sym_eigen(&a).unwrap();
+        let mut eg: Vec<f64> = general_eigenvalues(&a).unwrap().iter().map(|z| z.re).collect();
+        eg.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (u, v) in es.values.iter().zip(&eg) {
+            assert!((u - v).abs() < 1e-9, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn companion_matrix_roots() {
+        // p(x) = x^3 - 6x^2 + 11x - 6 = (x-1)(x-2)(x-3)
+        let a = Mat::from_rows(&[&[6.0, -11.0, 6.0], &[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]]);
+        let mut e: Vec<f64> = general_eigenvalues(&a).unwrap().iter().map(|z| z.re).collect();
+        e.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((e[0] - 1.0).abs() < 1e-9);
+        assert!((e[1] - 2.0).abs() < 1e-9);
+        assert!((e[2] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(sym_eigen(&Mat::zeros(0, 0)).unwrap().values.is_empty());
+        assert!(general_eigenvalues(&Mat::zeros(0, 0)).unwrap().is_empty());
+        let one = Mat::from_rows(&[&[7.0]]);
+        assert_eq!(sym_eigen(&one).unwrap().values, vec![7.0]);
+        assert_eq!(general_eigenvalues(&one).unwrap()[0].re, 7.0);
+    }
+
+    #[test]
+    fn sym_eigen_handles_semidefinite() {
+        let a = Mat::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]); // eigs 0, 2
+        let e = sym_eigen(&a).unwrap();
+        assert!(e.values[0].abs() < 1e-14);
+        assert!((e.values[1] - 2.0).abs() < 1e-14);
+    }
+}

@@ -1,0 +1,607 @@
+//! Dense Bunch–Kaufman LDLᵀ factorization of real symmetric indefinite
+//! matrices, and its conversion to the paper's `G = M J Mᵀ` form.
+//!
+//! §4 of the SyMPVL paper: *"A factorization (15) can be computed via a
+//! suitable version of the Bunch-Parlett-Kaufman algorithm if `G` is
+//! indefinite, or a version of the Cholesky algorithm if `G` is symmetric
+//! positive definite."* This module is that Bunch–Kaufman version: it
+//! computes `P A Pᵀ = L D Lᵀ` with unit-lower-triangular `L` and block
+//! diagonal `D` (1×1 and 2×2 blocks), then diagonalizes the blocks to
+//! produce `A = M J Mᵀ` with `J = diag(±1)`.
+
+use crate::{Mat, SingularMatrixError};
+
+/// Pivot structure of `D`: a run-length encoding of the 1×1 / 2×2 blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PivotBlock {
+    /// A 1×1 pivot at the given index.
+    One(usize),
+    /// A 2×2 pivot covering indices `k` and `k + 1`.
+    Two(usize),
+}
+
+/// A Bunch–Kaufman factorization `P A Pᵀ = L D Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct BunchKaufman {
+    /// Unit lower-triangular factor.
+    l: Mat<f64>,
+    /// Block-diagonal factor, stored dense (only the blocks are nonzero).
+    d: Mat<f64>,
+    /// `perm[i]` = original index of the row/column now at position `i`.
+    perm: Vec<usize>,
+    blocks: Vec<PivotBlock>,
+}
+
+const ALPHA: f64 = 0.6403882032022076; // (1 + sqrt(17)) / 8
+
+impl BunchKaufman {
+    /// Factors the symmetric matrix `a` (both triangles are read).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] when the remaining submatrix is
+    /// exactly zero (the matrix is singular).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not square.
+    pub fn new(a: &Mat<f64>) -> Result<Self, SingularMatrixError> {
+        let n = a.nrows();
+        assert_eq!(n, a.ncols(), "LDLT requires a square matrix");
+        let mut w = a.clone(); // working copy, full symmetric storage
+        let mut l = Mat::identity(n);
+        let mut d = Mat::zeros(n, n);
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut blocks = Vec::new();
+
+        // Symmetric swap of rows/cols i and j in the trailing matrix,
+        // plus the already-computed part of L and the permutation record.
+        let swap = |w: &mut Mat<f64>, l: &mut Mat<f64>, perm: &mut [usize], k: usize, i: usize, j: usize| {
+            if i == j {
+                return;
+            }
+            for c in 0..n {
+                let (x, y) = (w[(i, c)], w[(j, c)]);
+                w[(i, c)] = y;
+                w[(j, c)] = x;
+            }
+            for r in 0..n {
+                let (x, y) = (w[(r, i)], w[(r, j)]);
+                w[(r, i)] = y;
+                w[(r, j)] = x;
+            }
+            for c in 0..k {
+                let (x, y) = (l[(i, c)], l[(j, c)]);
+                l[(i, c)] = y;
+                l[(j, c)] = x;
+            }
+            perm.swap(i, j);
+        };
+
+        let mut k = 0;
+        while k < n {
+            // Largest off-diagonal magnitude in column k (below diagonal).
+            let mut lambda = 0.0;
+            let mut r = k;
+            for i in k + 1..n {
+                let m = w[(i, k)].abs();
+                if m > lambda {
+                    lambda = m;
+                    r = i;
+                }
+            }
+            let akk = w[(k, k)].abs();
+
+            let use_two;
+            if akk.max(lambda) == 0.0 {
+                return Err(SingularMatrixError { step: k });
+            } else if akk >= ALPHA * lambda {
+                use_two = false;
+            } else {
+                // sigma: largest off-diagonal magnitude in column/row r.
+                let mut sigma = 0.0f64;
+                for i in k..n {
+                    if i != r {
+                        sigma = sigma.max(w[(i, r)].abs());
+                    }
+                }
+                if akk * sigma >= ALPHA * lambda * lambda {
+                    use_two = false;
+                } else if w[(r, r)].abs() >= ALPHA * sigma {
+                    // Bring the large diagonal to the pivot position.
+                    swap(&mut w, &mut l, &mut perm, k, k, r);
+                    use_two = false;
+                } else {
+                    // 2x2 pivot with rows k and r.
+                    swap(&mut w, &mut l, &mut perm, k, k + 1, r);
+                    use_two = true;
+                }
+            }
+
+            if !use_two {
+                let pivot = w[(k, k)];
+                if pivot == 0.0 {
+                    return Err(SingularMatrixError { step: k });
+                }
+                d[(k, k)] = pivot;
+                for i in k + 1..n {
+                    l[(i, k)] = w[(i, k)] / pivot;
+                }
+                // Trailing symmetric rank-1 update.
+                for j in k + 1..n {
+                    let wjk = w[(j, k)];
+                    if wjk == 0.0 {
+                        continue;
+                    }
+                    for i in j..n {
+                        w[(i, j)] -= l[(i, k)] * wjk;
+                        if i != j {
+                            w[(j, i)] = w[(i, j)];
+                        }
+                    }
+                }
+                blocks.push(PivotBlock::One(k));
+                k += 1;
+            } else {
+                let e11 = w[(k, k)];
+                let e21 = w[(k + 1, k)];
+                let e22 = w[(k + 1, k + 1)];
+                let det = e11 * e22 - e21 * e21;
+                if det == 0.0 {
+                    return Err(SingularMatrixError { step: k });
+                }
+                d[(k, k)] = e11;
+                d[(k + 1, k)] = e21;
+                d[(k, k + 1)] = e21;
+                d[(k + 1, k + 1)] = e22;
+                // E^{-1} = 1/det [e22 -e21; -e21 e11]
+                let (i11, i21, i22) = (e22 / det, -e21 / det, e11 / det);
+                for i in k + 2..n {
+                    let w1 = w[(i, k)];
+                    let w2 = w[(i, k + 1)];
+                    l[(i, k)] = w1 * i11 + w2 * i21;
+                    l[(i, k + 1)] = w1 * i21 + w2 * i22;
+                }
+                // Trailing symmetric rank-2 update: W -= Lblk * [w1 w2]^T rows.
+                for j in k + 2..n {
+                    let wj1 = w[(j, k)];
+                    let wj2 = w[(j, k + 1)];
+                    if wj1 == 0.0 && wj2 == 0.0 {
+                        continue;
+                    }
+                    for i in j..n {
+                        w[(i, j)] -= l[(i, k)] * wj1 + l[(i, k + 1)] * wj2;
+                        if i != j {
+                            w[(j, i)] = w[(i, j)];
+                        }
+                    }
+                }
+                blocks.push(PivotBlock::Two(k));
+                k += 2;
+            }
+        }
+
+        Ok(BunchKaufman { l, d, perm, blocks })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.nrows()
+    }
+
+    /// The unit lower-triangular factor.
+    pub fn l(&self) -> &Mat<f64> {
+        &self.l
+    }
+
+    /// The block-diagonal factor.
+    pub fn d(&self) -> &Mat<f64> {
+        &self.d
+    }
+
+    /// `perm()[i]` = original index of the row now at position `i`.
+    pub fn perm(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// Pivot block layout of `D`.
+    pub fn blocks(&self) -> &[PivotBlock] {
+        &self.blocks
+    }
+
+    /// Matrix inertia `(n_neg, n_zero, n_pos)` from the eigenvalues of `D`.
+    pub fn inertia(&self) -> (usize, usize, usize) {
+        let (mut neg, mut zero, mut pos) = (0, 0, 0);
+        for &b in &self.blocks {
+            match b {
+                PivotBlock::One(k) => {
+                    let v = self.d[(k, k)];
+                    if v > 0.0 {
+                        pos += 1;
+                    } else if v < 0.0 {
+                        neg += 1;
+                    } else {
+                        zero += 1;
+                    }
+                }
+                PivotBlock::Two(k) => {
+                    // 2x2 blocks from Bunch-Kaufman always have det < 0:
+                    // one positive, one negative eigenvalue.
+                    let det = self.d[(k, k)] * self.d[(k + 1, k + 1)]
+                        - self.d[(k + 1, k)] * self.d[(k + 1, k)];
+                    if det < 0.0 {
+                        pos += 1;
+                        neg += 1;
+                    } else {
+                        // Defensive: classify by trace.
+                        let tr = self.d[(k, k)] + self.d[(k + 1, k + 1)];
+                        if tr > 0.0 {
+                            pos += 2;
+                        } else {
+                            neg += 2;
+                        }
+                    }
+                }
+            }
+        }
+        (neg, zero, pos)
+    }
+
+    /// Solves `A x = b`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "dimension mismatch");
+        // y = P b
+        let mut x: Vec<f64> = (0..n).map(|i| b[self.perm[i]]).collect();
+        // L z = y (unit lower)
+        for k in 0..n {
+            let xk = x[k];
+            for i in k + 1..n {
+                x[i] -= self.l[(i, k)] * xk;
+            }
+        }
+        // D w = z
+        for &blk in &self.blocks {
+            match blk {
+                PivotBlock::One(k) => x[k] /= self.d[(k, k)],
+                PivotBlock::Two(k) => {
+                    let (e11, e21, e22) =
+                        (self.d[(k, k)], self.d[(k + 1, k)], self.d[(k + 1, k + 1)]);
+                    let det = e11 * e22 - e21 * e21;
+                    let (b1, b2) = (x[k], x[k + 1]);
+                    x[k] = (e22 * b1 - e21 * b2) / det;
+                    x[k + 1] = (-e21 * b1 + e11 * b2) / det;
+                }
+            }
+        }
+        // L^T u = w
+        for k in (0..n).rev() {
+            let mut s = x[k];
+            for i in k + 1..n {
+                s -= self.l[(i, k)] * x[i];
+            }
+            x[k] = s;
+        }
+        // x = P^T u
+        let mut out = vec![0.0; n];
+        for i in 0..n {
+            out[self.perm[i]] = x[i];
+        }
+        out
+    }
+
+    /// Converts to the paper's `A = M J Mᵀ` form (eq. 15) with `J = diag(±1)`.
+    ///
+    /// Each diagonal block of `D` is spectrally decomposed `E = Q Λ Qᵀ` and
+    /// absorbed as `M = Pᵀ L Q |Λ|^{1/2}`, `J = sign(Λ)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if a block eigenvalue is zero.
+    pub fn to_mj(&self) -> Result<MjFactor, SingularMatrixError> {
+        let n = self.dim();
+        // S = block-diagonal Q |Λ|^{1/2}; J = sign(Λ).
+        let mut s = Mat::zeros(n, n);
+        let mut j_sign = vec![1.0f64; n];
+        for &blk in &self.blocks {
+            match blk {
+                PivotBlock::One(k) => {
+                    let v = self.d[(k, k)];
+                    if v == 0.0 {
+                        return Err(SingularMatrixError { step: k });
+                    }
+                    s[(k, k)] = v.abs().sqrt();
+                    j_sign[k] = v.signum();
+                }
+                PivotBlock::Two(k) => {
+                    let (a, b, c) =
+                        (self.d[(k, k)], self.d[(k + 1, k)], self.d[(k + 1, k + 1)]);
+                    // Symmetric 2x2 eigendecomposition.
+                    let tr = a + c;
+                    let disc = ((a - c) * 0.5).hypot(b);
+                    let l1 = tr * 0.5 + disc;
+                    let l2 = tr * 0.5 - disc;
+                    if l1 == 0.0 || l2 == 0.0 {
+                        return Err(SingularMatrixError { step: k });
+                    }
+                    // Eigenvector for l1: (b, l1 - a) or (l1 - c, b).
+                    let (mut q1x, mut q1y) = if b.abs() > 1e-300 {
+                        (b, l1 - a)
+                    } else if a >= c {
+                        (1.0, 0.0)
+                    } else {
+                        (0.0, 1.0)
+                    };
+                    let nrm = q1x.hypot(q1y);
+                    q1x /= nrm;
+                    q1y /= nrm;
+                    let (q2x, q2y) = (-q1y, q1x);
+                    let (s1, s2) = (l1.abs().sqrt(), l2.abs().sqrt());
+                    s[(k, k)] = q1x * s1;
+                    s[(k + 1, k)] = q1y * s1;
+                    s[(k, k + 1)] = q2x * s2;
+                    s[(k + 1, k + 1)] = q2y * s2;
+                    j_sign[k] = l1.signum();
+                    j_sign[k + 1] = l2.signum();
+                }
+            }
+        }
+        Ok(MjFactor {
+            l: self.l.clone(),
+            s,
+            perm: self.perm.clone(),
+            j_sign,
+        })
+    }
+}
+
+/// The `A = M J Mᵀ` factorization of a symmetric matrix, `J = diag(±1)`.
+///
+/// `M = Pᵀ L S` where `S` is block diagonal; only the actions `M⁻¹ x` and
+/// `M⁻ᵀ x` are exposed, which is all the Lanczos process needs.
+#[derive(Debug, Clone)]
+pub struct MjFactor {
+    l: Mat<f64>,
+    s: Mat<f64>,
+    perm: Vec<usize>,
+    j_sign: Vec<f64>,
+}
+
+impl MjFactor {
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.j_sign.len()
+    }
+
+    /// The signature `J = diag(±1)` of the factored matrix.
+    pub fn j_diag(&self) -> &[f64] {
+        &self.j_sign
+    }
+
+    /// Magnitudes of the diagonalized pivots `|λᵢ|` (column norms of the
+    /// block scaling squared) — a conditioning signal for callers.
+    pub fn pivot_magnitudes(&self) -> Vec<f64> {
+        let n = self.dim();
+        (0..n)
+            .map(|k| {
+                let col_norm_sq: f64 = (0..n).map(|i| self.s[(i, k)] * self.s[(i, k)]).sum();
+                col_norm_sq
+            })
+            .collect()
+    }
+
+    /// Applies `M⁻¹` to `x`: `S⁻¹ L⁻¹ P x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn apply_minv(&self, x: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(x.len(), n, "dimension mismatch");
+        let mut y: Vec<f64> = (0..n).map(|i| x[self.perm[i]]).collect();
+        // L z = y (unit lower)
+        for k in 0..n {
+            let yk = y[k];
+            for i in k + 1..n {
+                y[i] -= self.l[(i, k)] * yk;
+            }
+        }
+        // S w = z : S is block diagonal with 1x1/2x2 blocks. Solve blockwise.
+        solve_block_diag(&self.s, &mut y, false);
+        y
+    }
+
+    /// Applies `M⁻ᵀ` to `x`: `Pᵀ L⁻ᵀ S⁻ᵀ x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn apply_minv_t(&self, x: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(x.len(), n, "dimension mismatch");
+        let mut y = x.to_vec();
+        solve_block_diag(&self.s, &mut y, true);
+        // L^T u = w
+        for k in (0..n).rev() {
+            let mut acc = y[k];
+            for i in k + 1..n {
+                acc -= self.l[(i, k)] * y[i];
+            }
+            y[k] = acc;
+        }
+        let mut out = vec![0.0; n];
+        for i in 0..n {
+            out[self.perm[i]] = y[i];
+        }
+        out
+    }
+}
+
+/// Solves `S y = x` (or `Sᵀ y = x` when `transpose`) where `S` is block
+/// diagonal with 1×1/2×2 blocks identified by the zero pattern.
+fn solve_block_diag(s: &Mat<f64>, x: &mut [f64], transpose: bool) {
+    let n = x.len();
+    let mut k = 0;
+    while k < n {
+        let is_two = k + 1 < n && (s[(k + 1, k)] != 0.0 || s[(k, k + 1)] != 0.0);
+        if is_two {
+            let (a, mut b, mut c, d) = (
+                s[(k, k)],
+                s[(k, k + 1)],
+                s[(k + 1, k)],
+                s[(k + 1, k + 1)],
+            );
+            if transpose {
+                std::mem::swap(&mut b, &mut c);
+            }
+            let det = a * d - b * c;
+            let (x1, x2) = (x[k], x[k + 1]);
+            x[k] = (d * x1 - b * x2) / det;
+            x[k + 1] = (-c * x1 + a * x2) / det;
+            k += 2;
+        } else {
+            x[k] /= s[(k, k)];
+            k += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn indefinite(n: usize) -> Mat<f64> {
+        // Saddle-point style: [T  I; I  -I] pattern made dense-ish.
+        Mat::from_fn(n, n, |i, j| {
+            if i == j {
+                if i < n / 2 {
+                    2.0
+                } else {
+                    -1.5
+                }
+            } else if i.abs_diff(j) == 1 {
+                -0.7
+            } else if i.abs_diff(j) == n / 2 {
+                1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    fn reconstruct(bk: &BunchKaufman) -> Mat<f64> {
+        // A = P^T L D L^T P
+        let n = bk.dim();
+        let ldlt = bk.l().matmul(bk.d()).matmul(&bk.l().transpose());
+        let mut a = Mat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(bk.perm()[i], bk.perm()[j])] = ldlt[(i, j)];
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn reconstructs_indefinite_matrix() {
+        let a = indefinite(8);
+        let bk = BunchKaufman::new(&a).expect("factorizable");
+        let rec = reconstruct(&bk);
+        assert!(
+            (&rec - &a).max_abs() < 1e-12,
+            "reconstruction error {}",
+            (&rec - &a).max_abs()
+        );
+    }
+
+    #[test]
+    fn solve_residual_small() {
+        let a = indefinite(10);
+        let bk = BunchKaufman::new(&a).expect("factorizable");
+        let b: Vec<f64> = (0..10).map(|i| (i as f64 * 0.37).cos()).collect();
+        let x = bk.solve(&b);
+        let r = a.matvec(&x);
+        for (u, v) in r.iter().zip(&b) {
+            assert!((u - v).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn handles_zero_diagonal_saddle_point() {
+        // Classic MNA shape: zero block on the diagonal forces 2x2 pivots.
+        let a = Mat::from_rows(&[
+            &[2.0, 0.0, 1.0],
+            &[0.0, 3.0, 1.0],
+            &[1.0, 1.0, 0.0],
+        ]);
+        let bk = BunchKaufman::new(&a).expect("factorizable");
+        let rec = reconstruct(&bk);
+        assert!((&rec - &a).max_abs() < 1e-13);
+        let x = bk.solve(&[1.0, 0.0, 0.0]);
+        let r = a.matvec(&x);
+        assert!((r[0] - 1.0).abs() < 1e-12 && r[1].abs() < 1e-12 && r[2].abs() < 1e-12);
+    }
+
+    #[test]
+    fn inertia_of_diag() {
+        let a = Mat::from_diag(&[3.0, -2.0, 5.0, -1.0, 4.0]);
+        let bk = BunchKaufman::new(&a).unwrap();
+        assert_eq!(bk.inertia(), (2, 0, 3));
+    }
+
+    #[test]
+    fn inertia_with_two_by_two_blocks() {
+        let a = Mat::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]); // eigs ±1
+        let bk = BunchKaufman::new(&a).unwrap();
+        assert_eq!(bk.inertia(), (1, 0, 1));
+    }
+
+    #[test]
+    fn mj_reconstructs_via_signature() {
+        let a = indefinite(9);
+        let bk = BunchKaufman::new(&a).expect("factorizable");
+        let mj = bk.to_mj().expect("nonsingular blocks");
+        // Verify M J M^T = A by its action on basis vectors, using
+        // M^{-1} A M^{-T} = J  <=>  apply_minv(A * apply_minv_t(e_i)) == J e_i.
+        let n = a.nrows();
+        for i in 0..n {
+            let mut e = vec![0.0; n];
+            e[i] = 1.0;
+            let w = mj.apply_minv_t(&e);
+            let aw = a.matvec(&w);
+            let res = mj.apply_minv(&aw);
+            for (k, &v) in res.iter().enumerate() {
+                let expect = if k == i { mj.j_diag()[i] } else { 0.0 };
+                assert!(
+                    (v - expect).abs() < 1e-10,
+                    "entry ({k},{i}): {v} vs {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mj_signature_matches_inertia() {
+        let a = indefinite(8);
+        let bk = BunchKaufman::new(&a).unwrap();
+        let (neg, _, pos) = bk.inertia();
+        let mj = bk.to_mj().unwrap();
+        let jneg = mj.j_diag().iter().filter(|&&v| v < 0.0).count();
+        let jpos = mj.j_diag().iter().filter(|&&v| v > 0.0).count();
+        assert_eq!((jneg, jpos), (neg, pos));
+    }
+
+    #[test]
+    fn spd_gives_identity_signature() {
+        let a = Mat::from_fn(5, 5, |i, j| if i == j { 3.0 } else { -0.4 });
+        let bk = BunchKaufman::new(&a).unwrap();
+        let mj = bk.to_mj().unwrap();
+        assert!(mj.j_diag().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn rejects_zero_matrix() {
+        let a = Mat::zeros(3, 3);
+        assert!(BunchKaufman::new(&a).is_err());
+    }
+}

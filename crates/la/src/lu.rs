@@ -1,0 +1,455 @@
+//! Dense LU factorization with partial pivoting, generic over [`Scalar`].
+//!
+//! Used for solving the small dense systems that appear when evaluating a
+//! reduced-order model `Zₙ(s) = ρᵀ(Δ⁻¹ + sTΔ⁻¹)⁻¹ρ` at complex frequencies,
+//! for inverting per-group inductance blocks, and as the dense fallback of
+//! the sparse solvers.
+
+use crate::{Mat, Scalar};
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a matrix is singular to working precision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SingularMatrixError {
+    /// Elimination step at which no acceptable pivot was found.
+    pub step: usize,
+}
+
+impl fmt::Display for SingularMatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "matrix is singular to working precision at elimination step {}",
+            self.step
+        )
+    }
+}
+
+impl Error for SingularMatrixError {}
+
+/// An LU factorization `P A = L U` with partial (row) pivoting.
+///
+/// # Examples
+///
+/// ```
+/// use mpvl_la::{Mat, Lu};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let a = Mat::from_rows(&[&[0.0, 2.0], &[1.0, 1.0]]);
+/// let lu = Lu::new(a.clone())?;
+/// let x = lu.solve(&[2.0, 2.0])?;
+/// assert!((x[0] - 1.0).abs() < 1e-14 && (x[1] - 1.0).abs() < 1e-14);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lu<T: Scalar> {
+    /// Packed L (unit lower, below diagonal) and U (upper incl. diagonal).
+    lu: Mat<T>,
+    /// Row permutation: elimination step `k` swapped rows `k` and `piv[k]`.
+    piv: Vec<usize>,
+    /// Sign of the permutation (+1/-1), used for determinants.
+    perm_sign: f64,
+}
+
+impl<T: Scalar> Lu<T> {
+    /// Factors `a` in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] when a pivot column is exactly zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not square.
+    pub fn new(mut a: Mat<T>) -> Result<Self, SingularMatrixError> {
+        let n = a.nrows();
+        assert_eq!(n, a.ncols(), "LU requires a square matrix");
+        let mut piv = vec![0usize; n];
+        let mut perm_sign = 1.0;
+        for k in 0..n {
+            // Find the largest pivot in column k at or below the diagonal.
+            let mut p = k;
+            let mut best = a[(k, k)].modulus();
+            for i in k + 1..n {
+                let m = a[(i, k)].modulus();
+                if m > best {
+                    best = m;
+                    p = i;
+                }
+            }
+            if best == 0.0 {
+                return Err(SingularMatrixError { step: k });
+            }
+            piv[k] = p;
+            if p != k {
+                a.swap_rows(p, k);
+                perm_sign = -perm_sign;
+            }
+            let pivot = a[(k, k)];
+            for i in k + 1..n {
+                let l = a[(i, k)] / pivot;
+                a[(i, k)] = l;
+                if l == T::zero() {
+                    continue;
+                }
+                for j in k + 1..n {
+                    let u = a[(k, j)];
+                    let v = a[(i, j)];
+                    a[(i, j)] = v - l * u;
+                }
+            }
+        }
+        Ok(Lu {
+            lu: a,
+            piv,
+            perm_sign,
+        })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.nrows()
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if a diagonal entry of `U` is zero
+    /// (can only happen for the zero-dimensional corner cases; factorization
+    /// already rejects singular input).
+    pub fn solve(&self, b: &[T]) -> Result<Vec<T>, SingularMatrixError> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "dimension mismatch");
+        let mut x = b.to_vec();
+        // Apply the recorded row swaps.
+        for k in 0..n {
+            x.swap(k, self.piv[k]);
+        }
+        // Forward substitution with unit-diagonal L.
+        for k in 0..n {
+            let xk = x[k];
+            for i in k + 1..n {
+                let l = self.lu[(i, k)];
+                if l != T::zero() {
+                    x[i] -= l * xk;
+                }
+            }
+        }
+        // Back substitution with U.
+        for k in (0..n).rev() {
+            let d = self.lu[(k, k)];
+            if d == T::zero() {
+                return Err(SingularMatrixError { step: k });
+            }
+            x[k] /= d;
+            let xk = x[k];
+            for i in 0..k {
+                let u = self.lu[(i, k)];
+                if u != T::zero() {
+                    x[i] -= u * xk;
+                }
+            }
+        }
+        Ok(x)
+    }
+
+    /// Solves `Aᵀ x = b` using the same factorization
+    /// (`Aᵀ = Uᵀ Lᵀ P`): forward substitution with `Uᵀ`, back substitution
+    /// with `Lᵀ`, then the row swaps applied in reverse.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if a diagonal entry of `U` is zero.
+    pub fn solve_transposed(&self, b: &[T]) -> Result<Vec<T>, SingularMatrixError> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "dimension mismatch");
+        let mut x = b.to_vec();
+        // U^T y = b: U^T is lower triangular with U's diagonal.
+        for k in 0..n {
+            let d = self.lu[(k, k)];
+            if d == T::zero() {
+                return Err(SingularMatrixError { step: k });
+            }
+            x[k] /= d;
+            let xk = x[k];
+            for i in k + 1..n {
+                let u = self.lu[(k, i)];
+                if u != T::zero() {
+                    x[i] -= u * xk;
+                }
+            }
+        }
+        // L^T z = y: L^T is unit upper triangular.
+        for k in (0..n).rev() {
+            let xk = x[k];
+            for i in 0..k {
+                let l = self.lu[(k, i)];
+                if l != T::zero() {
+                    x[i] -= l * xk;
+                }
+            }
+        }
+        // x = P^T z: undo the recorded swaps in reverse order.
+        for k in (0..n).rev() {
+            x.swap(k, self.piv[k]);
+        }
+        Ok(x)
+    }
+
+    /// Estimates `‖A⁻¹‖₁` by Hager's algorithm (a handful of solves with
+    /// `A` and `Aᵀ`). Multiplying by `‖A‖₁` gives the classical 1-norm
+    /// condition estimate — the rigorous way to flag near-resonance
+    /// factorizations (the cheap [`Lu::rcond_estimate`] only looks at
+    /// pivot ratios).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if a solve breaks down.
+    pub fn inv_norm1_estimate(&self) -> Result<f64, SingularMatrixError> {
+        let n = self.dim();
+        if n == 0 {
+            return Ok(0.0);
+        }
+        let inv_n = T::from(1.0 / n as f64);
+        let mut x: Vec<T> = vec![inv_n; n];
+        let mut best = 0.0f64;
+        for _iter in 0..5 {
+            let y = self.solve(&x)?;
+            let y_norm1: f64 = y.iter().map(|v| v.modulus()).sum();
+            best = best.max(y_norm1);
+            // xi = sign(y) (unit-modulus phases; sign for real input).
+            let xi: Vec<T> = y
+                .iter()
+                .map(|&v| {
+                    let m = v.modulus();
+                    if m == 0.0 {
+                        T::one()
+                    } else {
+                        v / T::from(m)
+                    }
+                })
+                .collect();
+            let z = self.solve_transposed(&xi)?;
+            // Next iterate: the coordinate where |z| peaks.
+            let (jmax, zmax) = z
+                .iter()
+                .enumerate()
+                .map(|(j, v)| (j, v.modulus()))
+                .fold((0, 0.0), |acc, it| if it.1 > acc.1 { it } else { acc });
+            let ztx: f64 = z
+                .iter()
+                .zip(&x)
+                .map(|(&a, &b)| (a * b).real())
+                .sum();
+            if zmax <= ztx + 1e-15 * ztx.abs() {
+                break; // converged (stationary point of the estimate)
+            }
+            x = vec![T::zero(); n];
+            x[jmax] = T::one();
+        }
+        Ok(best)
+    }
+
+    /// Solves `A X = B` column by column.
+    ///
+    /// # Errors
+    ///
+    /// See [`Lu::solve`].
+    pub fn solve_mat(&self, b: &Mat<T>) -> Result<Mat<T>, SingularMatrixError> {
+        assert_eq!(b.nrows(), self.dim(), "dimension mismatch");
+        let mut out = Mat::zeros(b.nrows(), b.ncols());
+        for j in 0..b.ncols() {
+            let x = self.solve(b.col(j))?;
+            out.col_mut(j).copy_from_slice(&x);
+        }
+        Ok(out)
+    }
+
+    /// Determinant of the factored matrix.
+    pub fn det(&self) -> T {
+        let mut d = T::from(self.perm_sign);
+        for k in 0..self.dim() {
+            d *= self.lu[(k, k)];
+        }
+        d
+    }
+
+    /// Explicit inverse. Prefer [`Lu::solve`] where possible.
+    ///
+    /// # Errors
+    ///
+    /// See [`Lu::solve`].
+    pub fn inverse(&self) -> Result<Mat<T>, SingularMatrixError> {
+        self.solve_mat(&Mat::identity(self.dim()))
+    }
+
+    /// Reciprocal condition estimate based on diagonal pivot ratios.
+    ///
+    /// This is the cheap `min|u_ii| / max|u_ii|` estimate — adequate for
+    /// detecting near-singularity, not a rigorous condition number.
+    pub fn rcond_estimate(&self) -> f64 {
+        let n = self.dim();
+        if n == 0 {
+            return 1.0;
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = 0.0f64;
+        for k in 0..n {
+            let m = self.lu[(k, k)].modulus();
+            lo = lo.min(m);
+            hi = hi.max(m);
+        }
+        if hi == 0.0 {
+            0.0
+        } else {
+            lo / hi
+        }
+    }
+}
+
+/// Convenience wrapper: solves `A x = b` with a fresh factorization.
+///
+/// # Errors
+///
+/// Returns [`SingularMatrixError`] when `a` is singular.
+pub fn solve_dense<T: Scalar>(a: Mat<T>, b: &[T]) -> Result<Vec<T>, SingularMatrixError> {
+    Lu::new(a)?.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Complex64;
+
+    #[test]
+    fn solves_known_system() {
+        let a = Mat::from_rows(&[&[2.0, 1.0, 1.0], &[4.0, -6.0, 0.0], &[-2.0, 7.0, 2.0]]);
+        let lu = Lu::new(a).expect("nonsingular");
+        let x = lu.solve(&[5.0, -2.0, 9.0]).expect("solve");
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+        assert!((x[2] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let a = Mat::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let lu = Lu::new(a).expect("nonsingular");
+        let x = lu.solve(&[3.0, 7.0]).expect("solve");
+        assert_eq!(x, vec![7.0, 3.0]);
+    }
+
+    #[test]
+    fn detects_singularity() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(Lu::new(a).is_err());
+    }
+
+    #[test]
+    fn determinant_with_permutation_sign() {
+        let a = Mat::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let lu = Lu::new(a).expect("nonsingular");
+        assert!((lu.det() + 1.0).abs() < 1e-15);
+        let b = Mat::from_rows(&[&[3.0, 0.0], &[0.0, 2.0]]);
+        assert!((Lu::new(b).unwrap().det() - 6.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = Mat::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]]);
+        let inv = Lu::new(a.clone()).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv);
+        assert!((&prod - &Mat::identity(2)).max_abs() < 1e-13);
+    }
+
+    #[test]
+    fn complex_system() {
+        let i = Complex64::I;
+        let one = Complex64::ONE;
+        let a = Mat::from_rows(&[&[one, i], &[i, one]]);
+        let lu = Lu::new(a.clone()).expect("nonsingular");
+        let b = [one + i, one - i];
+        let x = lu.solve(&b).expect("solve");
+        let r = a.matvec(&x);
+        assert!((r[0] - b[0]).abs() < 1e-14);
+        assert!((r[1] - b[1]).abs() < 1e-14);
+    }
+
+    #[test]
+    fn solve_mat_multiple_rhs() {
+        let a = Mat::from_rows(&[&[2.0, 0.0], &[0.0, 4.0]]);
+        let b = Mat::from_rows(&[&[2.0, 4.0], &[4.0, 8.0]]);
+        let x = Lu::new(a).unwrap().solve_mat(&b).unwrap();
+        assert!((&x - &Mat::from_rows(&[&[1.0, 2.0], &[1.0, 2.0]])).max_abs() < 1e-14);
+    }
+
+    #[test]
+    fn random_roundtrip_residuals() {
+        // Deterministic pseudo-random fill; checks ||Ax-b|| small for n=20.
+        let n = 20;
+        let mut seed = 123456789u64;
+        let mut rng = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64) / (u32::MAX as f64) - 0.5
+        };
+        let a = Mat::from_fn(n, n, |i, j| rng() + if i == j { 2.0 } else { 0.0 });
+        let b: Vec<f64> = (0..n).map(|_| rng()).collect();
+        let x = Lu::new(a.clone()).unwrap().solve(&b).unwrap();
+        let r = a.matvec(&x);
+        let err = r.iter().zip(&b).map(|(u, v)| (u - v).abs()).fold(0.0, f64::max);
+        assert!(err < 1e-11, "residual {err}");
+    }
+
+    #[test]
+    fn transpose_solve_matches_explicit_transpose() {
+        let a = Mat::from_rows(&[&[2.0, 1.0, 0.5], &[0.0, -3.0, 1.0], &[4.0, 0.2, 2.0]]);
+        let lu = Lu::new(a.clone()).unwrap();
+        let b = [1.0, -2.0, 0.5];
+        let x1 = lu.solve_transposed(&b).unwrap();
+        let x2 = Lu::new(a.transpose()).unwrap().solve(&b).unwrap();
+        for (u, v) in x1.iter().zip(&x2) {
+            assert!((u - v).abs() < 1e-12, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn transpose_solve_complex() {
+        let i = Complex64::I;
+        let one = Complex64::ONE;
+        let a = Mat::from_rows(&[&[one + i, i], &[one, one - i]]);
+        let lu = Lu::new(a.clone()).unwrap();
+        let b = [one, i];
+        let x = lu.solve_transposed(&b).unwrap();
+        let r = a.transpose().matvec(&x);
+        assert!((r[0] - b[0]).abs() < 1e-13);
+        assert!((r[1] - b[1]).abs() < 1e-13);
+    }
+
+    #[test]
+    fn hager_estimate_tracks_true_inverse_norm() {
+        // Diagonal matrix: ||A^{-1}||_1 = 1/min|d| exactly.
+        let a = Mat::from_diag(&[4.0, 0.01, 2.0, 1.0]);
+        let lu = Lu::new(a).unwrap();
+        let est = lu.inv_norm1_estimate().unwrap();
+        assert!((est - 100.0).abs() < 1e-9, "estimate {est}");
+        // Well-conditioned dense matrix: estimate within 5x of the truth.
+        let b = Mat::from_rows(&[&[3.0, 1.0, 0.0], &[1.0, 4.0, 1.0], &[0.0, 1.0, 5.0]]);
+        let lub = Lu::new(b.clone()).unwrap();
+        let inv = lub.inverse().unwrap();
+        let truth = (0..3)
+            .map(|j| (0..3).map(|i| inv[(i, j)].abs()).sum::<f64>())
+            .fold(0.0f64, f64::max);
+        let est = lub.inv_norm1_estimate().unwrap();
+        assert!(est <= truth * 1.0 + 1e-12, "estimate must lower-bound");
+        assert!(est >= truth / 5.0, "estimate {est} vs truth {truth}");
+    }
+
+    #[test]
+    fn rcond_flags_near_singular() {
+        let a = Mat::from_rows(&[&[1.0, 0.0], &[0.0, 1e-14]]);
+        let lu = Lu::new(a).unwrap();
+        assert!(lu.rcond_estimate() < 1e-12);
+    }
+}

@@ -1,0 +1,147 @@
+//! The [`Scalar`] abstraction shared by the real and complex kernels.
+//!
+//! Factorizations in this workspace (dense LU, sparse LDLᵀ, triangular
+//! solves) are written once, generically over [`Scalar`], and instantiated
+//! for `f64` (MNA matrices, Lanczos vectors) and [`Complex64`] (AC-analysis
+//! systems `G + jωC`, reduced-model evaluation).
+
+use crate::Complex64;
+use std::fmt::{Debug, Display};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A field element usable by the generic dense/sparse kernels.
+///
+/// Implemented for `f64` and [`Complex64`]. The trait is sealed in spirit —
+/// the workspace never implements it for other types — but it is left open
+/// so downstream users can plug in, e.g., an interval or quad-double type.
+///
+/// # Examples
+///
+/// ```
+/// use mpvl_la::{Scalar, Complex64};
+///
+/// fn dot<T: Scalar>(a: &[T], b: &[T]) -> T {
+///     a.iter().zip(b).fold(T::zero(), |acc, (&x, &y)| acc + x * y)
+/// }
+///
+/// assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+/// let i = Complex64::I;
+/// assert_eq!(dot(&[i], &[i]), Complex64::new(-1.0, 0.0));
+/// ```
+pub trait Scalar:
+    Copy
+    + Debug
+    + Display
+    + PartialEq
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + From<f64>
+    + Send
+    + Sync
+    + 'static
+{
+    /// The additive identity.
+    fn zero() -> Self;
+    /// The multiplicative identity.
+    fn one() -> Self;
+    /// Magnitude as a non-negative real number.
+    fn modulus(self) -> f64;
+    /// Complex conjugate (identity for real scalars).
+    fn conj(self) -> Self;
+    /// Real part.
+    fn real(self) -> f64;
+    /// `true` when the value contains no NaN/inf component.
+    fn is_finite(self) -> bool;
+}
+
+impl Scalar for f64 {
+    #[inline]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline]
+    fn one() -> Self {
+        1.0
+    }
+    #[inline]
+    fn modulus(self) -> f64 {
+        self.abs()
+    }
+    #[inline]
+    fn conj(self) -> Self {
+        self
+    }
+    #[inline]
+    fn real(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+}
+
+impl Scalar for Complex64 {
+    #[inline]
+    fn zero() -> Self {
+        Complex64::ZERO
+    }
+    #[inline]
+    fn one() -> Self {
+        Complex64::ONE
+    }
+    #[inline]
+    fn modulus(self) -> f64 {
+        self.abs()
+    }
+    #[inline]
+    fn conj(self) -> Self {
+        Complex64::conj(self)
+    }
+    #[inline]
+    fn real(self) -> f64 {
+        self.re
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        Complex64::is_finite(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generic_quadratic<T: Scalar>(x: T) -> T {
+        x * x + x + T::one()
+    }
+
+    #[test]
+    fn works_for_both_scalars() {
+        assert_eq!(generic_quadratic(2.0), 7.0);
+        let z = generic_quadratic(Complex64::I);
+        assert_eq!(z, Complex64::new(0.0, 1.0)); // i^2 + i + 1 = i
+    }
+
+    #[test]
+    fn conj_and_modulus_agree() {
+        let z = Complex64::new(3.0, -4.0);
+        assert_eq!(Scalar::modulus(z), 5.0);
+        assert_eq!(Scalar::conj(z), Complex64::new(3.0, 4.0));
+        assert_eq!(Scalar::conj(-2.5f64), -2.5);
+        assert_eq!(Scalar::modulus(-2.5f64), 2.5);
+    }
+
+    #[test]
+    fn from_f64_promotion() {
+        let x: Complex64 = 3.5.into();
+        assert_eq!(x, Complex64::new(3.5, 0.0));
+    }
+}

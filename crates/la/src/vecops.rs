@@ -1,0 +1,93 @@
+//! Free functions on slices used as dense vectors.
+
+use crate::Scalar;
+
+/// Unconjugated dot product `xᵀ y`.
+///
+/// For real vectors this is the Euclidean inner product; for complex vectors
+/// it is the *bilinear* form used by complex-symmetric Lanczos processes
+/// (no conjugation).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(mpvl_la::dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+/// ```
+pub fn dot<T: Scalar>(x: &[T], y: &[T]) -> T {
+    assert_eq!(x.len(), y.len(), "dimension mismatch");
+    x.iter().zip(y).fold(T::zero(), |acc, (&a, &b)| acc + a * b)
+}
+
+/// Conjugated inner product `xᴴ y`.
+pub fn dotc<T: Scalar>(x: &[T], y: &[T]) -> T {
+    assert_eq!(x.len(), y.len(), "dimension mismatch");
+    x.iter()
+        .zip(y)
+        .fold(T::zero(), |acc, (&a, &b)| acc + a.conj() * b)
+}
+
+/// Euclidean norm `‖x‖₂`.
+pub fn norm2<T: Scalar>(x: &[T]) -> f64 {
+    x.iter()
+        .map(|v| v.modulus() * v.modulus())
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// In-place `y ← y + alpha x`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy<T: Scalar>(alpha: T, x: &[T], y: &mut [T]) {
+    assert_eq!(x.len(), y.len(), "dimension mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// In-place scaling `x ← alpha x`.
+pub fn scal<T: Scalar>(alpha: T, x: &mut [T]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// Largest entry magnitude, or `0.0` for an empty slice.
+pub fn max_abs<T: Scalar>(x: &[T]) -> f64 {
+    x.iter().map(|v| v.modulus()).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Complex64;
+
+    #[test]
+    fn dot_vs_dotc_complex() {
+        let x = [Complex64::I];
+        assert_eq!(dot(&x, &x), Complex64::new(-1.0, 0.0));
+        assert_eq!(dotc(&x, &x), Complex64::ONE);
+    }
+
+    #[test]
+    fn norm_and_axpy() {
+        let mut y = [1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, [7.0, 9.0]);
+        assert!((norm2(&[3.0f64, 4.0]) - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn scal_and_max_abs() {
+        let mut x = [1.0, -2.0, 0.5];
+        scal(-2.0, &mut x);
+        assert_eq!(x, [-2.0, 4.0, -1.0]);
+        assert_eq!(max_abs(&x), 4.0);
+        assert_eq!(max_abs::<f64>(&[]), 0.0);
+    }
+}

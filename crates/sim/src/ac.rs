@@ -1,0 +1,236 @@
+//! AC (frequency-domain) analysis — the "exact analysis" reference curves
+//! of the paper's Figures 2–4.
+//!
+//! For each frequency the full system `(G + σ(s)C) X = B` is solved by a
+//! sparse complex-symmetric LDLᵀ factorization (with a dense LU fallback
+//! for the rare near-resonance breakdowns), and the exact multi-port
+//! transfer matrix `Z(s) = s^{osf}·BᵀX` is assembled.
+
+use mpvl_circuit::MnaSystem;
+use mpvl_la::{Complex64, Lu, Mat};
+use mpvl_sparse::{compute_ordering, CscMat, Ordering, SparseLdlt};
+use std::error::Error;
+use std::fmt;
+
+/// Error from an AC sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AcError {
+    /// `G + σC` was singular at the given frequency (an exact pole).
+    SingularAtFrequency {
+        /// The offending frequency in hertz.
+        freq_hz: f64,
+    },
+}
+
+impl fmt::Display for AcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AcError::SingularAtFrequency { freq_hz } => {
+                write!(f, "system matrix singular at {freq_hz:.6e} Hz (exact pole)")
+            }
+        }
+    }
+}
+
+impl Error for AcError {}
+
+/// One point of an AC sweep: the frequency and the exact `p×p` Z-matrix.
+#[derive(Debug, Clone)]
+pub struct AcPoint {
+    /// Frequency in hertz.
+    pub freq_hz: f64,
+    /// The multi-port transfer matrix `Z(j2πf)`.
+    pub z: Mat<Complex64>,
+}
+
+/// Exact AC sweep of an assembled [`MnaSystem`].
+///
+/// Reuses one fill-reducing ordering for every frequency point; each point
+/// costs one sparse complex factorization plus `p` solves.
+///
+/// # Errors
+///
+/// Returns [`AcError::SingularAtFrequency`] only if both the sparse and the
+/// dense fallback factorization fail (the sweep hit a pole exactly).
+///
+/// # Examples
+///
+/// ```
+/// use mpvl_circuit::generators::rc_ladder;
+/// use mpvl_circuit::MnaSystem;
+/// use mpvl_sim::ac_sweep;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let sys = MnaSystem::assemble(&rc_ladder(10, 100.0, 1e-12))?;
+/// let pts = ac_sweep(&sys, &[1e6, 1e9])?;
+/// // A driven RC ladder has higher impedance at low frequency.
+/// assert!(pts[0].z[(0, 0)].abs() > pts[1].z[(0, 0)].abs());
+/// # Ok(())
+/// # }
+/// ```
+pub fn ac_sweep(sys: &MnaSystem, freqs_hz: &[f64]) -> Result<Vec<AcPoint>, AcError> {
+    let g: CscMat<Complex64> = sys.g.map(Complex64::from_real);
+    let c: CscMat<Complex64> = sys.c.map(Complex64::from_real);
+    // One ordering for all points, computed on the union pattern.
+    let union = g.add_scaled(Complex64::ONE, &c, Complex64::ONE);
+    let perm = compute_ordering(&union.adjacency(), Ordering::MinDegree);
+    let bz = sys.b.map(Complex64::from_real);
+    let p = sys.num_ports();
+    let n = sys.dim();
+
+    // The unpivoted symmetric sparse path is only valid for symmetric
+    // matrices; active circuits (VCCS) take the dense pivoted route.
+    let symmetric = sys.is_symmetric();
+    let mut out = Vec::with_capacity(freqs_hz.len());
+    for &f in freqs_hz {
+        let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * f);
+        let sigma = sys.sigma(s);
+        let k = g.add_scaled(Complex64::ONE, &c, sigma);
+        let x = if !symmetric {
+            let lu = Lu::new(k.to_dense())
+                .map_err(|_| AcError::SingularAtFrequency { freq_hz: f })?;
+            lu.solve_mat(&bz)
+                .map_err(|_| AcError::SingularAtFrequency { freq_hz: f })?
+        } else { match SparseLdlt::factor_with_perm(&k, perm.clone()) {
+            Ok(fac) => {
+                let mut x = Mat::zeros(n, p);
+                for j in 0..p {
+                    let col = fac.solve(bz.col(j));
+                    x.col_mut(j).copy_from_slice(&col);
+                }
+                x
+            }
+            Err(_) => {
+                // Dense LU fallback (pivoted): handles indefinite/near-
+                // breakdown points the unpivoted sparse path rejects.
+                let dense = k.to_dense();
+                let lu = Lu::new(dense)
+                    .map_err(|_| AcError::SingularAtFrequency { freq_hz: f })?;
+                lu.solve_mat(&bz)
+                    .map_err(|_| AcError::SingularAtFrequency { freq_hz: f })?
+            }
+        } };
+        let z = bz.t_matmul(&x).scale(sys.output_factor(s));
+        out.push(AcPoint { freq_hz: f, z });
+    }
+    Ok(out)
+}
+
+/// Logarithmically spaced frequency grid from `f_lo` to `f_hi` (inclusive).
+///
+/// # Panics
+///
+/// Panics unless `0 < f_lo < f_hi` and `points >= 2`.
+pub fn log_space(f_lo: f64, f_hi: f64, points: usize) -> Vec<f64> {
+    assert!(f_lo > 0.0 && f_hi > f_lo && points >= 2);
+    let l0 = f_lo.ln();
+    let l1 = f_hi.ln();
+    (0..points)
+        .map(|i| (l0 + (l1 - l0) * i as f64 / (points - 1) as f64).exp())
+        .collect()
+}
+
+/// Linearly spaced frequency grid from `f_lo` to `f_hi` (inclusive).
+///
+/// # Panics
+///
+/// Panics unless `f_lo < f_hi` and `points >= 2`.
+pub fn lin_space(f_lo: f64, f_hi: f64, points: usize) -> Vec<f64> {
+    assert!(f_hi > f_lo && points >= 2);
+    (0..points)
+        .map(|i| f_lo + (f_hi - f_lo) * i as f64 / (points - 1) as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpvl_circuit::generators::{package, peec, rc_ladder, PackageParams, PeecParams};
+    use mpvl_circuit::{Circuit, GROUND};
+
+    #[test]
+    fn matches_dense_reference_on_rc() {
+        let sys = MnaSystem::assemble(&rc_ladder(12, 75.0, 2e-12)).unwrap();
+        let freqs = log_space(1e6, 1e10, 7);
+        let pts = ac_sweep(&sys, &freqs).unwrap();
+        for pt in &pts {
+            let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * pt.freq_hz);
+            let zref = sys.dense_z(s).unwrap();
+            assert!(
+                (pt.z[(0, 0)] - zref[(0, 0)]).abs() / zref[(0, 0)].abs() < 1e-10,
+                "mismatch at {} Hz",
+                pt.freq_hz
+            );
+        }
+    }
+
+    #[test]
+    fn matches_dense_reference_on_rlc() {
+        // Series RLC one-port.
+        let mut ckt = Circuit::new();
+        let n1 = ckt.add_node();
+        let n2 = ckt.add_node();
+        ckt.add_resistor("R1", n1, n2, 2.0);
+        ckt.add_inductor("L1", n2, GROUND, 5e-9);
+        ckt.add_capacitor("C1", n1, GROUND, 1e-12);
+        ckt.add_port("p", n1, GROUND);
+        let sys = MnaSystem::assemble(&ckt).unwrap();
+        for f in [1e7, 1e8, 3e9] {
+            let pts = ac_sweep(&sys, &[f]).unwrap();
+            let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * f);
+            let zref = sys.dense_z(s).unwrap();
+            assert!((pts[0].z[(0, 0)] - zref[(0, 0)]).abs() / zref[(0, 0)].abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lc_sigma_form_sweeps() {
+        let model = peec(&PeecParams {
+            cells: 20,
+            output_cell: 10,
+            ..PeecParams::default()
+        });
+        let freqs = lin_space(1e8, 5e9, 9);
+        let pts = ac_sweep(&model.system, &freqs).unwrap();
+        for pt in &pts {
+            assert!(pt.z[(0, 0)].is_finite());
+            // Z of the sigma-form LC system is s * (real matrix), so the
+            // entries are purely imaginary.
+            assert!(
+                pt.z[(0, 0)].re.abs() < 1e-9 * pt.z[(0, 0)].abs().max(1e-30),
+                "LC impedance should be reactive"
+            );
+        }
+    }
+
+    #[test]
+    fn package_sweep_runs_at_scale() {
+        let ckt = package(&PackageParams {
+            pins: 8,
+            signal_pins: vec![0, 4],
+            sections: 4,
+            ..PackageParams::default()
+        });
+        let sys = MnaSystem::assemble_general(&ckt).unwrap();
+        let pts = ac_sweep(&sys, &log_space(1e7, 2e10, 5)).unwrap();
+        assert_eq!(pts.len(), 5);
+        for pt in &pts {
+            // Reciprocity: Z must be symmetric.
+            let z = &pt.z;
+            let mut worst = 0.0f64;
+            for i in 0..z.nrows() {
+                for j in 0..i {
+                    worst = worst.max((z[(i, j)] - z[(j, i)]).abs() / z[(i, j)].abs().max(1e-30));
+                }
+            }
+            assert!(worst < 1e-8, "asymmetry {worst} at {} Hz", pt.freq_hz);
+        }
+    }
+
+    #[test]
+    fn grids() {
+        let l = log_space(1.0, 1000.0, 4);
+        assert!((l[1] - 10.0).abs() < 1e-9 && (l[2] - 100.0).abs() < 1e-6);
+        let n = lin_space(0.0, 3.0, 4);
+        assert_eq!(n, vec![0.0, 1.0, 2.0, 3.0]);
+    }
+}

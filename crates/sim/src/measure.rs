@@ -1,0 +1,197 @@
+//! Waveform measurements — the quantities a signal-integrity flow pulls
+//! out of transient results (delay, rise time, overshoot, settling,
+//! crosstalk peak), used to compare full vs reduced simulations by what
+//! designers actually look at.
+
+/// A sampled waveform: paired time/value slices of equal length.
+///
+/// # Examples
+///
+/// ```
+/// use mpvl_sim::Trace;
+///
+/// let t = [0.0, 1.0, 2.0, 3.0, 4.0];
+/// let v = [0.0, 0.5, 0.9, 1.0, 1.0];
+/// let tr = Trace::new(&t, &v);
+/// assert_eq!(tr.final_value(), 1.0);
+/// assert!(tr.delay_50(0.0).unwrap() < 1.1);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Trace<'a> {
+    /// Sample times, seconds (ascending).
+    pub t: &'a [f64],
+    /// Sample values.
+    pub v: &'a [f64],
+}
+
+impl<'a> Trace<'a> {
+    /// Wraps time/value slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length or are empty.
+    pub fn new(t: &'a [f64], v: &'a [f64]) -> Self {
+        assert_eq!(t.len(), v.len(), "time/value length mismatch");
+        assert!(!t.is_empty(), "empty trace");
+        Trace { t, v }
+    }
+
+    /// Final sample value.
+    pub fn final_value(&self) -> f64 {
+        *self.v.last().expect("nonempty")
+    }
+
+    /// Peak value and its time.
+    pub fn peak(&self) -> (f64, f64) {
+        let mut best = (self.v[0], self.t[0]);
+        for (&tv, &vv) in self.t.iter().zip(self.v) {
+            if vv > best.0 {
+                best = (vv, tv);
+            }
+        }
+        (best.0, best.1)
+    }
+
+    /// Most negative value and its time.
+    pub fn trough(&self) -> (f64, f64) {
+        let mut best = (self.v[0], self.t[0]);
+        for (&tv, &vv) in self.t.iter().zip(self.v) {
+            if vv < best.0 {
+                best = (vv, tv);
+            }
+        }
+        (best.0, best.1)
+    }
+
+    /// First time the trace crosses `level` (linear interpolation), or
+    /// `None` if it never does.
+    pub fn first_crossing(&self, level: f64) -> Option<f64> {
+        for w in 0..self.v.len() - 1 {
+            let (v0, v1) = (self.v[w], self.v[w + 1]);
+            if (v0 - level) * (v1 - level) <= 0.0 && v0 != v1 {
+                let frac = (level - v0) / (v1 - v0);
+                if (0.0..=1.0).contains(&frac) {
+                    return Some(self.t[w] + frac * (self.t[w + 1] - self.t[w]));
+                }
+            }
+        }
+        None
+    }
+
+    /// 50 %-level delay relative to `t_ref` (e.g. the input edge time),
+    /// using the final value as the settled level.
+    pub fn delay_50(&self, t_ref: f64) -> Option<f64> {
+        let target = 0.5 * self.final_value();
+        self.first_crossing(target).map(|t| t - t_ref)
+    }
+
+    /// 10 %–90 % rise time toward the final value.
+    pub fn rise_time(&self) -> Option<f64> {
+        let vf = self.final_value();
+        let t10 = self.first_crossing(0.1 * vf)?;
+        let t90 = self.first_crossing(0.9 * vf)?;
+        (t90 >= t10).then_some(t90 - t10)
+    }
+
+    /// Overshoot above the final value, as a fraction of it (0 if none).
+    pub fn overshoot(&self) -> f64 {
+        let vf = self.final_value();
+        if vf == 0.0 {
+            return 0.0;
+        }
+        let (peak, _) = self.peak();
+        ((peak - vf) / vf.abs()).max(0.0)
+    }
+
+    /// Time after which the trace stays within `band` (fraction of the
+    /// final value) of the final value.
+    pub fn settling_time(&self, band: f64) -> Option<f64> {
+        let vf = self.final_value();
+        let tol = band * vf.abs().max(f64::MIN_POSITIVE);
+        let mut last_violation = None;
+        for (&tv, &vv) in self.t.iter().zip(self.v) {
+            if (vv - vf).abs() > tol {
+                last_violation = Some(tv);
+            }
+        }
+        match last_violation {
+            None => Some(self.t[0]),
+            Some(t_viol) => self.t.iter().copied().find(|&tv| tv > t_viol),
+        }
+    }
+}
+
+/// Worst absolute difference between two traces sampled on the same grid.
+///
+/// # Panics
+///
+/// Panics if the traces have different lengths.
+pub fn max_deviation(a: Trace<'_>, b: Trace<'_>) -> f64 {
+    assert_eq!(a.v.len(), b.v.len(), "grid mismatch");
+    a.v.iter()
+        .zip(b.v)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exp_rise(tau: f64, n: usize, dt: f64) -> (Vec<f64>, Vec<f64>) {
+        let t: Vec<f64> = (0..n).map(|k| k as f64 * dt).collect();
+        let v: Vec<f64> = t.iter().map(|&tv| 1.0 - (-tv / tau).exp()).collect();
+        (t, v)
+    }
+
+    #[test]
+    fn delay_and_rise_of_exponential() {
+        let (t, v) = exp_rise(1.0, 20000, 1e-3);
+        let tr = Trace::new(&t, &v);
+        // Final value ~1 (1 - e^-20); 50% crossing at t = ln 2.
+        let d = tr.delay_50(0.0).unwrap();
+        assert!((d - std::f64::consts::LN_2).abs() < 1e-2, "delay {d}");
+        // 10-90 rise of an exponential = tau * ln 9.
+        let rt = tr.rise_time().unwrap();
+        assert!((rt - 9.0f64.ln()).abs() < 2e-2, "rise {rt}");
+        // Monotone: no overshoot.
+        assert_eq!(tr.overshoot(), 0.0);
+    }
+
+    #[test]
+    fn overshoot_and_settling_of_ringing() {
+        // Damped oscillation around 1.
+        let t: Vec<f64> = (0..5000).map(|k| k as f64 * 1e-3).collect();
+        let v: Vec<f64> = t
+            .iter()
+            .map(|&tv| 1.0 + 0.5 * (-tv).exp() * (10.0 * tv).cos())
+            .collect();
+        let tr = Trace::new(&t, &v);
+        assert!(tr.overshoot() > 0.2 && tr.overshoot() < 0.5);
+        let ts = tr.settling_time(0.02).unwrap();
+        // 0.5 e^{-t} < 0.02  =>  t > ln 25 ≈ 3.2.
+        assert!(ts > 2.5 && ts < 4.0, "settling {ts}");
+    }
+
+    #[test]
+    fn crossing_interpolates() {
+        let t = [0.0, 1.0];
+        let v = [0.0, 2.0];
+        let tr = Trace::new(&t, &v);
+        assert!((tr.first_crossing(1.0).unwrap() - 0.5).abs() < 1e-12);
+        assert!(tr.first_crossing(3.0).is_none());
+    }
+
+    #[test]
+    fn peak_trough_and_deviation() {
+        let t = [0.0, 1.0, 2.0, 3.0];
+        let a = [0.0, 2.0, -1.0, 0.5];
+        let b = [0.0, 1.5, -1.2, 0.5];
+        let ta = Trace::new(&t, &a);
+        let tb = Trace::new(&t, &b);
+        assert_eq!(ta.peak(), (2.0, 1.0));
+        assert_eq!(ta.trough(), (-1.0, 2.0));
+        assert!((max_deviation(ta, tb) - 0.5).abs() < 1e-12);
+    }
+
+}

@@ -1,0 +1,208 @@
+//! Network-parameter conversions.
+//!
+//! The paper works in Z-parameters (current-driven ports, §2.1). Package
+//! and interconnect models are routinely reported as Y- or S-parameters;
+//! these conversions let any `Z(jω)` matrix — exact or reduced — be
+//! re-expressed:
+//!
+//! * `Y = Z⁻¹`
+//! * `S = (Z − Z₀I)(Z + Z₀I)⁻¹` for a real reference impedance `Z₀`
+//!   (equal at every port).
+
+use mpvl_la::{Complex64, Lu, Mat};
+use std::error::Error;
+use std::fmt;
+
+/// Error from a parameter conversion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConvertParamsError {
+    /// What could not be inverted.
+    pub context: &'static str,
+}
+
+impl fmt::Display for ConvertParamsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parameter conversion failed: {} is singular", self.context)
+    }
+}
+
+impl Error for ConvertParamsError {}
+
+/// Converts a Z-parameter matrix to Y-parameters (`Y = Z⁻¹`).
+///
+/// # Errors
+///
+/// Returns [`ConvertParamsError`] when `Z` is singular at this frequency.
+pub fn z_to_y(z: &Mat<Complex64>) -> Result<Mat<Complex64>, ConvertParamsError> {
+    Lu::new(z.clone())
+        .and_then(|lu| lu.inverse())
+        .map_err(|_| ConvertParamsError { context: "Z" })
+}
+
+/// Converts a Y-parameter matrix to Z-parameters (`Z = Y⁻¹`).
+///
+/// # Errors
+///
+/// Returns [`ConvertParamsError`] when `Y` is singular at this frequency.
+pub fn y_to_z(y: &Mat<Complex64>) -> Result<Mat<Complex64>, ConvertParamsError> {
+    Lu::new(y.clone())
+        .and_then(|lu| lu.inverse())
+        .map_err(|_| ConvertParamsError { context: "Y" })
+}
+
+/// Converts Z-parameters to S-parameters with reference impedance `z0`
+/// (ohms, identical at every port): `S = (Z − Z₀)(Z + Z₀)⁻¹`.
+///
+/// # Examples
+///
+/// ```
+/// use mpvl_la::{Complex64, Mat};
+/// use mpvl_sim::z_to_s;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // A matched 50 Ω one-port reflects nothing.
+/// let z = Mat::from_rows(&[&[Complex64::from_real(50.0)]]);
+/// let s = z_to_s(&z, 50.0)?;
+/// assert!(s[(0, 0)].abs() < 1e-14);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Returns [`ConvertParamsError`] when `Z + Z₀I` is singular.
+///
+/// # Panics
+///
+/// Panics unless `z0 > 0` and `z` is square.
+pub fn z_to_s(z: &Mat<Complex64>, z0: f64) -> Result<Mat<Complex64>, ConvertParamsError> {
+    assert!(z0 > 0.0, "reference impedance must be positive");
+    let p = z.nrows();
+    assert_eq!(p, z.ncols(), "Z must be square");
+    let zm = Mat::from_fn(p, p, |i, j| {
+        let idm = if i == j {
+            Complex64::from_real(z0)
+        } else {
+            Complex64::ZERO
+        };
+        z[(i, j)] - idm
+    });
+    let zp = Mat::from_fn(p, p, |i, j| {
+        let idm = if i == j {
+            Complex64::from_real(z0)
+        } else {
+            Complex64::ZERO
+        };
+        z[(i, j)] + idm
+    });
+    let zp_inv = Lu::new(zp)
+        .and_then(|lu| lu.inverse())
+        .map_err(|_| ConvertParamsError { context: "Z + Z0*I" })?;
+    Ok(zm.matmul(&zp_inv))
+}
+
+/// Converts S-parameters back to Z-parameters:
+/// `Z = Z₀ (I + S)(I − S)⁻¹`.
+///
+/// # Errors
+///
+/// Returns [`ConvertParamsError`] when `I − S` is singular.
+///
+/// # Panics
+///
+/// Panics unless `z0 > 0` and `s` is square.
+pub fn s_to_z(s: &Mat<Complex64>, z0: f64) -> Result<Mat<Complex64>, ConvertParamsError> {
+    assert!(z0 > 0.0, "reference impedance must be positive");
+    let p = s.nrows();
+    assert_eq!(p, s.ncols(), "S must be square");
+    let ip = Mat::from_fn(p, p, |i, j| {
+        let idm = if i == j { Complex64::ONE } else { Complex64::ZERO };
+        idm + s[(i, j)]
+    });
+    let im = Mat::from_fn(p, p, |i, j| {
+        let idm = if i == j { Complex64::ONE } else { Complex64::ZERO };
+        idm - s[(i, j)]
+    });
+    let im_inv = Lu::new(im)
+        .and_then(|lu| lu.inverse())
+        .map_err(|_| ConvertParamsError { context: "I - S" })?;
+    Ok(ip.matmul(&im_inv).scale(Complex64::from_real(z0)))
+}
+
+/// Largest singular-value bound check for passivity in S-domain: a passive
+/// network has `‖S‖₂ ≤ 1`; this returns `max_i Σ_j |S_ij|` (an easily
+/// computed upper bound on activity — if it is ≤ 1 the network is surely
+/// non-amplifying in the ∞-norm sense).
+pub fn s_row_activity(s: &Mat<Complex64>) -> f64 {
+    let p = s.nrows();
+    (0..p)
+        .map(|i| (0..p).map(|j| s[(i, j)].abs()).sum::<f64>())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resistive_z(r11: f64, r12: f64, r22: f64) -> Mat<Complex64> {
+        Mat::from_rows(&[
+            &[Complex64::from_real(r11), Complex64::from_real(r12)],
+            &[Complex64::from_real(r12), Complex64::from_real(r22)],
+        ])
+    }
+
+    #[test]
+    fn z_y_roundtrip() {
+        let z = resistive_z(150.0, 50.0, 50.0);
+        let y = z_to_y(&z).unwrap();
+        let z2 = y_to_z(&y).unwrap();
+        assert!((&z2 - &z).max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn matched_load_has_zero_reflection() {
+        // One-port Z = Z0 exactly: S11 = 0.
+        let z = Mat::from_rows(&[&[Complex64::from_real(50.0)]]);
+        let s = z_to_s(&z, 50.0).unwrap();
+        assert!(s[(0, 0)].abs() < 1e-14);
+    }
+
+    #[test]
+    fn open_and_short_reflections() {
+        // Open (huge Z): S11 -> +1. Short (tiny Z): S11 -> -1.
+        let open = Mat::from_rows(&[&[Complex64::from_real(1e12)]]);
+        let short = Mat::from_rows(&[&[Complex64::from_real(1e-9)]]);
+        assert!((z_to_s(&open, 50.0).unwrap()[(0, 0)].re - 1.0).abs() < 1e-9);
+        assert!((z_to_s(&short, 50.0).unwrap()[(0, 0)].re + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn s_z_roundtrip() {
+        let z = resistive_z(75.0, 20.0, 60.0);
+        let s = z_to_s(&z, 50.0).unwrap();
+        let z2 = s_to_z(&s, 50.0).unwrap();
+        assert!((&z2 - &z).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn passive_network_s_is_contractive() {
+        // A passive resistive divider: S-norm bound holds.
+        let z = resistive_z(150.0, 50.0, 50.0);
+        let s = z_to_s(&z, 50.0).unwrap();
+        // ||S||_2 <= 1 implies each singular value <= 1; row-activity is a
+        // cruder bound but must stay modest for this well-matched network.
+        assert!(s_row_activity(&s) < 1.5);
+        // Check the rigorous bound via Gram eigenvalues: eig(S^H S) <= 1.
+        let sh = s.adjoint();
+        let gram = sh.matmul(&s);
+        // Power iteration for the top eigenvalue of the Hermitian Gram.
+        let mut v = vec![Complex64::ONE; 2];
+        let mut lambda = 0.0f64;
+        for _ in 0..200 {
+            let w = gram.matvec(&v);
+            lambda = mpvl_la::norm2(&w);
+            v = w.into_iter().map(|x| x / lambda).collect();
+        }
+        assert!(lambda <= 1.0 + 1e-9, "top Gram eigenvalue {lambda}");
+    }
+
+}

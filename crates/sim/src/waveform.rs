@@ -1,0 +1,235 @@
+//! Source waveforms for transient analysis.
+
+/// A time-domain excitation waveform for a port current source.
+///
+/// # Examples
+///
+/// ```
+/// use mpvl_sim::Waveform;
+///
+/// let w = Waveform::Step { t0: 1e-9, amplitude: 2e-3 };
+/// assert_eq!(w.eval(0.0), 0.0);
+/// assert_eq!(w.eval(2e-9), 2e-3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Waveform {
+    /// Identically zero (an unexcited port).
+    Zero,
+    /// Ideal step: 0 before `t0`, `amplitude` at and after.
+    Step {
+        /// Switching time, seconds.
+        t0: f64,
+        /// Post-step value.
+        amplitude: f64,
+    },
+    /// Trapezoidal pulse with finite rise/fall times.
+    Pulse {
+        /// Start of the rising edge.
+        t0: f64,
+        /// Rise time (0 allowed).
+        rise: f64,
+        /// Plateau duration (after the rise completes).
+        width: f64,
+        /// Fall time (0 allowed).
+        fall: f64,
+        /// Plateau value.
+        amplitude: f64,
+    },
+    /// Piecewise-linear: `(time, value)` breakpoints, sorted by time.
+    /// Constant extrapolation outside the table.
+    Pwl(Vec<(f64, f64)>),
+    /// Sinusoid `amplitude * sin(2π f t + phase)` starting at `t = 0`.
+    Sine {
+        /// Frequency in hertz.
+        freq: f64,
+        /// Peak value.
+        amplitude: f64,
+        /// Phase offset, radians.
+        phase: f64,
+    },
+    /// Decaying exponential `amplitude · e^{−(t−t0)/tau}` for `t ≥ t0`
+    /// (an injected charge packet).
+    Exp {
+        /// Start time, seconds.
+        t0: f64,
+        /// Peak value at `t0`.
+        amplitude: f64,
+        /// Decay time constant, seconds.
+        tau: f64,
+    },
+    /// Damped sinusoid
+    /// `amplitude · e^{−(t−t0)/tau} · sin(2π f (t−t0))` for `t ≥ t0`
+    /// (ringing injected from a neighbouring resonant net).
+    DampedSine {
+        /// Start time, seconds.
+        t0: f64,
+        /// Initial envelope value.
+        amplitude: f64,
+        /// Envelope decay constant, seconds.
+        tau: f64,
+        /// Oscillation frequency, hertz.
+        freq: f64,
+    },
+}
+
+impl Waveform {
+    /// Evaluates the waveform at time `t` (seconds).
+    pub fn eval(&self, t: f64) -> f64 {
+        match self {
+            Waveform::Zero => 0.0,
+            Waveform::Step { t0, amplitude } => {
+                if t >= *t0 {
+                    *amplitude
+                } else {
+                    0.0
+                }
+            }
+            Waveform::Pulse {
+                t0,
+                rise,
+                width,
+                fall,
+                amplitude,
+            } => {
+                let dt = t - t0;
+                if dt < 0.0 {
+                    0.0
+                } else if dt < *rise {
+                    amplitude * dt / rise
+                } else if dt < rise + width {
+                    *amplitude
+                } else if dt < rise + width + fall {
+                    amplitude * (1.0 - (dt - rise - width) / fall)
+                } else {
+                    0.0
+                }
+            }
+            Waveform::Pwl(points) => {
+                if points.is_empty() {
+                    return 0.0;
+                }
+                if t <= points[0].0 {
+                    return points[0].1;
+                }
+                if t >= points[points.len() - 1].0 {
+                    return points[points.len() - 1].1;
+                }
+                let idx = points.partition_point(|&(pt, _)| pt <= t);
+                let (t0, v0) = points[idx - 1];
+                let (t1, v1) = points[idx];
+                v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+            }
+            Waveform::Sine {
+                freq,
+                amplitude,
+                phase,
+            } => amplitude * (2.0 * std::f64::consts::PI * freq * t + phase).sin(),
+            Waveform::Exp { t0, amplitude, tau } => {
+                if t < *t0 {
+                    0.0
+                } else {
+                    amplitude * (-(t - t0) / tau).exp()
+                }
+            }
+            Waveform::DampedSine {
+                t0,
+                amplitude,
+                tau,
+                freq,
+            } => {
+                if t < *t0 {
+                    0.0
+                } else {
+                    amplitude
+                        * (-(t - t0) / tau).exp()
+                        * (2.0 * std::f64::consts::PI * freq * (t - t0)).sin()
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_switches_at_t0() {
+        let w = Waveform::Step {
+            t0: 1.0,
+            amplitude: 3.0,
+        };
+        assert_eq!(w.eval(0.999), 0.0);
+        assert_eq!(w.eval(1.0), 3.0);
+        assert_eq!(w.eval(5.0), 3.0);
+    }
+
+    #[test]
+    fn pulse_shape() {
+        let w = Waveform::Pulse {
+            t0: 1.0,
+            rise: 1.0,
+            width: 2.0,
+            fall: 1.0,
+            amplitude: 4.0,
+        };
+        assert_eq!(w.eval(0.5), 0.0);
+        assert!((w.eval(1.5) - 2.0).abs() < 1e-15); // mid-rise
+        assert_eq!(w.eval(3.0), 4.0); // plateau
+        assert!((w.eval(4.5) - 2.0).abs() < 1e-15); // mid-fall
+        assert_eq!(w.eval(6.0), 0.0);
+    }
+
+    #[test]
+    fn pwl_interpolates_and_clamps() {
+        let w = Waveform::Pwl(vec![(0.0, 0.0), (1.0, 2.0), (3.0, -2.0)]);
+        assert_eq!(w.eval(-1.0), 0.0);
+        assert!((w.eval(0.5) - 1.0).abs() < 1e-15);
+        assert!((w.eval(2.0) - 0.0).abs() < 1e-15);
+        assert_eq!(w.eval(10.0), -2.0);
+        assert_eq!(Waveform::Pwl(vec![]).eval(1.0), 0.0);
+    }
+
+    #[test]
+    fn sine_basic() {
+        let w = Waveform::Sine {
+            freq: 1.0,
+            amplitude: 2.0,
+            phase: 0.0,
+        };
+        assert!(w.eval(0.0).abs() < 1e-15);
+        assert!((w.eval(0.25) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_is_zero() {
+        assert_eq!(Waveform::Zero.eval(123.0), 0.0);
+    }
+
+    #[test]
+    fn exp_decay() {
+        let w = Waveform::Exp {
+            t0: 1.0,
+            amplitude: 2.0,
+            tau: 0.5,
+        };
+        assert_eq!(w.eval(0.5), 0.0);
+        assert!((w.eval(1.0) - 2.0).abs() < 1e-15);
+        assert!((w.eval(1.5) - 2.0 * (-1.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn damped_sine_envelope() {
+        let w = Waveform::DampedSine {
+            t0: 0.0,
+            amplitude: 1.0,
+            tau: 1.0,
+            freq: 1.0,
+        };
+        assert!(w.eval(-1.0).abs() < 1e-15);
+        assert!(w.eval(0.0).abs() < 1e-15); // sin(0)
+        // Peak of the first lobe bounded by the envelope.
+        let v = w.eval(0.25);
+        assert!(v > 0.0 && v <= (-0.25f64).exp() + 1e-12);
+    }
+}

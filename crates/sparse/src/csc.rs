@@ -1,0 +1,417 @@
+//! Compressed sparse column matrices.
+
+use mpvl_la::{Mat, Scalar};
+
+/// A sparse matrix in compressed-sparse-column (CSC) format.
+///
+/// Row indices within each column are kept sorted. Symmetric matrices are
+/// stored with *both* triangles populated; the factorization reads only the
+/// upper triangle.
+///
+/// # Examples
+///
+/// ```
+/// use mpvl_sparse::TripletMat;
+///
+/// let mut t = TripletMat::new(2, 2);
+/// t.push(0, 0, 2.0);
+/// t.push(1, 1, 3.0);
+/// let a = t.to_csc();
+/// assert_eq!(a.matvec(&[1.0, 1.0]), vec![2.0, 3.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMat<T> {
+    nrows: usize,
+    ncols: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<T>,
+}
+
+impl<T: Scalar> CscMat<T> {
+    /// Builds a CSC matrix from raw parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the structure is inconsistent (wrong pointer length,
+    /// unsorted or out-of-bounds row indices).
+    pub fn from_raw(
+        nrows: usize,
+        ncols: usize,
+        col_ptr: Vec<usize>,
+        row_idx: Vec<usize>,
+        values: Vec<T>,
+    ) -> Self {
+        assert_eq!(col_ptr.len(), ncols + 1, "bad col_ptr length");
+        assert_eq!(row_idx.len(), values.len(), "index/value length mismatch");
+        assert_eq!(*col_ptr.last().expect("nonempty col_ptr"), row_idx.len());
+        for j in 0..ncols {
+            assert!(col_ptr[j] <= col_ptr[j + 1], "col_ptr not monotone");
+            for k in col_ptr[j]..col_ptr[j + 1] {
+                assert!(row_idx[k] < nrows, "row index out of bounds");
+                if k > col_ptr[j] {
+                    assert!(row_idx[k - 1] < row_idx[k], "rows not strictly sorted");
+                }
+            }
+        }
+        CscMat {
+            nrows,
+            ncols,
+            col_ptr,
+            row_idx,
+            values,
+        }
+    }
+
+    /// An `n x n` matrix with no stored entries.
+    pub fn zero(nrows: usize, ncols: usize) -> Self {
+        CscMat {
+            nrows,
+            ncols,
+            col_ptr: vec![0; ncols + 1],
+            row_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// The `n x n` identity.
+    pub fn identity(n: usize) -> Self {
+        CscMat {
+            nrows: n,
+            ncols: n,
+            col_ptr: (0..=n).collect(),
+            row_idx: (0..n).collect(),
+            values: vec![T::one(); n],
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The column-pointer array (length `ncols + 1`).
+    #[inline]
+    pub fn col_ptr(&self) -> &[usize] {
+        &self.col_ptr
+    }
+
+    /// Row indices of the stored entries, column by column.
+    #[inline]
+    pub fn row_idx(&self) -> &[usize] {
+        &self.row_idx
+    }
+
+    /// Values of the stored entries, column by column.
+    #[inline]
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Row indices and values of column `j`.
+    #[inline]
+    pub fn col_entries(&self, j: usize) -> (&[usize], &[T]) {
+        let lo = self.col_ptr[j];
+        let hi = self.col_ptr[j + 1];
+        (&self.row_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// The entry at `(i, j)`, or zero if not stored.
+    pub fn get(&self, i: usize, j: usize) -> T {
+        let (rows, vals) = self.col_entries(j);
+        match rows.binary_search(&i) {
+            Ok(k) => vals[k],
+            Err(_) => T::zero(),
+        }
+    }
+
+    /// Matrix–vector product `A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.ncols()`.
+    pub fn matvec(&self, x: &[T]) -> Vec<T> {
+        assert_eq!(x.len(), self.ncols, "dimension mismatch");
+        let mut y = vec![T::zero(); self.nrows];
+        for j in 0..self.ncols {
+            let xj = x[j];
+            if xj == T::zero() {
+                continue;
+            }
+            let (rows, vals) = self.col_entries(j);
+            for (&i, &v) in rows.iter().zip(vals) {
+                y[i] += v * xj;
+            }
+        }
+        y
+    }
+
+    /// Transposed product `Aᵀ x` (no conjugation).
+    pub fn t_matvec(&self, x: &[T]) -> Vec<T> {
+        assert_eq!(x.len(), self.nrows, "dimension mismatch");
+        (0..self.ncols)
+            .map(|j| {
+                let (rows, vals) = self.col_entries(j);
+                rows.iter()
+                    .zip(vals)
+                    .fold(T::zero(), |acc, (&i, &v)| acc + v * x[i])
+            })
+            .collect()
+    }
+
+    /// Dense copy (for tests and small systems).
+    pub fn to_dense(&self) -> Mat<T> {
+        let mut m = Mat::zeros(self.nrows, self.ncols);
+        for j in 0..self.ncols {
+            let (rows, vals) = self.col_entries(j);
+            for (&i, &v) in rows.iter().zip(vals) {
+                m[(i, j)] = v;
+            }
+        }
+        m
+    }
+
+    /// The transpose, in CSC form.
+    pub fn transpose(&self) -> CscMat<T> {
+        let mut count = vec![0usize; self.nrows + 1];
+        for &i in &self.row_idx {
+            count[i + 1] += 1;
+        }
+        for i in 0..self.nrows {
+            count[i + 1] += count[i];
+        }
+        let mut next = count[..self.nrows].to_vec();
+        let mut rows = vec![0usize; self.nnz()];
+        let mut vals = vec![T::zero(); self.nnz()];
+        for j in 0..self.ncols {
+            let (r, v) = self.col_entries(j);
+            for (&i, &x) in r.iter().zip(v) {
+                let slot = next[i];
+                next[i] += 1;
+                rows[slot] = j;
+                vals[slot] = x;
+            }
+        }
+        CscMat {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            col_ptr: count,
+            row_idx: rows,
+            values: vals,
+        }
+    }
+
+    /// Applies `f` to every stored value, possibly changing the scalar type.
+    pub fn map<U: Scalar>(&self, mut f: impl FnMut(T) -> U) -> CscMat<U> {
+        CscMat {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            col_ptr: self.col_ptr.clone(),
+            row_idx: self.row_idx.clone(),
+            values: self.values.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Symmetric permutation `B = PᵀAP`, i.e. `B[i, j] = A[perm[i], perm[j]]`.
+    ///
+    /// `perm[i]` is the original index placed at position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or `perm` is not a permutation of
+    /// the right length.
+    pub fn permute_sym(&self, perm: &[usize]) -> CscMat<T> {
+        assert_eq!(self.nrows, self.ncols, "permute_sym requires square");
+        let n = self.nrows;
+        assert_eq!(perm.len(), n, "bad permutation length");
+        // inv[old] = new
+        let mut inv = vec![usize::MAX; n];
+        for (newi, &old) in perm.iter().enumerate() {
+            assert!(old < n && inv[old] == usize::MAX, "not a permutation");
+            inv[old] = newi;
+        }
+        let mut t = crate::TripletMat::with_capacity(n, n, self.nnz());
+        for j in 0..n {
+            let (rows, vals) = self.col_entries(j);
+            for (&i, &v) in rows.iter().zip(vals) {
+                t.push(inv[i], inv[j], v);
+            }
+        }
+        t.to_csc()
+    }
+
+    /// Linear combination `alpha * self + beta * other` (pattern union).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add_scaled(&self, alpha: T, other: &CscMat<T>, beta: T) -> CscMat<T> {
+        assert_eq!(
+            (self.nrows, self.ncols),
+            (other.nrows, other.ncols),
+            "shape mismatch"
+        );
+        let mut col_ptr = vec![0usize; self.ncols + 1];
+        let mut rows = Vec::with_capacity(self.nnz() + other.nnz());
+        let mut vals = Vec::with_capacity(self.nnz() + other.nnz());
+        for j in 0..self.ncols {
+            let (ra, va) = self.col_entries(j);
+            let (rb, vb) = other.col_entries(j);
+            let (mut ka, mut kb) = (0, 0);
+            while ka < ra.len() || kb < rb.len() {
+                let ia = ra.get(ka).copied().unwrap_or(usize::MAX);
+                let ib = rb.get(kb).copied().unwrap_or(usize::MAX);
+                if ia < ib {
+                    rows.push(ia);
+                    vals.push(alpha * va[ka]);
+                    ka += 1;
+                } else if ib < ia {
+                    rows.push(ib);
+                    vals.push(beta * vb[kb]);
+                    kb += 1;
+                } else {
+                    rows.push(ia);
+                    vals.push(alpha * va[ka] + beta * vb[kb]);
+                    ka += 1;
+                    kb += 1;
+                }
+            }
+            col_ptr[j + 1] = rows.len();
+        }
+        CscMat {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            col_ptr,
+            row_idx: rows,
+            values: vals,
+        }
+    }
+
+    /// Maximum entry-wise asymmetry `max |A - Aᵀ|`; zero for symmetric input.
+    pub fn asymmetry(&self) -> f64 {
+        if self.nrows != self.ncols {
+            return f64::INFINITY;
+        }
+        let at = self.transpose();
+        let diff = self.add_scaled(T::one(), &at, -T::one());
+        diff.values.iter().map(|v| v.modulus()).fold(0.0, f64::max)
+    }
+
+    /// Undirected adjacency structure (excluding the diagonal) of the
+    /// symmetric pattern `A + Aᵀ` — used by the ordering heuristics.
+    pub fn adjacency(&self) -> Vec<Vec<usize>> {
+        assert_eq!(self.nrows, self.ncols, "adjacency requires square");
+        let n = self.nrows;
+        let mut adj = vec![Vec::new(); n];
+        for j in 0..n {
+            let (rows, _) = self.col_entries(j);
+            for &i in rows {
+                if i != j {
+                    adj[j].push(i);
+                    adj[i].push(j);
+                }
+            }
+        }
+        for l in &mut adj {
+            l.sort_unstable();
+            l.dedup();
+        }
+        adj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TripletMat;
+
+    fn example() -> CscMat<f64> {
+        // [2 -1 0; -1 2 -1; 0 -1 2]
+        let mut t = TripletMat::new(3, 3);
+        for i in 0..3 {
+            t.push(i, i, 2.0);
+        }
+        t.push_sym(0, 1, -1.0);
+        t.push_sym(1, 2, -1.0);
+        t.to_csc()
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let a = example();
+        let d = a.to_dense();
+        let x = [1.0, 2.0, 3.0];
+        assert_eq!(a.matvec(&x), d.matvec(&x));
+        assert_eq!(a.t_matvec(&x), d.t_matvec(&x));
+    }
+
+    #[test]
+    fn transpose_of_symmetric_is_identical() {
+        let a = example();
+        assert_eq!(a.transpose().to_dense(), a.to_dense());
+        assert_eq!(a.asymmetry(), 0.0);
+    }
+
+    #[test]
+    fn permute_sym_matches_dense_permutation() {
+        let a = example();
+        let perm = [2usize, 0, 1];
+        let b = a.permute_sym(&perm);
+        let d = a.to_dense();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(b.get(i, j), d[(perm[i], perm[j])]);
+            }
+        }
+    }
+
+    #[test]
+    fn add_scaled_combines_patterns() {
+        let a = example();
+        let i = CscMat::<f64>::identity(3);
+        let b = a.add_scaled(1.0, &i, 10.0);
+        assert_eq!(b.get(0, 0), 12.0);
+        assert_eq!(b.get(0, 1), -1.0);
+        // Exact cancellation keeps the explicit entry; value is zero.
+        let c = a.add_scaled(1.0, &a, -1.0);
+        assert_eq!(c.get(0, 0), 0.0);
+        assert_eq!(c.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn adjacency_excludes_diagonal() {
+        let a = example();
+        let adj = a.adjacency();
+        assert_eq!(adj[0], vec![1]);
+        assert_eq!(adj[1], vec![0, 2]);
+        assert_eq!(adj[2], vec![1]);
+    }
+
+    #[test]
+    fn identity_and_zero() {
+        let i = CscMat::<f64>::identity(4);
+        assert_eq!(i.matvec(&[1.0, 2.0, 3.0, 4.0]), vec![1.0, 2.0, 3.0, 4.0]);
+        let z = CscMat::<f64>::zero(2, 3);
+        assert_eq!(z.nnz(), 0);
+        assert_eq!(z.matvec(&[1.0, 1.0, 1.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows not strictly sorted")]
+    fn from_raw_validates() {
+        let _ = CscMat::from_raw(2, 1, vec![0, 2], vec![1, 0], vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,526 @@
+//! Sparse LDLᵀ factorization of symmetric matrices.
+//!
+//! An up-looking, elimination-tree-driven factorization in the style of
+//! Davis' `LDL` package: a symbolic pass computes the elimination tree and
+//! exact column counts from the upper triangle, then a numeric pass fills
+//! `L` (unit lower triangular, CSC) and the diagonal `D` column by column.
+//!
+//! The factorization is *unpivoted*; a fill-reducing symmetric permutation
+//! is applied first. This is the right tool for the matrices this
+//! workspace produces:
+//!
+//! * RC/RL/LC circuits give symmetric positive (semi-)definite `G`, `C`
+//!   (§2.2 of the paper) — every pivot order works.
+//! * General-RLC MNA matrices shifted per eq. (26), `G + s₀C`, are
+//!   symmetric *quasi-definite* (positive block from resistors/capacitors,
+//!   negative block `−s₀𝓛` from inductors), which Vanderbei's theorem
+//!   guarantees to be strongly factorizable under any symmetric
+//!   permutation.
+//! * AC-analysis matrices `G + jωC` are complex symmetric with the same
+//!   structure; a zero pivot aborts with [`LdltError::ZeroPivot`] and the
+//!   caller may fall back to a dense factorization.
+
+use crate::{compute_ordering, CscMat, Ordering};
+use mpvl_la::Scalar;
+use std::error::Error;
+use std::fmt;
+
+/// Error from the sparse LDLᵀ factorization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LdltError {
+    /// A pivot magnitude fell below the breakdown tolerance.
+    ZeroPivot {
+        /// Elimination step (in permuted order) of the bad pivot.
+        step: usize,
+        /// The offending pivot magnitude.
+        magnitude: f64,
+    },
+    /// The input matrix is not square.
+    NotSquare {
+        /// Rows of the offending matrix.
+        nrows: usize,
+        /// Columns of the offending matrix.
+        ncols: usize,
+    },
+}
+
+impl fmt::Display for LdltError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LdltError::ZeroPivot { step, magnitude } => write!(
+                f,
+                "zero pivot at elimination step {step} (magnitude {magnitude:.3e})"
+            ),
+            LdltError::NotSquare { nrows, ncols } => {
+                write!(f, "matrix is {nrows}x{ncols}, expected square")
+            }
+        }
+    }
+}
+
+impl Error for LdltError {}
+
+/// A sparse factorization `Pᵀ A P = L D Lᵀ` with diagonal `D`.
+///
+/// # Examples
+///
+/// ```
+/// use mpvl_sparse::{TripletMat, SparseLdlt, Ordering};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut t = TripletMat::new(3, 3);
+/// for i in 0..3 { t.push(i, i, 2.0); }
+/// t.push_sym(0, 1, -1.0);
+/// t.push_sym(1, 2, -1.0);
+/// let a = t.to_csc();
+/// let f = SparseLdlt::factor(&a, Ordering::MinDegree)?;
+/// let x = f.solve(&[1.0, 0.0, 1.0]);
+/// let r = a.matvec(&x);
+/// assert!((r[0] - 1.0).abs() < 1e-12 && r[1].abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SparseLdlt<T> {
+    n: usize,
+    /// `perm[new] = old`.
+    perm: Vec<usize>,
+    /// Unit lower-triangular factor (diagonal implicit), CSC.
+    l_colptr: Vec<usize>,
+    l_rowidx: Vec<usize>,
+    l_values: Vec<T>,
+    /// Diagonal of `D`.
+    d: Vec<T>,
+}
+
+impl<T: Scalar> SparseLdlt<T> {
+    /// Factors the symmetric matrix `a` after applying the requested
+    /// fill-reducing ordering. Only the upper triangle (in permuted form)
+    /// is read; the input should carry both triangles.
+    ///
+    /// # Errors
+    ///
+    /// * [`LdltError::NotSquare`] for rectangular input.
+    /// * [`LdltError::ZeroPivot`] when a pivot underflows the breakdown
+    ///   tolerance (`1e-13 · max|A|`); for RLC work this signals that a
+    ///   frequency shift is required (paper eq. 26).
+    pub fn factor(a: &CscMat<T>, ordering: Ordering) -> Result<Self, LdltError> {
+        if a.nrows() != a.ncols() {
+            return Err(LdltError::NotSquare {
+                nrows: a.nrows(),
+                ncols: a.ncols(),
+            });
+        }
+        let perm = compute_ordering(&a.adjacency(), ordering);
+        Self::factor_with_perm(a, perm)
+    }
+
+    /// Factors with an explicit permutation (`perm[new] = old`).
+    ///
+    /// # Errors
+    ///
+    /// See [`SparseLdlt::factor`].
+    pub fn factor_with_perm(a: &CscMat<T>, perm: Vec<usize>) -> Result<Self, LdltError> {
+        let n = a.nrows();
+        let b = a.permute_sym(&perm);
+        let max_abs = b.values().iter().map(|v| v.modulus()).fold(0.0, f64::max);
+        let pivot_floor = 1e-13 * max_abs.max(f64::MIN_POSITIVE);
+
+        // --- Symbolic: elimination tree + column counts. ---
+        let mut parent = vec![usize::MAX; n];
+        let mut flag = vec![usize::MAX; n];
+        let mut lnz = vec![0usize; n];
+        for k in 0..n {
+            flag[k] = k;
+            let (rows, _) = b.col_entries(k);
+            for &ri in rows {
+                if ri >= k {
+                    continue;
+                }
+                let mut i = ri;
+                while flag[i] != k {
+                    if parent[i] == usize::MAX {
+                        parent[i] = k;
+                    }
+                    lnz[i] += 1;
+                    flag[i] = k;
+                    i = parent[i];
+                }
+            }
+        }
+        let mut l_colptr = vec![0usize; n + 1];
+        for k in 0..n {
+            l_colptr[k + 1] = l_colptr[k] + lnz[k];
+        }
+        let total = l_colptr[n];
+        let mut l_rowidx = vec![0usize; total];
+        let mut l_values = vec![T::zero(); total];
+        let mut d = vec![T::zero(); n];
+
+        // --- Numeric. ---
+        let mut y = vec![T::zero(); n];
+        let mut pattern = vec![0usize; n];
+        let mut stack = vec![0usize; n];
+        let mut lnz_done = vec![0usize; n];
+        let mut flag = vec![usize::MAX; n];
+        for k in 0..n {
+            flag[k] = k;
+            let mut top = n;
+            let (rows, vals) = b.col_entries(k);
+            for (&ri, &v) in rows.iter().zip(vals) {
+                if ri > k {
+                    continue;
+                }
+                y[ri] += v;
+                let mut len = 0;
+                let mut i = ri;
+                while flag[i] != k {
+                    stack[len] = i;
+                    len += 1;
+                    flag[i] = k;
+                    i = parent[i];
+                }
+                while len > 0 {
+                    len -= 1;
+                    top -= 1;
+                    pattern[top] = stack[len];
+                }
+            }
+            d[k] = y[k];
+            y[k] = T::zero();
+            for &i in &pattern[top..n] {
+                let yi = y[i];
+                y[i] = T::zero();
+                let lo = l_colptr[i];
+                let hi = lo + lnz_done[i];
+                for p in lo..hi {
+                    y[l_rowidx[p]] -= l_values[p] * yi;
+                }
+                let di = d[i];
+                let l_ki = yi / di;
+                d[k] -= l_ki * yi;
+                l_rowidx[hi] = k;
+                l_values[hi] = l_ki;
+                lnz_done[i] += 1;
+            }
+            if d[k].modulus() <= pivot_floor {
+                return Err(LdltError::ZeroPivot {
+                    step: k,
+                    magnitude: d[k].modulus(),
+                });
+            }
+        }
+
+        Ok(SparseLdlt {
+            n,
+            perm,
+            l_colptr,
+            l_rowidx,
+            l_values,
+            d,
+        })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored off-diagonal entries of `L` (the fill).
+    pub fn l_nnz(&self) -> usize {
+        self.l_values.len()
+    }
+
+    /// The diagonal of `D`, in permuted order.
+    pub fn d(&self) -> &[T] {
+        &self.d
+    }
+
+    /// The permutation used, `perm[new] = old`.
+    pub fn perm(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[T]) -> Vec<T> {
+        assert_eq!(b.len(), self.n, "dimension mismatch");
+        let mut x: Vec<T> = (0..self.n).map(|i| b[self.perm[i]]).collect();
+        self.l_solve(&mut x);
+        for k in 0..self.n {
+            x[k] /= self.d[k];
+        }
+        self.lt_solve(&mut x);
+        let mut out = vec![T::zero(); self.n];
+        for i in 0..self.n {
+            out[self.perm[i]] = x[i];
+        }
+        out
+    }
+
+    /// In-place forward substitution `L x = b` (unit diagonal), in permuted
+    /// coordinates.
+    pub fn l_solve(&self, x: &mut [T]) {
+        for j in 0..self.n {
+            let xj = x[j];
+            if xj == T::zero() {
+                continue;
+            }
+            for p in self.l_colptr[j]..self.l_colptr[j + 1] {
+                x[self.l_rowidx[p]] -= self.l_values[p] * xj;
+            }
+        }
+    }
+
+    /// In-place back substitution `Lᵀ x = b`, in permuted coordinates.
+    pub fn lt_solve(&self, x: &mut [T]) {
+        for j in (0..self.n).rev() {
+            let mut s = x[j];
+            for p in self.l_colptr[j]..self.l_colptr[j + 1] {
+                s -= self.l_values[p] * x[self.l_rowidx[p]];
+            }
+            x[j] = s;
+        }
+    }
+
+    /// Matrix inertia `(n_neg, n_zero, n_pos)` from the real parts of `D`.
+    ///
+    /// Meaningful for real symmetric input (where `D` is real).
+    pub fn inertia(&self) -> (usize, usize, usize) {
+        let (mut neg, mut zero, mut pos) = (0, 0, 0);
+        for v in &self.d {
+            let r = v.real();
+            if r > 0.0 {
+                pos += 1;
+            } else if r < 0.0 {
+                neg += 1;
+            } else {
+                zero += 1;
+            }
+        }
+        (neg, zero, pos)
+    }
+}
+
+impl SparseLdlt<f64> {
+    /// Views the factorization as the paper's `A = M J Mᵀ` (eq. 15) with
+    /// `M = Pᵀ L |D|^{1/2}` and `J = sign(D) = diag(±1)`, exposing only the
+    /// actions `M⁻¹` and `M⁻ᵀ` plus the signature `J` — exactly what the
+    /// symmetric Lanczos process consumes.
+    pub fn to_mj(&self) -> SparseMj<'_> {
+        let sqrt_d: Vec<f64> = self.d.iter().map(|&v| v.abs().sqrt()).collect();
+        let j_sign: Vec<f64> = self.d.iter().map(|&v| v.signum()).collect();
+        SparseMj {
+            f: self,
+            sqrt_d,
+            j_sign,
+        }
+    }
+}
+
+/// The `M J Mᵀ` view of a real [`SparseLdlt`]; see [`SparseLdlt::to_mj`].
+#[derive(Debug, Clone)]
+pub struct SparseMj<'a> {
+    f: &'a SparseLdlt<f64>,
+    sqrt_d: Vec<f64>,
+    j_sign: Vec<f64>,
+}
+
+impl SparseMj<'_> {
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.f.n
+    }
+
+    /// The signature `J = diag(±1)`.
+    pub fn j_diag(&self) -> &[f64] {
+        &self.j_sign
+    }
+
+    /// Applies `M⁻¹ = |D|^{-1/2} L⁻¹ Pᵀ·` to `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn apply_minv(&self, x: &[f64]) -> Vec<f64> {
+        let n = self.f.n;
+        assert_eq!(x.len(), n, "dimension mismatch");
+        let mut y: Vec<f64> = (0..n).map(|i| x[self.f.perm[i]]).collect();
+        self.f.l_solve(&mut y);
+        for k in 0..n {
+            y[k] /= self.sqrt_d[k];
+        }
+        y
+    }
+
+    /// Applies `M⁻ᵀ = P L⁻ᵀ |D|^{-1/2}·` to `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn apply_minv_t(&self, x: &[f64]) -> Vec<f64> {
+        let n = self.f.n;
+        assert_eq!(x.len(), n, "dimension mismatch");
+        let mut y: Vec<f64> = (0..n).map(|k| x[k] / self.sqrt_d[k]).collect();
+        self.f.lt_solve(&mut y);
+        let mut out = vec![0.0; n];
+        for i in 0..n {
+            out[self.f.perm[i]] = y[i];
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TripletMat;
+    use mpvl_la::Complex64;
+
+    fn laplacian(n: usize) -> CscMat<f64> {
+        let mut t = TripletMat::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 2.0 + 0.01 * (i as f64 + 1.0));
+            if i + 1 < n {
+                t.push_sym(i, i + 1, -1.0);
+            }
+        }
+        t.to_csc()
+    }
+
+    #[test]
+    fn solves_spd_system_all_orderings() {
+        let a = laplacian(50);
+        let b: Vec<f64> = (0..50).map(|i| (i as f64 * 0.1).sin()).collect();
+        for o in [Ordering::Natural, Ordering::Rcm, Ordering::MinDegree] {
+            let f = SparseLdlt::factor(&a, o).expect("SPD");
+            let x = f.solve(&b);
+            let r = a.matvec(&x);
+            for (u, v) in r.iter().zip(&b) {
+                assert!((u - v).abs() < 1e-11, "{o:?} residual too large");
+            }
+        }
+    }
+
+    #[test]
+    fn quasi_definite_saddle_point() {
+        // [K  Bᵀ; B  -I] style (symmetric quasi-definite).
+        let n = 6;
+        let mut t = TripletMat::new(2 * n, 2 * n);
+        for i in 0..n {
+            t.push(i, i, 3.0);
+            t.push(n + i, n + i, -1.0);
+            t.push_sym(i, n + i, 1.0);
+            if i + 1 < n {
+                t.push_sym(i, i + 1, -1.0);
+            }
+        }
+        let a = t.to_csc();
+        let f = SparseLdlt::factor(&a, Ordering::MinDegree).expect("quasi-definite");
+        let (neg, zero, pos) = f.inertia();
+        assert_eq!((neg, zero, pos), (n, 0, n));
+        let b = vec![1.0; 2 * n];
+        let x = f.solve(&b);
+        let r = a.matvec(&x);
+        for (u, v) in r.iter().zip(&b) {
+            assert!((u - v).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn complex_symmetric_system() {
+        // G + j*w*C with G, C SPD patterns.
+        let n = 20;
+        let g = laplacian(n);
+        let jw = Complex64::new(0.0, 2.0);
+        let a = g.map(|v| Complex64::from_real(v) + jw * Complex64::from_real(v * 0.1));
+        let f = SparseLdlt::factor(&a, Ordering::Rcm).expect("complex symmetric");
+        let b: Vec<Complex64> = (0..n).map(|i| Complex64::new(1.0, i as f64 * 0.05)).collect();
+        let x = f.solve(&b);
+        let r = a.matvec(&x);
+        for (u, v) in r.iter().zip(&b) {
+            assert!((*u - *v).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn detects_singular_matrix() {
+        // Graph Laplacian without grounding: singular.
+        let n = 5;
+        let mut t = TripletMat::new(n, n);
+        for i in 0..n - 1 {
+            t.push(i, i, 1.0);
+            t.push(i + 1, i + 1, 1.0);
+            t.push_sym(i, i + 1, -1.0);
+        }
+        let a = t.to_csc();
+        match SparseLdlt::factor(&a, Ordering::Natural) {
+            Err(LdltError::ZeroPivot { .. }) => {}
+            other => panic!("expected zero pivot, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        let a = CscMat::<f64>::zero(2, 3);
+        assert!(matches!(
+            SparseLdlt::factor(&a, Ordering::Natural),
+            Err(LdltError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn mj_view_reproduces_matrix_action() {
+        // Verify M^{-1} A M^{-T} = J on an indefinite quasi-definite matrix.
+        let mut t = TripletMat::new(4, 4);
+        t.push(0, 0, 4.0);
+        t.push(1, 1, 3.0);
+        t.push(2, 2, -2.0);
+        t.push(3, 3, -5.0);
+        t.push_sym(0, 2, 1.0);
+        t.push_sym(1, 3, 0.5);
+        let a = t.to_csc();
+        let f = SparseLdlt::factor(&a, Ordering::Natural).unwrap();
+        let mj = f.to_mj();
+        for i in 0..4 {
+            let mut e = vec![0.0; 4];
+            e[i] = 1.0;
+            let w = mj.apply_minv_t(&e);
+            let aw = a.matvec(&w);
+            let res = mj.apply_minv(&aw);
+            for (k, &v) in res.iter().enumerate() {
+                let expect = if k == i { mj.j_diag()[i] } else { 0.0 };
+                assert!((v - expect).abs() < 1e-12, "entry {k},{i}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn fill_is_bounded_on_tridiagonal() {
+        // A tridiagonal matrix factors with zero fill under natural order.
+        let a = laplacian(100);
+        let f = SparseLdlt::factor(&a, Ordering::Natural).unwrap();
+        assert_eq!(f.l_nnz(), 99);
+    }
+
+    #[test]
+    fn min_degree_reduces_fill_on_arrow() {
+        // Arrow matrix: natural order (hub first) fills completely;
+        // min-degree eliminates the hub last with zero fill.
+        let n = 30;
+        let mut t = TripletMat::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 10.0);
+        }
+        for i in 1..n {
+            t.push_sym(0, i, 1.0);
+        }
+        let a = t.to_csc();
+        let nat = SparseLdlt::factor(&a, Ordering::Natural).unwrap();
+        let md = SparseLdlt::factor(&a, Ordering::MinDegree).unwrap();
+        assert_eq!(md.l_nnz(), n - 1);
+        assert!(nat.l_nnz() > md.l_nnz());
+    }
+}

@@ -1,0 +1,196 @@
+//! Coordinate (triplet) sparse-matrix builder.
+
+use crate::CscMat;
+use mpvl_la::Scalar;
+
+/// A sparse matrix under construction, as a list of `(row, col, value)`
+/// triplets. Duplicate coordinates are *summed* on conversion to CSC, which
+/// is exactly the "stamping" discipline of MNA circuit assembly.
+///
+/// # Examples
+///
+/// ```
+/// use mpvl_sparse::TripletMat;
+///
+/// let mut t = TripletMat::new(2, 2);
+/// t.push(0, 0, 1.0);
+/// t.push(0, 0, 2.0); // stamps accumulate
+/// t.push(1, 0, -1.0);
+/// let a = t.to_csc();
+/// assert_eq!(a.get(0, 0), 3.0);
+/// assert_eq!(a.get(1, 0), -1.0);
+/// assert_eq!(a.get(1, 1), 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TripletMat<T> {
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+    vals: Vec<T>,
+}
+
+impl<T: Scalar> TripletMat<T> {
+    /// Creates an empty `nrows x ncols` triplet accumulator.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        TripletMat {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Creates an empty accumulator with capacity for `cap` entries.
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        TripletMat {
+            nrows,
+            ncols,
+            rows: Vec::with_capacity(cap),
+            cols: Vec::with_capacity(cap),
+            vals: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of raw (pre-deduplication) entries.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Appends an entry; duplicates accumulate on conversion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds.
+    pub fn push(&mut self, row: usize, col: usize, val: T) {
+        assert!(row < self.nrows && col < self.ncols, "index out of bounds");
+        self.rows.push(row);
+        self.cols.push(col);
+        self.vals.push(val);
+    }
+
+    /// Stamps `val` at `(i, j)` and `(j, i)` (off-diagonal symmetric pair).
+    pub fn push_sym(&mut self, i: usize, j: usize, val: T) {
+        self.push(i, j, val);
+        if i != j {
+            self.push(j, i, val);
+        }
+    }
+
+    /// Converts to compressed sparse column form, summing duplicates and
+    /// dropping entries that cancel to exact zero.
+    pub fn to_csc(&self) -> CscMat<T> {
+        let n = self.ncols;
+        // Count entries per column.
+        let mut count = vec![0usize; n + 1];
+        for &c in &self.cols {
+            count[c + 1] += 1;
+        }
+        for j in 0..n {
+            count[j + 1] += count[j];
+        }
+        // Scatter into per-column buckets.
+        let mut next = count[..n].to_vec();
+        let nnz = self.vals.len();
+        let mut ri = vec![0usize; nnz];
+        let mut vx = vec![T::zero(); nnz];
+        for k in 0..nnz {
+            let c = self.cols[k];
+            let slot = next[c];
+            next[c] += 1;
+            ri[slot] = self.rows[k];
+            vx[slot] = self.vals[k];
+        }
+        // Sort each column by row and sum duplicates.
+        let mut col_ptr = vec![0usize; n + 1];
+        let mut rows_out: Vec<usize> = Vec::with_capacity(nnz);
+        let mut vals_out: Vec<T> = Vec::with_capacity(nnz);
+        for j in 0..n {
+            let lo = count[j];
+            let hi = count[j + 1];
+            let mut entries: Vec<(usize, T)> =
+                (lo..hi).map(|k| (ri[k], vx[k])).collect();
+            entries.sort_by_key(|e| e.0);
+            let mut it = entries.into_iter();
+            if let Some((mut row, mut acc)) = it.next() {
+                for (r, v) in it {
+                    if r == row {
+                        acc += v;
+                    } else {
+                        if acc != T::zero() {
+                            rows_out.push(row);
+                            vals_out.push(acc);
+                        }
+                        row = r;
+                        acc = v;
+                    }
+                }
+                if acc != T::zero() {
+                    rows_out.push(row);
+                    vals_out.push(acc);
+                }
+            }
+            col_ptr[j + 1] = rows_out.len();
+        }
+        CscMat::from_raw(self.nrows, self.ncols, col_ptr, rows_out, vals_out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicates_sum_and_zeros_drop() {
+        let mut t = TripletMat::new(3, 3);
+        t.push(1, 1, 5.0);
+        t.push(1, 1, -5.0); // cancels
+        t.push(0, 2, 1.5);
+        t.push(0, 2, 1.5);
+        let a = t.to_csc();
+        assert_eq!(a.nnz(), 1);
+        assert_eq!(a.get(0, 2), 3.0);
+        assert_eq!(a.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn push_sym_stamps_both_triangles() {
+        let mut t = TripletMat::new(2, 2);
+        t.push_sym(0, 1, -2.0);
+        t.push_sym(1, 1, 3.0);
+        let a = t.to_csc();
+        assert_eq!(a.get(0, 1), -2.0);
+        assert_eq!(a.get(1, 0), -2.0);
+        assert_eq!(a.get(1, 1), 3.0);
+        assert_eq!(a.nnz(), 3);
+    }
+
+    #[test]
+    fn columns_sorted_by_row() {
+        let mut t = TripletMat::new(4, 1);
+        t.push(3, 0, 1.0);
+        t.push(0, 0, 2.0);
+        t.push(2, 0, 3.0);
+        let a = t.to_csc();
+        let (rows, _) = a.col_entries(0);
+        assert_eq!(rows, &[0, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn out_of_bounds_panics() {
+        let mut t = TripletMat::new(2, 2);
+        t.push(2, 0, 1.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the sparse kernels.
+
+use mpvl_la::Complex64;
+use mpvl_sparse::{compute_ordering, is_permutation, Ordering, SparseLdlt, TripletMat};
+use proptest::prelude::*;
+
+/// Strategy: a random connected SPD matrix built like a grounded resistor
+/// network — a spanning chain plus random extra branches.
+fn resistor_network(n: usize) -> impl Strategy<Value = mpvl_sparse::CscMat<f64>> {
+    let extra = proptest::collection::vec((0..n, 0..n, 0.1f64..2.0), 0..3 * n);
+    (extra, 0.1f64..2.0).prop_map(move |(edges, gg)| {
+        let mut t = TripletMat::new(n, n);
+        // Ground leak at node 0 makes the Laplacian nonsingular.
+        t.push(0, 0, gg);
+        // Spanning chain.
+        for i in 0..n - 1 {
+            stamp(&mut t, i, i + 1, 1.0);
+        }
+        for (a, b, g) in edges {
+            if a != b {
+                stamp(&mut t, a, b, g);
+            }
+        }
+        t.to_csc()
+    })
+}
+
+fn stamp(t: &mut TripletMat<f64>, a: usize, b: usize, g: f64) {
+    t.push(a, a, g);
+    t.push(b, b, g);
+    t.push_sym(a, b, -g);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn csc_matvec_matches_dense(a in resistor_network(12), x in proptest::collection::vec(-1.0f64..1.0, 12)) {
+        let d = a.to_dense();
+        let y1 = a.matvec(&x);
+        let y2 = d.matvec(&x);
+        for (u, v) in y1.iter().zip(&y2) {
+            prop_assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn permute_roundtrip(a in resistor_network(10)) {
+        let perm: Vec<usize> = (0..10).rev().collect();
+        let b = a.permute_sym(&perm);
+        let c = b.permute_sym(&perm); // reversal is an involution
+        prop_assert!((&c.to_dense() - &a.to_dense()).max_abs() < 1e-15);
+    }
+
+    #[test]
+    fn ldlt_solves_under_every_ordering(a in resistor_network(15), b in proptest::collection::vec(-1.0f64..1.0, 15)) {
+        for o in [Ordering::Natural, Ordering::Rcm, Ordering::MinDegree] {
+            let f = SparseLdlt::factor(&a, o).expect("SPD network");
+            let x = f.solve(&b);
+            let r = a.matvec(&x);
+            for (u, v) in r.iter().zip(&b) {
+                prop_assert!((u - v).abs() < 1e-8, "{o:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn ldlt_inertia_all_positive_for_spd(a in resistor_network(10)) {
+        let f = SparseLdlt::factor(&a, Ordering::MinDegree).expect("SPD");
+        prop_assert_eq!(f.inertia(), (0, 0, 10));
+    }
+
+    #[test]
+    fn orderings_are_permutations(a in resistor_network(14)) {
+        let adj = a.adjacency();
+        for o in [Ordering::Natural, Ordering::Rcm, Ordering::MinDegree] {
+            let p = compute_ordering(&adj, o);
+            prop_assert!(is_permutation(&p, 14));
+        }
+    }
+
+    #[test]
+    fn complex_factor_matches_dense_solve(a in resistor_network(10), w in 0.1f64..10.0) {
+        // (G + jw * 0.1 G) is complex symmetric and nonsingular.
+        let k = a.map(|v| Complex64::new(v, w * 0.1 * v));
+        let f = SparseLdlt::factor(&k, Ordering::Rcm).expect("complex");
+        let b: Vec<Complex64> = (0..10).map(|i| Complex64::new(1.0, i as f64)).collect();
+        let x = f.solve(&b);
+        let r = k.matvec(&x);
+        for (u, v) in r.iter().zip(&b) {
+            prop_assert!((*u - *v).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn add_scaled_matches_dense(a in resistor_network(8), alpha in -2.0f64..2.0, beta in -2.0f64..2.0) {
+        let i = mpvl_sparse::CscMat::identity(8);
+        let c = a.add_scaled(alpha, &i, beta);
+        let d = &a.to_dense().scale(alpha) + &mpvl_la::Mat::identity(8).scale(beta);
+        prop_assert!((&c.to_dense() - &d).max_abs() < 1e-13);
+    }
+
+    #[test]
+    fn mj_view_consistent_with_solve(a in resistor_network(9), b in proptest::collection::vec(-1.0f64..1.0, 9)) {
+        // A^{-1} b == M^{-T} J M^{-1} b  (J = I for SPD).
+        let f = SparseLdlt::factor(&a, Ordering::MinDegree).expect("SPD");
+        let mj = f.to_mj();
+        prop_assert!(mj.j_diag().iter().all(|&s| s == 1.0));
+        let x1 = f.solve(&b);
+        let x2 = mj.apply_minv_t(&mj.apply_minv(&b));
+        for (u, v) in x1.iter().zip(&x2) {
+            prop_assert!((u - v).abs() < 1e-9);
+        }
+    }
+}

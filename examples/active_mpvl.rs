@@ -1,0 +1,99 @@
+//! SyMPVL's scope boundary, made concrete: an *active* circuit (VCCS gain
+//! stages) has non-symmetric MNA matrices, so the symmetric algorithm
+//! refuses it — and the general MPVL (the paper's ref. [6] predecessor,
+//! which SyMPVL specializes) reduces it instead.
+//!
+//! ```sh
+//! cargo run --release --example active_mpvl
+//! ```
+
+use mpvl_circuit::{parse_spice, MnaSystem};
+use mpvl_la::Complex64;
+use sympvl::baselines::mpvl::MpvlModel;
+use sympvl::{sympvl, SympvlOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A three-stage small-signal amplifier: RC interstage poles, VCCS
+    // transconductance stages (the classic non-reciprocal network).
+    let (ckt, _) = parse_spice(
+        "* three-stage gm amplifier
+         Rin  in   n1   150
+         C1   n1   0    2p
+         R1   n1   0    4k
+         Ga   0    n2   n1  0   15m
+         R2   n2   0    1.2k
+         C2   n2   0    1.5p
+         Gb   0    n3   n2  0   12m
+         R3   n3   0    900
+         C3   n3   0    1p
+         Gc   0    out  n3  0   10m
+         Rl   out  0    600
+         Cl   out  0    0.8p
+         Pin  in   0
+         Pout out  0",
+    )?;
+    println!(
+        "active circuit: {} nodes, {} VCCS stages, symmetric = {}",
+        ckt.num_nodes() - 1,
+        ckt.vccs_count(),
+        ckt.is_symmetric()
+    );
+    let sys = MnaSystem::assemble(&ckt)?;
+
+    // 1. SyMPVL correctly refuses (the §2 symmetry assumption fails).
+    match sympvl(&sys, 4, &SympvlOptions::default()) {
+        Err(e) => println!("sympvl: refused as expected — {e}"),
+        Ok(_) => println!("sympvl: unexpectedly accepted (bug!)"),
+    }
+
+    // 2. Exact response is non-reciprocal: forward gain, no reverse path.
+    let s1 = Complex64::new(0.0, 2.0 * std::f64::consts::PI * 1e8);
+    let zx = sys.dense_z(s1)?;
+    println!(
+        "exact at 100 MHz: |Z_out,in| = {:.4e} (forward), |Z_in,out| = {:.4e} (reverse)",
+        zx[(1, 0)].abs(),
+        zx[(0, 1)].abs()
+    );
+
+    // 3. MPVL (two-sided) reduces it; order sweep shows Padé convergence.
+    println!("{:>6} {:>14} {:>14}", "order", "|Z21| model", "rel err");
+    for order in [2usize, 4, 6, 8] {
+        let model = MpvlModel::new(&sys, order, 0.0)?;
+        let z = model.eval(s1)?;
+        let err = (z[(1, 0)] - zx[(1, 0)]).abs() / zx[(1, 0)].abs();
+        println!("{:>6} {:>14.6e} {:>14.2e}", model.order(), z[(1, 0)].abs(), err);
+    }
+
+    // 4. Time domain through the dense nonsymmetric path.
+    use mpvl_sim::{transient, Integrator, Waveform};
+    let tsys = MnaSystem::assemble_general(&ckt)?;
+    let res = transient(
+        &tsys,
+        &[
+            Waveform::Pulse {
+                t0: 0.5e-9,
+                rise: 0.2e-9,
+                width: 3e-9,
+                fall: 0.2e-9,
+                amplitude: 0.1e-3,
+            },
+            Waveform::Zero,
+        ],
+        5e-12,
+        2000,
+        Integrator::Trapezoidal,
+    )?;
+    let peak_out = (0..=2000)
+        .map(|k| res.port_voltages[(k, 1)].abs())
+        .fold(0.0f64, f64::max);
+    let peak_in = (0..=2000)
+        .map(|k| res.port_voltages[(k, 0)].abs())
+        .fold(0.0f64, f64::max);
+    println!(
+        "transient: input peak {:.3e} V, output peak {:.3e} V (gain ≈ {:.1})",
+        peak_in,
+        peak_out,
+        peak_out / peak_in
+    );
+    Ok(())
+}

@@ -1,0 +1,111 @@
+//! The full production workflow on one circuit: adaptive-order reduction,
+//! passivity certification, S-parameter export, reduced-circuit synthesis
+//! to a SPICE subcircuit, and signal-integrity measurements comparing the
+//! full and reduced transients.
+//!
+//! ```sh
+//! cargo run --release --example adaptive_workflow
+//! ```
+
+use mpvl_circuit::generators::{embed_with_drivers, interconnect, stats, InterconnectParams};
+use mpvl_circuit::{to_spice_subckt, MnaSystem};
+use mpvl_la::Complex64;
+use mpvl_sim::{transient, z_to_s, Integrator, Trace, Waveform};
+use sympvl::{
+    certify, reduce_adaptive, synthesize_rc, AdaptiveOptions, Certificate, SynthesisOptions,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A mid-sized coupled interconnect.
+    let ckt = interconnect(&InterconnectParams {
+        wires: 6,
+        segments: 50,
+        coupling_reach: 3,
+        ..InterconnectParams::default()
+    });
+    let st = stats(&ckt);
+    println!(
+        "circuit: {} nodes, {} R, {} C, {} ports",
+        st.nodes, st.resistors, st.capacitors, st.ports
+    );
+    let sys = MnaSystem::assemble(&ckt)?;
+
+    // 1. Adaptive reduction: pick the order automatically for the band.
+    let opts = AdaptiveOptions {
+        tol: 1e-6,
+        ..AdaptiveOptions::for_band(1e7, 1e10)
+    };
+    let out = reduce_adaptive(&sys, &opts)?;
+    println!(
+        "adaptive reduction: tried orders {:?}, converged at {} (estimated error {:.1e})",
+        out.orders_tried,
+        out.model.order(),
+        out.estimated_error
+    );
+
+    // 2. Certification (§5): RC circuit, so this must pass at any order.
+    match certify(&out.model, 1e-10)? {
+        Certificate::ProvablyPassive { min_eigenvalue } => {
+            println!("certificate: provably passive (min eig(T) = {min_eigenvalue:.2e})");
+        }
+        other => println!("certificate: {other:?}"),
+    }
+
+    // 3. S-parameters of the reduced model at a line rate.
+    let s_pt = Complex64::new(0.0, 2.0 * std::f64::consts::PI * 2e9);
+    let s_params = z_to_s(&out.model.eval(s_pt)?, 50.0)?;
+    println!(
+        "S11 at 2 GHz (50 Ω): |S11| = {:.4}, |S21| = {:.4}",
+        s_params[(0, 0)].abs(),
+        s_params[(1, 0)].abs()
+    );
+
+    // 4. Synthesize and export as a SPICE subcircuit.
+    let synth = synthesize_rc(&out.model, &SynthesisOptions::default())?;
+    let subckt = to_spice_subckt(&synth.circuit, "interconnect_rom");
+    let first_lines: Vec<&str> = subckt.lines().take(3).collect();
+    println!(
+        "synthesized subckt: {} lines, header: {:?}",
+        subckt.lines().count(),
+        first_lines[0]
+    );
+
+    // 5. SI measurements: drive wire 0, measure the victim on wire 1.
+    let full_sys = MnaSystem::assemble_general(&embed_with_drivers(&ckt, 60.0))?;
+    let red_sys = MnaSystem::assemble_general(&embed_with_drivers(&synth.circuit, 60.0))?;
+    let mut drive = vec![Waveform::Zero; st.ports];
+    drive[0] = Waveform::Step {
+        t0: 0.1e-9,
+        amplitude: 1e-3,
+    };
+    let h = 5e-12;
+    let steps = 3000;
+    let full = transient(&full_sys, &drive, h, steps, Integrator::Trapezoidal)?;
+    let red = transient(&red_sys, &drive, h, steps, Integrator::Trapezoidal)?;
+    let vf: Vec<f64> = (0..=steps).map(|k| full.port_voltages[(k, 0)]).collect();
+    let vr: Vec<f64> = (0..=steps).map(|k| red.port_voltages[(k, 0)]).collect();
+    let tf = Trace::new(&full.times, &vf);
+    let tr = Trace::new(&red.times, &vr);
+    println!(
+        "driven-port 50% delay: full {:.4} ns, reduced {:.4} ns",
+        tf.delay_50(0.1e-9).unwrap_or(f64::NAN) * 1e9,
+        tr.delay_50(0.1e-9).unwrap_or(f64::NAN) * 1e9
+    );
+    println!(
+        "driven-port 10-90 rise: full {:.4} ns, reduced {:.4} ns",
+        tf.rise_time().unwrap_or(f64::NAN) * 1e9,
+        tr.rise_time().unwrap_or(f64::NAN) * 1e9
+    );
+    let crosstalk_full = (0..=steps)
+        .map(|k| full.port_voltages[(k, 1)].abs())
+        .fold(0.0f64, f64::max);
+    let crosstalk_red = (0..=steps)
+        .map(|k| red.port_voltages[(k, 1)].abs())
+        .fold(0.0f64, f64::max);
+    println!("victim crosstalk peak: full {crosstalk_full:.3e} V, reduced {crosstalk_red:.3e} V");
+    println!(
+        "transient CPU: full {:.3} s vs reduced {:.4} s",
+        full.cpu_seconds, red.cpu_seconds
+    );
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Quickstart: build an RC interconnect, reduce it with SyMPVL, and
+//! compare the reduced model against the exact AC response.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use mpvl_circuit::generators::{interconnect, stats, InterconnectParams};
+use mpvl_circuit::MnaSystem;
+use mpvl_la::Complex64;
+use mpvl_sim::{ac_sweep, log_space};
+use sympvl::{certify, sympvl, Certificate, SympvlOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A workload: five capacitively coupled RC wires, one port each.
+    let ckt = interconnect(&InterconnectParams {
+        wires: 5,
+        segments: 40,
+        coupling_reach: 3,
+        ..InterconnectParams::default()
+    });
+    let st = stats(&ckt);
+    println!(
+        "circuit: {} nodes, {} R, {} C, {} ports",
+        st.nodes, st.resistors, st.capacitors, st.ports
+    );
+
+    // 2. Assemble the symmetric MNA system Z(s) = B^T (G + sC)^{-1} B.
+    let sys = MnaSystem::assemble(&ckt)?;
+    println!("MNA dimension: {}", sys.dim());
+
+    // 3. Reduce: 25 states stand in for {dim}.
+    let order = 25;
+    let model = sympvl(&sys, order, &SympvlOptions::default())?;
+    println!(
+        "reduced model: order {}, {} matched matrix moments",
+        model.order(),
+        model.matched_moments()
+    );
+
+    // 4. RC circuit => provably stable and passive at any order (§5).
+    match certify(&model, 1e-10)? {
+        Certificate::ProvablyPassive { min_eigenvalue } => {
+            println!("passivity certificate: min eig(T) = {min_eigenvalue:.3e} >= 0");
+        }
+        other => println!("certificate: {other:?}"),
+    }
+
+    // 5. Compare against the exact sweep.
+    let freqs = log_space(1e7, 2e10, 13);
+    let exact = ac_sweep(&sys, &freqs)?;
+    println!("{:>12} {:>14} {:>14} {:>10}", "freq (Hz)", "|Z11| exact", "|Z11| n=25", "rel err");
+    for pt in &exact {
+        let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * pt.freq_hz);
+        let z = model.eval(s)?;
+        let err = (z[(0, 0)] - pt.z[(0, 0)]).abs() / pt.z[(0, 0)].abs();
+        println!(
+            "{:>12.4e} {:>14.6e} {:>14.6e} {:>10.2e}",
+            pt.freq_hz,
+            pt.z[(0, 0)].abs(),
+            z[(0, 0)].abs(),
+            err
+        );
+    }
+    Ok(())
+}

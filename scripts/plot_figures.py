@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Render the paper's figures from the CSVs the bench binaries emit.
+
+Usage:
+    cargo run --release -p mpvl-bench --bin fig2_peec        # etc.
+    python3 scripts/plot_figures.py                          # writes PNGs
+
+Reads target/figures/*.csv, writes target/figures/*.png. Requires
+matplotlib (the only Python dependency; everything else in this repository
+is pure Rust).
+"""
+
+import csv
+import pathlib
+import sys
+
+FIGDIR = pathlib.Path(__file__).resolve().parent.parent / "target" / "figures"
+
+
+def read(name):
+    path = FIGDIR / f"{name}.csv"
+    if not path.exists():
+        return None
+    with open(path) as f:
+        rows = list(csv.reader(f))
+    header, data = rows[0], rows[1:]
+    cols = {h: [float(r[i]) for r in data] for i, h in enumerate(header)}
+    return cols
+
+
+def main():
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+    made = []
+
+    fig2 = read("fig2_peec")
+    if fig2:
+        plt.figure(figsize=(7, 4.5))
+        f_ghz = [x / 1e9 for x in fig2["freq_hz"]]
+        plt.semilogy(f_ghz, fig2["z21_exact"], "k-", lw=1.8, label="exact")
+        plt.semilogy(f_ghz, fig2["z21_n20"], "C1:", lw=1.2, label="SyMPVL n=20")
+        plt.semilogy(f_ghz, fig2["z21_n50"], "C0--", lw=1.2, label="SyMPVL n=50")
+        plt.xlabel("frequency (GHz)")
+        plt.ylabel("|Z21|")
+        plt.title("Figure 2: PEEC LC two-port")
+        plt.legend()
+        plt.tight_layout()
+        plt.savefig(FIGDIR / "fig2_peec.png", dpi=150)
+        plt.close()
+        made.append("fig2_peec.png")
+
+    for name, title in [
+        ("fig3_pin1_to_pin1int", "Figure 3: pin 1 ext → pin 1 int"),
+        ("fig4_pin1_to_pin2int", "Figure 4: pin 1 ext → pin 2 int"),
+    ]:
+        d = read(name)
+        if not d:
+            continue
+        plt.figure(figsize=(7, 4.5))
+        f_ghz = [x / 1e9 for x in d["freq_hz"]]
+        plt.plot(f_ghz, d["h_exact"], "k-", lw=1.8, label="exact")
+        for order, style in [("h_n48", "C1:"), ("h_n64", "C2-."), ("h_n80", "C0--")]:
+            plt.plot(f_ghz, d[order], style, lw=1.2, label=f"SyMPVL n={order[3:]}")
+        plt.xlabel("frequency (GHz)")
+        plt.ylabel("|V_out / V_in|")
+        plt.title(title)
+        plt.legend()
+        plt.tight_layout()
+        plt.savefig(FIGDIR / f"{name}.png", dpi=150)
+        plt.close()
+        made.append(f"{name}.png")
+
+    fig5 = read("fig5_interconnect")
+    if fig5:
+        plt.figure(figsize=(7, 4.5))
+        t_ns = [x * 1e9 for x in fig5["t_s"]]
+        plt.plot(t_ns, fig5["v_drv_full"], "k-", lw=1.8, label="driven, full")
+        plt.plot(t_ns, fig5["v_drv_synth"], "C0--", lw=1.2, label="driven, synthesized")
+        plt.plot(t_ns, fig5["v_vic_full"], "k-", lw=1.0, alpha=0.5, label="victim, full")
+        plt.plot(t_ns, fig5["v_vic_synth"], "C1--", lw=1.0, label="victim, synthesized")
+        plt.xlabel("time (ns)")
+        plt.ylabel("port voltage (V)")
+        plt.title("Figure 5: full vs synthesized interconnect, transient")
+        plt.legend()
+        plt.tight_layout()
+        plt.savefig(FIGDIR / "fig5_interconnect.png", dpi=150)
+        plt.close()
+        made.append("fig5_interconnect.png")
+
+    awe = read("ablation_awe")
+    if awe:
+        plt.figure(figsize=(7, 4.5))
+        alive = [(n, e) for n, e, a in zip(awe["order"], awe["awe_median_err"], awe["awe_alive"]) if a > 0]
+        plt.semilogy([n for n, _ in alive], [e for _, e in alive], "C1o-", label="AWE (explicit moments)")
+        plt.semilogy(awe["order"], awe["sympvl_median_err"], "C0s-", label="SyPVL (Lanczos)")
+        plt.xlabel("order n")
+        plt.ylabel("median in-band relative error")
+        plt.title("§3.1: AWE instability vs the Lanczos route")
+        plt.legend()
+        plt.tight_layout()
+        plt.savefig(FIGDIR / "ablation_awe.png", dpi=150)
+        plt.close()
+        made.append("ablation_awe.png")
+
+    if made:
+        print("wrote", ", ".join(str(FIGDIR / m) for m in made))
+    else:
+        print("no CSVs found — run the bench binaries first")
+
+
+if __name__ == "__main__":
+    main()

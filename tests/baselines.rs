@@ -1,0 +1,124 @@
+//! Integration tests comparing SyMPVL against the paper's reference
+//! points: AWE (§3.1), per-entry scalar PVL (§3.2), and the block-Arnoldi
+//! congruence alternative (§1).
+
+use mpvl_circuit::generators::{random_rc, rc_line};
+use mpvl_circuit::MnaSystem;
+use mpvl_la::Complex64;
+use sympvl::baselines::arnoldi::ArnoldiModel;
+use sympvl::baselines::awe::AweModel;
+use sympvl::baselines::pvl_per_entry::PerEntryModel;
+use sympvl::{sympvl, Shift, SympvlOptions};
+
+fn rel_err(a: Complex64, b: Complex64) -> f64 {
+    (a - b).abs() / b.abs().max(1e-300)
+}
+
+#[test]
+fn awe_equals_lanczos_pade_while_it_still_works() {
+    // Both compute the same mathematical object (the Padé approximant);
+    // they must agree at orders where AWE is still numerically alive.
+    let sys = MnaSystem::assemble(&random_rc(101, 40, 1)).unwrap();
+    for n in [2, 3, 4] {
+        let awe = AweModel::new(&sys, n, 0.0).unwrap();
+        let lan = sympvl(&sys, n, &SympvlOptions::default()).unwrap();
+        for f in [1e6, 1e8, 1e9] {
+            let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * f);
+            assert!(
+                rel_err(awe.eval(s), lan.eval(s).unwrap()[(0, 0)]) < 1e-5,
+                "n={n} f={f}"
+            );
+        }
+    }
+    // By n = 6 the explicit moments have already lost several digits —
+    // agreement degrades even though both are "the" Padé approximant.
+    let awe6 = AweModel::new(&sys, 6, 0.0).unwrap();
+    let lan6 = sympvl(&sys, 6, &SympvlOptions::default()).unwrap();
+    let s6 = Complex64::new(0.0, 2.0 * std::f64::consts::PI * 1e8);
+    assert!(rel_err(awe6.eval(s6), lan6.eval(s6).unwrap()[(0, 0)]) < 1e-1);
+}
+
+#[test]
+fn awe_instability_crossover() {
+    // Sweep the order: Lanczos keeps improving, AWE stalls/diverges. This
+    // is the §3.1 "n < 10" claim as a measurable crossover.
+    let sys = MnaSystem::assemble(&random_rc(7, 80, 1)).unwrap();
+    let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * 1e9);
+    let zx = sys.dense_z(s).unwrap()[(0, 0)];
+    let mut lan_best = f64::INFINITY;
+    let mut awe_best = f64::INFINITY;
+    for n in [4, 8, 12, 16, 20, 24, 28] {
+        let lan = sympvl(&sys, n, &SympvlOptions::default()).unwrap();
+        lan_best = lan_best.min(rel_err(lan.eval(s).unwrap()[(0, 0)], zx));
+        if let Ok(awe) = AweModel::new(&sys, n, 0.0) {
+            awe_best = awe_best.min(rel_err(awe.eval(s), zx));
+        }
+    }
+    assert!(
+        lan_best < awe_best * 0.5 || lan_best < 1e-10,
+        "Lanczos best {lan_best} vs AWE best {awe_best}"
+    );
+}
+
+#[test]
+fn block_run_dominates_per_entry_runs() {
+    // §3.2: one block run vs p² scalar runs at equal per-entry moments.
+    let sys = MnaSystem::assemble(&rc_line(20, 25.0, 1e-12)).unwrap();
+    let n_scalar = 8;
+    let per_entry = PerEntryModel::new(&sys, n_scalar, &SympvlOptions::default()).unwrap();
+    let block = sympvl(&sys, 2 * n_scalar, &SympvlOptions::default()).unwrap();
+    let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * 5e8);
+    let zx = sys.dense_z(s).unwrap();
+    let block_z = block.eval(s).unwrap();
+    let pe_z = per_entry.eval(s).unwrap();
+    // Same accuracy class...
+    let be = rel_err(block_z[(0, 1)], zx[(0, 1)]);
+    let pe = rel_err(pe_z[(0, 1)], zx[(0, 1)]);
+    assert!(be < 1e-2 && pe < 1e-1, "block {be}, per-entry {pe}");
+    // ...but the combined per-entry model is much larger.
+    assert!(per_entry.total_states() >= 3 * block.order() / 2);
+}
+
+#[test]
+fn arnoldi_needs_roughly_double_the_order() {
+    // Moment counts: Lanczos-Padé 2⌊n/p⌋ vs congruence ⌊n/p⌋. Find the
+    // order each needs for 1e-4 accuracy; Arnoldi's should be larger.
+    let sys = MnaSystem::assemble(&rc_line(60, 40.0, 1e-12)).unwrap();
+    let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * 2e9);
+    let zx = sys.dense_z(s).unwrap()[(0, 0)];
+    let target = 1e-4;
+    let mut lan_order = None;
+    let mut arn_order = None;
+    for n in (2..=40).step_by(2) {
+        if lan_order.is_none() {
+            let m = sympvl(&sys, n, &SympvlOptions::default()).unwrap();
+            if rel_err(m.eval(s).unwrap()[(0, 0)], zx) < target {
+                lan_order = Some(n);
+            }
+        }
+        if arn_order.is_none() {
+            let m = ArnoldiModel::new(&sys, n, Shift::Auto).unwrap();
+            if rel_err(m.eval(s).unwrap()[(0, 0)], zx) < target {
+                arn_order = Some(n);
+            }
+        }
+    }
+    let lan = lan_order.expect("Lanczos should reach 1e-4 by order 40");
+    let arn = arn_order.unwrap_or(42);
+    assert!(
+        arn >= lan,
+        "Arnoldi ({arn}) should need at least the Lanczos order ({lan})"
+    );
+}
+
+#[test]
+fn all_methods_agree_at_full_order() {
+    let sys = MnaSystem::assemble(&random_rc(55, 12, 2)).unwrap();
+    let n = sys.dim();
+    let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * 1e9);
+    let zx = sys.dense_z(s).unwrap();
+    let lan = sympvl(&sys, n, &SympvlOptions::default()).unwrap();
+    let arn = ArnoldiModel::new(&sys, n, Shift::Auto).unwrap();
+    assert!(rel_err(lan.eval(s).unwrap()[(0, 0)], zx[(0, 0)]) < 1e-8);
+    assert!(rel_err(arn.eval(s).unwrap()[(0, 0)], zx[(0, 0)]) < 1e-8);
+}

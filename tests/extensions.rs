@@ -1,0 +1,132 @@
+//! Integration tests for the beyond-the-paper extensions: adaptive order
+//! selection, §5 post-processing, the MPVL scope boundary, and the
+//! S-parameter view of reduced models.
+
+use mpvl_circuit::generators::{interconnect, package, InterconnectParams, PackageParams};
+use mpvl_circuit::{Circuit, MnaSystem, GROUND};
+use mpvl_la::Complex64;
+use mpvl_sim::{ac_sweep, z_to_s};
+use sympvl::baselines::mpvl::MpvlModel;
+use sympvl::{
+    reduce_adaptive, stabilize, sympvl, AdaptiveOptions, PostprocessOptions, Shift,
+    SympvlOptions, SympvlError,
+};
+
+#[test]
+fn adaptive_then_stabilize_pipeline_on_rlc() {
+    // Adaptive reduction of an RLC package followed by stabilization:
+    // the final artifact must be stable AND in-band accurate.
+    let ckt = package(&PackageParams {
+        pins: 8,
+        signal_pins: vec![0, 1],
+        sections: 3,
+        ..PackageParams::default()
+    });
+    let sys = MnaSystem::assemble_general(&ckt).unwrap();
+    let mut opts = AdaptiveOptions::for_band(1e8, 1.5e9);
+    opts.tol = 1e-5;
+    opts.sympvl = SympvlOptions {
+        shift: Shift::Value(2.0 * std::f64::consts::PI * 5e8),
+        ..SympvlOptions::default()
+    };
+    let out = reduce_adaptive(&sys, &opts).unwrap();
+    let stable = stabilize(&out.model, &PostprocessOptions::default()).unwrap();
+    assert!(stable.is_stable(1e-6));
+    let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * 5e8);
+    let zx = sys.dense_z(s).unwrap();
+    let z = stable.eval(s);
+    let rel = (&z - &zx).max_abs() / zx.max_abs();
+    assert!(rel < 1e-2, "stabilized adaptive model error {rel}");
+}
+
+#[test]
+fn s_parameters_of_reduced_model_track_exact_sweep() {
+    let ckt = interconnect(&InterconnectParams {
+        wires: 3,
+        segments: 25,
+        coupling_reach: 2,
+        ..InterconnectParams::default()
+    });
+    let sys = MnaSystem::assemble(&ckt).unwrap();
+    let model = sympvl(&sys, 15, &SympvlOptions::default()).unwrap();
+    let freqs = [1e8, 1e9, 5e9];
+    let exact = ac_sweep(&sys, &freqs).unwrap();
+    for pt in &exact {
+        let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * pt.freq_hz);
+        let s_exact = z_to_s(&pt.z, 50.0).unwrap();
+        let s_model = z_to_s(&model.eval(s).unwrap(), 50.0).unwrap();
+        assert!(
+            (&s_exact - &s_model).max_abs() < 1e-3,
+            "S-param mismatch at {} Hz: {}",
+            pt.freq_hz,
+            (&s_exact - &s_model).max_abs()
+        );
+        // Passive network: |S| entries bounded by ~1.
+        for i in 0..3 {
+            assert!(s_model[(i, i)].abs() <= 1.0 + 1e-9);
+        }
+    }
+}
+
+#[test]
+fn scope_boundary_is_airtight() {
+    // Every SyMPVL entry point must reject active circuits; MPVL and the
+    // simulator must accept them.
+    let mut ckt = Circuit::new();
+    let a = ckt.add_node();
+    let b = ckt.add_node();
+    ckt.add_resistor("R1", a, GROUND, 100.0);
+    ckt.add_capacitor("C1", a, GROUND, 1e-12);
+    ckt.add_vccs("G1", GROUND, b, a, GROUND, 1e-3);
+    ckt.add_resistor("R2", b, GROUND, 200.0);
+    ckt.add_capacitor("C2", b, GROUND, 1e-12);
+    ckt.add_port("pa", a, GROUND);
+    ckt.add_port("pb", b, GROUND);
+    let sys = MnaSystem::assemble(&ckt).unwrap();
+
+    assert!(matches!(
+        sympvl(&sys, 3, &SympvlOptions::default()),
+        Err(SympvlError::RequiresDefiniteForm { .. })
+    ));
+    assert!(sympvl::SypvlModel::new(&sys, 3, Shift::Auto).is_err());
+    // The general path works end to end.
+    let model = MpvlModel::new(&sys, sys.dim(), 0.0).unwrap();
+    let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * 1e9);
+    let z = model.eval(s).unwrap();
+    let zx = sys.dense_z(s).unwrap();
+    assert!((&z - &zx).max_abs() / zx.max_abs() < 1e-8);
+    // AC sweep takes the dense nonsymmetric route transparently.
+    let pts = ac_sweep(&sys, &[1e9]).unwrap();
+    assert!((&pts[0].z - &zx).max_abs() / zx.max_abs() < 1e-9);
+}
+
+#[test]
+fn adaptive_estimate_is_conservative_enough() {
+    // The adaptive error estimate should not underestimate the true error
+    // by more than ~100x over the probe band.
+    let ckt = interconnect(&InterconnectParams {
+        wires: 4,
+        segments: 30,
+        coupling_reach: 2,
+        ..InterconnectParams::default()
+    });
+    let sys = MnaSystem::assemble(&ckt).unwrap();
+    let opts = AdaptiveOptions {
+        tol: 1e-7,
+        ..AdaptiveOptions::for_band(1e7, 5e9)
+    };
+    let out = reduce_adaptive(&sys, &opts).unwrap();
+    let mut worst_true: f64 = 0.0;
+    for &f in &opts.probe_freqs_hz {
+        let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * f);
+        let zx = sys.dense_z(s).unwrap();
+        let z = out.model.eval(s).unwrap();
+        worst_true = worst_true.max((&z - &zx).max_abs() / zx.max_abs());
+    }
+    assert!(
+        worst_true <= out.estimated_error * 100.0 + 1e-10,
+        "estimate {} vs true {}",
+        out.estimated_error,
+        worst_true
+    );
+}

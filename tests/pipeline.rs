@@ -1,0 +1,199 @@
+//! End-to-end pipeline integration tests: netlist → MNA → SyMPVL →
+//! evaluation against the exact AC sweep, across circuit classes and the
+//! paper's three workload generators.
+
+use mpvl_circuit::generators::{
+    interconnect, package, peec, InterconnectParams, PackageParams, PeecParams,
+};
+use mpvl_circuit::{parse_spice, Circuit, MnaSystem, GROUND};
+use mpvl_la::Complex64;
+use mpvl_sim::{ac_sweep, log_space};
+use sympvl::{sympvl, Shift, SympvlOptions};
+
+fn rel_err(a: Complex64, b: Complex64) -> f64 {
+    (a - b).abs() / b.abs().max(1e-300)
+}
+
+#[test]
+fn rc_interconnect_reduction_matches_ac_sweep() {
+    let ckt = interconnect(&InterconnectParams {
+        wires: 5,
+        segments: 20,
+        coupling_reach: 3,
+        ..InterconnectParams::default()
+    });
+    let sys = MnaSystem::assemble(&ckt).unwrap();
+    let model = sympvl(&sys, 20, &SympvlOptions::default()).unwrap();
+    assert!(model.guarantees_passivity());
+    let freqs = log_space(1e7, 1e10, 9);
+    let exact = ac_sweep(&sys, &freqs).unwrap();
+    for pt in &exact {
+        let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * pt.freq_hz);
+        let z = model.eval(s).unwrap();
+        // Check the driven-port self-impedance and one coupling entry.
+        assert!(
+            rel_err(z[(0, 0)], pt.z[(0, 0)]) < 1e-3,
+            "Z11 at {} Hz: {} vs {}",
+            pt.freq_hz,
+            z[(0, 0)],
+            pt.z[(0, 0)]
+        );
+        assert!(
+            rel_err(z[(0, 1)], pt.z[(0, 1)]) < 1e-2,
+            "Z12 at {} Hz",
+            pt.freq_hz
+        );
+    }
+}
+
+#[test]
+fn package_rlc_reduction_with_indefinite_j() {
+    // Scaled-down §7.2: the general-RLC path with indefinite J.
+    let ckt = package(&PackageParams {
+        pins: 10,
+        signal_pins: vec![0, 5],
+        sections: 4,
+        ..PackageParams::default()
+    });
+    let sys = MnaSystem::assemble_general(&ckt).unwrap();
+    // Expand in-band, as the package experiment does.
+    let model = sympvl(
+        &sys,
+        48,
+        &SympvlOptions {
+            shift: Shift::Value(2.0 * std::f64::consts::PI * 5e8),
+            ..SympvlOptions::default()
+        },
+    )
+    .unwrap();
+    // RLC: no passivity guarantee, but the approximation must converge.
+    assert!(!model.guarantees_passivity());
+    let freqs = log_space(1e8, 2e9, 5);
+    let exact = ac_sweep(&sys, &freqs).unwrap();
+    for pt in &exact {
+        let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * pt.freq_hz);
+        let z = model.eval(s).unwrap();
+        assert!(
+            rel_err(z[(0, 0)], pt.z[(0, 0)]) < 5e-2,
+            "Z11 at {} Hz: {} vs {}",
+            pt.freq_hz,
+            z[(0, 0)],
+            pt.z[(0, 0)]
+        );
+    }
+}
+
+#[test]
+fn peec_lc_two_port_with_frequency_shift() {
+    // Scaled-down §7.1: sigma = s^2 form, singular G handled by shift.
+    let model_def = peec(&PeecParams {
+        cells: 40,
+        output_cell: 25,
+        ..PeecParams::default()
+    });
+    let sys = &model_def.system;
+    let rom = sympvl(sys, 30, &SympvlOptions::default()).unwrap();
+    assert_eq!(rom.s_power(), 2);
+    let freqs = log_space(5e7, 2e9, 7);
+    let exact = ac_sweep(sys, &freqs).unwrap();
+    for pt in &exact {
+        let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * pt.freq_hz);
+        let z = rom.eval(s).unwrap();
+        assert!(
+            rel_err(z[(0, 0)], pt.z[(0, 0)]) < 1e-2,
+            "Z11 at {} Hz: {} vs {}",
+            pt.freq_hz,
+            z[(0, 0)],
+            pt.z[(0, 0)]
+        );
+        assert!(
+            rel_err(z[(1, 0)], pt.z[(1, 0)]) < 1e-2,
+            "Z21 at {} Hz",
+            pt.freq_hz
+        );
+    }
+}
+
+#[test]
+fn spice_netlist_to_reduced_model() {
+    // Full flow from netlist text.
+    let (ckt, _) = parse_spice(
+        "* two coupled RC lines
+         R1 in1 m1 200
+         R2 m1 out1 200
+         C1 m1 0 2p
+         C2 out1 0 2p
+         R3 in2 m2 300
+         R4 m2 out2 300
+         C3 m2 0 1p
+         C4 out2 0 1p
+         C5 m1 m2 0.5p
+         Pa in1 0
+         Pb in2 0",
+    )
+    .unwrap();
+    let sys = MnaSystem::assemble(&ckt).unwrap();
+    let model = sympvl(&sys, sys.dim(), &SympvlOptions::default()).unwrap();
+    // Full order: exact.
+    let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * 1e9);
+    let z = model.eval(s).unwrap();
+    let zx = sys.dense_z(s).unwrap();
+    for i in 0..2 {
+        for j in 0..2 {
+            assert!(rel_err(z[(i, j)], zx[(i, j)]) < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn reduced_model_stamp_matches_eval() {
+    // eq. (23): the stamp evaluated in frequency domain must equal eval.
+    let mut ckt = Circuit::new();
+    let n1 = ckt.add_node();
+    let n2 = ckt.add_node();
+    ckt.add_resistor("R1", n1, n2, 100.0);
+    ckt.add_resistor("Rg", n2, GROUND, 400.0);
+    ckt.add_capacitor("C1", n2, GROUND, 3e-12);
+    ckt.add_capacitor("C2", n1, GROUND, 1e-12);
+    ckt.add_port("p", n1, GROUND);
+    let sys = MnaSystem::assemble(&ckt).unwrap();
+    let model = sympvl(&sys, 2, &SympvlOptions::default()).unwrap();
+    let (gh, ch, rho) = model.stamp().unwrap();
+    let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * 5e8);
+    let x = s - model.shift();
+    let n = model.order();
+    let k = mpvl_la::Mat::from_fn(n, n, |i, j| Complex64::from_real(gh[(i, j)]) + x * ch[(i, j)]);
+    let y = mpvl_la::Lu::new(k)
+        .unwrap()
+        .solve_mat(&rho.map(Complex64::from_real))
+        .unwrap();
+    let z_stamp = rho.map(Complex64::from_real).t_matmul(&y)[(0, 0)];
+    let z_eval = model.eval(s).unwrap()[(0, 0)];
+    assert!(rel_err(z_stamp, z_eval) < 1e-10);
+}
+
+#[test]
+fn explicit_shift_reproduces_paper_workflow() {
+    // §7.1 workflow: pick s0 explicitly inside the band of interest.
+    let model_def = peec(&PeecParams {
+        cells: 30,
+        output_cell: 15,
+        ..PeecParams::default()
+    });
+    let sys = &model_def.system;
+    let s0 = (2.0 * std::f64::consts::PI * 5e8).powi(2);
+    let rom = sympvl(
+        sys,
+        24,
+        &SympvlOptions {
+            shift: Shift::Value(s0),
+            ..SympvlOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(rom.shift(), s0);
+    let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * 5e8);
+    let z = rom.eval(s).unwrap();
+    let zx = sys.dense_z(s).unwrap();
+    assert!(rel_err(z[(0, 0)], zx[(0, 0)]) < 1e-6);
+}

@@ -1,0 +1,167 @@
+//! Integration tests of §6 synthesis: reduce → synthesize → re-simulate
+//! (AC and transient) and compare against the original circuit.
+
+use mpvl_circuit::generators::{interconnect, rc_line, InterconnectParams};
+use mpvl_circuit::{parse_spice, to_spice, MnaSystem};
+use mpvl_la::Complex64;
+use mpvl_sim::{ac_sweep, log_space, transient, Integrator, Waveform};
+use sympvl::{foster_synthesis, sympvl, synthesize_rc, SympvlOptions, SynthesisOptions};
+
+fn rel_err(a: Complex64, b: Complex64) -> f64 {
+    (a - b).abs() / b.abs().max(1e-300)
+}
+
+#[test]
+fn synthesized_circuit_matches_model_over_band() {
+    let ckt = interconnect(&InterconnectParams {
+        wires: 4,
+        segments: 15,
+        coupling_reach: 2,
+        ..InterconnectParams::default()
+    });
+    let sys = MnaSystem::assemble(&ckt).unwrap();
+    let model = sympvl(&sys, 16, &SympvlOptions::default()).unwrap();
+    let synth = synthesize_rc(&model, &SynthesisOptions { prune_tol: 0.0 }).unwrap();
+    let red_sys = MnaSystem::assemble_lenient(&synth.circuit).unwrap();
+    let freqs = log_space(1e7, 1e10, 7);
+    let z_model = ac_sweep(&red_sys, &freqs).unwrap();
+    for pt in &z_model {
+        let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * pt.freq_hz);
+        let direct = model.eval(s).unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!(
+                    rel_err(pt.z[(i, j)], direct[(i, j)]) < 1e-7,
+                    "({i},{j}) at {} Hz",
+                    pt.freq_hz
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn synthesized_circuit_transient_matches_full_circuit() {
+    // The §7.3 experiment in miniature: drive port 0 with a step, compare
+    // waveforms of the full vs the synthesized reduced circuit.
+    let ckt = interconnect(&InterconnectParams {
+        wires: 3,
+        segments: 25,
+        coupling_reach: 2,
+        ..InterconnectParams::default()
+    });
+    let full_sys = MnaSystem::assemble_general(&ckt).unwrap();
+    let rc_sys = MnaSystem::assemble(&ckt).unwrap();
+    let model = sympvl(&rc_sys, 15, &SympvlOptions::default()).unwrap();
+    let synth = synthesize_rc(&model, &SynthesisOptions::default()).unwrap();
+    let red_sys = MnaSystem::assemble_general(&synth.circuit).unwrap();
+
+    let mut drive = vec![Waveform::Zero; 3];
+    drive[0] = Waveform::Pulse {
+        t0: 0.1e-9,
+        rise: 0.1e-9,
+        width: 2e-9,
+        fall: 0.1e-9,
+        amplitude: 1e-3,
+    };
+    let h = 5e-12;
+    let steps = 1200;
+    let full = transient(&full_sys, &drive, h, steps, Integrator::Trapezoidal).unwrap();
+    let red = transient(&red_sys, &drive, h, steps, Integrator::Trapezoidal).unwrap();
+    // Compare driven-port voltage and the neighbour's crosstalk waveform.
+    let vmax = (0..=steps)
+        .map(|k| full.port_voltages[(k, 0)].abs())
+        .fold(0.0f64, f64::max);
+    for k in (0..=steps).step_by(40) {
+        let d0 = (full.port_voltages[(k, 0)] - red.port_voltages[(k, 0)]).abs();
+        let d1 = (full.port_voltages[(k, 1)] - red.port_voltages[(k, 1)]).abs();
+        assert!(d0 < 2e-3 * vmax, "driven port diverges at step {k}: {d0}");
+        assert!(d1 < 2e-3 * vmax, "victim port diverges at step {k}: {d1}");
+    }
+}
+
+#[test]
+fn foster_netlist_roundtrips_through_spice_text() {
+    let sys = MnaSystem::assemble(&mpvl_circuit::generators::random_rc(42, 25, 1)).unwrap();
+    let model = sympvl(&sys, 8, &SympvlOptions::default()).unwrap();
+    let (ckt, sections) = foster_synthesis(&model, 1e-12).unwrap();
+    assert!(!sections.is_empty());
+    // Write out and re-read the synthesized netlist.
+    let text = to_spice(&ckt);
+    let (ckt2, _) = parse_spice(&text).unwrap();
+    let s1 = MnaSystem::assemble_lenient(&ckt).unwrap();
+    let s2 = MnaSystem::assemble_lenient(&ckt2).unwrap();
+    for f in [1e7, 1e9] {
+        let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * f);
+        let z1 = s1.dense_z(s).unwrap()[(0, 0)];
+        let z2 = s2.dense_z(s).unwrap()[(0, 0)];
+        let zm = model.eval(s).unwrap()[(0, 0)];
+        assert!(rel_err(z1, z2) < 1e-9);
+        assert!(rel_err(z1, zm) < 1e-6);
+    }
+}
+
+#[test]
+fn unstamp_reduction_ratio_matches_paper_shape() {
+    // §7.3 shape: element counts drop by orders of magnitude while the
+    // port behaviour is preserved.
+    let ckt = rc_line(120, 15.0, 0.5e-12);
+    let (r_full, c_full, _, _) = ckt.element_counts();
+    let sys = MnaSystem::assemble(&ckt).unwrap();
+    let model = sympvl(&sys, 10, &SympvlOptions::default()).unwrap();
+    let synth = synthesize_rc(&model, &SynthesisOptions::default()).unwrap();
+    let (r_red, c_red, _, _) = synth.circuit.element_counts();
+    assert!(synth.circuit.num_nodes() - 1 < ckt.num_nodes() - 1);
+    assert!(r_red + c_red < (r_full + c_full) / 2);
+    // Behaviour preserved in-band.
+    let red_sys = MnaSystem::assemble_lenient(&synth.circuit).unwrap();
+    // In-band check: far below the line's cutoff so the transfer entry
+    // Z21 is not exponentially attenuated (where relative error is
+    // meaningless at any reasonable order).
+    let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * 1e8);
+    let z_full = sys.dense_z(s).unwrap();
+    let z_red = red_sys.dense_z(s).unwrap();
+    assert!(rel_err(z_red[(0, 0)], z_full[(0, 0)]) < 1e-2);
+    assert!(rel_err(z_red[(1, 0)], z_full[(1, 0)]) < 1e-2);
+}
+
+#[test]
+fn si_measurements_agree_between_full_and_reduced() {
+    // The quantities designers read off (delay, rise time) agree between
+    // the full circuit and the synthesized reduced circuit.
+    use mpvl_circuit::generators::embed_with_drivers;
+    use mpvl_sim::Trace;
+    let ckt = rc_line(50, 30.0, 1e-12);
+    let full_sys = MnaSystem::assemble_general(&embed_with_drivers(&ckt, 100.0)).unwrap();
+    let model = sympvl(
+        &MnaSystem::assemble(&ckt).unwrap(),
+        12,
+        &SympvlOptions::default(),
+    )
+    .unwrap();
+    let synth = synthesize_rc(&model, &SynthesisOptions::default()).unwrap();
+    let red_sys = MnaSystem::assemble_general(&embed_with_drivers(&synth.circuit, 100.0)).unwrap();
+    let drive = [
+        Waveform::Step {
+            t0: 0.0,
+            amplitude: 1e-3,
+        },
+        Waveform::Zero,
+    ];
+    // Integrate well past the line's settling time (~10 RC) so the
+    // 50 %-of-final-value measurements are meaningful.
+    let h = 2e-11;
+    let steps = 2500;
+    let a = transient(&full_sys, &drive, h, steps, Integrator::Trapezoidal).unwrap();
+    let b = transient(&red_sys, &drive, h, steps, Integrator::Trapezoidal).unwrap();
+    let va: Vec<f64> = (0..=steps).map(|k| a.port_voltages[(k, 1)]).collect();
+    let vb: Vec<f64> = (0..=steps).map(|k| b.port_voltages[(k, 1)]).collect();
+    let ta = Trace::new(&a.times, &va);
+    let tb = Trace::new(&b.times, &vb);
+    let da = ta.delay_50(0.0).unwrap();
+    let db = tb.delay_50(0.0).unwrap();
+    assert!((da - db).abs() / da < 1e-2, "delay {da} vs {db}");
+    let ra = ta.rise_time().unwrap();
+    let rb = tb.rise_time().unwrap();
+    assert!((ra - rb).abs() / ra < 2e-2, "rise {ra} vs {rb}");
+}
