@@ -40,13 +40,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rows = Vec::new();
     for n in [2usize, 4, 6, 8, 10, 12, 16, 20, 24, 28] {
         let lan = sympvl(&sys, n, &SympvlOptions::default())?;
-        let lan_err =
-            eval_errors(&|s| lan.eval(s).ok().map(|z| z[(0, 0)])).unwrap_or(f64::NAN);
+        let lan_err = eval_errors(&|s| lan.eval(s).ok().map(|z| z[(0, 0)])).unwrap_or(f64::NAN);
         let (awe_err, alive) = match AweModel::new(&sys, n, lan.shift()) {
-            Ok(awe) => (
-                eval_errors(&|s| Some(awe.eval(s))).unwrap_or(f64::NAN),
-                1.0,
-            ),
+            Ok(awe) => (eval_errors(&|s| Some(awe.eval(s))).unwrap_or(f64::NAN), 1.0),
             Err(_) => (f64::NAN, 0.0),
         };
         let status = if alive == 0.0 {
@@ -54,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         } else {
             format!("{awe_err:.3e}")
         };
-        println!("{n:>6} {status:>14} {lan_err:>14.3e} {:>10}", if alive > 0.0 { "alive" } else { "dead" });
+        println!(
+            "{n:>6} {status:>14} {lan_err:>14.3e} {:>10}",
+            if alive > 0.0 { "alive" } else { "dead" }
+        );
         rows.push(vec![
             n as f64,
             if awe_err.is_nan() { -1.0 } else { awe_err },

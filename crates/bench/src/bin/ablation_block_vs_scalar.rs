@@ -23,7 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
     let sys = MnaSystem::assemble(&ckt)?;
     let p = sys.num_ports();
-    println!("workload: {}-port coupled-RC interconnect, dim {}", p, sys.dim());
+    println!(
+        "workload: {}-port coupled-RC interconnect, dim {}",
+        p,
+        sys.dim()
+    );
 
     let freqs: Vec<f64> = (0..12).map(|k| 10f64.powf(7.5 + 0.2 * k as f64)).collect();
     let band_error = |eval: &dyn Fn(Complex64) -> Option<mpvl_la::Mat<Complex64>>| -> f64 {

@@ -8,7 +8,7 @@
 //! ```
 
 use mpvl_bench::{median, rel_err, write_csv};
-use mpvl_circuit::generators::{rc_line, random_rc};
+use mpvl_circuit::generators::{random_rc, rc_line};
 use mpvl_circuit::{Circuit, MnaSystem, GROUND};
 use mpvl_la::Complex64;
 use sympvl::{sympvl, LanczosOptions, SympvlOptions};
@@ -43,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  duplicated entries track: |Z00-Z01|/|Z00| = {:.2e} (exactly equal in the exact Z)",
         (z[(0, 0)] - z[(0, 1)]).abs() / z[(0, 0)].abs()
     );
-    println!("  model error at 1 GHz: {:.2e}", rel_err(z[(0, 0)], zx[(0, 0)]));
+    println!(
+        "  model error at 1 GHz: {:.2e}",
+        rel_err(z[(0, 0)], zx[(0, 0)])
+    );
 
     // --- dtol sensitivity. ---
     println!("\ndtol sweep (same circuit):");
@@ -66,9 +69,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             m.deflation_count(),
             m.order()
         );
-        rows.push(vec![dtol, m.deflation_count() as f64, m.order() as f64, err]);
+        rows.push(vec![
+            dtol,
+            m.deflation_count() as f64,
+            m.order() as f64,
+            err,
+        ]);
     }
-    write_csv("ablation_deflation_dtol", &["dtol", "deflations", "order", "err"], &rows);
+    write_csv(
+        "ablation_deflation_dtol",
+        &["dtol", "deflations", "order", "err"],
+        &rows,
+    );
 
     // --- Full re-orthogonalization vs banded recurrence. ---
     println!("\northogonalization policy (200-section RC line, orders 10..40):");
@@ -121,7 +133,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     write_csv(
         "ablation_deflation_reorth",
-        &["order", "full_err", "full_secs", "banded_err", "banded_secs"],
+        &[
+            "order",
+            "full_err",
+            "full_secs",
+            "banded_err",
+            "banded_secs",
+        ],
         &rows,
     );
     Ok(())

@@ -9,7 +9,10 @@
 use mpvl_bench::write_csv;
 use mpvl_circuit::generators::{package, random_lc, random_rc, random_rl, PackageParams};
 use mpvl_circuit::MnaSystem;
-use sympvl::{certify, sampled_passivity, stabilize, sympvl, Certificate, PostprocessOptions, Shift, SympvlOptions};
+use sympvl::{
+    certify, sampled_passivity, stabilize, sympvl, Certificate, PostprocessOptions, Shift,
+    SympvlOptions,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("=== Ablation A3: stability & passivity guarantees (§5) ===");
@@ -32,10 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             for order in [1usize, 2, 4, 8, 12] {
                 total += 1;
                 let model = sympvl(&sys, order, &SympvlOptions::default())?;
-                if matches!(
-                    certify(&model, 1e-9)?,
-                    Certificate::ProvablyPassive { .. }
-                ) {
+                if matches!(certify(&model, 1e-9)?, Certificate::ProvablyPassive { .. }) {
                     certified += 1;
                 }
                 let poles = model.poles()?;
@@ -104,7 +104,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     write_csv(
         "ablation_passivity",
-        &["class_or_rlc", "total_or_order", "certified_or_unstable", "stable_or_maxre"],
+        &[
+            "class_or_rlc",
+            "total_or_order",
+            "certified_or_unstable",
+            "stable_or_maxre",
+        ],
         &rows,
     );
     Ok(())

@@ -1,0 +1,52 @@
+//! Micro-benchmarks for the "simulate with the full circuit vs evaluate
+//! the reduced model" trade-off that motivates the whole paper.
+//!
+//! Run with `cargo run --release -p mpvl-bench --bin bench_ac_sweep`;
+//! writes `target/bench/BENCH_ac_sweep.json`.
+
+use mpvl_circuit::generators::{interconnect, InterconnectParams};
+use mpvl_circuit::MnaSystem;
+use mpvl_la::Complex64;
+use mpvl_sim::{ac_sweep, transient, Integrator, Waveform};
+use mpvl_testkit::bench::Bench;
+use sympvl::{sympvl, synthesize_rc, SympvlOptions, SynthesisOptions};
+
+fn main() {
+    let mut bench = Bench::new("ac_sweep");
+
+    let ckt = interconnect(&InterconnectParams::default());
+    let sys = MnaSystem::assemble(&ckt).expect("valid circuit");
+    let model = sympvl(&sys, 34, &SympvlOptions::default()).expect("reduce");
+    bench.bench("ac_point/full_sparse_solve", || {
+        ac_sweep(&sys, &[1.0e9]).expect("sweep");
+    });
+    let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * 1.0e9);
+    bench.bench("ac_point/reduced_model_eval", || {
+        model.eval(s).expect("eval");
+    });
+
+    let ckt = interconnect(&InterconnectParams {
+        wires: 8,
+        segments: 40,
+        coupling_reach: 4,
+        ..InterconnectParams::default()
+    });
+    let full_sys = MnaSystem::assemble_general(&ckt).expect("assemble");
+    let rc_sys = MnaSystem::assemble(&ckt).expect("assemble");
+    let model = sympvl(&rc_sys, 24, &SympvlOptions::default()).expect("reduce");
+    let synth = synthesize_rc(&model, &SynthesisOptions::default()).expect("synthesize");
+    let red_sys = MnaSystem::assemble_general(&synth.circuit).expect("assemble");
+    let mut drive = vec![Waveform::Zero; rc_sys.num_ports()];
+    drive[0] = Waveform::Step {
+        t0: 0.0,
+        amplitude: 1e-3,
+    };
+    bench.bench("transient_200_steps/full", || {
+        transient(&full_sys, &drive, 1e-11, 200, Integrator::Trapezoidal).expect("run");
+    });
+    bench.bench("transient_200_steps/synthesized", || {
+        transient(&red_sys, &drive, 1e-11, 200, Integrator::Trapezoidal).expect("run");
+    });
+
+    bench.finish();
+}

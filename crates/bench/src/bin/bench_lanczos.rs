@@ -1,0 +1,62 @@
+//! Micro-benchmarks of the SyMPVL reduction itself: cost vs order and vs
+//! circuit size, and the full-reorthogonalization toggle.
+//!
+//! Run with `cargo run --release -p mpvl-bench --bin bench_lanczos`;
+//! writes `target/bench/BENCH_lanczos.json`.
+
+use mpvl_circuit::generators::{interconnect, InterconnectParams};
+use mpvl_circuit::MnaSystem;
+use mpvl_testkit::bench::Bench;
+use sympvl::{sympvl, LanczosOptions, SympvlOptions};
+
+fn main() {
+    let mut bench = Bench::new("lanczos");
+
+    let ckt = interconnect(&InterconnectParams {
+        wires: 8,
+        segments: 40,
+        coupling_reach: 3,
+        ..InterconnectParams::default()
+    });
+    let sys = MnaSystem::assemble(&ckt).expect("valid circuit");
+    for order in [8usize, 16, 32, 64] {
+        bench.bench(&format!("sympvl_order/{order}"), || {
+            sympvl(&sys, order, &SympvlOptions::default()).expect("reduce");
+        });
+    }
+
+    for wires in [4usize, 8, 17] {
+        let ckt = interconnect(&InterconnectParams {
+            wires,
+            coupling_reach: 4,
+            ..InterconnectParams::default()
+        });
+        let sys = MnaSystem::assemble(&ckt).expect("valid circuit");
+        bench.bench(&format!("sympvl_size/{}", sys.dim()), || {
+            sympvl(&sys, 24, &SympvlOptions::default()).expect("reduce");
+        });
+    }
+
+    let ckt = interconnect(&InterconnectParams {
+        wires: 8,
+        segments: 40,
+        coupling_reach: 3,
+        ..InterconnectParams::default()
+    });
+    let sys = MnaSystem::assemble(&ckt).expect("valid circuit");
+    bench.bench("sympvl_reorth/full", || {
+        sympvl(&sys, 48, &SympvlOptions::default()).expect("reduce");
+    });
+    let banded = SympvlOptions {
+        lanczos: LanczosOptions {
+            full_reorth: false,
+            ..LanczosOptions::default()
+        },
+        ..SympvlOptions::default()
+    };
+    bench.bench("sympvl_reorth/banded", || {
+        sympvl(&sys, 48, &banded).expect("reduce");
+    });
+
+    bench.finish();
+}

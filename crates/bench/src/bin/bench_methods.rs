@@ -1,0 +1,51 @@
+//! Cost comparison of the reduction methods at a fixed order: the cost
+//! side of the accuracy comparisons in `tests/baselines.rs` and the
+//! `ablation_*` binaries.
+//!
+//! Run with `cargo run --release -p mpvl-bench --bin bench_methods`;
+//! writes `target/bench/BENCH_methods.json`.
+
+use mpvl_circuit::generators::{interconnect, random_rc, InterconnectParams};
+use mpvl_circuit::MnaSystem;
+use mpvl_testkit::bench::Bench;
+use sympvl::baselines::arnoldi::ArnoldiModel;
+use sympvl::baselines::awe::AweModel;
+use sympvl::baselines::modal::ModalModel;
+use sympvl::baselines::pvl_per_entry::PerEntryModel;
+use sympvl::{sympvl, Shift, SympvlOptions};
+
+fn main() {
+    let mut bench = Bench::new("methods");
+
+    let ckt = interconnect(&InterconnectParams {
+        wires: 4,
+        segments: 40,
+        coupling_reach: 3,
+        ..InterconnectParams::default()
+    });
+    let sys = MnaSystem::assemble(&ckt).expect("assemble");
+    let order = 16;
+    bench.bench("methods_multiport_n16/sympvl", || {
+        sympvl(&sys, order, &SympvlOptions::default()).expect("reduce");
+    });
+    bench.bench("methods_multiport_n16/block_arnoldi", || {
+        ArnoldiModel::new(&sys, order, Shift::Auto).expect("reduce");
+    });
+    bench.bench("methods_multiport_n16/per_entry_pvl", || {
+        PerEntryModel::new(&sys, order / 4, &SympvlOptions::default()).expect("reduce");
+    });
+    bench.bench("methods_multiport_n16/modal_truncation", || {
+        ModalModel::new(&sys, order, Shift::Auto).expect("reduce");
+    });
+
+    let sys = MnaSystem::assemble(&random_rc(2024, 120, 1)).expect("assemble");
+    let order = 8;
+    bench.bench("methods_single_port_n8/sypvl_via_block", || {
+        sympvl(&sys, order, &SympvlOptions::default()).expect("reduce");
+    });
+    bench.bench("methods_single_port_n8/awe_explicit_moments", || {
+        AweModel::new(&sys, order, 0.0).expect("reduce");
+    });
+
+    bench.finish();
+}

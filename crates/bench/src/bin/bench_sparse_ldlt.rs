@@ -1,10 +1,13 @@
-//! Criterion microbenchmarks of the sparse LDLᵀ substrate: factorization
-//! and solve cost vs size, and the effect of the fill-reducing ordering.
+//! Micro-benchmarks of the sparse LDLᵀ substrate: factorization and solve
+//! cost vs size, and the effect of the fill-reducing ordering.
+//!
+//! Run with `cargo run --release -p mpvl-bench --bin bench_sparse_ldlt`;
+//! writes `target/bench/BENCH_sparse_ldlt.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mpvl_circuit::generators::{interconnect, InterconnectParams};
 use mpvl_circuit::MnaSystem;
 use mpvl_sparse::{Ordering, SparseLdlt};
+use mpvl_testkit::bench::Bench;
 
 fn systems() -> Vec<(usize, mpvl_sparse::CscMat<f64>)> {
     [4usize, 8, 17]
@@ -23,44 +26,34 @@ fn systems() -> Vec<(usize, mpvl_sparse::CscMat<f64>)> {
         .collect()
 }
 
-fn bench_factor(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ldlt_factor");
+fn main() {
+    let mut bench = Bench::new("sparse_ldlt");
+
     for (n, k) in systems() {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &k, |b, k| {
-            b.iter(|| SparseLdlt::factor(k, Ordering::MinDegree).expect("factor"));
+        bench.bench(&format!("ldlt_factor/{n}"), || {
+            SparseLdlt::factor(&k, Ordering::MinDegree).expect("factor");
         });
     }
-    group.finish();
-}
 
-fn bench_solve(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ldlt_solve");
     for (n, k) in systems() {
         let f = SparseLdlt::factor(&k, Ordering::MinDegree).expect("factor");
         let rhs: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &f, |b, f| {
-            b.iter(|| f.solve(&rhs));
+        bench.bench(&format!("ldlt_solve/{n}"), || {
+            f.solve(&rhs);
         });
     }
-    group.finish();
-}
 
-fn bench_orderings(c: &mut Criterion) {
     let (_, k) = systems().pop().expect("nonempty");
-    let mut group = c.benchmark_group("ldlt_ordering");
-    group.sample_size(10);
     for (name, o) in [
         ("natural", Ordering::Natural),
         ("rcm", Ordering::Rcm),
         ("mindegree", Ordering::MinDegree),
         ("quotient_md", Ordering::QuotientMinDegree),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| SparseLdlt::factor(&k, o).expect("factor"));
+        bench.bench(&format!("ldlt_ordering/{name}"), || {
+            SparseLdlt::factor(&k, o).expect("factor");
         });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_factor, bench_solve, bench_orderings);
-criterion_main!(benches);
+    bench.finish();
+}

@@ -1,0 +1,30 @@
+//! Micro-benchmarks of reduced-circuit synthesis (§6).
+//!
+//! Run with `cargo run --release -p mpvl-bench --bin bench_synthesis`;
+//! writes `target/bench/BENCH_synthesis.json`.
+
+use mpvl_circuit::generators::{interconnect, random_rc, InterconnectParams};
+use mpvl_circuit::MnaSystem;
+use mpvl_testkit::bench::Bench;
+use sympvl::{foster_synthesis, sympvl, synthesize_rc, SympvlOptions, SynthesisOptions};
+
+fn main() {
+    let mut bench = Bench::new("synthesis");
+
+    let ckt = interconnect(&InterconnectParams::default());
+    let sys = MnaSystem::assemble(&ckt).expect("assemble");
+    for order in [17usize, 34, 68] {
+        let model = sympvl(&sys, order, &SympvlOptions::default()).expect("reduce");
+        bench.bench(&format!("synthesize_rc/{order}"), || {
+            synthesize_rc(&model, &SynthesisOptions::default()).expect("synthesize");
+        });
+    }
+
+    let sys = MnaSystem::assemble(&random_rc(3, 60, 1)).expect("assemble");
+    let model = sympvl(&sys, 12, &SympvlOptions::default()).expect("reduce");
+    bench.bench("foster_synthesis_n12", || {
+        foster_synthesis(&model, 1e-12).expect("synthesize");
+    });
+
+    bench.finish();
+}

@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         st.nodes, st.inductors, st.mutuals, st.capacitors
     );
     let sys = &model_def.system;
-    println!("σ = s² form, dim {}, p = 2 (B = [a, l] per eq. 25)", sys.dim());
+    println!(
+        "σ = s² form, dim {}, p = 2 (B = [a, l] per eq. 25)",
+        sys.dim()
+    );
 
     // The paper's frequency shift (eq. 26) for the singular G.
     let s0 = (2.0 * std::f64::consts::PI * 1e9).powi(2);

@@ -57,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Port map (generator layout): 0 = pin1 ext, 1 = pin1 int,
     // 2 = pin2(neighbouring signal pin) ext, 3 = pin2 int.
-    let cases = [("fig3_pin1_to_pin1int", 1usize), ("fig4_pin1_to_pin2int", 3usize)];
+    let cases = [
+        ("fig3_pin1_to_pin1int", 1usize),
+        ("fig4_pin1_to_pin2int", 3usize),
+    ];
     for (name, out_port) in cases {
         println!("\n--- {name}: |V_out/V_in| with pin 1 external driven ---");
         println!(

@@ -64,7 +64,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // the full and the synthesized netlist are embedded in the same driver
     // test bench (50 Ω gate output resistances) before simulation.
     let full_sys = MnaSystem::assemble_general(&embed_with_drivers(&ckt, 50.0))?;
-    println!("integrating full circuit ({} unknowns, {} steps)...", full_sys.dim(), steps);
+    println!(
+        "integrating full circuit ({} unknowns, {} steps)...",
+        full_sys.dim(),
+        steps
+    );
     let full = transient(&full_sys, &drive, h, steps, Integrator::Trapezoidal)?;
     let red_sys = MnaSystem::assemble_general(&embed_with_drivers(&synth.circuit, 50.0))?;
     let red = transient(&red_sys, &drive, h, steps, Integrator::Trapezoidal)?;
@@ -112,8 +116,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The §7.3 CPU-time table.
     println!("\n--- CPU time (transient, {} steps) ---", steps);
-    println!("full circuit:        {:>9.3} s   (paper: 132 s)", full.cpu_seconds);
-    println!("synthesized circuit: {:>9.4} s   (paper: 2.15 s)", red.cpu_seconds);
+    println!(
+        "full circuit:        {:>9.3} s   (paper: 132 s)",
+        full.cpu_seconds
+    );
+    println!(
+        "synthesized circuit: {:>9.4} s   (paper: 2.15 s)",
+        red.cpu_seconds
+    );
     println!(
         "speedup:             {:>9.1}x   (paper: 61x)",
         full.cpu_seconds / red.cpu_seconds.max(1e-12)
@@ -121,7 +131,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     write_csv(
         "fig5_interconnect",
-        &["t_s", "v_drv_full", "v_drv_synth", "v_vic_full", "v_vic_synth"],
+        &[
+            "t_s",
+            "v_drv_full",
+            "v_drv_synth",
+            "v_vic_full",
+            "v_vic_synth",
+        ],
         &rows,
     );
 

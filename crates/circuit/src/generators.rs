@@ -9,8 +9,7 @@
 
 use crate::{Circuit, MnaSystem, GROUND};
 use mpvl_la::{Lu, Mat};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use mpvl_testkit::SmallRng;
 
 /// A uniform RC ladder: `sections` series resistors with shunt capacitors,
 /// one port at the driving end. The classic distributed-RC line model.
@@ -129,12 +128,7 @@ pub fn interconnect(p: &InterconnectParams) -> Circuit {
             }
             let cc = p.coupling_cap / (d * d) as f64;
             for s in 0..=p.segments {
-                ckt.add_capacitor(
-                    &format!("Ccw{w}d{d}s{s}"),
-                    nodes[w][s],
-                    nodes[w + d][s],
-                    cc,
-                );
+                ckt.add_capacitor(&format!("Ccw{w}d{d}s{s}"), nodes[w][s], nodes[w + d][s], cc);
             }
         }
     }
@@ -201,24 +195,14 @@ pub fn package(p: &PackageParams) -> Circuit {
         }
         for s in 0..p.sections {
             let mid = ckt.add_node();
-            ckt.add_resistor(
-                &format!("Rp{pin}s{s}"),
-                nodes[s],
-                mid,
-                p.section_resistance,
-            );
+            ckt.add_resistor(&format!("Rp{pin}s{s}"), nodes[s], mid, p.section_resistance);
             ckt.add_inductor(
                 &format!("Lp{pin}s{s}"),
                 mid,
                 nodes[s + 1],
                 p.section_inductance,
             );
-            ckt.add_capacitor(
-                &format!("Cp{pin}s{s}"),
-                nodes[s + 1],
-                GROUND,
-                p.section_cap,
-            );
+            ckt.add_capacitor(&format!("Cp{pin}s{s}"), nodes[s + 1], GROUND, p.section_cap);
         }
         ckt.add_capacitor(&format!("Cp{pin}ext"), nodes[0], GROUND, p.section_cap);
         pin_nodes.push(nodes);
@@ -334,10 +318,18 @@ pub fn peec(p: &PeecParams) -> PeecModel {
             if i + d >= n {
                 break;
             }
-            let k = p.k0 / (1.0 + d as f64).powf(p.decay)
-                / (1..=reach).map(|x| 2.0 / (1.0 + x as f64).powf(p.decay)).sum::<f64>()
+            let k = p.k0
+                / (1.0 + d as f64).powf(p.decay)
+                / (1..=reach)
+                    .map(|x| 2.0 / (1.0 + x as f64).powf(p.decay))
+                    .sum::<f64>()
                 * 2.0;
-            ckt.add_mutual(&format!("K{i}d{d}"), &format!("L{i}"), &format!("L{}", i + d), k);
+            ckt.add_mutual(
+                &format!("K{i}d{d}"),
+                &format!("L{i}"),
+                &format!("L{}", i + d),
+                k,
+            );
         }
     }
     // Cell capacitances to ground.
@@ -360,15 +352,21 @@ pub fn peec(p: &PeecParams) -> PeecModel {
             if i + d >= n {
                 break;
             }
-            let k = p.k0 / (1.0 + d as f64).powf(p.decay)
-                / (1..=reach).map(|x| 2.0 / (1.0 + x as f64).powf(p.decay)).sum::<f64>()
+            let k = p.k0
+                / (1.0 + d as f64).powf(p.decay)
+                / (1..=reach)
+                    .map(|x| 2.0 / (1.0 + x as f64).powf(p.decay))
+                    .sum::<f64>()
                 * 2.0;
             let m = k * p.self_inductance;
             lmat[(i, i + d)] = m;
             lmat[(i + d, i)] = m;
         }
     }
-    let linv = Lu::new(lmat).expect("PD inductance").inverse().expect("invertible");
+    let linv = Lu::new(lmat)
+        .expect("PD inductance")
+        .inverse()
+        .expect("invertible");
     // l = Aˡᵀ 𝓛⁻¹ b where b = e_{output_cell}; Aˡ row i has +1 at node i,
     // -1 at node i+1 (ground rows dropped).
     let mut lvec = vec![0.0; n];
@@ -388,10 +386,7 @@ pub fn peec(p: &PeecParams) -> PeecModel {
     for (i, &v) in lvec.iter().enumerate() {
         b[(i, 1)] = v;
     }
-    let system = MnaSystem {
-        b,
-        ..base
-    };
+    let system = MnaSystem { b, ..base };
     PeecModel {
         circuit: ckt,
         system,
@@ -730,6 +725,20 @@ mod tests {
             assert!(lc.validate().is_ok());
             assert_eq!(lc.classify(), CircuitClass::Lc);
         }
+    }
+
+    #[test]
+    fn random_circuits_golden_element_lists() {
+        // Golden determinism: the exact netlists produced by the testkit
+        // PRNG are pinned by hash, so generator output can never silently
+        // drift between runs, platforms, or PRNG refactors. If this fails
+        // after an intentional PRNG/generator change, re-pin the hashes
+        // AND re-check any accuracy thresholds that depend on specific
+        // realizations (e.g. reduce::explicit_shift_matches_auto_on_rc).
+        let h = |ckt: &Circuit| mpvl_testkit::fnv1a(crate::to_spice(ckt).as_bytes());
+        assert_eq!(h(&random_rc(3, 25, 2)), 0x324cb98dc8223ab3);
+        assert_eq!(h(&random_rl(3, 20, 2)), 0x4e982c6575994dc8);
+        assert_eq!(h(&random_lc(3, 20, 2)), 0xc4637621bd66e8af);
     }
 
     #[test]

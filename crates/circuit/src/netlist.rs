@@ -594,10 +594,7 @@ mod tests {
     fn rejects_bad_values() {
         let mut ckt = rc_one_port();
         ckt.add_resistor("R2", 1, 0, -5.0);
-        assert!(matches!(
-            ckt.validate(),
-            Err(CircuitError::BadValue { .. })
-        ));
+        assert!(matches!(ckt.validate(), Err(CircuitError::BadValue { .. })));
     }
 
     #[test]

@@ -3,57 +3,94 @@
 //! mutated netlists must fail cleanly.
 
 use mpvl_circuit::parse_spice;
-use proptest::prelude::*;
+use mpvl_testkit::prop::{check, printable, string_of, vec_in};
+use mpvl_testkit::prop_assert;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+#[test]
+fn arbitrary_text_never_panics() {
+    check(
+        "arbitrary_text_never_panics",
+        256,
+        printable(0, 200),
+        |text| {
+            let _ = parse_spice(text);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn arbitrary_text_never_panics(text in "\\PC{0,200}") {
-        let _ = parse_spice(&text);
-    }
+#[test]
+fn arbitrary_lines_of_tokens_never_panic() {
+    check(
+        "arbitrary_lines_of_tokens_never_panic",
+        256,
+        vec_in(string_of("ABCXYZabcxyz0189 .+-", 0, 40), 0..12),
+        |lines| {
+            let text = lines.join("\n");
+            let _ = parse_spice(&text);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn arbitrary_lines_of_tokens_never_panic(
-        lines in proptest::collection::vec("[A-Za-z0-9 .+-]{0,40}", 0..12)
-    ) {
-        let text = lines.join("\n");
-        let _ = parse_spice(&text);
-    }
+#[test]
+fn error_line_numbers_are_in_range() {
+    check(
+        "error_line_numbers_are_in_range",
+        256,
+        (0usize..5, string_of("xyzXYZ", 1, 4)),
+        |(prefix, junk)| {
+            // Valid cards, then a junk card: the error must point at it.
+            let mut text = String::new();
+            for k in 0..*prefix {
+                text.push_str(&format!("R{k} a{k} b{k} 1k\n"));
+            }
+            text.push_str(&format!("{junk} 1 2 3\n"));
+            let err = parse_spice(&text).expect_err("junk card must fail");
+            prop_assert!(
+                err.line == prefix + 1,
+                "line {} != {}",
+                err.line,
+                prefix + 1
+            );
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn error_line_numbers_are_in_range(
-        prefix in 0usize..5,
-        junk in "[xyzXYZ]{1,4}",
-    ) {
-        // Valid cards, then a junk card: the error must point at it.
-        let mut text = String::new();
-        for k in 0..prefix {
-            text.push_str(&format!("R{k} a{k} b{k} 1k\n"));
-        }
-        text.push_str(&format!("{junk} 1 2 3\n"));
-        let err = parse_spice(&text).expect_err("junk card must fail");
-        prop_assert_eq!(err.line, prefix + 1);
-    }
+#[test]
+fn truncated_cards_fail_cleanly() {
+    check(
+        "truncated_cards_fail_cleanly",
+        256,
+        1usize..3,
+        |&n_tokens| {
+            let card = ["R1", "a", "b", "1k"][..=n_tokens].join(" ");
+            if n_tokens < 3 {
+                prop_assert!(parse_spice(&card).is_err());
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn truncated_cards_fail_cleanly(n_tokens in 1usize..3) {
-        let card = ["R1", "a", "b", "1k"][..=n_tokens].join(" ");
-        if n_tokens < 3 {
-            prop_assert!(parse_spice(&card).is_err());
-        }
-    }
-
-    #[test]
-    fn numeric_garbage_rejected(value in "[a-zA-Z!@#]{1,6}") {
-        let text = format!("R1 a b {value}");
-        // Unless the garbage happens to parse as a number+suffix, expect
-        // a clean error.
-        if mpvl_circuit::parse_value(&value).is_none() {
-            let err = parse_spice(&text).expect_err("bad value must fail");
-            prop_assert!(err.message.contains("bad value"));
-        }
-    }
+#[test]
+fn numeric_garbage_rejected() {
+    check(
+        "numeric_garbage_rejected",
+        256,
+        string_of("abcwxyzABCWXYZ!@#", 1, 6),
+        |value| {
+            let text = format!("R1 a b {value}");
+            // Unless the garbage happens to parse as a number+suffix,
+            // expect a clean error.
+            if mpvl_circuit::parse_value(value).is_none() {
+                let err = parse_spice(&text).expect_err("bad value must fail");
+                prop_assert!(err.message.contains("bad value"), "msg: {}", err.message);
+            }
+            Ok(())
+        },
+    );
 }
 
 #[test]

@@ -3,52 +3,74 @@
 use mpvl_circuit::generators::{random_lc, random_rc, random_rl};
 use mpvl_circuit::{parse_spice, to_spice, CircuitClass, MnaSystem};
 use mpvl_la::Complex64;
-use proptest::prelude::*;
+use mpvl_testkit::prop::check;
+use mpvl_testkit::{prop_assert, prop_assert_eq};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn spice_roundtrip_preserves_z(seed in 0u64..1000) {
-        let ckt = random_rc(seed, 12, 2);
-        let text = to_spice(&ckt);
-        let (ckt2, _) = parse_spice(&text).expect("own output parses");
-        let s1 = MnaSystem::assemble(&ckt).unwrap();
-        let s2 = MnaSystem::assemble(&ckt2).unwrap();
-        let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * 1e9);
-        let z1 = s1.dense_z(s).unwrap();
-        let z2 = s2.dense_z(s).unwrap();
-        for i in 0..2 {
-            for j in 0..2 {
-                let rel = (z1[(i, j)] - z2[(i, j)]).abs() / z1[(i, j)].abs().max(1e-300);
-                prop_assert!(rel < 1e-12, "({i},{j}): {rel}");
-            }
+fn spice_roundtrip_preserves_z_at(seed: u64) -> Result<(), String> {
+    let ckt = random_rc(seed, 12, 2);
+    let text = to_spice(&ckt);
+    let (ckt2, _) = parse_spice(&text).expect("own output parses");
+    let s1 = MnaSystem::assemble(&ckt).unwrap();
+    let s2 = MnaSystem::assemble(&ckt2).unwrap();
+    let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * 1e9);
+    let z1 = s1.dense_z(s).unwrap();
+    let z2 = s2.dense_z(s).unwrap();
+    for i in 0..2 {
+        for j in 0..2 {
+            let rel = (z1[(i, j)] - z2[(i, j)]).abs() / z1[(i, j)].abs().max(1e-300);
+            prop_assert!(rel < 1e-12, "({i},{j}): {rel}");
         }
     }
+    Ok(())
+}
 
-    #[test]
-    fn mna_matrices_always_symmetric(seed in 0u64..1000, class in 0u8..3) {
-        let ckt = match class {
-            0 => random_rc(seed, 15, 2),
-            1 => random_rl(seed, 12, 2),
-            _ => random_lc(seed, 12, 2),
-        };
-        let sys = MnaSystem::assemble(&ckt).unwrap();
-        prop_assert!(sys.g.asymmetry() < 1e-15);
-        prop_assert!(sys.c.asymmetry() < 1e-15);
-        // Special forms have PSD matrices: verify via eigenvalues.
-        let eg = mpvl_la::sym_eigen(&sys.g.to_dense()).unwrap();
-        let ec = mpvl_la::sym_eigen(&sys.c.to_dense()).unwrap();
-        let gmin = eg.values.first().copied().unwrap_or(0.0);
-        let cmin = ec.values.first().copied().unwrap_or(0.0);
-        let gscale = eg.values.last().copied().unwrap_or(1.0).abs().max(1e-300);
-        let cscale = ec.values.last().copied().unwrap_or(1.0).abs().max(1e-300);
-        prop_assert!(gmin >= -1e-12 * gscale, "G not PSD: {gmin}");
-        prop_assert!(cmin >= -1e-12 * cscale, "C not PSD: {cmin}");
-    }
+#[test]
+fn spice_roundtrip_preserves_z() {
+    check("spice_roundtrip_preserves_z", 32, 0u64..1000, |&seed| {
+        spice_roundtrip_preserves_z_at(seed)
+    });
+}
 
-    #[test]
-    fn exact_z_is_reciprocal(seed in 0u64..1000) {
+/// Regression pinned from the retired `proptest_circuit.proptest-regressions`
+/// file ("shrinks to seed = 479"): the SPICE round-trip once lost
+/// precision on this circuit's element values. Must stay green forever.
+#[test]
+fn regression_spice_roundtrip_seed_479() {
+    spice_roundtrip_preserves_z_at(479).unwrap();
+}
+
+#[test]
+fn mna_matrices_always_symmetric() {
+    check(
+        "mna_matrices_always_symmetric",
+        32,
+        (0u64..1000, 0u8..3),
+        |&(seed, class)| {
+            let ckt = match class {
+                0 => random_rc(seed, 15, 2),
+                1 => random_rl(seed, 12, 2),
+                _ => random_lc(seed, 12, 2),
+            };
+            let sys = MnaSystem::assemble(&ckt).unwrap();
+            prop_assert!(sys.g.asymmetry() < 1e-15);
+            prop_assert!(sys.c.asymmetry() < 1e-15);
+            // Special forms have PSD matrices: verify via eigenvalues.
+            let eg = mpvl_la::sym_eigen(&sys.g.to_dense()).unwrap();
+            let ec = mpvl_la::sym_eigen(&sys.c.to_dense()).unwrap();
+            let gmin = eg.values.first().copied().unwrap_or(0.0);
+            let cmin = ec.values.first().copied().unwrap_or(0.0);
+            let gscale = eg.values.last().copied().unwrap_or(1.0).abs().max(1e-300);
+            let cscale = ec.values.last().copied().unwrap_or(1.0).abs().max(1e-300);
+            prop_assert!(gmin >= -1e-12 * gscale, "G not PSD: {gmin}");
+            prop_assert!(cmin >= -1e-12 * cscale, "C not PSD: {cmin}");
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn exact_z_is_reciprocal() {
+    check("exact_z_is_reciprocal", 32, 0u64..1000, |&seed| {
         // Z must be symmetric (reciprocity of passive networks).
         let ckt = random_rc(seed, 14, 3);
         let sys = MnaSystem::assemble(&ckt).unwrap();
@@ -60,42 +82,56 @@ proptest! {
                 prop_assert!(rel < 1e-10);
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn special_form_matches_general_form(seed in 0u64..1000, class in 0u8..3) {
-        let ckt = match class {
-            0 => random_rc(seed, 10, 2),
-            1 => random_rl(seed, 10, 2),
-            _ => random_lc(seed, 10, 2),
-        };
-        let special = MnaSystem::assemble(&ckt).unwrap();
-        let general = MnaSystem::assemble_general(&ckt).unwrap();
-        let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * 4e8);
-        let zs = special.dense_z(s).unwrap();
-        let zg = general.dense_z(s).unwrap();
-        for i in 0..2 {
-            for j in 0..2 {
-                let scale = zg[(i, j)].abs().max(1e-6);
-                prop_assert!(
-                    (zs[(i, j)] - zg[(i, j)]).abs() / scale < 1e-8,
-                    "class {class} entry ({i},{j}): {} vs {}",
-                    zs[(i, j)],
-                    zg[(i, j)]
-                );
+#[test]
+fn special_form_matches_general_form() {
+    check(
+        "special_form_matches_general_form",
+        32,
+        (0u64..1000, 0u8..3),
+        |&(seed, class)| {
+            let ckt = match class {
+                0 => random_rc(seed, 10, 2),
+                1 => random_rl(seed, 10, 2),
+                _ => random_lc(seed, 10, 2),
+            };
+            let special = MnaSystem::assemble(&ckt).unwrap();
+            let general = MnaSystem::assemble_general(&ckt).unwrap();
+            let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * 4e8);
+            let zs = special.dense_z(s).unwrap();
+            let zg = general.dense_z(s).unwrap();
+            for i in 0..2 {
+                for j in 0..2 {
+                    let scale = zg[(i, j)].abs().max(1e-6);
+                    prop_assert!(
+                        (zs[(i, j)] - zg[(i, j)]).abs() / scale < 1e-8,
+                        "class {class} entry ({i},{j}): {} vs {}",
+                        zs[(i, j)],
+                        zg[(i, j)]
+                    );
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn classification_is_consistent(seed in 0u64..1000) {
+#[test]
+fn classification_is_consistent() {
+    check("classification_is_consistent", 32, 0u64..1000, |&seed| {
         prop_assert_eq!(random_rc(seed, 8, 1).classify(), CircuitClass::Rc);
         prop_assert_eq!(random_rl(seed, 8, 1).classify(), CircuitClass::Rl);
         prop_assert_eq!(random_lc(seed, 8, 1).classify(), CircuitClass::Lc);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn dense_z_passive_real_part(seed in 0u64..500) {
+#[test]
+fn dense_z_passive_real_part() {
+    check("dense_z_passive_real_part", 32, 0u64..500, |&seed| {
         // Re(Z(jw)) must be PSD for a passive network; check the diagonal.
         let ckt = random_rc(seed, 12, 2);
         let sys = MnaSystem::assemble(&ckt).unwrap();
@@ -106,5 +142,6 @@ proptest! {
                 prop_assert!(z[(i, i)].re >= -1e-9, "Re Z{i}{i} = {}", z[(i, i)].re);
             }
         }
-    }
+        Ok(())
+    });
 }

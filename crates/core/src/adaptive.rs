@@ -139,11 +139,7 @@ pub fn reduce_adaptive(
 }
 
 /// Worst entrywise relative difference between two models over the probes.
-fn band_difference(
-    a: &ReducedModel,
-    b: &ReducedModel,
-    freqs: &[f64],
-) -> Result<f64, SympvlError> {
+fn band_difference(a: &ReducedModel, b: &ReducedModel, freqs: &[f64]) -> Result<f64, SympvlError> {
     let mut worst = 0.0f64;
     for &f in freqs {
         let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * f);

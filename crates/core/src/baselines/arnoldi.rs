@@ -43,11 +43,7 @@ impl ArnoldiModel {
         // K^{-1} x = M^{-T} J M^{-1} x.
         let kinv = |x: &[f64]| -> Vec<f64> {
             let y = factor.apply_minv(x);
-            let jy: Vec<f64> = y
-                .iter()
-                .zip(factor.j_diag())
-                .map(|(&v, s)| v * s)
-                .collect();
+            let jy: Vec<f64> = y.iter().zip(factor.j_diag()).map(|(&v, s)| v * s).collect();
             factor.apply_minv_t(&jy)
         };
         // Starting block K^{-1} B, orthonormalized.

@@ -99,11 +99,12 @@ impl AweModel {
             acc
         });
         let mz: Vec<Complex64> = m[..n].iter().map(|&x| Complex64::from_real(x)).collect();
-        let residues = Lu::new(v)
-            .and_then(|lu| lu.solve(&mz))
-            .map_err(|_| SympvlError::Singular {
-                context: "AWE Vandermonde system",
-            })?;
+        let residues =
+            Lu::new(v)
+                .and_then(|lu| lu.solve(&mz))
+                .map_err(|_| SympvlError::Singular {
+                    context: "AWE Vandermonde system",
+                })?;
         Ok(AweModel {
             residues,
             bs,

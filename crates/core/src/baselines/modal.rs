@@ -82,11 +82,9 @@ impl ModalModel {
         // Port weights per mode: w_k = V_kᵀ (M⁻¹B).
         let start = factor.apply_minv_mat(&sys.b);
         let all_w = eig.vectors.t_matmul(&start); // n x p
-        // Rank modes by residue norm ‖w_k‖² (coupling strength).
+                                                  // Rank modes by residue norm ‖w_k‖² (coupling strength).
         let mut idx: Vec<usize> = (0..n).collect();
-        let strength = |k: usize| -> f64 {
-            (0..p).map(|j| all_w[(k, j)] * all_w[(k, j)]).sum()
-        };
+        let strength = |k: usize| -> f64 { (0..p).map(|j| all_w[(k, j)] * all_w[(k, j)]).sum() };
         idx.sort_by(|&x, &y| strength(y).partial_cmp(&strength(x)).expect("finite"));
         let keep = order.min(n);
         let mut lambdas = Vec::with_capacity(keep);

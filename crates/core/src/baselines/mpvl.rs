@@ -199,9 +199,11 @@ impl MpvlModel {
         let w_lu = Lu::new(self.what.clone()).map_err(|_| SympvlError::Singular {
             context: "MPVL moment computation",
         })?;
-        let mut w = w_lu.solve_mat(&self.bhat).map_err(|_| SympvlError::Singular {
-            context: "MPVL moment computation",
-        })?;
+        let mut w = w_lu
+            .solve_mat(&self.bhat)
+            .map_err(|_| SympvlError::Singular {
+                context: "MPVL moment computation",
+            })?;
         for _ in 0..k {
             let tw = self.that.matmul(&w);
             w = w_lu.solve_mat(&tw).map_err(|_| SympvlError::Singular {
@@ -239,7 +241,11 @@ impl MpvlModel {
         for _ in 0..self.output_s_factor {
             factor *= s;
         }
-        Ok(self.lhat.map(Complex64::from_real).t_matmul(&y).scale(factor))
+        Ok(self
+            .lhat
+            .map(Complex64::from_real)
+            .t_matmul(&y)
+            .scale(factor))
     }
 }
 

@@ -48,11 +48,10 @@ impl GFactor {
                 })
             }
             Err(sparse_err) => {
-                let bk = BunchKaufman::new(&g.to_dense()).map_err(|e| {
-                    SympvlError::Factorization {
+                let bk =
+                    BunchKaufman::new(&g.to_dense()).map_err(|e| SympvlError::Factorization {
                         reason: format!("sparse: {sparse_err}; dense: {e}"),
-                    }
-                })?;
+                    })?;
                 let mj = bk.to_mj().map_err(|e| SympvlError::Factorization {
                     reason: format!("sparse: {sparse_err}; dense block: {e}"),
                 })?;
@@ -85,9 +84,7 @@ impl GFactor {
             it.fold((f64::INFINITY, 0.0), |(lo, hi), v| (lo.min(v), hi.max(v)))
         };
         match self {
-            GFactor::Sparse { fac, .. } => {
-                fold(&mut fac.d().iter().map(|v| v.abs()))
-            }
+            GFactor::Sparse { fac, .. } => fold(&mut fac.d().iter().map(|v| v.abs())),
             GFactor::Dense(mj) => fold(&mut mj.pivot_magnitudes().into_iter()),
         }
     }

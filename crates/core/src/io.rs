@@ -129,7 +129,10 @@ pub fn read_model(text: &str) -> Result<ReducedModel, SympvlError> {
                 row.split_whitespace().map(|v| v.parse::<f64>()).collect();
             let vals = vals.map_err(|_| bad(l, "bad float"))?;
             if vals.len() != cols {
-                return Err(bad(l, &format!("expected {cols} columns, got {}", vals.len())));
+                return Err(bad(
+                    l,
+                    &format!("expected {cols} columns, got {}", vals.len()),
+                ));
             }
             for (j, &v) in vals.iter().enumerate() {
                 m[(i, j)] = v;

@@ -170,12 +170,11 @@ pub fn block_lanczos(
     let mut iter_count = 0usize;
 
     // Record a subtraction coefficient into T or rho.
-    let record = |t_coef: &mut Mat<f64>, rho: &mut Mat<f64>, row: usize, src: Src, val: f64| {
-        match src {
+    let record =
+        |t_coef: &mut Mat<f64>, rho: &mut Mat<f64>, row: usize, src: Src, val: f64| match src {
             Src::Init(col) => rho[(row, col)] += val,
             Src::Vector(col) => t_coef[(row, col)] += val,
-        }
-    };
+        };
 
     // After `max_order` vectors are accepted, the candidates still in
     // flight carry the trailing columns of Tₙ (the paper computes
@@ -214,12 +213,7 @@ pub fn block_lanczos(
             for k in window_start..closed.len() {
                 let cluster = &closed[k];
                 // rhs = V_k^T (J ∘ w)
-                let jw: Vec<f64> = cand
-                    .w
-                    .iter()
-                    .zip(j_diag)
-                    .map(|(&x, &s)| x * s)
-                    .collect();
+                let jw: Vec<f64> = cand.w.iter().zip(j_diag).map(|(&x, &s)| x * s).collect();
                 let rhs: Vec<f64> = cluster
                     .iter()
                     .map(|&i| mpvl_la::dot(&vectors[i], &jw))
@@ -295,13 +289,21 @@ pub fn block_lanczos(
             true
         } else {
             let eig = sym_eigen(&dmat).expect("tiny symmetric eigenproblem");
-            let min_abs = eig.values.iter().map(|v| v.abs()).fold(f64::INFINITY, f64::min);
+            let min_abs = eig
+                .values
+                .iter()
+                .map(|v| v.abs())
+                .fold(f64::INFINITY, f64::min);
             min_abs > opts.cluster_tol || m >= opts.max_cluster
         };
         if close_now {
             if !identity_j && m >= opts.max_cluster {
                 let eig = sym_eigen(&dmat).expect("tiny symmetric eigenproblem");
-                let min_abs = eig.values.iter().map(|v| v.abs()).fold(f64::INFINITY, f64::min);
+                let min_abs = eig
+                    .values
+                    .iter()
+                    .map(|v| v.abs())
+                    .fold(f64::INFINITY, f64::min);
                 if min_abs <= opts.cluster_tol {
                     forced_cluster_closes += 1;
                 }
@@ -403,8 +405,20 @@ mod tests {
         let a = spd_test_matrix(n);
         let j = vec![1.0; n];
         let p = 2;
-        let start = Mat::from_fn(n, p, |i, jc| if i == jc { 1.0 } else { 0.1 * (i as f64 + 1.0).recip() });
-        let out = block_lanczos(&dense_op(a.clone()), &j, &start, 8, &LanczosOptions::default());
+        let start = Mat::from_fn(n, p, |i, jc| {
+            if i == jc {
+                1.0
+            } else {
+                0.1 * (i as f64 + 1.0).recip()
+            }
+        });
+        let out = block_lanczos(
+            &dense_op(a.clone()),
+            &j,
+            &start,
+            8,
+            &LanczosOptions::default(),
+        );
         let av = a.matmul(&out.v);
         let vt = out.v.matmul(&out.t);
         // Columns 0..n-p are fully expanded; trailing p columns carry the
@@ -480,9 +494,17 @@ mod tests {
         // Signature J with mixed signs forces the look-ahead machinery.
         let n = 12;
         let a = spd_test_matrix(n);
-        let j: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let j: Vec<f64> = (0..n)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let start = Mat::from_fn(n, 2, |i, jc| ((i * 3 + jc * 5) as f64 * 0.17).sin() + 0.05);
-        let out = block_lanczos(&dense_op(a.clone()), &j, &start, 8, &LanczosOptions::default());
+        let out = block_lanczos(
+            &dense_op(a.clone()),
+            &j,
+            &start,
+            8,
+            &LanczosOptions::default(),
+        );
         let order = out.order();
         assert!(order >= 4, "made progress despite indefinite J");
         // Check block J-orthogonality: V^T J V = Delta (block diagonal),
@@ -522,7 +544,13 @@ mod tests {
         start[(0, 0)] = 1.0;
         start[(n / 2, 0)] = 1.0;
         // v^T J v = 1 - 1 = 0 for the normalized start vector.
-        let out = block_lanczos(&dense_op(a.clone()), &j, &start, 6, &LanczosOptions::default());
+        let out = block_lanczos(
+            &dense_op(a.clone()),
+            &j,
+            &start,
+            6,
+            &LanczosOptions::default(),
+        );
         assert!(
             out.clusters.iter().any(|c| c.len() >= 2),
             "expected a look-ahead cluster, got {:?}",
@@ -557,7 +585,13 @@ mod tests {
         let a = spd_test_matrix(n);
         let j = vec![1.0; n];
         let start = Mat::from_fn(n, 2, |i, jc| ((i + jc) as f64 * 0.41).cos() + 0.3);
-        let full = block_lanczos(&dense_op(a.clone()), &j, &start, 10, &LanczosOptions::default());
+        let full = block_lanczos(
+            &dense_op(a.clone()),
+            &j,
+            &start,
+            10,
+            &LanczosOptions::default(),
+        );
         let banded = block_lanczos(
             &dense_op(a),
             &j,

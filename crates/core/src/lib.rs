@@ -68,5 +68,5 @@ pub use postprocess::{stabilize, PoleResidueModel, PostprocessOptions};
 pub use rational::{ExpansionPoint, RationalModel};
 pub use reduce::{sympvl, Shift, SympvlOptions};
 pub use state_space::{simulate_stamp, StampTransient};
-pub use sypvl::{cauer_synthesis, CauerSection, SypvlModel};
 pub use synthesis::{foster_synthesis, synthesize_rc, SynthesisOptions};
+pub use sypvl::{cauer_synthesis, CauerSection, SypvlModel};

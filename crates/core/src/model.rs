@@ -286,9 +286,8 @@ impl ReducedModel {
             })?;
         let tdinv = self.t.matmul(&dinv);
         // Symmetrize against roundoff: both stamps are symmetric in theory.
-        let sym = |m: &Mat<f64>| {
-            Mat::from_fn(m.nrows(), m.ncols(), |i, j| 0.5 * (m[(i, j)] + m[(j, i)]))
-        };
+        let sym =
+            |m: &Mat<f64>| Mat::from_fn(m.nrows(), m.ncols(), |i, j| 0.5 * (m[(i, j)] + m[(j, i)]));
         Ok((sym(&dinv), sym(&tdinv), self.rho.clone()))
     }
 }

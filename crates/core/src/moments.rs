@@ -18,11 +18,7 @@ use mpvl_la::Mat;
 /// # Errors
 ///
 /// Returns [`SympvlError::Factorization`] when `G + s₀C` is singular.
-pub fn exact_moments(
-    sys: &MnaSystem,
-    s0: f64,
-    count: usize,
-) -> Result<Vec<Mat<f64>>, SympvlError> {
+pub fn exact_moments(sys: &MnaSystem, s0: f64, count: usize) -> Result<Vec<Mat<f64>>, SympvlError> {
     let shifted = if s0 == 0.0 {
         sys.g.clone()
     } else {
@@ -38,11 +34,7 @@ pub fn exact_moments(
         for j in 0..p {
             // G̃^{-1} x = M^{-T} J M^{-1} x.
             let y = factor.apply_minv(m.col(j));
-            let jy: Vec<f64> = y
-                .iter()
-                .zip(factor.j_diag())
-                .map(|(&v, s)| v * s)
-                .collect();
+            let jy: Vec<f64> = y.iter().zip(factor.j_diag()).map(|(&v, s)| v * s).collect();
             let x = factor.apply_minv_t(&jy);
             r.col_mut(j).copy_from_slice(&x);
         }

@@ -191,9 +191,7 @@ pub fn stabilize(
             if mu.im != 0.0 {
                 // Find the unpaired conjugate partner.
                 if let Some(kc) = (0..n).find(|&j| {
-                    !done[j]
-                        && (eigvals[j] - mu.conj()).abs()
-                            <= 1e-8 * mu.abs().max(1e-300)
+                    !done[j] && (eigvals[j] - mu.conj()).abs() <= 1e-8 * mu.abs().max(1e-300)
                 }) {
                     for i in 0..n {
                         w[(i, kc)] = v[i].conj();
@@ -366,12 +364,7 @@ mod tests {
                 },
             )
             .unwrap();
-            let unstable = model
-                .poles()
-                .unwrap()
-                .iter()
-                .filter(|p| p.re > 1e3)
-                .count();
+            let unstable = model.poles().unwrap().iter().filter(|p| p.re > 1e3).count();
             let pr = stabilize(&model, &PostprocessOptions::default()).unwrap();
             assert!(pr.is_stable(1e-6), "post-processing must stabilize");
             if unstable > 0 {

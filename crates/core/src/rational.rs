@@ -65,24 +65,16 @@ impl RationalModel {
             // K^{-1} x = M^{-T} J M^{-1} x.
             let kinv = |x: &[f64]| -> Vec<f64> {
                 let y = factor.apply_minv(x);
-                let jy: Vec<f64> = y
-                    .iter()
-                    .zip(factor.j_diag())
-                    .map(|(&v, s)| v * s)
-                    .collect();
+                let jy: Vec<f64> = y.iter().zip(factor.j_diag()).map(|(&v, s)| v * s).collect();
                 factor.apply_minv_t(&jy)
             };
-            let mut block: Vec<Vec<f64>> = (0..sys.num_ports())
-                .map(|j| kinv(sys.b.col(j)))
-                .collect();
+            let mut block: Vec<Vec<f64>> =
+                (0..sys.num_ports()).map(|j| kinv(sys.b.col(j))).collect();
             for _sweep in 0..pt.sweeps {
                 for col in block.iter() {
                     union_cols.push(col.clone());
                 }
-                block = block
-                    .iter()
-                    .map(|col| kinv(&sys.c.matvec(col)))
-                    .collect();
+                block = block.iter().map(|col| kinv(&sys.c.matvec(col))).collect();
             }
         }
         let mut stacked = Mat::zeros(n, union_cols.len());
@@ -207,7 +199,10 @@ mod tests {
         let sys = MnaSystem::assemble(&random_rc(91, 30, 2)).unwrap();
         let pts = [
             ExpansionPoint { s0: 1e8, sweeps: 3 },
-            ExpansionPoint { s0: 1e10, sweeps: 3 },
+            ExpansionPoint {
+                s0: 1e10,
+                sweeps: 3,
+            },
         ];
         let model = RationalModel::new(&sys, &pts).unwrap();
         // Exact interpolation AT each (real) expansion point: sigma = s0.
@@ -241,7 +236,10 @@ mod tests {
         let sys = MnaSystem::assemble(&ckt).unwrap();
         let pts = [
             ExpansionPoint { s0: 1e8, sweeps: 2 },
-            ExpansionPoint { s0: 3e10, sweeps: 2 },
+            ExpansionPoint {
+                s0: 3e10,
+                sweeps: 2,
+            },
         ];
         let multi = RationalModel::new(&sys, &pts).unwrap();
         let single = sympvl(&sys, multi.order(), &SympvlOptions::default()).unwrap();
@@ -274,11 +272,7 @@ mod tests {
     fn rejects_empty_points() {
         let sys = MnaSystem::assemble(&random_rc(93, 10, 1)).unwrap();
         assert!(RationalModel::new(&sys, &[]).is_err());
-        assert!(RationalModel::new(
-            &sys,
-            &[ExpansionPoint { s0: 1e8, sweeps: 0 }]
-        )
-        .is_err());
+        assert!(RationalModel::new(&sys, &[ExpansionPoint { s0: 1e8, sweeps: 0 }]).is_err());
     }
 
     #[test]

@@ -138,7 +138,7 @@ pub fn simulate_stamp(
 mod tests {
     use super::*;
     use crate::{sympvl, synthesize_rc, SympvlOptions, SynthesisOptions};
-    use mpvl_circuit::generators::{embed_with_drivers, rc_line, random_rc};
+    use mpvl_circuit::generators::{embed_with_drivers, random_rc, rc_line};
     use mpvl_circuit::MnaSystem;
     use mpvl_sim::transient;
 

@@ -19,8 +19,8 @@
 //!   (SyPVL) procedure the paper points to for the p = 1 RC case.
 
 use crate::{ReducedModel, SympvlError};
-use mpvl_la::{sym_eigen, Lu, Mat, Qr};
 use mpvl_circuit::Circuit;
+use mpvl_la::{sym_eigen, Lu, Mat, Qr};
 
 /// Options for the unstamping synthesis.
 #[derive(Debug, Clone)]
@@ -142,10 +142,10 @@ pub fn synthesize_rc(
     let gmax = g_nodal.max_abs();
     let cmax = c_nodal.max_abs();
     let unstamp = |m: &Mat<f64>,
-                       mmax: f64,
-                       ckt: &mut Circuit,
-                       neg: &mut usize,
-                       make: &mut dyn FnMut(&mut Circuit, usize, usize, f64, usize)| {
+                   mmax: f64,
+                   ckt: &mut Circuit,
+                   neg: &mut usize,
+                   make: &mut dyn FnMut(&mut Circuit, usize, usize, f64, usize)| {
         let mut count = 0usize;
         for i in 0..n {
             // Branch elements from off-diagonals.
@@ -308,7 +308,11 @@ pub fn foster_synthesis(
     let mut prev = ckt.add_node();
     ckt.add_port("p0", prev, 0);
     for (k, sec) in kept.iter().enumerate() {
-        let next = if k + 1 == kept.len() { 0 } else { ckt.add_node() };
+        let next = if k + 1 == kept.len() {
+            0
+        } else {
+            ckt.add_node()
+        };
         match *sec {
             FosterSection::ParallelRc {
                 resistance,
@@ -411,8 +415,7 @@ mod tests {
     #[test]
     fn foster_grounded_rc_all_positive_and_exact() {
         // Grounded RC (zero shift): §5 guarantees positive elements.
-        let sys =
-            MnaSystem::assemble(&mpvl_circuit::generators::random_rc(5, 20, 1)).unwrap();
+        let sys = MnaSystem::assemble(&mpvl_circuit::generators::random_rc(5, 20, 1)).unwrap();
         let model = sympvl(&sys, 6, &SympvlOptions::default()).unwrap();
         assert_eq!(model.shift(), 0.0);
         let (ckt, sections) = foster_synthesis(&model, 1e-12).unwrap();

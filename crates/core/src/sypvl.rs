@@ -327,10 +327,7 @@ pub fn cauer_synthesis(
         }
         let c_scaled = den[den.len() - 1] / num[num.len() - 1];
         // Real capacitance: Y(s) term c_scaled * u = c_scaled * t_scale * s.
-        push_finite(
-            &mut sections,
-            CauerSection::ShuntC(c_scaled * t_scale),
-        )?;
+        push_finite(&mut sections, CauerSection::ShuntC(c_scaled * t_scale))?;
         // den <- den - u * c_scaled * num  (degree drops).
         let mut u_c_num = vec![0.0];
         u_c_num.extend(num.iter().map(|&x| x * c_scaled));
@@ -367,10 +364,7 @@ pub fn cauer_synthesis(
 }
 
 /// Guards against non-finite or absurd element values during extraction.
-fn push_finite(
-    sections: &mut Vec<CauerSection>,
-    sec: CauerSection,
-) -> Result<(), SympvlError> {
+fn push_finite(sections: &mut Vec<CauerSection>, sec: CauerSection) -> Result<(), SympvlError> {
     let v = match sec {
         CauerSection::SeriesR(r) => r,
         CauerSection::ShuntC(c) => c,
@@ -423,7 +417,6 @@ fn poly_trim(a: &mut Vec<f64>) {
         a.clear();
     }
 }
-
 
 #[cfg(test)]
 mod tests {

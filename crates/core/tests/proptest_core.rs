@@ -4,54 +4,77 @@
 use mpvl_circuit::generators::random_rc;
 use mpvl_circuit::MnaSystem;
 use mpvl_la::Complex64;
-use proptest::prelude::*;
+use mpvl_testkit::prop::check;
+use mpvl_testkit::{prop_assert, prop_assert_eq};
 use sympvl::{read_model, sympvl, write_model, SympvlOptions};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+#[test]
+fn io_roundtrip_is_lossless() {
+    check(
+        "io_roundtrip_is_lossless",
+        24,
+        (0u64..1000, 1usize..10),
+        |&(seed, order)| {
+            let sys = MnaSystem::assemble(&random_rc(seed, 15, 2)).unwrap();
+            let model = sympvl(&sys, order, &SympvlOptions::default()).unwrap();
+            let back = read_model(&write_model(&model)).unwrap();
+            prop_assert_eq!(back.order(), model.order());
+            let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * 1e9);
+            let z1 = model.eval(s).unwrap();
+            let z2 = back.eval(s).unwrap();
+            prop_assert!((&z1 - &z2).max_abs() <= 1e-12 * z1.max_abs().max(1e-300));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn io_roundtrip_is_lossless(seed in 0u64..1000, order in 1usize..10) {
-        let sys = MnaSystem::assemble(&random_rc(seed, 15, 2)).unwrap();
-        let model = sympvl(&sys, order, &SympvlOptions::default()).unwrap();
-        let back = read_model(&write_model(&model)).unwrap();
-        prop_assert_eq!(back.order(), model.order());
-        let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * 1e9);
-        let z1 = model.eval(s).unwrap();
-        let z2 = back.eval(s).unwrap();
-        prop_assert!((&z1 - &z2).max_abs() <= 1e-12 * z1.max_abs().max(1e-300));
-    }
-
-    #[test]
-    fn model_is_reciprocal(seed in 0u64..1000, order in 2usize..10) {
-        // Z_n must be symmetric (the reduction preserves reciprocity).
-        let sys = MnaSystem::assemble(&random_rc(seed, 15, 3)).unwrap();
-        let model = sympvl(&sys, order, &SympvlOptions::default()).unwrap();
-        let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * 5e8);
-        let z = model.eval(s).unwrap();
-        for i in 0..3 {
-            for j in 0..i {
-                let rel = (z[(i, j)] - z[(j, i)]).abs() / z[(i, j)].abs().max(1e-300);
-                prop_assert!(rel < 1e-9, "({i},{j}): {rel}");
+#[test]
+fn model_is_reciprocal() {
+    check(
+        "model_is_reciprocal",
+        24,
+        (0u64..1000, 2usize..10),
+        |&(seed, order)| {
+            // Z_n must be symmetric (the reduction preserves reciprocity).
+            let sys = MnaSystem::assemble(&random_rc(seed, 15, 3)).unwrap();
+            let model = sympvl(&sys, order, &SympvlOptions::default()).unwrap();
+            let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * 5e8);
+            let z = model.eval(s).unwrap();
+            for i in 0..3 {
+                for j in 0..i {
+                    let rel = (z[(i, j)] - z[(j, i)]).abs() / z[(i, j)].abs().max(1e-300);
+                    prop_assert!(rel < 1e-9, "({i},{j}): {rel}");
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn conjugate_symmetry_of_evaluation(seed in 0u64..500, fexp in 6.0f64..10.0) {
-        // Z(conj(s)) == conj(Z(s)): condition (ii) of §5.2, which holds
-        // for every model with real (T, Δ, ρ).
-        let sys = MnaSystem::assemble(&random_rc(seed, 12, 1)).unwrap();
-        let model = sympvl(&sys, 5, &SympvlOptions::default()).unwrap();
-        let w = 2.0 * std::f64::consts::PI * 10f64.powf(fexp);
-        let s = Complex64::new(0.3 * w, w);
-        let z_plus = model.eval(s).unwrap()[(0, 0)];
-        let z_minus = model.eval(s.conj()).unwrap()[(0, 0)];
-        prop_assert!((z_minus - z_plus.conj()).abs() < 1e-9 * z_plus.abs().max(1e-300));
-    }
+#[test]
+fn conjugate_symmetry_of_evaluation() {
+    check(
+        "conjugate_symmetry_of_evaluation",
+        24,
+        (0u64..500, 6.0f64..10.0),
+        |&(seed, fexp)| {
+            // Z(conj(s)) == conj(Z(s)): condition (ii) of §5.2, which holds
+            // for every model with real (T, Δ, ρ).
+            let sys = MnaSystem::assemble(&random_rc(seed, 12, 1)).unwrap();
+            let model = sympvl(&sys, 5, &SympvlOptions::default()).unwrap();
+            let w = 2.0 * std::f64::consts::PI * 10f64.powf(fexp);
+            let s = Complex64::new(0.3 * w, w);
+            let z_plus = model.eval(s).unwrap()[(0, 0)];
+            let z_minus = model.eval(s.conj()).unwrap()[(0, 0)];
+            prop_assert!((z_minus - z_plus.conj()).abs() < 1e-9 * z_plus.abs().max(1e-300));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn dc_value_matches_moment_zero(seed in 0u64..500) {
+#[test]
+fn dc_value_matches_moment_zero() {
+    check("dc_value_matches_moment_zero", 24, 0u64..500, |&seed| {
         // Z_n at the expansion point equals the zeroth matched moment.
         let sys = MnaSystem::assemble(&random_rc(seed, 12, 2)).unwrap();
         let model = sympvl(&sys, 6, &SympvlOptions::default()).unwrap();
@@ -62,22 +85,27 @@ proptest! {
         for i in 0..2 {
             for j in 0..2 {
                 prop_assert!(
-                    (z0[(i, j)].re - m0[(i, j)]).abs()
-                        < 1e-10 * m0[(i, j)].abs().max(1e-300)
+                    (z0[(i, j)].re - m0[(i, j)]).abs() < 1e-10 * m0[(i, j)].abs().max(1e-300)
                 );
                 prop_assert!(z0[(i, j)].im.abs() < 1e-12 * m0[(i, j)].abs().max(1e-300));
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn achieved_order_never_exceeds_request_or_dimension(
-        seed in 0u64..500,
-        order in 1usize..40,
-    ) {
-        let sys = MnaSystem::assemble(&random_rc(seed, 10, 2)).unwrap();
-        let model = sympvl(&sys, order, &SympvlOptions::default()).unwrap();
-        prop_assert!(model.order() <= order.min(sys.dim()));
-        prop_assert!(model.order() >= 1);
-    }
+#[test]
+fn achieved_order_never_exceeds_request_or_dimension() {
+    check(
+        "achieved_order_never_exceeds_request_or_dimension",
+        24,
+        (0u64..500, 1usize..40),
+        |&(seed, order)| {
+            let sys = MnaSystem::assemble(&random_rc(seed, 10, 2)).unwrap();
+            let model = sympvl(&sys, order, &SympvlOptions::default()).unwrap();
+            prop_assert!(model.order() <= order.min(sys.dim()));
+            prop_assert!(model.order() >= 1);
+            Ok(())
+        },
+    );
 }

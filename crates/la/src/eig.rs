@@ -400,7 +400,8 @@ pub fn general_eigenvalues(a: &Mat<f64>) -> Result<Vec<Complex64>, EigenConverge
                 let z = h[(m as usize, m as usize)];
                 let rr = x - z;
                 let ss = y - z;
-                p = (rr * ss - w) / h[((m + 1) as usize, m as usize)] + h[(m as usize, (m + 1) as usize)];
+                p = (rr * ss - w) / h[((m + 1) as usize, m as usize)]
+                    + h[(m as usize, (m + 1) as usize)];
                 q = h[((m + 1) as usize, (m + 1) as usize)] - z - rr - ss;
                 r = h[((m + 2) as usize, (m + 1) as usize)];
                 let s = p.abs() + q.abs() + r.abs();
@@ -527,7 +528,8 @@ mod tests {
         });
         let e = sym_eigen(&a).unwrap();
         for (k, &v) in e.values.iter().enumerate() {
-            let expect = 2.0 - 2.0 * ((k + 1) as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos();
+            let expect =
+                2.0 - 2.0 * ((k + 1) as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos();
             assert!((v - expect).abs() < 1e-10, "eig {k}: {v} vs {expect}");
         }
     }
@@ -596,7 +598,11 @@ mod tests {
             }
         });
         let es = sym_eigen(&a).unwrap();
-        let mut eg: Vec<f64> = general_eigenvalues(&a).unwrap().iter().map(|z| z.re).collect();
+        let mut eg: Vec<f64> = general_eigenvalues(&a)
+            .unwrap()
+            .iter()
+            .map(|z| z.re)
+            .collect();
         eg.sort_by(|a, b| a.partial_cmp(b).unwrap());
         for (u, v) in es.values.iter().zip(&eg) {
             assert!((u - v).abs() < 1e-9, "{u} vs {v}");
@@ -607,7 +613,11 @@ mod tests {
     fn companion_matrix_roots() {
         // p(x) = x^3 - 6x^2 + 11x - 6 = (x-1)(x-2)(x-3)
         let a = Mat::from_rows(&[&[6.0, -11.0, 6.0], &[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]]);
-        let mut e: Vec<f64> = general_eigenvalues(&a).unwrap().iter().map(|z| z.re).collect();
+        let mut e: Vec<f64> = general_eigenvalues(&a)
+            .unwrap()
+            .iter()
+            .map(|z| z.re)
+            .collect();
         e.sort_by(|a, b| a.partial_cmp(b).unwrap());
         assert!((e[0] - 1.0).abs() < 1e-9);
         assert!((e[1] - 2.0).abs() < 1e-9);

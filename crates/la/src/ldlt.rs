@@ -56,7 +56,12 @@ impl BunchKaufman {
 
         // Symmetric swap of rows/cols i and j in the trailing matrix,
         // plus the already-computed part of L and the permutation record.
-        let swap = |w: &mut Mat<f64>, l: &mut Mat<f64>, perm: &mut [usize], k: usize, i: usize, j: usize| {
+        let swap = |w: &mut Mat<f64>,
+                    l: &mut Mat<f64>,
+                    perm: &mut [usize],
+                    k: usize,
+                    i: usize,
+                    j: usize| {
             if i == j {
                 return;
             }
@@ -314,8 +319,7 @@ impl BunchKaufman {
                     j_sign[k] = v.signum();
                 }
                 PivotBlock::Two(k) => {
-                    let (a, b, c) =
-                        (self.d[(k, k)], self.d[(k + 1, k)], self.d[(k + 1, k + 1)]);
+                    let (a, b, c) = (self.d[(k, k)], self.d[(k + 1, k)], self.d[(k + 1, k + 1)]);
                     // Symmetric 2x2 eigendecomposition.
                     let tr = a + c;
                     let disc = ((a - c) * 0.5).hypot(b);
@@ -445,12 +449,7 @@ fn solve_block_diag(s: &Mat<f64>, x: &mut [f64], transpose: bool) {
     while k < n {
         let is_two = k + 1 < n && (s[(k + 1, k)] != 0.0 || s[(k, k + 1)] != 0.0);
         if is_two {
-            let (a, mut b, mut c, d) = (
-                s[(k, k)],
-                s[(k, k + 1)],
-                s[(k + 1, k)],
-                s[(k + 1, k + 1)],
-            );
+            let (a, mut b, mut c, d) = (s[(k, k)], s[(k, k + 1)], s[(k + 1, k)], s[(k + 1, k + 1)]);
             if transpose {
                 std::mem::swap(&mut b, &mut c);
             }
@@ -529,11 +528,7 @@ mod tests {
     #[test]
     fn handles_zero_diagonal_saddle_point() {
         // Classic MNA shape: zero block on the diagonal forces 2x2 pivots.
-        let a = Mat::from_rows(&[
-            &[2.0, 0.0, 1.0],
-            &[0.0, 3.0, 1.0],
-            &[1.0, 1.0, 0.0],
-        ]);
+        let a = Mat::from_rows(&[&[2.0, 0.0, 1.0], &[0.0, 3.0, 1.0], &[1.0, 1.0, 0.0]]);
         let bk = BunchKaufman::new(&a).expect("factorizable");
         let rec = reconstruct(&bk);
         assert!((&rec - &a).max_abs() < 1e-13);

@@ -238,11 +238,7 @@ impl<T: Scalar> Lu<T> {
                 .enumerate()
                 .map(|(j, v)| (j, v.modulus()))
                 .fold((0, 0.0), |acc, it| if it.1 > acc.1 { it } else { acc });
-            let ztx: f64 = z
-                .iter()
-                .zip(&x)
-                .map(|(&a, &b)| (a * b).real())
-                .sum();
+            let ztx: f64 = z.iter().zip(&x).map(|(&a, &b)| (a * b).real()).sum();
             if zmax <= ztx + 1e-15 * ztx.abs() {
                 break; // converged (stationary point of the estimate)
             }
@@ -391,14 +387,20 @@ mod tests {
         let n = 20;
         let mut seed = 123456789u64;
         let mut rng = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64) / (u32::MAX as f64) - 0.5
         };
         let a = Mat::from_fn(n, n, |i, j| rng() + if i == j { 2.0 } else { 0.0 });
         let b: Vec<f64> = (0..n).map(|_| rng()).collect();
         let x = Lu::new(a.clone()).unwrap().solve(&b).unwrap();
         let r = a.matvec(&x);
-        let err = r.iter().zip(&b).map(|(u, v)| (u - v).abs()).fold(0.0, f64::max);
+        let err = r
+            .iter()
+            .zip(&b)
+            .map(|(u, v)| (u - v).abs())
+            .fold(0.0, f64::max);
         assert!(err < 1e-11, "residual {err}");
     }
 

@@ -1,147 +1,215 @@
 //! Property-based tests for the dense linear-algebra kernels.
 
-use mpvl_la::{
-    general_eigenvalues, sym_eigen, BunchKaufman, Cholesky, Complex64, Lu, Mat, Qr,
-};
-use proptest::prelude::*;
+use mpvl_la::{general_eigenvalues, sym_eigen, BunchKaufman, Cholesky, Complex64, Lu, Mat, Qr};
+use mpvl_testkit::prop::{check, vec_of};
+use mpvl_testkit::{prop_assert, prop_assert_eq};
 
-/// Strategy: a well-conditioned random square matrix (diagonally dominant).
-fn dd_matrix(n: usize) -> impl Strategy<Value = Mat<f64>> {
-    proptest::collection::vec(-1.0f64..1.0, n * n).prop_map(move |v| {
-        Mat::from_fn(n, n, |i, j| {
-            let x = v[i * n + j];
-            if i == j {
-                x + n as f64 + 1.0
-            } else {
-                x
+/// A well-conditioned square matrix (diagonally dominant) built from
+/// `n * n` entries in [-1, 1].
+fn dd_matrix(v: &[f64], n: usize) -> Mat<f64> {
+    Mat::from_fn(n, n, |i, j| {
+        let x = v[i * n + j];
+        if i == j {
+            x + n as f64 + 1.0
+        } else {
+            x
+        }
+    })
+}
+
+/// A symmetric matrix with entries in [-1, 1], from `n * n` raw entries.
+fn sym_matrix(v: &[f64], n: usize) -> Mat<f64> {
+    Mat::from_fn(n, n, |i, j| {
+        let (a, b) = if i <= j { (i, j) } else { (j, i) };
+        v[a * n + b]
+    })
+}
+
+/// An SPD matrix A = Bᵀ B + I, from `n * n` raw entries.
+fn spd_matrix(v: &[f64], n: usize) -> Mat<f64> {
+    let b = Mat::from_fn(n, n, |i, j| v[i * n + j]);
+    let mut a = b.t_matmul(&b);
+    for i in 0..n {
+        a[(i, i)] += 1.0;
+    }
+    a
+}
+
+#[test]
+fn lu_solve_has_small_residual() {
+    check(
+        "lu_solve_has_small_residual",
+        64,
+        (vec_of(-1.0f64..1.0, 64), vec_of(-1.0f64..1.0, 8)),
+        |(av, b)| {
+            let a = dd_matrix(av, 8);
+            let lu = Lu::new(a.clone()).expect("diagonally dominant => nonsingular");
+            let x = lu.solve(b).unwrap();
+            let r = a.matvec(&x);
+            for (u, v) in r.iter().zip(b) {
+                prop_assert!((u - v).abs() < 1e-10);
             }
-        })
-    })
+            Ok(())
+        },
+    );
 }
 
-/// Strategy: a random symmetric matrix with entries in [-1, 1].
-fn sym_matrix(n: usize) -> impl Strategy<Value = Mat<f64>> {
-    proptest::collection::vec(-1.0f64..1.0, n * n).prop_map(move |v| {
-        Mat::from_fn(n, n, |i, j| {
-            let (a, b) = if i <= j { (i, j) } else { (j, i) };
-            v[a * n + b]
-        })
-    })
+#[test]
+fn lu_det_matches_product_through_transpose() {
+    check(
+        "lu_det_matches_product_through_transpose",
+        64,
+        vec_of(-1.0f64..1.0, 36),
+        |av| {
+            // det(A) == det(Aᵀ)
+            let a = dd_matrix(av, 6);
+            let d1 = Lu::new(a.clone()).unwrap().det();
+            let d2 = Lu::new(a.transpose()).unwrap().det();
+            prop_assert!((d1 - d2).abs() <= 1e-9 * d1.abs().max(1.0));
+            Ok(())
+        },
+    );
 }
 
-/// Strategy: a random SPD matrix A = Bᵀ B + I.
-fn spd_matrix(n: usize) -> impl Strategy<Value = Mat<f64>> {
-    proptest::collection::vec(-1.0f64..1.0, n * n).prop_map(move |v| {
-        let b = Mat::from_fn(n, n, |i, j| v[i * n + j]);
-        let mut a = b.t_matmul(&b);
-        for i in 0..n {
-            a[(i, i)] += 1.0;
-        }
-        a
-    })
+#[test]
+fn cholesky_agrees_with_lu() {
+    check(
+        "cholesky_agrees_with_lu",
+        64,
+        (vec_of(-1.0f64..1.0, 49), vec_of(-1.0f64..1.0, 7)),
+        |(av, b)| {
+            let a = spd_matrix(av, 7);
+            let ch = Cholesky::new(&a).expect("SPD");
+            let x1 = ch.solve(b);
+            let x2 = Lu::new(a).unwrap().solve(b).unwrap();
+            for (u, v) in x1.iter().zip(&x2) {
+                prop_assert!((u - v).abs() < 1e-8);
+            }
+            Ok(())
+        },
+    );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn bunch_kaufman_solves_symmetric_indefinite() {
+    check(
+        "bunch_kaufman_solves_symmetric_indefinite",
+        64,
+        (vec_of(-1.0f64..1.0, 49), vec_of(-1.0f64..1.0, 7)),
+        |(av, b)| {
+            // Shift a few diagonal entries negative to force indefiniteness.
+            let mut a = sym_matrix(av, 7);
+            for i in 0..7 {
+                a[(i, i)] += if i % 2 == 0 { 3.0 } else { -3.0 };
+            }
+            let bk = BunchKaufman::new(&a).expect("nonsingular");
+            let x = bk.solve(b);
+            let r = a.matvec(&x);
+            for (u, v) in r.iter().zip(b) {
+                prop_assert!((u - v).abs() < 1e-9);
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn lu_solve_has_small_residual(a in dd_matrix(8), b in proptest::collection::vec(-1.0f64..1.0, 8)) {
-        let lu = Lu::new(a.clone()).expect("diagonally dominant => nonsingular");
-        let x = lu.solve(&b).unwrap();
-        let r = a.matvec(&x);
-        for (u, v) in r.iter().zip(&b) {
-            prop_assert!((u - v).abs() < 1e-10);
-        }
-    }
+#[test]
+fn bk_inertia_matches_eigen_signs() {
+    check(
+        "bk_inertia_matches_eigen_signs",
+        64,
+        vec_of(-1.0f64..1.0, 36),
+        |av| {
+            let mut a = sym_matrix(av, 6);
+            for i in 0..6 {
+                a[(i, i)] += if i < 3 { 4.0 } else { -4.0 };
+            }
+            let bk = BunchKaufman::new(&a).expect("nonsingular");
+            let (neg, zero, pos) = bk.inertia();
+            let e = sym_eigen(&a).unwrap();
+            let eneg = e.values.iter().filter(|&&v| v < 0.0).count();
+            let epos = e.values.iter().filter(|&&v| v > 0.0).count();
+            prop_assert_eq!(zero, 0);
+            prop_assert_eq!((neg, pos), (eneg, epos));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn lu_det_matches_product_through_transpose(a in dd_matrix(6)) {
-        // det(A) == det(Aᵀ)
-        let d1 = Lu::new(a.clone()).unwrap().det();
-        let d2 = Lu::new(a.transpose()).unwrap().det();
-        prop_assert!((d1 - d2).abs() <= 1e-9 * d1.abs().max(1.0));
-    }
-
-    #[test]
-    fn cholesky_agrees_with_lu(a in spd_matrix(7), b in proptest::collection::vec(-1.0f64..1.0, 7)) {
-        let ch = Cholesky::new(&a).expect("SPD");
-        let x1 = ch.solve(&b);
-        let x2 = Lu::new(a).unwrap().solve(&b).unwrap();
-        for (u, v) in x1.iter().zip(&x2) {
-            prop_assert!((u - v).abs() < 1e-8);
-        }
-    }
-
-    #[test]
-    fn bunch_kaufman_solves_symmetric_indefinite(mut a in sym_matrix(7), b in proptest::collection::vec(-1.0f64..1.0, 7)) {
-        // Shift a few diagonal entries negative to force indefiniteness.
-        for i in 0..7 {
-            a[(i, i)] += if i % 2 == 0 { 3.0 } else { -3.0 };
-        }
-        let bk = BunchKaufman::new(&a).expect("nonsingular");
-        let x = bk.solve(&b);
-        let r = a.matvec(&x);
-        for (u, v) in r.iter().zip(&b) {
-            prop_assert!((u - v).abs() < 1e-9);
-        }
-    }
-
-    #[test]
-    fn bk_inertia_matches_eigen_signs(mut a in sym_matrix(6)) {
-        for i in 0..6 {
-            a[(i, i)] += if i < 3 { 4.0 } else { -4.0 };
-        }
-        let bk = BunchKaufman::new(&a).expect("nonsingular");
-        let (neg, zero, pos) = bk.inertia();
-        let e = sym_eigen(&a).unwrap();
-        let eneg = e.values.iter().filter(|&&v| v < 0.0).count();
-        let epos = e.values.iter().filter(|&&v| v > 0.0).count();
-        prop_assert_eq!(zero, 0);
-        prop_assert_eq!((neg, pos), (eneg, epos));
-    }
-
-    #[test]
-    fn qr_preserves_norms(a in dd_matrix(6)) {
+#[test]
+fn qr_preserves_norms() {
+    check("qr_preserves_norms", 64, vec_of(-1.0f64..1.0, 36), |av| {
+        let a = dd_matrix(av, 6);
         let qr = Qr::new(&a);
         let q = qr.thin_q();
         let x: Vec<f64> = (0..6).map(|i| (i as f64).sin()).collect();
         let qx = q.matvec(&x);
         prop_assert!((mpvl_la::norm2(&qx) - mpvl_la::norm2(&x)).abs() < 1e-10);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn sym_eigen_trace_and_reconstruction(a in sym_matrix(6)) {
-        let e = sym_eigen(&a).unwrap();
-        let trace: f64 = (0..6).map(|i| a[(i, i)]).sum();
-        let sum: f64 = e.values.iter().sum();
-        prop_assert!((trace - sum).abs() < 1e-9);
-        // A == V diag(w) Vᵀ
-        let vd = Mat::from_fn(6, 6, |i, j| e.vectors[(i, j)] * e.values[j]);
-        let rec = vd.matmul(&e.vectors.transpose());
-        prop_assert!((&rec - &a).max_abs() < 1e-9);
-    }
+#[test]
+fn sym_eigen_trace_and_reconstruction() {
+    check(
+        "sym_eigen_trace_and_reconstruction",
+        64,
+        vec_of(-1.0f64..1.0, 36),
+        |av| {
+            let a = sym_matrix(av, 6);
+            let e = sym_eigen(&a).unwrap();
+            let trace: f64 = (0..6).map(|i| a[(i, i)]).sum();
+            let sum: f64 = e.values.iter().sum();
+            prop_assert!((trace - sum).abs() < 1e-9);
+            // A == V diag(w) Vᵀ
+            let vd = Mat::from_fn(6, 6, |i, j| e.vectors[(i, j)] * e.values[j]);
+            let rec = vd.matmul(&e.vectors.transpose());
+            prop_assert!((&rec - &a).max_abs() < 1e-9);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn general_eigen_sum_matches_trace(a in dd_matrix(6)) {
-        let e = general_eigenvalues(&a).unwrap();
-        let trace: f64 = (0..6).map(|i| a[(i, i)]).sum();
-        let sum: Complex64 = e.iter().copied().sum();
-        prop_assert!((sum.re - trace).abs() < 1e-8);
-        prop_assert!(sum.im.abs() < 1e-8);
-    }
+#[test]
+fn general_eigen_sum_matches_trace() {
+    check(
+        "general_eigen_sum_matches_trace",
+        64,
+        vec_of(-1.0f64..1.0, 36),
+        |av| {
+            let a = dd_matrix(av, 6);
+            let e = general_eigenvalues(&a).unwrap();
+            let trace: f64 = (0..6).map(|i| a[(i, i)]).sum();
+            let sum: Complex64 = e.iter().copied().sum();
+            prop_assert!((sum.re - trace).abs() < 1e-8);
+            prop_assert!(sum.im.abs() < 1e-8);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn complex_lu_roundtrip(re in proptest::collection::vec(-1.0f64..1.0, 25),
-                            im in proptest::collection::vec(-1.0f64..1.0, 25)) {
-        let a = Mat::from_fn(5, 5, |i, j| {
-            let z = Complex64::new(re[i * 5 + j], im[i * 5 + j]);
-            if i == j { z + 6.0 } else { z }
-        });
-        let b: Vec<Complex64> = (0..5).map(|i| Complex64::new(i as f64, 1.0)).collect();
-        let x = Lu::new(a.clone()).unwrap().solve(&b).unwrap();
-        let r = a.matvec(&x);
-        for (u, v) in r.iter().zip(&b) {
-            prop_assert!((*u - *v).abs() < 1e-10);
-        }
-    }
+#[test]
+fn complex_lu_roundtrip() {
+    check(
+        "complex_lu_roundtrip",
+        64,
+        (vec_of(-1.0f64..1.0, 25), vec_of(-1.0f64..1.0, 25)),
+        |(re, im)| {
+            let a = Mat::from_fn(5, 5, |i, j| {
+                let z = Complex64::new(re[i * 5 + j], im[i * 5 + j]);
+                if i == j {
+                    z + 6.0
+                } else {
+                    z
+                }
+            });
+            let b: Vec<Complex64> = (0..5).map(|i| Complex64::new(i as f64, 1.0)).collect();
+            let x = Lu::new(a.clone()).unwrap().solve(&b).unwrap();
+            let r = a.matvec(&x);
+            for (u, v) in r.iter().zip(&b) {
+                prop_assert!((*u - *v).abs() < 1e-10);
+            }
+            Ok(())
+        },
+    );
 }

@@ -86,29 +86,31 @@ pub fn ac_sweep(sys: &MnaSystem, freqs_hz: &[f64]) -> Result<Vec<AcPoint>, AcErr
         let sigma = sys.sigma(s);
         let k = g.add_scaled(Complex64::ONE, &c, sigma);
         let x = if !symmetric {
-            let lu = Lu::new(k.to_dense())
-                .map_err(|_| AcError::SingularAtFrequency { freq_hz: f })?;
+            let lu =
+                Lu::new(k.to_dense()).map_err(|_| AcError::SingularAtFrequency { freq_hz: f })?;
             lu.solve_mat(&bz)
                 .map_err(|_| AcError::SingularAtFrequency { freq_hz: f })?
-        } else { match SparseLdlt::factor_with_perm(&k, perm.clone()) {
-            Ok(fac) => {
-                let mut x = Mat::zeros(n, p);
-                for j in 0..p {
-                    let col = fac.solve(bz.col(j));
-                    x.col_mut(j).copy_from_slice(&col);
+        } else {
+            match SparseLdlt::factor_with_perm(&k, perm.clone()) {
+                Ok(fac) => {
+                    let mut x = Mat::zeros(n, p);
+                    for j in 0..p {
+                        let col = fac.solve(bz.col(j));
+                        x.col_mut(j).copy_from_slice(&col);
+                    }
+                    x
                 }
-                x
+                Err(_) => {
+                    // Dense LU fallback (pivoted): handles indefinite/near-
+                    // breakdown points the unpivoted sparse path rejects.
+                    let dense = k.to_dense();
+                    let lu =
+                        Lu::new(dense).map_err(|_| AcError::SingularAtFrequency { freq_hz: f })?;
+                    lu.solve_mat(&bz)
+                        .map_err(|_| AcError::SingularAtFrequency { freq_hz: f })?
+                }
             }
-            Err(_) => {
-                // Dense LU fallback (pivoted): handles indefinite/near-
-                // breakdown points the unpivoted sparse path rejects.
-                let dense = k.to_dense();
-                let lu = Lu::new(dense)
-                    .map_err(|_| AcError::SingularAtFrequency { freq_hz: f })?;
-                lu.solve_mat(&bz)
-                    .map_err(|_| AcError::SingularAtFrequency { freq_hz: f })?
-            }
-        } };
+        };
         let z = bz.t_matmul(&x).scale(sys.output_factor(s));
         out.push(AcPoint { freq_hz: f, z });
     }

@@ -62,7 +62,10 @@ impl fmt::Display for DcError {
                 write!(f, "no unique DC operating point (G singular: {e})")
             }
             DcError::NotTimeDomain { s_power } => {
-                write!(f, "DC analysis needs the σ = s form, got s_power = {s_power}")
+                write!(
+                    f,
+                    "DC analysis needs the σ = s form, got s_power = {s_power}"
+                )
             }
         }
     }

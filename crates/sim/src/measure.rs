@@ -193,5 +193,4 @@ mod tests {
         assert_eq!(ta.trough(), (-1.0, 2.0));
         assert!((max_deviation(ta, tb) - 0.5).abs() < 1e-12);
     }
-
 }

@@ -22,7 +22,11 @@ pub struct ConvertParamsError {
 
 impl fmt::Display for ConvertParamsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parameter conversion failed: {} is singular", self.context)
+        write!(
+            f,
+            "parameter conversion failed: {} is singular",
+            self.context
+        )
     }
 }
 
@@ -96,7 +100,9 @@ pub fn z_to_s(z: &Mat<Complex64>, z0: f64) -> Result<Mat<Complex64>, ConvertPara
     });
     let zp_inv = Lu::new(zp)
         .and_then(|lu| lu.inverse())
-        .map_err(|_| ConvertParamsError { context: "Z + Z0*I" })?;
+        .map_err(|_| ConvertParamsError {
+            context: "Z + Z0*I",
+        })?;
     Ok(zm.matmul(&zp_inv))
 }
 
@@ -115,11 +121,19 @@ pub fn s_to_z(s: &Mat<Complex64>, z0: f64) -> Result<Mat<Complex64>, ConvertPara
     let p = s.nrows();
     assert_eq!(p, s.ncols(), "S must be square");
     let ip = Mat::from_fn(p, p, |i, j| {
-        let idm = if i == j { Complex64::ONE } else { Complex64::ZERO };
+        let idm = if i == j {
+            Complex64::ONE
+        } else {
+            Complex64::ZERO
+        };
         idm + s[(i, j)]
     });
     let im = Mat::from_fn(p, p, |i, j| {
-        let idm = if i == j { Complex64::ONE } else { Complex64::ZERO };
+        let idm = if i == j {
+            Complex64::ONE
+        } else {
+            Complex64::ZERO
+        };
         idm - s[(i, j)]
     });
     let im_inv = Lu::new(im)
@@ -204,5 +218,4 @@ mod tests {
         }
         assert!(lambda <= 1.0 + 1e-9, "top Gram eigenvalue {lambda}");
     }
-
 }

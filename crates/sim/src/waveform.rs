@@ -228,7 +228,7 @@ mod tests {
         };
         assert!(w.eval(-1.0).abs() < 1e-15);
         assert!(w.eval(0.0).abs() < 1e-15); // sin(0)
-        // Peak of the first lobe bounded by the envelope.
+                                            // Peak of the first lobe bounded by the envelope.
         let v = w.eval(0.25);
         assert!(v > 0.0 && v <= (-0.25f64).exp() + 1e-12);
     }

@@ -130,8 +130,7 @@ pub fn quotient_min_degree(adj: &[Vec<usize>]) -> Vec<usize> {
         // attach element p.
         for &v in &lp {
             var_adj[v].retain(|&u| u != p && state[u] == State::Active);
-            elem_adj[v]
-                .retain(|&e| !absorbed.contains(&e) && !elem_vars[e].is_empty());
+            elem_adj[v].retain(|&e| !absorbed.contains(&e) && !elem_vars[e].is_empty());
             if !elem_adj[v].contains(&p) {
                 elem_adj[v].push(p);
             }

@@ -437,7 +437,9 @@ mod tests {
         let jw = Complex64::new(0.0, 2.0);
         let a = g.map(|v| Complex64::from_real(v) + jw * Complex64::from_real(v * 0.1));
         let f = SparseLdlt::factor(&a, Ordering::Rcm).expect("complex symmetric");
-        let b: Vec<Complex64> = (0..n).map(|i| Complex64::new(1.0, i as f64 * 0.05)).collect();
+        let b: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new(1.0, i as f64 * 0.05))
+            .collect();
         let x = f.solve(&b);
         let r = a.matvec(&x);
         for (u, v) in r.iter().zip(&b) {

@@ -56,8 +56,7 @@ pub fn rcm(adj: &[Vec<usize>]) -> Vec<usize> {
         visited[start] = true;
         while let Some(v) = queue.pop_front() {
             order.push(v);
-            let mut nbrs: Vec<usize> =
-                adj[v].iter().copied().filter(|&u| !visited[u]).collect();
+            let mut nbrs: Vec<usize> = adj[v].iter().copied().filter(|&u| !visited[u]).collect();
             nbrs.sort_by_key(|&u| adj[u].len());
             for u in nbrs {
                 visited[u] = true;

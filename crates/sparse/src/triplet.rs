@@ -119,8 +119,7 @@ impl<T: Scalar> TripletMat<T> {
         for j in 0..n {
             let lo = count[j];
             let hi = count[j + 1];
-            let mut entries: Vec<(usize, T)> =
-                (lo..hi).map(|k| (ri[k], vx[k])).collect();
+            let mut entries: Vec<(usize, T)> = (lo..hi).map(|k| (ri[k], vx[k])).collect();
             entries.sort_by_key(|e| e.0);
             let mut it = entries.into_iter();
             if let Some((mut row, mut acc)) = it.next() {

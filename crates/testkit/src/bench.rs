@@ -1,0 +1,200 @@
+//! A criterion-free micro-bench harness.
+//!
+//! Each suite is a plain `cargo run --release` binary: build a
+//! [`Bench`], time closures with [`Bench::bench`], and [`Bench::finish`]
+//! writes machine-readable JSON to `target/bench/BENCH_<suite>.json`
+//! (besides the aligned table printed as it goes). Every sample is one
+//! timed call; the harness reports median, p90, min and mean wall-clock
+//! seconds over N samples after a warmup.
+//!
+//! Knobs (for CI smoke runs): `MPVL_BENCH_SAMPLES` and
+//! `MPVL_BENCH_WARMUP` override the per-suite defaults.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// One benchmark's timing summary, in seconds.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark id, e.g. `"ldlt_factor/1360"`.
+    pub name: String,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Median of the samples.
+    pub median_s: f64,
+    /// 90th percentile of the samples.
+    pub p90_s: f64,
+    /// Fastest sample.
+    pub min_s: f64,
+    /// Mean of the samples.
+    pub mean_s: f64,
+}
+
+/// A benchmark suite accumulating [`BenchResult`]s.
+pub struct Bench {
+    suite: String,
+    warmup: usize,
+    samples: usize,
+    results: Vec<BenchResult>,
+}
+
+impl Bench {
+    /// Creates a suite with default warmup (3) and sample (15) counts,
+    /// both overridable via `MPVL_BENCH_WARMUP` / `MPVL_BENCH_SAMPLES`.
+    #[must_use]
+    pub fn new(suite: &str) -> Self {
+        let env_usize = |key: &str, default: usize| {
+            std::env::var(key)
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(default)
+        };
+        let b = Bench {
+            suite: suite.to_string(),
+            warmup: env_usize("MPVL_BENCH_WARMUP", 3),
+            samples: env_usize("MPVL_BENCH_SAMPLES", 15).max(1),
+            results: Vec::new(),
+        };
+        eprintln!(
+            "# bench suite `{}`: {} warmup + {} samples per case",
+            b.suite, b.warmup, b.samples
+        );
+        b
+    }
+
+    /// Times `f`: `warmup` untimed calls, then one timed call per
+    /// sample. Prints the summary line and records it for the JSON.
+    pub fn bench(&mut self, name: &str, mut f: impl FnMut()) {
+        for _ in 0..self.warmup {
+            f();
+        }
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            f();
+            times.push(t0.elapsed().as_secs_f64());
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        let n = times.len();
+        let pick = |q: f64| times[(((n - 1) as f64) * q).round() as usize];
+        let result = BenchResult {
+            name: name.to_string(),
+            samples: n,
+            median_s: pick(0.5),
+            p90_s: pick(0.9),
+            min_s: times[0],
+            mean_s: times.iter().sum::<f64>() / n as f64,
+        };
+        println!(
+            "{:<40} median {:>12} p90 {:>12} min {:>12}",
+            result.name,
+            fmt_time(result.median_s),
+            fmt_time(result.p90_s),
+            fmt_time(result.min_s),
+        );
+        self.results.push(result);
+    }
+
+    /// Writes `target/bench/BENCH_<suite>.json` and reports the path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O errors (bench binaries want loud failures).
+    pub fn finish(self) {
+        let dir = PathBuf::from("target/bench");
+        fs::create_dir_all(&dir).expect("create target/bench");
+        let path = dir.join(format!("BENCH_{}.json", self.suite));
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"suite\": {},\n", json_str(&self.suite)));
+        out.push_str("  \"unit\": \"seconds\",\n");
+        out.push_str("  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": {}, \"samples\": {}, \"median_s\": {:e}, \"p90_s\": {:e}, \"min_s\": {:e}, \"mean_s\": {:e}}}{}\n",
+                json_str(&r.name),
+                r.samples,
+                r.median_s,
+                r.p90_s,
+                r.min_s,
+                r.mean_s,
+                if i + 1 < self.results.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        let mut f = fs::File::create(&path).expect("create bench json");
+        f.write_all(out.as_bytes()).expect("write bench json");
+        println!("wrote {}", path.display());
+    }
+}
+
+/// Human-readable time with an adaptive unit.
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_ordered() {
+        std::env::set_var("MPVL_BENCH_SAMPLES", "9");
+        std::env::set_var("MPVL_BENCH_WARMUP", "0");
+        let mut b = Bench::new("selftest");
+        let mut k = 0u64;
+        b.bench("spin", || {
+            // A tiny but non-empty workload.
+            for i in 0..10_000u64 {
+                k = k.wrapping_add(i * i);
+            }
+        });
+        std::env::remove_var("MPVL_BENCH_SAMPLES");
+        std::env::remove_var("MPVL_BENCH_WARMUP");
+        assert!(k > 0);
+        let r = &b.results[0];
+        assert_eq!(r.samples, 9);
+        assert!(r.min_s <= r.median_s && r.median_s <= r.p90_s);
+        assert!(r.min_s > 0.0);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn time_formatting_units() {
+        assert_eq!(fmt_time(2.0), "2.000 s");
+        assert_eq!(fmt_time(2.5e-3), "2.500 ms");
+        assert_eq!(fmt_time(2.5e-6), "2.500 µs");
+        assert_eq!(fmt_time(5e-9), "5.0 ns");
+    }
+}

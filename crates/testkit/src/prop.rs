@@ -1,0 +1,492 @@
+//! A minimal property-test runner: closure-friendly strategies,
+//! fixed-seed case iteration, and greedy input shrinking.
+//!
+//! This replaces the slice of `proptest` the workspace used. A test
+//! builds a [`Strategy`] (ranges, tuples of ranges, vectors, strings),
+//! then calls [`check`] with a property closure returning
+//! `Result<(), String>`; the [`crate::prop_assert!`] and
+//! [`crate::prop_assert_eq!`] macros produce those `Err`s. Panics inside
+//! the property are caught and treated as failures, so `unwrap`-heavy
+//! properties shrink just like assertion failures.
+//!
+//! Determinism: the base seed is the FNV-1a hash of the test name, so
+//! every run (and every platform) replays the same cases. Set
+//! `MPVL_PROP_SEED` to explore a different stream and `MPVL_PROP_CASES`
+//! to override the case count globally.
+
+use crate::rng::SmallRng;
+use std::fmt::Debug;
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Upper bound on failing-candidate evaluations during shrinking.
+const SHRINK_BUDGET: usize = 512;
+
+/// A value generator that also knows how to propose smaller variants of
+/// a failing value.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Clone + Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Proposes strictly "smaller" candidates for a failing value, most
+    /// aggressive first. An empty vector means fully shrunk.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value>;
+}
+
+/// Runs `prop` against `cases` generated inputs and panics with the
+/// minimal (shrunk) counterexample on failure.
+///
+/// # Panics
+///
+/// Panics if the property fails for any generated input.
+pub fn check<S: Strategy>(
+    name: &str,
+    cases: u32,
+    strategy: S,
+    prop: impl Fn(&S::Value) -> Result<(), String>,
+) {
+    let base_seed = std::env::var("MPVL_PROP_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| crate::fnv1a(name.as_bytes()));
+    let cases = std::env::var("MPVL_PROP_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(cases);
+
+    let run = |value: &S::Value| -> Result<(), String> {
+        match catch_unwind(AssertUnwindSafe(|| prop(value))) {
+            Ok(r) => r,
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "panic (non-string payload)".to_string());
+                Err(format!("panicked: {msg}"))
+            }
+        }
+    };
+
+    for case in 0..u64::from(cases) {
+        // Decorrelate cases: each gets its own seed derived from the
+        // base seed and the case index.
+        let mut rng = SmallRng::seed_from_u64(base_seed ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let value = strategy.generate(&mut rng);
+        if let Err(first_msg) = run(&value) {
+            let (min_value, min_msg) = shrink_failure(&strategy, value, first_msg, &run);
+            panic!(
+                "property `{name}` failed (case {case}/{cases}, base seed {base_seed}):\n  \
+                 {min_msg}\n  minimal input: {min_value:?}\n  \
+                 replay with MPVL_PROP_SEED={base_seed}"
+            );
+        }
+    }
+}
+
+/// Greedy shrink loop: repeatedly take the first proposed candidate that
+/// still fails, within a fixed evaluation budget.
+fn shrink_failure<S: Strategy>(
+    strategy: &S,
+    mut value: S::Value,
+    mut msg: String,
+    run: &impl Fn(&S::Value) -> Result<(), String>,
+) -> (S::Value, String) {
+    let mut budget = SHRINK_BUDGET;
+    'outer: while budget > 0 {
+        for cand in strategy.shrink(&value) {
+            if budget == 0 {
+                break 'outer;
+            }
+            budget -= 1;
+            if let Err(m) = run(&cand) {
+                value = cand;
+                msg = m;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (value, msg)
+}
+
+/// Fails the surrounding property unless `cond` holds.
+///
+/// Drop-in for `proptest::prop_assert!`: usable only inside a closure
+/// returning `Result<(), String>`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the surrounding property unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!("assertion failed: {l:?} != {r:?}"));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!($($fmt)+));
+        }
+    }};
+}
+
+// ---------------------------------------------------------------------
+// Scalar strategies: half-open ranges shrink toward their lower bound.
+// ---------------------------------------------------------------------
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let v = *value;
+                let lo = self.start;
+                if v == lo {
+                    return Vec::new();
+                }
+                // Geometric ladder from the lower bound back toward the
+                // failing value: the greedy shrink loop then converges
+                // like a binary search and lands on the exact minimum
+                // (the last candidate is always v-1).
+                let mut out = vec![lo];
+                let mut d = v - lo;
+                loop {
+                    d /= 2;
+                    if d == 0 {
+                        break;
+                    }
+                    let cand = v - d;
+                    if cand != lo {
+                        out.push(cand);
+                    }
+                }
+                out
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut SmallRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        let v = *value;
+        let lo = self.start;
+        if v <= lo {
+            return Vec::new();
+        }
+        let mut out = vec![lo];
+        // Prefer zero when the range straddles it (smallest magnitude).
+        if lo < 0.0 && v > 0.0 {
+            out.push(0.0);
+        }
+        let mid = lo + (v - lo) / 2.0;
+        if mid != lo && mid != v {
+            out.push(mid);
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tuple strategies: shrink one component at a time.
+// ---------------------------------------------------------------------
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let mut out = Vec::new();
+        for a in self.0.shrink(&value.0) {
+            out.push((a, value.1.clone()));
+        }
+        for b in self.1.shrink(&value.1) {
+            out.push((value.0.clone(), b));
+        }
+        out
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let mut out = Vec::new();
+        for a in self.0.shrink(&value.0) {
+            out.push((a, value.1.clone(), value.2.clone()));
+        }
+        for b in self.1.shrink(&value.1) {
+            out.push((value.0.clone(), b, value.2.clone()));
+        }
+        for c in self.2.shrink(&value.2) {
+            out.push((value.0.clone(), value.1.clone(), c));
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Vector strategies.
+// ---------------------------------------------------------------------
+
+/// A vector of values from an element strategy; length either fixed
+/// ([`vec_of`]) or drawn from a range ([`vec_in`]).
+pub struct VecStrategy<S> {
+    elem: S,
+    min_len: usize,
+    max_len: usize, // exclusive
+}
+
+/// A fixed-length vector strategy.
+pub fn vec_of<S: Strategy>(elem: S, len: usize) -> VecStrategy<S> {
+    VecStrategy {
+        elem,
+        min_len: len,
+        max_len: len + 1,
+    }
+}
+
+/// A variable-length vector strategy; `lens` is half-open like
+/// `proptest::collection::vec(_, a..b)`.
+pub fn vec_in<S: Strategy>(elem: S, lens: Range<usize>) -> VecStrategy<S> {
+    assert!(lens.start < lens.end, "empty length range");
+    VecStrategy {
+        elem,
+        min_len: lens.start,
+        max_len: lens.end,
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+        let len = if self.max_len - self.min_len <= 1 {
+            self.min_len
+        } else {
+            rng.gen_range(self.min_len..self.max_len)
+        };
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let mut out = Vec::new();
+        // Structural shrinks first: drop the back half, then drop single
+        // elements (bounded so huge vectors don't explode the budget).
+        if value.len() > self.min_len {
+            let keep = (value.len() / 2).max(self.min_len);
+            out.push(value[..keep].to_vec());
+            for i in 0..value.len().min(8) {
+                let mut v = value.clone();
+                v.remove(value.len() - 1 - i);
+                out.push(v);
+            }
+        }
+        // Then element-wise shrinks, one position at a time.
+        for (i, x) in value.iter().enumerate().take(8) {
+            for cand in self.elem.shrink(x) {
+                let mut v = value.clone();
+                v[i] = cand;
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// String strategies (replacing the regex-shaped proptest ones).
+// ---------------------------------------------------------------------
+
+/// A string of characters drawn from an explicit alphabet, with length
+/// in a half-open range — the replacement for proptest's
+/// `"[abc]{m,n}"` regex strategies.
+pub struct StringStrategy {
+    alphabet: Vec<char>,
+    min_len: usize,
+    max_len: usize, // inclusive
+}
+
+/// Characters from `alphabet`, length in `min..=max`.
+pub fn string_of(alphabet: &str, min_len: usize, max_len: usize) -> StringStrategy {
+    let alphabet: Vec<char> = alphabet.chars().collect();
+    assert!(!alphabet.is_empty() && min_len <= max_len);
+    StringStrategy {
+        alphabet,
+        min_len,
+        max_len,
+    }
+}
+
+/// Arbitrary printable text (ASCII plus a sprinkling of multi-byte
+/// unicode), length in `min..=max` — the replacement for proptest's
+/// `"\\PC{m,n}"`.
+pub fn printable(min_len: usize, max_len: usize) -> StringStrategy {
+    let mut alphabet: Vec<char> = (0x20u8..0x7f).map(char::from).collect();
+    alphabet.extend([
+        'é', 'ß', 'λ', 'Ω', 'П', 'ح', '中', '文', '🦀', '∑', '√', '≠', '\u{00a0}', '\t',
+    ]);
+    StringStrategy {
+        alphabet,
+        min_len,
+        max_len,
+    }
+}
+
+impl Strategy for StringStrategy {
+    type Value = String;
+
+    fn generate(&self, rng: &mut SmallRng) -> String {
+        let len = if self.max_len == self.min_len {
+            self.min_len
+        } else {
+            rng.gen_range(self.min_len..self.max_len + 1)
+        };
+        (0..len)
+            .map(|_| self.alphabet[rng.gen_range(0..self.alphabet.len())])
+            .collect()
+    }
+
+    fn shrink(&self, value: &String) -> Vec<String> {
+        let chars: Vec<char> = value.chars().collect();
+        let mut out = Vec::new();
+        if chars.len() > self.min_len {
+            let keep = (chars.len() / 2).max(self.min_len);
+            out.push(chars[..keep].iter().collect());
+            let mut v = chars.clone();
+            v.pop();
+            out.push(v.iter().collect());
+        }
+        // Simplify characters toward the first alphabet symbol.
+        let simplest = self.alphabet[0];
+        for (i, &c) in chars.iter().enumerate().take(8) {
+            if c != simplest {
+                let mut v = chars.clone();
+                v[i] = simplest;
+                out.push(v.iter().collect());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut seen = 0u32;
+        let counter = std::cell::Cell::new(0u32);
+        check("passing_property", 40, 0u64..100, |&v| {
+            counter.set(counter.get() + 1);
+            prop_assert!(v < 100);
+            Ok(())
+        });
+        seen += counter.get();
+        assert_eq!(seen, 40);
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_threshold() {
+        let res = std::panic::catch_unwind(|| {
+            check("failing_property", 200, 0u64..1000, |&v| {
+                prop_assert!(v < 700, "value {v} too big");
+                Ok(())
+            });
+        });
+        let msg = *res.unwrap_err().downcast::<String>().unwrap();
+        // Greedy shrink must land exactly on the smallest failing input.
+        assert!(msg.contains("minimal input: 700"), "msg: {msg}");
+    }
+
+    #[test]
+    fn panicking_property_is_caught_and_shrunk() {
+        let res = std::panic::catch_unwind(|| {
+            check("panicking_property", 100, 0u64..100, |&v| {
+                assert!(v < 90, "boom at {v}");
+                Ok(())
+            });
+        });
+        let msg = *res.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("panicked"), "msg: {msg}");
+        assert!(msg.contains("minimal input: 90"), "msg: {msg}");
+    }
+
+    #[test]
+    fn vec_strategy_respects_length_and_shrinks() {
+        let strat = vec_in(0u64..10, 2..6);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+        let shrunk = strat.shrink(&vec![9, 9, 9, 9, 9]);
+        assert!(shrunk.iter().all(|v| v.len() >= 2));
+        assert!(shrunk.iter().any(|v| v.len() < 5));
+    }
+
+    #[test]
+    fn string_strategies_respect_alphabet() {
+        let strat = string_of("xyzXYZ", 1, 4);
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..100 {
+            let s = strat.generate(&mut rng);
+            assert!((1..=4).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| "xyzXYZ".contains(c)));
+        }
+        let p = printable(0, 50).generate(&mut rng);
+        assert!(p.chars().count() <= 50);
+    }
+
+    #[test]
+    fn tuple_shrink_varies_one_component() {
+        let strat = (0u64..10, 0u64..10);
+        for (a, b) in strat.shrink(&(5, 7)) {
+            assert!((a, b) != (5, 7));
+            assert!(a == 5 || b == 7, "both moved: ({a},{b})");
+        }
+    }
+}

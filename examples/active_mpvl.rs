@@ -61,7 +61,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let model = MpvlModel::new(&sys, order, 0.0)?;
         let z = model.eval(s1)?;
         let err = (z[(1, 0)] - zx[(1, 0)]).abs() / zx[(1, 0)].abs();
-        println!("{:>6} {:>14.6e} {:>14.2e}", model.order(), z[(1, 0)].abs(), err);
+        println!(
+            "{:>6} {:>14.6e} {:>14.2e}",
+            model.order(),
+            z[(1, 0)].abs(),
+            err
+        );
     }
 
     // 4. Time domain through the dense nonsymmetric path.

@@ -49,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 5. Compare against the exact sweep.
     let freqs = log_space(1e7, 2e10, 13);
     let exact = ac_sweep(&sys, &freqs)?;
-    println!("{:>12} {:>14} {:>14} {:>10}", "freq (Hz)", "|Z11| exact", "|Z11| n=25", "rel err");
+    println!(
+        "{:>12} {:>14} {:>14} {:>10}",
+        "freq (Hz)", "|Z11| exact", "|Z11| n=25", "rel err"
+    );
     for pt in &exact {
         let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * pt.freq_hz);
         let z = model.eval(s)?;

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate. Everything runs with --offline: the build
+# must stay hermetic (path-only workspace dependencies, no registry).
+#
+#   scripts/ci.sh            # fmt + build + tests + smoke bench
+#
+# The smoke bench exercises the mpvl-testkit harness end to end and
+# leaves a machine-readable timing record in
+# target/bench/BENCH_sparse_ldlt.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline
+
+echo "==> smoke bench (bench_sparse_ldlt, reduced samples)"
+MPVL_BENCH_WARMUP=1 MPVL_BENCH_SAMPLES=3 \
+    cargo run -q --release --offline -p mpvl-bench --bin bench_sparse_ldlt
+
+test -s target/bench/BENCH_sparse_ldlt.json
+echo "==> ci.sh: all green"

@@ -8,8 +8,8 @@ use mpvl_la::Complex64;
 use mpvl_sim::{ac_sweep, z_to_s};
 use sympvl::baselines::mpvl::MpvlModel;
 use sympvl::{
-    reduce_adaptive, stabilize, sympvl, AdaptiveOptions, PostprocessOptions, Shift,
-    SympvlOptions, SympvlError,
+    reduce_adaptive, stabilize, sympvl, AdaptiveOptions, PostprocessOptions, Shift, SympvlError,
+    SympvlOptions,
 };
 
 #[test]

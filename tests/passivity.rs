@@ -3,79 +3,108 @@
 
 use mpvl_circuit::generators::{random_lc, random_rc, random_rl};
 use mpvl_circuit::MnaSystem;
-use proptest::prelude::*;
+use mpvl_testkit::prop::check;
+use mpvl_testkit::prop_assert;
 use sympvl::{certify, is_stable, sampled_passivity, sympvl, Certificate, SympvlOptions};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn rc_models_always_stable_and_passive(seed in 0u64..500, order in 1usize..12) {
-        let ckt = random_rc(seed, 18, 2);
-        let sys = MnaSystem::assemble(&ckt).unwrap();
-        let model = sympvl(&sys, order, &SympvlOptions::default()).unwrap();
-        prop_assert!(model.guarantees_passivity());
-        let cert_ok = matches!(
-            certify(&model, 1e-9).unwrap(),
-            Certificate::ProvablyPassive { .. }
-        );
-        prop_assert!(cert_ok);
-        prop_assert!(is_stable(&model, 1e-8).unwrap());
-        let freqs: Vec<f64> = (0..20).map(|k| 10f64.powf(6.0 + 0.2 * k as f64)).collect();
-        let scan = sampled_passivity(&model, &freqs, 1e-8).unwrap();
-        prop_assert!(scan.passive, "worst {:?}", scan.worst);
-    }
-
-    #[test]
-    fn rl_models_always_stable_and_passive(seed in 0u64..500, order in 1usize..10) {
-        let ckt = random_rl(seed, 14, 2);
-        let sys = MnaSystem::assemble(&ckt).unwrap();
-        let model = sympvl(&sys, order, &SympvlOptions::default()).unwrap();
-        prop_assert!(model.guarantees_passivity());
-        let cert_ok = matches!(
-            certify(&model, 1e-9).unwrap(),
-            Certificate::ProvablyPassive { .. }
-        );
-        prop_assert!(cert_ok);
-        prop_assert!(is_stable(&model, 1e-8).unwrap());
-    }
-
-    #[test]
-    fn lc_models_always_stable(seed in 0u64..500, order in 1usize..10) {
-        let ckt = random_lc(seed, 14, 2);
-        let sys = MnaSystem::assemble(&ckt).unwrap();
-        let model = sympvl(&sys, order, &SympvlOptions::default()).unwrap();
-        prop_assert!(model.guarantees_passivity());
-        // LC: sigma-poles on the non-positive real axis <=> s-poles on the
-        // imaginary axis (marginally stable, lossless).
-        for p in model.sigma_poles().unwrap() {
-            prop_assert!(p.im.abs() < 1e-6 * p.abs().max(1.0));
-            prop_assert!(p.re <= 1e-8);
-        }
-        for p in model.poles().unwrap() {
-            prop_assert!(p.re.abs() <= 1e-6 * p.abs().max(1.0), "pole {p}");
-        }
-    }
-
-    #[test]
-    fn moments_always_match_at_every_order(seed in 0u64..200, order in 1usize..8) {
-        // The Padé property q(n) >= 2*floor(n/p) holds for every n.
-        let ckt = random_rc(seed, 16, 2);
-        let sys = MnaSystem::assemble(&ckt).unwrap();
-        let model = sympvl(&sys, order, &SympvlOptions::default()).unwrap();
-        let q = model.matched_moments().min(2 * model.order());
-        if q == 0 {
-            return Ok(());
-        }
-        let exact = sympvl::exact_moments(&sys, model.shift(), q).unwrap();
-        for (k, ek) in exact.iter().enumerate() {
-            let mk = model.moment(k);
-            let scale = ek.max_abs().max(1e-300);
-            prop_assert!(
-                (&mk - ek).max_abs() / scale < 1e-5,
-                "seed {seed} order {order} moment {k}: rel {}",
-                (&mk - ek).max_abs() / scale
+#[test]
+fn rc_models_always_stable_and_passive() {
+    check(
+        "rc_models_always_stable_and_passive",
+        24,
+        (0u64..500, 1usize..12),
+        |&(seed, order)| {
+            let ckt = random_rc(seed, 18, 2);
+            let sys = MnaSystem::assemble(&ckt).unwrap();
+            let model = sympvl(&sys, order, &SympvlOptions::default()).unwrap();
+            prop_assert!(model.guarantees_passivity());
+            let cert_ok = matches!(
+                certify(&model, 1e-9).unwrap(),
+                Certificate::ProvablyPassive { .. }
             );
-        }
-    }
+            prop_assert!(cert_ok);
+            prop_assert!(is_stable(&model, 1e-8).unwrap());
+            let freqs: Vec<f64> = (0..20).map(|k| 10f64.powf(6.0 + 0.2 * k as f64)).collect();
+            let scan = sampled_passivity(&model, &freqs, 1e-8).unwrap();
+            prop_assert!(scan.passive, "worst {:?}", scan.worst);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn rl_models_always_stable_and_passive() {
+    check(
+        "rl_models_always_stable_and_passive",
+        24,
+        (0u64..500, 1usize..10),
+        |&(seed, order)| {
+            let ckt = random_rl(seed, 14, 2);
+            let sys = MnaSystem::assemble(&ckt).unwrap();
+            let model = sympvl(&sys, order, &SympvlOptions::default()).unwrap();
+            prop_assert!(model.guarantees_passivity());
+            let cert_ok = matches!(
+                certify(&model, 1e-9).unwrap(),
+                Certificate::ProvablyPassive { .. }
+            );
+            prop_assert!(cert_ok);
+            prop_assert!(is_stable(&model, 1e-8).unwrap());
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn lc_models_always_stable() {
+    check(
+        "lc_models_always_stable",
+        24,
+        (0u64..500, 1usize..10),
+        |&(seed, order)| {
+            let ckt = random_lc(seed, 14, 2);
+            let sys = MnaSystem::assemble(&ckt).unwrap();
+            let model = sympvl(&sys, order, &SympvlOptions::default()).unwrap();
+            prop_assert!(model.guarantees_passivity());
+            // LC: sigma-poles on the non-positive real axis <=> s-poles on the
+            // imaginary axis (marginally stable, lossless).
+            for p in model.sigma_poles().unwrap() {
+                prop_assert!(p.im.abs() < 1e-6 * p.abs().max(1.0));
+                prop_assert!(p.re <= 1e-8);
+            }
+            for p in model.poles().unwrap() {
+                prop_assert!(p.re.abs() <= 1e-6 * p.abs().max(1.0), "pole {p}");
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn moments_always_match_at_every_order() {
+    check(
+        "moments_always_match_at_every_order",
+        24,
+        (0u64..200, 1usize..8),
+        |&(seed, order)| {
+            // The Padé property q(n) >= 2*floor(n/p) holds for every n.
+            let ckt = random_rc(seed, 16, 2);
+            let sys = MnaSystem::assemble(&ckt).unwrap();
+            let model = sympvl(&sys, order, &SympvlOptions::default()).unwrap();
+            let q = model.matched_moments().min(2 * model.order());
+            if q == 0 {
+                return Ok(());
+            }
+            let exact = sympvl::exact_moments(&sys, model.shift(), q).unwrap();
+            for (k, ek) in exact.iter().enumerate() {
+                let mk = model.moment(k);
+                let scale = ek.max_abs().max(1e-300);
+                prop_assert!(
+                    (&mk - ek).max_abs() / scale < 1e-5,
+                    "seed {seed} order {order} moment {k}: rel {}",
+                    (&mk - ek).max_abs() / scale
+                );
+            }
+            Ok(())
+        },
+    );
 }

@@ -162,7 +162,9 @@ fn reduced_model_stamp_matches_eval() {
     let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * 5e8);
     let x = s - model.shift();
     let n = model.order();
-    let k = mpvl_la::Mat::from_fn(n, n, |i, j| Complex64::from_real(gh[(i, j)]) + x * ch[(i, j)]);
+    let k = mpvl_la::Mat::from_fn(n, n, |i, j| {
+        Complex64::from_real(gh[(i, j)]) + x * ch[(i, j)]
+    });
     let y = mpvl_la::Lu::new(k)
         .unwrap()
         .solve_mat(&rho.map(Complex64::from_real))

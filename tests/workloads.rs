@@ -3,12 +3,12 @@
 //! as the paper's proprietary ones (DESIGN.md §5).
 
 use mpvl_circuit::generators::{
-    h_tree, interconnect, package, peec, HTreeParams, InterconnectParams, PackageParams,
-    PeecParams,
+    h_tree, interconnect, package, peec, HTreeParams, InterconnectParams, PackageParams, PeecParams,
 };
 use mpvl_circuit::{CircuitClass, MnaSystem};
 use mpvl_la::{sym_eigen, Complex64};
-use proptest::prelude::*;
+use mpvl_testkit::prop::check;
+use mpvl_testkit::{prop_assert, prop_assert_eq};
 
 #[test]
 fn interconnect_structure_invariants() {
@@ -95,61 +95,72 @@ fn h_tree_leaf_count_and_balance() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+#[test]
+fn interconnect_params_never_break_assembly() {
+    check(
+        "interconnect_params_never_break_assembly",
+        12,
+        (2usize..6, 2usize..15, 1usize..4),
+        |&(wires, segments, reach)| {
+            let ckt = interconnect(&InterconnectParams {
+                wires,
+                segments,
+                coupling_reach: reach,
+                ..InterconnectParams::default()
+            });
+            prop_assert!(ckt.validate().is_ok());
+            let sys = MnaSystem::assemble(&ckt).unwrap();
+            prop_assert!(sys.is_symmetric());
+            // The reduction pipeline runs end to end at a token order.
+            let model =
+                sympvl::sympvl(&sys, wires.min(4), &sympvl::SympvlOptions::default()).unwrap();
+            prop_assert!(model.guarantees_passivity());
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn interconnect_params_never_break_assembly(
-        wires in 2usize..6,
-        segments in 2usize..15,
-        reach in 1usize..4,
-    ) {
-        let ckt = interconnect(&InterconnectParams {
-            wires,
-            segments,
-            coupling_reach: reach,
-            ..InterconnectParams::default()
-        });
-        prop_assert!(ckt.validate().is_ok());
-        let sys = MnaSystem::assemble(&ckt).unwrap();
-        prop_assert!(sys.is_symmetric());
-        // The reduction pipeline runs end to end at a token order.
-        let model = sympvl::sympvl(&sys, wires.min(4), &sympvl::SympvlOptions::default()).unwrap();
-        prop_assert!(model.guarantees_passivity());
-    }
+#[test]
+fn package_params_never_break_assembly() {
+    check(
+        "package_params_never_break_assembly",
+        12,
+        (2usize..8, 1usize..4),
+        |&(pins, sections)| {
+            let ckt = package(&PackageParams {
+                pins,
+                signal_pins: vec![0],
+                sections,
+                ..PackageParams::default()
+            });
+            prop_assert!(ckt.validate().is_ok());
+            let sys = MnaSystem::assemble_general(&ckt).unwrap();
+            prop_assert!(sys.is_symmetric());
+            let model = sympvl::sympvl(&sys, 4, &sympvl::SympvlOptions::default()).unwrap();
+            prop_assert!(model.order() >= 1);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn package_params_never_break_assembly(
-        pins in 2usize..8,
-        sections in 1usize..4,
-    ) {
-        let ckt = package(&PackageParams {
-            pins,
-            signal_pins: vec![0],
-            sections,
-            ..PackageParams::default()
-        });
-        prop_assert!(ckt.validate().is_ok());
-        let sys = MnaSystem::assemble_general(&ckt).unwrap();
-        prop_assert!(sys.is_symmetric());
-        let model = sympvl::sympvl(&sys, 4, &sympvl::SympvlOptions::default()).unwrap();
-        prop_assert!(model.order() >= 1);
-    }
-
-    #[test]
-    fn peec_params_never_break_assembly(
-        cells in 4usize..24,
-        k0 in 0.1f64..0.7,
-    ) {
-        let model = peec(&PeecParams {
-            cells,
-            output_cell: cells / 2,
-            k0,
-            ..PeecParams::default()
-        });
-        prop_assert!(model.circuit.validate().is_ok());
-        prop_assert_eq!(model.system.s_power, 2);
-        let rom = sympvl::sympvl(&model.system, 4, &sympvl::SympvlOptions::default()).unwrap();
-        prop_assert!(rom.guarantees_passivity());
-    }
+#[test]
+fn peec_params_never_break_assembly() {
+    check(
+        "peec_params_never_break_assembly",
+        12,
+        (4usize..24, 0.1f64..0.7),
+        |&(cells, k0)| {
+            let model = peec(&PeecParams {
+                cells,
+                output_cell: cells / 2,
+                k0,
+                ..PeecParams::default()
+            });
+            prop_assert!(model.circuit.validate().is_ok());
+            prop_assert_eq!(model.system.s_power, 2);
+            let rom = sympvl::sympvl(&model.system, 4, &sympvl::SympvlOptions::default()).unwrap();
+            prop_assert!(rom.guarantees_passivity());
+            Ok(())
+        },
+    );
 }
