@@ -1,0 +1,39 @@
+//! Thread-scaling microbenchmark for the parallel AC sweep.
+//!
+//! Runs one fixed package-model sweep at 1/2/4/8 workers so the scaling
+//! curve (and the serial symbolic-reuse baseline) lands in the bench
+//! trajectory as per-thread-count medians.
+//!
+//! Run with `cargo run --release -p mpvl-bench --bin bench_par_sweep`;
+//! writes `target/bench/BENCH_par_sweep.json`. `MPVL_THREADS` only
+//! affects the reported ambient default — the measured cases pin their
+//! worker counts explicitly.
+
+use mpvl_circuit::generators::{package, PackageParams};
+use mpvl_circuit::MnaSystem;
+use mpvl_sim::{ac_sweep_with_threads, log_space};
+use mpvl_testkit::bench::Bench;
+
+fn main() {
+    let mut bench = Bench::new("par_sweep");
+    eprintln!(
+        "# ambient default thread count (MPVL_THREADS aware): {}",
+        mpvl_par::thread_count()
+    );
+
+    let ckt = package(&PackageParams {
+        pins: 16,
+        signal_pins: vec![0, 1, 8],
+        sections: 6,
+        ..PackageParams::default()
+    });
+    let sys = MnaSystem::assemble_general(&ckt).expect("assemble");
+    let freqs = log_space(1e7, 2e10, 32);
+    for threads in [1usize, 2, 4, 8] {
+        bench.bench(&format!("ac_sweep_32pts/threads={threads}"), || {
+            ac_sweep_with_threads(&sys, &freqs, threads).expect("sweep");
+        });
+    }
+
+    bench.finish();
+}

@@ -1,0 +1,279 @@
+//! # mpvl-par — a zero-dependency scoped thread pool
+//!
+//! Shared-nothing data parallelism for the workspace, built entirely on
+//! `std::thread::scope`. The design constraints, in order:
+//!
+//! 1. **Determinism.** Results are placed by input index, so the output of
+//!    [`parallel_map`] is identical for every thread count — including the
+//!    inline single-thread fallback. Callers (the AC sweep, benches) rely
+//!    on bit-identical serial/parallel output.
+//! 2. **Hermeticity.** No registry dependencies; scoped threads mean no
+//!    `'static` bounds, so borrowed matrices and closures pass straight in.
+//! 3. **Per-worker state.** Numeric factorization workers need preallocated
+//!    workspaces; [`parallel_map_with`] hands each worker its own state
+//!    built once per thread, not once per item.
+//!
+//! The default thread count honours the `MPVL_THREADS` environment
+//! variable (useful for benchmarking scaling curves and for forcing the
+//! single-thread fallback in CI) and otherwise uses
+//! [`std::thread::available_parallelism`].
+//!
+//! # Examples
+//!
+//! ```
+//! let squares = mpvl_par::parallel_map(&[1u64, 2, 3, 4], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The worker count used by the env-driven entry points.
+///
+/// `MPVL_THREADS` (a positive integer) overrides the detected hardware
+/// parallelism; `MPVL_THREADS=1` forces the inline single-thread fallback.
+/// Unset or unparsable values fall back to
+/// [`std::thread::available_parallelism`] (1 if even that fails).
+pub fn thread_count() -> usize {
+    std::env::var("MPVL_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Maps `f` over `items` on [`thread_count`] workers; output order matches
+/// input order regardless of scheduling.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    parallel_map_with(thread_count(), items, |_| (), |(), _, item| f(item))
+}
+
+/// [`parallel_map`] with an explicit worker count and per-worker state.
+///
+/// `init(w)` runs once on worker `w` (0-based) to build its private state —
+/// typically a preallocated numeric workspace — and `f(&mut state, i,
+/// &items[i])` is then called for every item the worker claims. Items are
+/// claimed dynamically (an atomic counter), so uneven per-item cost load-
+/// balances; results are still reassembled in input order.
+///
+/// `threads <= 1`, an empty input, or a single item all take the inline
+/// path: no threads are spawned and `f` runs on the caller's stack with
+/// `init(0)`'s state, in input order.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+pub fn parallel_map_with<T, S, R, I, F>(threads: usize, items: &[T], init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn(usize) -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = threads.max(1).min(n.max(1));
+    if threads == 1 {
+        let mut state = init(0);
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(&mut state, i, item))
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let harvests: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let (next, init, f) = (&next, &init, &f);
+                scope.spawn(move || {
+                    let mut state = init(w);
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(&mut state, i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("mpvl-par worker panicked"))
+            .collect()
+    });
+    for harvest in harvests {
+        for (i, r) in harvest {
+            slots[i] = Some(r);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index claimed exactly once"))
+        .collect()
+}
+
+/// Splits `data` into one contiguous chunk per worker ([`thread_count`]
+/// workers) and runs `f(offset, chunk)` on each, where `offset` is the
+/// chunk's start index in `data`.
+pub fn parallel_for_chunks<T, F>(data: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    parallel_for_chunks_with(thread_count(), data, f);
+}
+
+/// [`parallel_for_chunks`] with an explicit worker count.
+///
+/// Chunk boundaries depend only on `data.len()` and `threads` (ceiling
+/// division), never on scheduling. `threads <= 1` runs `f(0, data)` inline
+/// without spawning.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+pub fn parallel_for_chunks_with<T, F>(threads: usize, data: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n = data.len();
+    let threads = threads.max(1).min(n.max(1));
+    if threads == 1 {
+        f(0, data);
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (ci, slice) in data.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || f(ci * chunk, slice));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_matches_serial_at_every_thread_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for threads in [1, 2, 3, 4, 8, 300] {
+            let got = parallel_map_with(threads, &items, |_| (), |(), _, &x| x * x + 1);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_preserves_order_under_skewed_load() {
+        // Early items are much more expensive; dynamic scheduling will
+        // finish them last, but output order must not change.
+        let items: Vec<usize> = (0..64).collect();
+        let got = parallel_map_with(
+            4,
+            &items,
+            |_| (),
+            |(), _, &i| {
+                let spin = if i < 4 { 20_000 } else { 10 };
+                let mut acc = i as u64;
+                for k in 0..spin {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+                }
+                (i, acc)
+            },
+        );
+        for (slot, (i, _)) in got.iter().enumerate() {
+            assert_eq!(slot, *i);
+        }
+    }
+
+    #[test]
+    fn per_worker_state_is_private_and_reused() {
+        // Each worker gets one scratch buffer built by `init`; `f` dirties
+        // it on every item. Correct output proves the state is per-worker
+        // (no cross-thread sharing) and safely reusable across items.
+        let items: Vec<usize> = (0..100).collect();
+        let got = parallel_map_with(
+            3,
+            &items,
+            |w| (w, vec![0u64; 32]),
+            |(_, scratch), _, &x| {
+                for (k, v) in scratch.iter_mut().enumerate() {
+                    *v = (x + k) as u64;
+                }
+                scratch.iter().sum::<u64>()
+            },
+        );
+        let expect: Vec<u64> = items
+            .iter()
+            .map(|&x| (0..32).map(|k| (x + k) as u64).sum())
+            .collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(parallel_map_with(8, &empty, |_| (), |(), _, &x| x).is_empty());
+        assert_eq!(parallel_map_with(8, &[7u8], |_| (), |(), _, &x| x), vec![7]);
+        assert_eq!(parallel_map(&[1u8, 2], |&x| x + 1), vec![2, 3]);
+    }
+
+    #[test]
+    fn chunks_cover_every_index_exactly_once() {
+        for threads in [1, 2, 3, 5, 16] {
+            let mut data = vec![usize::MAX; 41];
+            parallel_for_chunks_with(threads, &mut data, |offset, chunk| {
+                for (k, v) in chunk.iter_mut().enumerate() {
+                    assert_eq!(*v, usize::MAX, "index visited twice");
+                    *v = offset + k;
+                }
+            });
+            let expect: Vec<usize> = (0..41).collect();
+            assert_eq!(data, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn thread_count_env_override() {
+        std::env::set_var("MPVL_THREADS", "3");
+        assert_eq!(thread_count(), 3);
+        std::env::set_var("MPVL_THREADS", "not-a-number");
+        assert!(thread_count() >= 1);
+        std::env::set_var("MPVL_THREADS", "0");
+        assert!(thread_count() >= 1);
+        std::env::remove_var("MPVL_THREADS");
+        assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn worker_panic_propagates() {
+        let items: Vec<u32> = (0..16).collect();
+        let _ = parallel_map_with(
+            2,
+            &items,
+            |_| (),
+            |(), _, &x| {
+                assert!(x != 9, "worker panicked on purpose");
+                x
+            },
+        );
+    }
+}

@@ -5,12 +5,23 @@
 //! sparse complex-symmetric LDLᵀ factorization (with a dense LU fallback
 //! for the rare near-resonance breakdowns), and the exact multi-port
 //! transfer matrix `Z(s) = s^{osf}·BᵀX` is assembled.
+//!
+//! The sweep exploits that the pattern of `G + σ(s)C` is frequency-
+//! independent: one [`SymbolicLdlt`] analysis (ordering, elimination tree,
+//! `L` pattern) is shared by every point, and each point pays only a
+//! numeric [`NumericLdlt::refactor`] plus a blocked multi-RHS solve.
+//! Frequency points are independent, so they fan out across the
+//! `mpvl-par` scoped thread pool — each worker owns one preallocated
+//! numeric workspace, and results are reassembled in input order,
+//! bit-identical to the single-threaded sweep.
 
 use mpvl_circuit::MnaSystem;
 use mpvl_la::{Complex64, Lu, Mat};
-use mpvl_sparse::{compute_ordering, CscMat, Ordering, SparseLdlt};
+use mpvl_par::parallel_map_with;
+use mpvl_sparse::{CscMat, NumericLdlt, Ordering, SymbolicLdlt};
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 /// Error from an AC sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,13 +56,19 @@ pub struct AcPoint {
 
 /// Exact AC sweep of an assembled [`MnaSystem`].
 ///
-/// Reuses one fill-reducing ordering for every frequency point; each point
-/// costs one sparse complex factorization plus `p` solves.
+/// One symbolic analysis (fill-reducing ordering, elimination tree, `L`
+/// pattern) is shared by every frequency point; each point costs one
+/// numeric refactorization plus a blocked `p`-column solve. Points run in
+/// parallel on [`mpvl_par::thread_count`] workers (`MPVL_THREADS`
+/// overrides; `1` forces the inline serial path) and the result is
+/// bit-identical at every thread count.
 ///
 /// # Errors
 ///
 /// Returns [`AcError::SingularAtFrequency`] only if both the sparse and the
-/// dense fallback factorization fail (the sweep hit a pole exactly).
+/// dense fallback factorization fail (the sweep hit a pole exactly). With
+/// several offending points, the error reports the earliest one in
+/// `freqs_hz` order.
 ///
 /// # Examples
 ///
@@ -68,53 +85,72 @@ pub struct AcPoint {
 /// # }
 /// ```
 pub fn ac_sweep(sys: &MnaSystem, freqs_hz: &[f64]) -> Result<Vec<AcPoint>, AcError> {
+    ac_sweep_with_threads(sys, freqs_hz, mpvl_par::thread_count())
+}
+
+/// [`ac_sweep`] with an explicit worker count (determinism tests and the
+/// scaling bench drive this directly instead of mutating `MPVL_THREADS`).
+///
+/// # Errors
+///
+/// See [`ac_sweep`].
+pub fn ac_sweep_with_threads(
+    sys: &MnaSystem,
+    freqs_hz: &[f64],
+    threads: usize,
+) -> Result<Vec<AcPoint>, AcError> {
     let g: CscMat<Complex64> = sys.g.map(Complex64::from_real);
     let c: CscMat<Complex64> = sys.c.map(Complex64::from_real);
-    // One ordering for all points, computed on the union pattern.
-    let union = g.add_scaled(Complex64::ONE, &c, Complex64::ONE);
-    let perm = compute_ordering(&union.adjacency(), Ordering::MinDegree);
     let bz = sys.b.map(Complex64::from_real);
-    let p = sys.num_ports();
-    let n = sys.dim();
 
     // The unpivoted symmetric sparse path is only valid for symmetric
     // matrices; active circuits (VCCS) take the dense pivoted route.
-    let symmetric = sys.is_symmetric();
-    let mut out = Vec::with_capacity(freqs_hz.len());
-    for &f in freqs_hz {
-        let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * f);
-        let sigma = sys.sigma(s);
-        let k = g.add_scaled(Complex64::ONE, &c, sigma);
-        let x = if !symmetric {
-            let lu =
-                Lu::new(k.to_dense()).map_err(|_| AcError::SingularAtFrequency { freq_hz: f })?;
-            lu.solve_mat(&bz)
-                .map_err(|_| AcError::SingularAtFrequency { freq_hz: f })?
-        } else {
-            match SparseLdlt::factor_with_perm(&k, perm.clone()) {
-                Ok(fac) => {
-                    let mut x = Mat::zeros(n, p);
-                    for j in 0..p {
-                        let col = fac.solve(bz.col(j));
-                        x.col_mut(j).copy_from_slice(&col);
-                    }
-                    x
-                }
-                Err(_) => {
+    // Symbolic analysis happens once, on the union pattern `G + C` (the
+    // pattern of `G + σ(s)C` at every frequency).
+    let symbolic: Option<Arc<SymbolicLdlt>> = if sys.is_symmetric() {
+        let union = g.add_scaled(Complex64::ONE, &c, Complex64::ONE);
+        SymbolicLdlt::analyze(&union, Ordering::MinDegree)
+            .ok()
+            .map(Arc::new)
+    } else {
+        None
+    };
+
+    let points = parallel_map_with(
+        threads,
+        freqs_hz,
+        // Each worker owns one preallocated numeric workspace.
+        |_| symbolic.as_ref().map(|s| NumericLdlt::new(Arc::clone(s))),
+        |num, _, &f| {
+            let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * f);
+            let sigma = sys.sigma(s);
+            let k = g.add_scaled(Complex64::ONE, &c, sigma);
+            let x = match num.as_mut() {
+                Some(num) => match num.refactor(&k) {
+                    Ok(()) => num.solve_mat(&bz),
                     // Dense LU fallback (pivoted): handles indefinite/near-
                     // breakdown points the unpivoted sparse path rejects.
-                    let dense = k.to_dense();
-                    let lu =
-                        Lu::new(dense).map_err(|_| AcError::SingularAtFrequency { freq_hz: f })?;
-                    lu.solve_mat(&bz)
-                        .map_err(|_| AcError::SingularAtFrequency { freq_hz: f })?
-                }
-            }
-        };
-        let z = bz.t_matmul(&x).scale(sys.output_factor(s));
-        out.push(AcPoint { freq_hz: f, z });
-    }
-    Ok(out)
+                    Err(_) => dense_solve(&k, &bz, f)?,
+                },
+                None => dense_solve(&k, &bz, f)?,
+            };
+            let z = bz.t_matmul(&x).scale(sys.output_factor(s));
+            Ok(AcPoint { freq_hz: f, z })
+        },
+    );
+    points.into_iter().collect()
+}
+
+/// Shared dense pivoted solve for the nonsymmetric path and the sparse
+/// breakdown fallback; the only place the dense copy of `K` is built.
+fn dense_solve(
+    k: &CscMat<Complex64>,
+    bz: &Mat<Complex64>,
+    freq_hz: f64,
+) -> Result<Mat<Complex64>, AcError> {
+    let lu = Lu::new(k.to_dense()).map_err(|_| AcError::SingularAtFrequency { freq_hz })?;
+    lu.solve_mat(bz)
+        .map_err(|_| AcError::SingularAtFrequency { freq_hz })
 }
 
 /// Logarithmically spaced frequency grid from `f_lo` to `f_hi` (inclusive).

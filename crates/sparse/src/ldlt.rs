@@ -5,6 +5,13 @@
 //! exact column counts from the upper triangle, then a numeric pass fills
 //! `L` (unit lower triangular, CSC) and the diagonal `D` column by column.
 //!
+//! The two passes are exposed both fused ([`SparseLdlt::factor`], the
+//! one-shot API) and split ([`SymbolicLdlt`] + [`NumericLdlt`]): when many
+//! matrices share one sparsity pattern — an AC sweep factoring `G + σ(s)C`
+//! per frequency — the symbolic work (ordering, permuted pattern, etree,
+//! column counts) is paid once and each additional matrix costs only the
+//! numeric pass, with zero allocation.
+//!
 //! The factorization is *unpivoted*; a fill-reducing symmetric permutation
 //! is applied first. This is the right tool for the matrices this
 //! workspace produces:
@@ -21,9 +28,10 @@
 //!   caller may fall back to a dense factorization.
 
 use crate::{compute_ordering, CscMat, Ordering};
-use mpvl_la::Scalar;
+use mpvl_la::{Mat, Scalar};
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 /// Error from the sparse LDLᵀ factorization.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,6 +50,9 @@ pub enum LdltError {
         /// Columns of the offending matrix.
         ncols: usize,
     },
+    /// A numeric refactorization was handed a matrix whose sparsity
+    /// pattern differs from the one the symbolic analysis was built on.
+    PatternMismatch,
 }
 
 impl fmt::Display for LdltError {
@@ -54,11 +65,536 @@ impl fmt::Display for LdltError {
             LdltError::NotSquare { nrows, ncols } => {
                 write!(f, "matrix is {nrows}x{ncols}, expected square")
             }
+            LdltError::PatternMismatch => {
+                write!(f, "matrix pattern differs from the symbolic analysis")
+            }
         }
     }
 }
 
 impl Error for LdltError {}
+
+/// In-place forward substitution `L x = b` (unit diagonal, CSC `L`).
+fn l_solve_csc<T: Scalar>(colptr: &[usize], rowidx: &[usize], values: &[T], x: &mut [T]) {
+    for j in 0..x.len() {
+        let xj = x[j];
+        if xj == T::zero() {
+            continue;
+        }
+        for p in colptr[j]..colptr[j + 1] {
+            x[rowidx[p]] -= values[p] * xj;
+        }
+    }
+}
+
+/// In-place back substitution `Lᵀ x = b` (unit diagonal, CSC `L`).
+fn lt_solve_csc<T: Scalar>(colptr: &[usize], rowidx: &[usize], values: &[T], x: &mut [T]) {
+    for j in (0..x.len()).rev() {
+        let mut s = x[j];
+        for p in colptr[j]..colptr[j + 1] {
+            s -= values[p] * x[rowidx[p]];
+        }
+        x[j] = s;
+    }
+}
+
+/// Full permuted solve `A x = b` given the pieces `P, L, D`; writes the
+/// solution into `out` using `work` as the permuted-coordinate buffer.
+#[allow(clippy::too_many_arguments)]
+fn solve_permuted_into<T: Scalar>(
+    perm: &[usize],
+    colptr: &[usize],
+    rowidx: &[usize],
+    values: &[T],
+    d: &[T],
+    b: &[T],
+    work: &mut [T],
+    out: &mut [T],
+) {
+    let n = perm.len();
+    for i in 0..n {
+        work[i] = b[perm[i]];
+    }
+    l_solve_csc(colptr, rowidx, values, work);
+    for k in 0..n {
+        work[k] /= d[k];
+    }
+    lt_solve_csc(colptr, rowidx, values, work);
+    for i in 0..n {
+        out[perm[i]] = work[i];
+    }
+}
+
+/// Blocked multi-right-hand-side solve: every column of `b` through
+/// `P, L, D` with one shared workspace (no per-column allocation).
+fn solve_mat_permuted<T: Scalar>(
+    perm: &[usize],
+    colptr: &[usize],
+    rowidx: &[usize],
+    values: &[T],
+    d: &[T],
+    b: &Mat<T>,
+) -> Mat<T> {
+    let n = perm.len();
+    assert_eq!(b.nrows(), n, "dimension mismatch");
+    let mut out = Mat::zeros(n, b.ncols());
+    let mut work = vec![T::zero(); n];
+    for j in 0..b.ncols() {
+        solve_permuted_into(
+            perm,
+            colptr,
+            rowidx,
+            values,
+            d,
+            b.col(j),
+            &mut work,
+            out.col_mut(j),
+        );
+    }
+    out
+}
+
+/// The reusable symbolic half of a sparse LDLᵀ factorization.
+///
+/// Everything that depends only on the sparsity *pattern* of `A` is
+/// computed once here — the fill-reducing permutation, the permuted
+/// pattern `B = PᵀAP` (with a gather map from `A`'s value array, so no
+/// per-factorization triplet sort), the elimination tree, and the exact
+/// column counts of `L`. A [`NumericLdlt`] then refactors new *values*
+/// with the same pattern at a fraction of the from-scratch cost — the
+/// structure of an AC sweep, where `G + σ(s)C` changes values but never
+/// pattern across frequency points.
+///
+/// # Examples
+///
+/// ```
+/// use mpvl_sparse::{TripletMat, SymbolicLdlt, NumericLdlt, Ordering};
+/// use std::sync::Arc;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut t = TripletMat::new(3, 3);
+/// for i in 0..3 { t.push(i, i, 2.0); }
+/// t.push_sym(0, 1, -1.0);
+/// t.push_sym(1, 2, -1.0);
+/// let a = t.to_csc();
+/// let sym = Arc::new(SymbolicLdlt::analyze(&a, Ordering::MinDegree)?);
+/// let mut num = NumericLdlt::new(Arc::clone(&sym));
+/// num.refactor(&a)?;                    // numeric pass only
+/// let x = num.solve(&[1.0, 0.0, 1.0]);
+/// let r = a.matvec(&x);
+/// assert!((r[0] - 1.0).abs() < 1e-12);
+/// let a2 = a.map(|v| 3.0 * v);          // same pattern, new values
+/// num.refactor(&a2)?;                   // reuses pattern + workspaces
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SymbolicLdlt {
+    n: usize,
+    /// `perm[new] = old`.
+    perm: Vec<usize>,
+    /// Pattern of `B = PᵀAP`, rows sorted within each column.
+    b_colptr: Vec<usize>,
+    b_rowidx: Vec<usize>,
+    /// Gather map: `B.values[k] = A.values[b_src[k]]`.
+    b_src: Vec<usize>,
+    /// Elimination tree of `B` (`usize::MAX` marks a root).
+    parent: Vec<usize>,
+    /// Column pointers of `L` (exact counts from the symbolic pass).
+    l_colptr: Vec<usize>,
+    /// Pattern fingerprint of the analyzed `A`, validated on refactor.
+    a_colptr: Vec<usize>,
+    a_rowidx: Vec<usize>,
+}
+
+impl SymbolicLdlt {
+    /// Symbolic analysis of `a` under the requested fill-reducing
+    /// ordering. Only the pattern of `a` is read.
+    ///
+    /// # Errors
+    ///
+    /// [`LdltError::NotSquare`] for rectangular input.
+    pub fn analyze<T: Scalar>(a: &CscMat<T>, ordering: Ordering) -> Result<Self, LdltError> {
+        if a.nrows() != a.ncols() {
+            return Err(LdltError::NotSquare {
+                nrows: a.nrows(),
+                ncols: a.ncols(),
+            });
+        }
+        let perm = compute_ordering(&a.adjacency(), ordering);
+        Self::analyze_with_perm(a, perm)
+    }
+
+    /// Symbolic analysis with an explicit permutation (`perm[new] = old`).
+    ///
+    /// # Errors
+    ///
+    /// [`LdltError::NotSquare`] for rectangular input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..a.nrows()`.
+    pub fn analyze_with_perm<T: Scalar>(
+        a: &CscMat<T>,
+        perm: Vec<usize>,
+    ) -> Result<Self, LdltError> {
+        if a.nrows() != a.ncols() {
+            return Err(LdltError::NotSquare {
+                nrows: a.nrows(),
+                ncols: a.ncols(),
+            });
+        }
+        let n = a.nrows();
+        assert_eq!(perm.len(), n, "bad permutation length");
+        // inv[old] = new
+        let mut inv = vec![usize::MAX; n];
+        for (newi, &old) in perm.iter().enumerate() {
+            assert!(old < n && inv[old] == usize::MAX, "not a permutation");
+            inv[old] = newi;
+        }
+
+        // --- Permuted pattern B = PᵀAP by counting sort, carrying the
+        // --- source position of every entry in A's value array.
+        let nnz = a.nnz();
+        let mut b_colptr = vec![0usize; n + 1];
+        for j in 0..n {
+            b_colptr[inv[j] + 1] += a.col_ptr()[j + 1] - a.col_ptr()[j];
+        }
+        for k in 0..n {
+            b_colptr[k + 1] += b_colptr[k];
+        }
+        let mut next = b_colptr[..n].to_vec();
+        let mut b_rowidx = vec![0usize; nnz];
+        let mut b_src = vec![0usize; nnz];
+        for j in 0..n {
+            let (rows, _) = a.col_entries(j);
+            let base = a.col_ptr()[j];
+            let bj = inv[j];
+            for (k, &i) in rows.iter().enumerate() {
+                let slot = next[bj];
+                next[bj] += 1;
+                b_rowidx[slot] = inv[i];
+                b_src[slot] = base + k;
+            }
+        }
+        // Sort each column of B by row index, keeping the gather map in step.
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for j in 0..n {
+            let (lo, hi) = (b_colptr[j], b_colptr[j + 1]);
+            pairs.clear();
+            pairs.extend(
+                b_rowidx[lo..hi]
+                    .iter()
+                    .copied()
+                    .zip(b_src[lo..hi].iter().copied()),
+            );
+            pairs.sort_unstable_by_key(|&(r, _)| r);
+            for (t, &(r, s)) in pairs.iter().enumerate() {
+                b_rowidx[lo + t] = r;
+                b_src[lo + t] = s;
+            }
+        }
+
+        // --- Elimination tree + exact column counts of L, from the upper
+        // --- triangle of B (Davis' LDL symbolic pass).
+        let mut parent = vec![usize::MAX; n];
+        let mut flag = vec![usize::MAX; n];
+        let mut lnz = vec![0usize; n];
+        for k in 0..n {
+            flag[k] = k;
+            for p in b_colptr[k]..b_colptr[k + 1] {
+                let ri = b_rowidx[p];
+                if ri >= k {
+                    continue;
+                }
+                let mut i = ri;
+                while flag[i] != k {
+                    if parent[i] == usize::MAX {
+                        parent[i] = k;
+                    }
+                    lnz[i] += 1;
+                    flag[i] = k;
+                    i = parent[i];
+                }
+            }
+        }
+        let mut l_colptr = vec![0usize; n + 1];
+        for k in 0..n {
+            l_colptr[k + 1] = l_colptr[k] + lnz[k];
+        }
+
+        Ok(SymbolicLdlt {
+            n,
+            perm,
+            b_colptr,
+            b_rowidx,
+            b_src,
+            parent,
+            l_colptr,
+            a_colptr: a.col_ptr().to_vec(),
+            a_rowidx: a.row_idx().to_vec(),
+        })
+    }
+
+    /// Dimension of the analyzed matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of off-diagonal entries `L` will hold (the predicted fill).
+    pub fn l_nnz(&self) -> usize {
+        self.l_colptr[self.n]
+    }
+
+    /// The permutation used, `perm[new] = old`.
+    pub fn perm(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// `true` when `a` has exactly the pattern this analysis was built on.
+    pub fn pattern_matches<T: Scalar>(&self, a: &CscMat<T>) -> bool {
+        a.nrows() == self.n
+            && a.ncols() == self.n
+            && a.col_ptr() == &self.a_colptr[..]
+            && a.row_idx() == &self.a_rowidx[..]
+    }
+}
+
+/// The numeric half of a split sparse LDLᵀ: values of `L` and `D` plus the
+/// preallocated workspaces of the up-looking factorization, all reusable
+/// across [`NumericLdlt::refactor`] calls against one [`SymbolicLdlt`].
+///
+/// Each parallel worker owns one of these (sharing the `Arc`'d symbolic
+/// analysis), which is exactly the shape a fanned-out AC sweep needs.
+#[derive(Debug, Clone)]
+pub struct NumericLdlt<T> {
+    sym: Arc<SymbolicLdlt>,
+    factored: bool,
+    l_rowidx: Vec<usize>,
+    l_values: Vec<T>,
+    /// Diagonal of `D`, in permuted order.
+    d: Vec<T>,
+    // Workspaces of the numeric pass.
+    y: Vec<T>,
+    pattern: Vec<usize>,
+    stack: Vec<usize>,
+    lnz_done: Vec<usize>,
+    flag: Vec<usize>,
+}
+
+impl<T: Scalar> NumericLdlt<T> {
+    /// Allocates workspaces for `sym`; no factorization is performed until
+    /// the first [`NumericLdlt::refactor`].
+    #[must_use]
+    pub fn new(sym: Arc<SymbolicLdlt>) -> Self {
+        let n = sym.n;
+        let l_nnz = sym.l_nnz();
+        NumericLdlt {
+            sym,
+            factored: false,
+            l_rowidx: vec![0; l_nnz],
+            l_values: vec![T::zero(); l_nnz],
+            d: vec![T::zero(); n],
+            y: vec![T::zero(); n],
+            pattern: vec![0; n],
+            stack: vec![0; n],
+            lnz_done: vec![0; n],
+            flag: vec![usize::MAX; n],
+        }
+    }
+
+    /// One-shot convenience: workspaces plus a first [`refactor`].
+    ///
+    /// [`refactor`]: NumericLdlt::refactor
+    ///
+    /// # Errors
+    ///
+    /// See [`NumericLdlt::refactor`].
+    pub fn factor(sym: &Arc<SymbolicLdlt>, a: &CscMat<T>) -> Result<Self, LdltError> {
+        let mut num = Self::new(Arc::clone(sym));
+        num.refactor(a)?;
+        Ok(num)
+    }
+
+    /// Numeric refactorization: recomputes `L` and `D` for a matrix with
+    /// the *same pattern* as the symbolic analysis but new values. No
+    /// allocation, no permutation build, no symbolic work.
+    ///
+    /// # Errors
+    ///
+    /// * [`LdltError::PatternMismatch`] if `a`'s pattern differs from the
+    ///   analyzed one (the factorization is left unfactored).
+    /// * [`LdltError::ZeroPivot`] when a pivot underflows the breakdown
+    ///   tolerance (`1e-13 · max|A|`); the workspaces stay valid, so a
+    ///   later `refactor` with better-conditioned values may still succeed.
+    pub fn refactor(&mut self, a: &CscMat<T>) -> Result<(), LdltError> {
+        let sym = Arc::clone(&self.sym);
+        if !sym.pattern_matches(a) {
+            self.factored = false;
+            return Err(LdltError::PatternMismatch);
+        }
+        self.factored = false;
+        let n = sym.n;
+        let av = a.values();
+        let max_abs = av.iter().map(|v| v.modulus()).fold(0.0, f64::max);
+        let pivot_floor = 1e-13 * max_abs.max(f64::MIN_POSITIVE);
+
+        for v in &mut self.y {
+            *v = T::zero();
+        }
+        for v in &mut self.lnz_done {
+            *v = 0;
+        }
+        for v in &mut self.flag {
+            *v = usize::MAX;
+        }
+
+        for k in 0..n {
+            self.flag[k] = k;
+            let mut top = n;
+            for p in sym.b_colptr[k]..sym.b_colptr[k + 1] {
+                let ri = sym.b_rowidx[p];
+                if ri > k {
+                    continue;
+                }
+                self.y[ri] += av[sym.b_src[p]];
+                let mut len = 0;
+                let mut i = ri;
+                while self.flag[i] != k {
+                    self.stack[len] = i;
+                    len += 1;
+                    self.flag[i] = k;
+                    i = sym.parent[i];
+                }
+                while len > 0 {
+                    len -= 1;
+                    top -= 1;
+                    self.pattern[top] = self.stack[len];
+                }
+            }
+            self.d[k] = self.y[k];
+            self.y[k] = T::zero();
+            for &i in &self.pattern[top..n] {
+                let yi = self.y[i];
+                self.y[i] = T::zero();
+                let lo = sym.l_colptr[i];
+                let hi = lo + self.lnz_done[i];
+                for p in lo..hi {
+                    self.y[self.l_rowidx[p]] -= self.l_values[p] * yi;
+                }
+                let di = self.d[i];
+                let l_ki = yi / di;
+                self.d[k] -= l_ki * yi;
+                self.l_rowidx[hi] = k;
+                self.l_values[hi] = l_ki;
+                self.lnz_done[i] += 1;
+            }
+            if self.d[k].modulus() <= pivot_floor {
+                // Clear the dirty tail of y so the next refactor starts clean.
+                for v in &mut self.y {
+                    *v = T::zero();
+                }
+                return Err(LdltError::ZeroPivot {
+                    step: k,
+                    magnitude: self.d[k].modulus(),
+                });
+            }
+        }
+        self.factored = true;
+        Ok(())
+    }
+
+    /// The shared symbolic analysis.
+    pub fn symbolic(&self) -> &SymbolicLdlt {
+        &self.sym
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.sym.n
+    }
+
+    /// `true` after a successful [`NumericLdlt::refactor`].
+    pub fn is_factored(&self) -> bool {
+        self.factored
+    }
+
+    /// The diagonal of `D`, in permuted order.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless factored.
+    pub fn d(&self) -> &[T] {
+        assert!(self.factored, "not factored");
+        &self.d
+    }
+
+    /// Matrix inertia `(n_neg, n_zero, n_pos)` from the real parts of `D`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless factored.
+    pub fn inertia(&self) -> (usize, usize, usize) {
+        assert!(self.factored, "not factored");
+        inertia_of(&self.d)
+    }
+
+    /// Solves `A x = b` for the most recently refactored values.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless factored, or if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[T]) -> Vec<T> {
+        assert!(self.factored, "not factored");
+        assert_eq!(b.len(), self.sym.n, "dimension mismatch");
+        let mut work = vec![T::zero(); self.sym.n];
+        let mut out = vec![T::zero(); self.sym.n];
+        solve_permuted_into(
+            &self.sym.perm,
+            &self.sym.l_colptr,
+            &self.l_rowidx,
+            &self.l_values,
+            &self.d,
+            b,
+            &mut work,
+            &mut out,
+        );
+        out
+    }
+
+    /// Blocked multi-right-hand-side solve `A X = B`, one shared workspace
+    /// for all columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless factored, or if `b.nrows() != self.dim()`.
+    pub fn solve_mat(&self, b: &Mat<T>) -> Mat<T> {
+        assert!(self.factored, "not factored");
+        solve_mat_permuted(
+            &self.sym.perm,
+            &self.sym.l_colptr,
+            &self.l_rowidx,
+            &self.l_values,
+            &self.d,
+            b,
+        )
+    }
+}
+
+/// Inertia `(n_neg, n_zero, n_pos)` of a diagonal by real parts.
+fn inertia_of<T: Scalar>(d: &[T]) -> (usize, usize, usize) {
+    let (mut neg, mut zero, mut pos) = (0, 0, 0);
+    for v in d {
+        let r = v.real();
+        if r > 0.0 {
+            pos += 1;
+        } else if r < 0.0 {
+            neg += 1;
+        } else {
+            zero += 1;
+        }
+    }
+    (neg, zero, pos)
+}
 
 /// A sparse factorization `Pᵀ A P = L D Lᵀ` with diagonal `D`.
 ///
@@ -116,104 +652,29 @@ impl<T: Scalar> SparseLdlt<T> {
 
     /// Factors with an explicit permutation (`perm[new] = old`).
     ///
+    /// This is the one-shot path: symbolic analysis plus numeric pass.
+    /// Callers factoring many matrices with one shared pattern should use
+    /// [`SymbolicLdlt::analyze`] once and [`NumericLdlt::refactor`] per
+    /// matrix instead.
+    ///
     /// # Errors
     ///
     /// See [`SparseLdlt::factor`].
     pub fn factor_with_perm(a: &CscMat<T>, perm: Vec<usize>) -> Result<Self, LdltError> {
-        let n = a.nrows();
-        let b = a.permute_sym(&perm);
-        let max_abs = b.values().iter().map(|v| v.modulus()).fold(0.0, f64::max);
-        let pivot_floor = 1e-13 * max_abs.max(f64::MIN_POSITIVE);
-
-        // --- Symbolic: elimination tree + column counts. ---
-        let mut parent = vec![usize::MAX; n];
-        let mut flag = vec![usize::MAX; n];
-        let mut lnz = vec![0usize; n];
-        for k in 0..n {
-            flag[k] = k;
-            let (rows, _) = b.col_entries(k);
-            for &ri in rows {
-                if ri >= k {
-                    continue;
-                }
-                let mut i = ri;
-                while flag[i] != k {
-                    if parent[i] == usize::MAX {
-                        parent[i] = k;
-                    }
-                    lnz[i] += 1;
-                    flag[i] = k;
-                    i = parent[i];
-                }
-            }
-        }
-        let mut l_colptr = vec![0usize; n + 1];
-        for k in 0..n {
-            l_colptr[k + 1] = l_colptr[k] + lnz[k];
-        }
-        let total = l_colptr[n];
-        let mut l_rowidx = vec![0usize; total];
-        let mut l_values = vec![T::zero(); total];
-        let mut d = vec![T::zero(); n];
-
-        // --- Numeric. ---
-        let mut y = vec![T::zero(); n];
-        let mut pattern = vec![0usize; n];
-        let mut stack = vec![0usize; n];
-        let mut lnz_done = vec![0usize; n];
-        let mut flag = vec![usize::MAX; n];
-        for k in 0..n {
-            flag[k] = k;
-            let mut top = n;
-            let (rows, vals) = b.col_entries(k);
-            for (&ri, &v) in rows.iter().zip(vals) {
-                if ri > k {
-                    continue;
-                }
-                y[ri] += v;
-                let mut len = 0;
-                let mut i = ri;
-                while flag[i] != k {
-                    stack[len] = i;
-                    len += 1;
-                    flag[i] = k;
-                    i = parent[i];
-                }
-                while len > 0 {
-                    len -= 1;
-                    top -= 1;
-                    pattern[top] = stack[len];
-                }
-            }
-            d[k] = y[k];
-            y[k] = T::zero();
-            for &i in &pattern[top..n] {
-                let yi = y[i];
-                y[i] = T::zero();
-                let lo = l_colptr[i];
-                let hi = lo + lnz_done[i];
-                for p in lo..hi {
-                    y[l_rowidx[p]] -= l_values[p] * yi;
-                }
-                let di = d[i];
-                let l_ki = yi / di;
-                d[k] -= l_ki * yi;
-                l_rowidx[hi] = k;
-                l_values[hi] = l_ki;
-                lnz_done[i] += 1;
-            }
-            if d[k].modulus() <= pivot_floor {
-                return Err(LdltError::ZeroPivot {
-                    step: k,
-                    magnitude: d[k].modulus(),
-                });
-            }
-        }
-
+        let sym = Arc::new(SymbolicLdlt::analyze_with_perm(a, perm)?);
+        let num = NumericLdlt::factor(&sym, a)?;
+        let NumericLdlt {
+            l_rowidx,
+            l_values,
+            d,
+            ..
+        } = num;
+        // `num` held the only other reference; unwrap to avoid cloning.
+        let sym = Arc::try_unwrap(sym).unwrap_or_else(|arc| (*arc).clone());
         Ok(SparseLdlt {
-            n,
-            perm,
-            l_colptr,
+            n: sym.n,
+            perm: sym.perm,
+            l_colptr: sym.l_colptr,
             l_rowidx,
             l_values,
             d,
@@ -247,60 +708,55 @@ impl<T: Scalar> SparseLdlt<T> {
     /// Panics if `b.len() != self.dim()`.
     pub fn solve(&self, b: &[T]) -> Vec<T> {
         assert_eq!(b.len(), self.n, "dimension mismatch");
-        let mut x: Vec<T> = (0..self.n).map(|i| b[self.perm[i]]).collect();
-        self.l_solve(&mut x);
-        for k in 0..self.n {
-            x[k] /= self.d[k];
-        }
-        self.lt_solve(&mut x);
+        let mut work = vec![T::zero(); self.n];
         let mut out = vec![T::zero(); self.n];
-        for i in 0..self.n {
-            out[self.perm[i]] = x[i];
-        }
+        solve_permuted_into(
+            &self.perm,
+            &self.l_colptr,
+            &self.l_rowidx,
+            &self.l_values,
+            &self.d,
+            b,
+            &mut work,
+            &mut out,
+        );
         out
+    }
+
+    /// Blocked multi-right-hand-side solve `A X = B`: every column solved
+    /// through one shared workspace instead of paying a `Vec` allocation
+    /// and permutation round-trip each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.nrows() != self.dim()`.
+    pub fn solve_mat(&self, b: &Mat<T>) -> Mat<T> {
+        solve_mat_permuted(
+            &self.perm,
+            &self.l_colptr,
+            &self.l_rowidx,
+            &self.l_values,
+            &self.d,
+            b,
+        )
     }
 
     /// In-place forward substitution `L x = b` (unit diagonal), in permuted
     /// coordinates.
     pub fn l_solve(&self, x: &mut [T]) {
-        for j in 0..self.n {
-            let xj = x[j];
-            if xj == T::zero() {
-                continue;
-            }
-            for p in self.l_colptr[j]..self.l_colptr[j + 1] {
-                x[self.l_rowidx[p]] -= self.l_values[p] * xj;
-            }
-        }
+        l_solve_csc(&self.l_colptr, &self.l_rowidx, &self.l_values, x);
     }
 
     /// In-place back substitution `Lᵀ x = b`, in permuted coordinates.
     pub fn lt_solve(&self, x: &mut [T]) {
-        for j in (0..self.n).rev() {
-            let mut s = x[j];
-            for p in self.l_colptr[j]..self.l_colptr[j + 1] {
-                s -= self.l_values[p] * x[self.l_rowidx[p]];
-            }
-            x[j] = s;
-        }
+        lt_solve_csc(&self.l_colptr, &self.l_rowidx, &self.l_values, x);
     }
 
     /// Matrix inertia `(n_neg, n_zero, n_pos)` from the real parts of `D`.
     ///
     /// Meaningful for real symmetric input (where `D` is real).
     pub fn inertia(&self) -> (usize, usize, usize) {
-        let (mut neg, mut zero, mut pos) = (0, 0, 0);
-        for v in &self.d {
-            let r = v.real();
-            if r > 0.0 {
-                pos += 1;
-            } else if r < 0.0 {
-                neg += 1;
-            } else {
-                zero += 1;
-            }
-        }
-        (neg, zero, pos)
+        inertia_of(&self.d)
     }
 }
 
@@ -505,6 +961,116 @@ mod tests {
         let a = laplacian(100);
         let f = SparseLdlt::factor(&a, Ordering::Natural).unwrap();
         assert_eq!(f.l_nnz(), 99);
+    }
+
+    #[test]
+    fn refactor_matches_fresh_factor_values_and_inertia() {
+        // Second matrix, same pattern, different values: the reused
+        // symbolic analysis must reproduce a from-scratch factorization
+        // exactly (D bitwise, inertia, solves).
+        let a1 = laplacian(40);
+        let a2 = a1.map(|v| 1.9 * v + 0.3);
+        let sym = Arc::new(SymbolicLdlt::analyze(&a1, Ordering::MinDegree).unwrap());
+        let mut num = NumericLdlt::new(Arc::clone(&sym));
+        num.refactor(&a1).unwrap();
+        num.refactor(&a2).unwrap(); // reuses pattern + workspaces
+        let fresh = SparseLdlt::factor_with_perm(&a2, sym.perm().to_vec()).unwrap();
+        assert_eq!(num.d(), fresh.d(), "D must match bitwise");
+        assert_eq!(num.inertia(), fresh.inertia());
+        let b: Vec<f64> = (0..40).map(|i| (i as f64 * 0.3).cos()).collect();
+        assert_eq!(num.solve(&b), fresh.solve(&b), "solves must match bitwise");
+    }
+
+    #[test]
+    fn refactor_matches_fresh_factor_complex_indefinite() {
+        // Complex-symmetric AC-style matrices G + jωC at two different ω
+        // through one symbolic analysis.
+        let g = laplacian(30);
+        let sys_at = |w: f64| {
+            let jw = Complex64::new(0.0, w);
+            g.map(|v| Complex64::from_real(v) + jw * Complex64::from_real(0.2 * v))
+        };
+        let a1 = sys_at(1.5);
+        let a2 = sys_at(42.0);
+        let sym = Arc::new(SymbolicLdlt::analyze(&a1, Ordering::Rcm).unwrap());
+        let mut num = NumericLdlt::factor(&sym, &a1).unwrap();
+        num.refactor(&a2).unwrap();
+        let fresh = SparseLdlt::factor_with_perm(&a2, sym.perm().to_vec()).unwrap();
+        assert_eq!(num.d(), fresh.d());
+        let b: Vec<Complex64> = (0..30)
+            .map(|i| Complex64::new(1.0, 0.1 * i as f64))
+            .collect();
+        let x = num.solve_mat(&Mat::from_fn(30, 1, |i, _| b[i]));
+        let r = a2.matvec(x.col(0));
+        for (u, v) in r.iter().zip(&b) {
+            assert!((*u - *v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn refactor_rejects_pattern_mismatch() {
+        let a = laplacian(10);
+        let sym = Arc::new(SymbolicLdlt::analyze(&a, Ordering::Natural).unwrap());
+        let mut num = NumericLdlt::new(Arc::clone(&sym));
+        let other = laplacian(11);
+        assert_eq!(num.refactor(&other), Err(LdltError::PatternMismatch));
+        assert!(!num.is_factored());
+        // Same dimension, different pattern (a diagonal-only matrix).
+        let mut t = TripletMat::new(10, 10);
+        for i in 0..10 {
+            t.push(i, i, 1.0);
+        }
+        assert_eq!(num.refactor(&t.to_csc()), Err(LdltError::PatternMismatch));
+        // A matching pattern still factors afterwards.
+        num.refactor(&a).unwrap();
+        assert!(num.is_factored());
+    }
+
+    #[test]
+    fn refactor_recovers_after_zero_pivot() {
+        // An ungrounded Laplacian breaks down; the same workspaces must
+        // then cleanly factor a well-conditioned same-pattern matrix.
+        let n = 6;
+        let mut t = TripletMat::new(n, n);
+        for i in 0..n - 1 {
+            t.push(i, i, 1.0);
+            t.push(i + 1, i + 1, 1.0);
+            t.push_sym(i, i + 1, -1.0);
+        }
+        let singular = t.to_csc();
+        let sym = Arc::new(SymbolicLdlt::analyze(&singular, Ordering::Natural).unwrap());
+        let mut num = NumericLdlt::new(Arc::clone(&sym));
+        assert!(matches!(
+            num.refactor(&singular),
+            Err(LdltError::ZeroPivot { .. })
+        ));
+        assert!(!num.is_factored());
+        let grounded = singular.add_scaled(1.0, &CscMat::identity(n), 0.5);
+        // Different pattern (identity adds nothing off-diagonal but the
+        // union keeps it identical here since diagonals already exist).
+        num.refactor(&grounded).unwrap();
+        let fresh = SparseLdlt::factor_with_perm(&grounded, sym.perm().to_vec()).unwrap();
+        assert_eq!(num.d(), fresh.d());
+    }
+
+    #[test]
+    fn solve_mat_matches_columnwise_solves() {
+        let a = laplacian(25);
+        let f = SparseLdlt::factor(&a, Ordering::MinDegree).unwrap();
+        let b = Mat::from_fn(25, 3, |i, j| ((i * 7 + j * 13) as f64 * 0.01).sin());
+        let x = f.solve_mat(&b);
+        for j in 0..3 {
+            assert_eq!(x.col(j), &f.solve(b.col(j))[..], "column {j}");
+        }
+    }
+
+    #[test]
+    fn symbolic_predicts_exact_fill() {
+        let a = laplacian(60);
+        let sym = SymbolicLdlt::analyze(&a, Ordering::MinDegree).unwrap();
+        let f = SparseLdlt::factor_with_perm(&a, sym.perm().to_vec()).unwrap();
+        assert_eq!(sym.l_nnz(), f.l_nnz());
+        assert_eq!(sym.dim(), 60);
     }
 
     #[test]

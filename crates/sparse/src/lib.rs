@@ -12,6 +12,10 @@
 //!   production path; see `amd`).
 //! * [`SparseLdlt`] — unpivoted up-looking LDLᵀ, generic over `f64` and
 //!   [`mpvl_la::Complex64`] (the latter serves AC analysis `G + jωC`).
+//! * [`SymbolicLdlt`] / [`NumericLdlt`] — the factorize-once-symbolically,
+//!   refactor-numerically split: one symbolic analysis (ordering, etree,
+//!   `L` pattern) shared across many same-pattern numeric factorizations,
+//!   the hot-loop structure of an AC frequency sweep.
 //! * [`SparseMj`] — the paper's `G = M J Mᵀ` view (eq. 15) of a real
 //!   factorization, feeding the symmetric Lanczos process.
 //!
@@ -46,6 +50,6 @@ mod triplet;
 
 pub use amd::quotient_min_degree;
 pub use csc::CscMat;
-pub use ldlt::{LdltError, SparseLdlt, SparseMj};
+pub use ldlt::{LdltError, NumericLdlt, SparseLdlt, SparseMj, SymbolicLdlt};
 pub use order::{compute_ordering, is_permutation, min_degree, rcm, Ordering};
 pub use triplet::TripletMat;

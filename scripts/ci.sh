@@ -16,12 +16,21 @@ cargo fmt --check
 echo "==> cargo build --release --offline"
 cargo build --release --offline
 
-echo "==> cargo test -q --offline"
-cargo test -q --offline
+echo "==> cargo test -q --offline (MPVL_THREADS=1: single-thread fallback)"
+# The env pin keeps the mpvl-par inline fallback on every env-driven
+# entry point; the multi-thread pool is still exercised explicitly by
+# crates/sim/tests/par_determinism.rs and the mpvl-par unit tests.
+MPVL_THREADS=1 cargo test -q --offline
 
 echo "==> smoke bench (bench_sparse_ldlt, reduced samples)"
 MPVL_BENCH_WARMUP=1 MPVL_BENCH_SAMPLES=3 \
     cargo run -q --release --offline -p mpvl-bench --bin bench_sparse_ldlt
 
 test -s target/bench/BENCH_sparse_ldlt.json
+
+echo "==> smoke bench (bench_par_sweep, MPVL_THREADS=2, reduced samples)"
+MPVL_BENCH_WARMUP=1 MPVL_BENCH_SAMPLES=3 MPVL_THREADS=2 \
+    cargo run -q --release --offline -p mpvl-bench --bin bench_par_sweep
+
+test -s target/bench/BENCH_par_sweep.json
 echo "==> ci.sh: all green"
