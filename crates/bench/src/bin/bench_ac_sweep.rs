@@ -49,4 +49,5 @@ fn main() {
     });
 
     bench.finish();
+    mpvl_bench::export_obs();
 }

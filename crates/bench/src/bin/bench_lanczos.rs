@@ -59,4 +59,5 @@ fn main() {
     });
 
     bench.finish();
+    mpvl_bench::export_obs();
 }

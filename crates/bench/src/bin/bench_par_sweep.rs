@@ -36,4 +36,5 @@ fn main() {
     }
 
     bench.finish();
+    mpvl_bench::export_obs();
 }

@@ -56,4 +56,5 @@ fn main() {
     }
 
     bench.finish();
+    mpvl_bench::export_obs();
 }

@@ -156,5 +156,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         synth51.circuit.num_nodes() - 1,
         100.0 * w51 / vmax
     );
+    mpvl_bench::export_obs();
     Ok(())
 }

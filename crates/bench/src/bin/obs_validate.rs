@@ -1,0 +1,39 @@
+//! CI helper: validates that a file is well-formed JSON lines.
+//!
+//! ```sh
+//! cargo run --release -p mpvl-bench --bin obs_validate -- target/obs/ci_smoke.jsonl
+//! ```
+//!
+//! Exits nonzero (with the offending line number) when any non-empty
+//! line fails to parse, or when the file holds no JSON at all — a
+//! smoke-run that silently exported nothing is a regression too.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: obs_validate <file.jsonl>");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("obs_validate: read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match mpvl_obs::validate_json_lines(&text) {
+        Ok(0) => {
+            eprintln!("obs_validate: {path}: no JSON lines found");
+            ExitCode::FAILURE
+        }
+        Ok(n) => {
+            println!("obs_validate: {path}: {n} valid JSON lines");
+            ExitCode::SUCCESS
+        }
+        Err((line, msg)) => {
+            eprintln!("obs_validate: {path}:{line}: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -9,31 +9,47 @@ use std::io::Write as _;
 use std::path::PathBuf;
 
 /// Returns the output directory for figure CSVs, creating it if needed.
+/// Anchored on [`mpvl_testkit::bench::target_dir`] so the binaries work
+/// from any cwd.
 ///
 /// # Panics
 ///
 /// Panics if the directory cannot be created.
 pub fn figures_dir() -> PathBuf {
-    let dir = PathBuf::from("target/figures");
-    fs::create_dir_all(&dir).expect("create target/figures");
+    let dir = mpvl_testkit::bench::target_dir().join("figures");
+    fs::create_dir_all(&dir)
+        .unwrap_or_else(|e| panic!("create figures dir {}: {e}", dir.display()));
     dir
 }
 
 /// Writes a CSV file with the given header and rows into
-/// `target/figures/<name>.csv` and reports the path on stdout.
+/// `<target>/figures/<name>.csv` and reports the path on stdout.
 ///
 /// # Panics
 ///
 /// Panics on I/O errors (benchmark binaries want loud failures).
 pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<f64>]) {
     let path = figures_dir().join(format!("{name}.csv"));
-    let mut f = fs::File::create(&path).expect("create csv");
+    let mut f =
+        fs::File::create(&path).unwrap_or_else(|e| panic!("create csv {}: {e}", path.display()));
     writeln!(f, "{}", header.join(",")).expect("write header");
     for row in rows {
         let line: Vec<String> = row.iter().map(|v| format!("{v:.12e}")).collect();
         writeln!(f, "{}", line.join(",")).expect("write row");
     }
-    println!("wrote {}", path.display());
+    mpvl_obs::cprintln!("wrote {}", path.display());
+}
+
+/// Exports recorded observability data per the `MPVL_OBS` env knob
+/// (see [`mpvl_obs::export_env`]) and reports where it went. Binaries
+/// call this once, after their last workload; a no-op unless the user
+/// opted in with `MPVL_OBS=json[:path]`.
+pub fn export_obs() {
+    match mpvl_obs::export_env() {
+        Ok(Some(path)) => mpvl_obs::cprintln!("wrote obs export {}", path.display()),
+        Ok(None) => {}
+        Err(e) => mpvl_obs::ceprintln!("warning: obs export failed: {e}"),
+    }
 }
 
 /// Median of a slice (sorted copy); 0 for empty input.

@@ -90,6 +90,7 @@ pub fn reduce_adaptive(
     opts: &AdaptiveOptions,
 ) -> Result<AdaptiveOutcome, SympvlError> {
     assert!(!opts.probe_freqs_hz.is_empty(), "need probe frequencies");
+    let _span = mpvl_obs::span("adaptive", "reduce_adaptive");
     let p = sys.num_ports().max(1);
     let step = opts.order_step.max(1).div_ceil(p) * p;
     let mut order = opts.initial_order.max(1);
@@ -98,6 +99,7 @@ pub fn reduce_adaptive(
     loop {
         if prev.is_exact() || prev.order() < order {
             // Krylov space exhausted: the model is as good as it gets.
+            mpvl_obs::counter_add("adaptive", "exhausted_exact", 1);
             return Ok(AdaptiveOutcome {
                 estimated_error: 0.0,
                 model: prev,
@@ -107,6 +109,7 @@ pub fn reduce_adaptive(
         }
         let next_order = (order + step).min(opts.max_order);
         if next_order == order {
+            mpvl_obs::counter_add("adaptive", "order_cap_hits", 1);
             return Ok(AdaptiveOutcome {
                 estimated_error: f64::INFINITY,
                 model: prev,
@@ -117,6 +120,18 @@ pub fn reduce_adaptive(
         let next = sympvl(sys, next_order, &opts.sympvl)?;
         orders_tried.push(next_order);
         let diff = band_difference(&prev, &next, &opts.probe_freqs_hz)?;
+        if mpvl_obs::enabled() {
+            mpvl_obs::counter_add("adaptive", "order_steps", 1);
+            mpvl_obs::event_at(
+                "adaptive",
+                "order_step",
+                (orders_tried.len() - 1) as u64,
+                vec![
+                    ("order", mpvl_obs::Value::U64(next_order as u64)),
+                    ("band_error", mpvl_obs::Value::F64(diff)),
+                ],
+            );
+        }
         if diff <= opts.tol {
             return Ok(AdaptiveOutcome {
                 model: next,
@@ -126,6 +141,7 @@ pub fn reduce_adaptive(
             });
         }
         if next_order >= opts.max_order {
+            mpvl_obs::counter_add("adaptive", "order_cap_hits", 1);
             return Ok(AdaptiveOutcome {
                 model: next,
                 estimated_error: diff,

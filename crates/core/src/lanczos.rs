@@ -132,6 +132,7 @@ pub fn block_lanczos(
     max_order: usize,
     opts: &LanczosOptions,
 ) -> LanczosOutcome {
+    let _span = mpvl_obs::span("lanczos", "block_lanczos");
     let big_n = start.nrows();
     let p = start.ncols();
     assert!(p > 0, "starting block must have at least one column");
@@ -253,6 +254,27 @@ pub fn block_lanczos(
         let nrm = mpvl_la::norm2(&cand.w);
         if nrm <= opts.dtol * cand.orig_norm.max(f64::MIN_POSITIVE) {
             deflation_steps.push(iter_count);
+            if mpvl_obs::enabled() {
+                mpvl_obs::counter_add("lanczos", "deflations", 1);
+                mpvl_obs::event_at(
+                    "lanczos",
+                    "deflation",
+                    iter_count as u64,
+                    vec![
+                        (
+                            "src",
+                            mpvl_obs::Value::Str(match cand.src {
+                                Src::Init(_) => "init",
+                                Src::Vector(_) => "vector",
+                            }),
+                        ),
+                        (
+                            "rel_norm",
+                            mpvl_obs::Value::F64(nrm / cand.orig_norm.max(f64::MIN_POSITIVE)),
+                        ),
+                    ],
+                );
+            }
             if matches!(cand.src, Src::Init(_)) {
                 p1 -= 1;
             }
@@ -285,8 +307,11 @@ pub fn block_lanczos(
                 dmat[(a, b)] = jw;
             }
         }
-        let close_now = if identity_j {
-            true
+        // `forced` flags a cluster that hit `max_cluster` while its Gram
+        // matrix was still ill-conditioned — the near-breakdown that
+        // look-ahead could not fully resolve.
+        let (close_now, forced) = if identity_j {
+            (true, false)
         } else {
             let eig = sym_eigen(&dmat).expect("tiny symmetric eigenproblem");
             let min_abs = eig
@@ -294,19 +319,30 @@ pub fn block_lanczos(
                 .iter()
                 .map(|v| v.abs())
                 .fold(f64::INFINITY, f64::min);
-            min_abs > opts.cluster_tol || m >= opts.max_cluster
+            let well_conditioned = min_abs > opts.cluster_tol;
+            (
+                well_conditioned || m >= opts.max_cluster,
+                !well_conditioned && m >= opts.max_cluster,
+            )
         };
         if close_now {
-            if !identity_j && m >= opts.max_cluster {
-                let eig = sym_eigen(&dmat).expect("tiny symmetric eigenproblem");
-                let min_abs = eig
-                    .values
-                    .iter()
-                    .map(|v| v.abs())
-                    .fold(f64::INFINITY, f64::min);
-                if min_abs <= opts.cluster_tol {
-                    forced_cluster_closes += 1;
+            if forced {
+                forced_cluster_closes += 1;
+            }
+            if mpvl_obs::enabled() {
+                mpvl_obs::counter_add("lanczos", "clusters_closed", 1);
+                if forced {
+                    mpvl_obs::counter_add("lanczos", "forced_cluster_closes", 1);
                 }
+                mpvl_obs::event_at(
+                    "lanczos",
+                    "cluster_close",
+                    iter_count as u64,
+                    vec![
+                        ("size", mpvl_obs::Value::U64(m as u64)),
+                        ("forced", mpvl_obs::Value::Bool(forced)),
+                    ],
+                );
             }
             closed_delta_lu.push(Lu::new(dmat.clone()).expect("cluster Gram invertible"));
             closed_delta.push(dmat);
@@ -327,6 +363,13 @@ pub fn block_lanczos(
     // --- Truncate to the last closed cluster so Δ is invertible.
     let n_usable: usize = closed.iter().map(|c| c.len()).sum();
     let n = n_usable;
+    if mpvl_obs::enabled() {
+        mpvl_obs::counter_add("lanczos", "iterations", iter_count as u64);
+        mpvl_obs::counter_add("lanczos", "accepted_vectors", n as u64);
+        if exhausted {
+            mpvl_obs::counter_add("lanczos", "exhausted", 1);
+        }
+    }
     let mut v = Mat::zeros(big_n, n);
     for (k, vec) in vectors.iter().take(n).enumerate() {
         v.col_mut(k).copy_from_slice(vec);

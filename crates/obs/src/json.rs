@@ -1,0 +1,295 @@
+//! JSON-lines serialization of the sink's records, plus a minimal
+//! validator used by tests and the CI smoke gate.
+//!
+//! Serialization is hand-rolled (the workspace is dependency-free) and
+//! deterministic: field order is recording order, keys are written
+//! verbatim, floats use Rust's shortest round-trip formatting, and
+//! non-finite floats become `null` so every emitted line is strict JSON.
+
+use crate::{Counter, Event, Timing, Value};
+use std::fmt::Write as _;
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(out: &mut String, v: &Value) {
+    match v {
+        Value::U64(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Value::F64(f) if f.is_finite() => {
+            // Shortest round-trip Display; integral values gain a ".0"
+            // suffix so the token stays a JSON number with a clear type.
+            if f.fract() == 0.0 && f.abs() < 1e15 {
+                let _ = write!(out, "{f:.1}");
+            } else {
+                let _ = write!(out, "{f}");
+            }
+        }
+        Value::F64(_) => out.push_str("null"),
+        Value::Str(s) => write_str(out, s),
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+    }
+}
+
+/// One `{"kind":"event",...}` line (no worker tag — see the crate-level
+/// determinism rule).
+pub(crate) fn write_event(out: &mut String, e: &Event) {
+    out.push_str("{\"kind\":\"event\",\"stage\":");
+    write_str(out, e.stage);
+    out.push_str(",\"name\":");
+    write_str(out, e.name);
+    let _ = write!(out, ",\"index\":{}", e.index);
+    out.push_str(",\"fields\":{");
+    for (i, (k, v)) in e.fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_str(out, k);
+        out.push(':');
+        write_value(out, v);
+    }
+    out.push_str("}}\n");
+}
+
+/// One `{"kind":"counter",...}` line.
+pub(crate) fn write_counter(out: &mut String, c: &Counter) {
+    out.push_str("{\"kind\":\"counter\",\"stage\":");
+    write_str(out, c.stage);
+    out.push_str(",\"name\":");
+    write_str(out, c.name);
+    let _ = write!(out, ",\"value\":{}}}\n", c.value);
+}
+
+/// One `{"kind":"timing",...}` line; buckets are emitted sparsely as
+/// `[bucket_index, count]` pairs.
+pub(crate) fn write_timing(out: &mut String, t: &Timing) {
+    out.push_str("{\"kind\":\"timing\",\"stage\":");
+    write_str(out, t.stage);
+    out.push_str(",\"name\":");
+    write_str(out, t.name);
+    let _ = write!(
+        out,
+        ",\"worker\":{},\"count\":{},\"sum_ns\":{},\"min_ns\":{},\"max_ns\":{},\"buckets\":[",
+        t.worker, t.count, t.sum_ns, t.min_ns, t.max_ns
+    );
+    let mut first = true;
+    for (b, &n) in t.buckets.iter().enumerate() {
+        if n > 0 {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "[{b},{n}]");
+        }
+    }
+    out.push_str("]}\n");
+}
+
+// ---------------------------------------------------------------------------
+// Validation.
+// ---------------------------------------------------------------------------
+
+/// Checks that every non-empty line of `text` is one syntactically valid
+/// JSON value. Used by obs unit tests and by the CI gate that smoke-runs
+/// a bench with `MPVL_OBS=json:<path>`.
+///
+/// # Errors
+///
+/// Returns `(line_number, message)` (1-based) for the first bad line.
+pub fn validate_json_lines(text: &str) -> Result<usize, (usize, String)> {
+    let mut valid = 0;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let bytes = line.as_bytes();
+        let mut pos = 0;
+        parse_value(bytes, &mut pos).map_err(|m| (lineno + 1, m))?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err((lineno + 1, format!("trailing garbage at byte {pos}")));
+        }
+        valid += 1;
+    }
+    Ok(valid)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => parse_lit(b, pos, b"true"),
+        Some(b'f') => parse_lit(b, pos, b"false"),
+        Some(b'n') => parse_lit(b, pos, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(c) => Err(format!("unexpected byte {:?} at {}", *c as char, *pos)),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String> {
+    if b[*pos..].starts_with(lit) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {}", *pos));
+        }
+        *pos += 1;
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {}", *pos));
+    }
+    *pos += 1;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 2; // escape plus escaped byte; \uXXXX hex digits
+                           // parse as bare chars, which is fine for syntax
+            }
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut saw_digit = false;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'0'..=b'9' => {
+                saw_digit = true;
+                *pos += 1;
+            }
+            b'.' | b'e' | b'E' | b'+' | b'-' => *pos += 1,
+            _ => break,
+        }
+    }
+    if saw_digit {
+        Ok(())
+    } else {
+        Err(format!("bad number at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_lines() {
+        let text = "{\"a\":1,\"b\":[1,2.5e-3,null],\"c\":{\"d\":\"x\\\"y\"}}\n\ntrue\n-3.25\n";
+        assert_eq!(validate_json_lines(text), Ok(3));
+    }
+
+    #[test]
+    fn rejects_bad_lines() {
+        assert!(validate_json_lines("{\"a\":}").is_err());
+        assert!(validate_json_lines("{\"a\":1").is_err());
+        assert!(validate_json_lines("[1,]").is_err());
+        assert!(validate_json_lines("\"unterminated").is_err());
+        assert_eq!(
+            validate_json_lines("{}\nnot json\n").unwrap_err().0,
+            2,
+            "line number is 1-based"
+        );
+        assert!(validate_json_lines("{} trailing").is_err());
+    }
+
+    #[test]
+    fn float_formatting_stays_json() {
+        let mut out = String::new();
+        write_value(&mut out, &Value::F64(2.0));
+        assert_eq!(out, "2.0");
+        out.clear();
+        write_value(&mut out, &Value::F64(1e18));
+        validate_json_lines(&out).unwrap();
+        out.clear();
+        write_value(&mut out, &Value::F64(f64::INFINITY));
+        assert_eq!(out, "null");
+    }
+}

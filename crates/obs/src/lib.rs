@@ -1,0 +1,591 @@
+//! # mpvl-obs — structured tracing and metrics for the SyMPVL workspace
+//!
+//! The numerical health of a reduction run hinges on events the hot paths
+//! would otherwise swallow silently: deflations, look-ahead clusters that
+//! `max_cluster` force-closes, zero pivots in the sparse LDLᵀ, dense-LU
+//! fallbacks in the AC sweep. This crate gives those sites a
+//! zero-dependency place to record what happened, with three primitives:
+//!
+//! * **events** — one structured record per occurrence ([`event`]),
+//!   tagged with the ambient item *index* and *worker* id (see
+//!   [`index_scope`] / [`worker_scope`]),
+//! * **counters** — monotonically increasing `u64` sums
+//!   ([`counter_add`]), keyed by `(stage, name)`,
+//! * **spans** — monotonic wall-clock timings ([`span`]) aggregated into
+//!   per-`(stage, name, worker)` histograms with power-of-two buckets.
+//!
+//! Everything lands in one thread-safe in-process sink. Two consumers
+//! drain it:
+//!
+//! * [`capture`] — the test API: run a closure with recording forced on
+//!   and get back a [`Capture`] to assert counters and events against;
+//! * [`export_env`] — the production knob: when `MPVL_OBS=json` (or
+//!   `MPVL_OBS=json:<path>`) is set, binaries call this once at exit to
+//!   emit the sink as JSON lines to stderr (or `<path>`).
+//!
+//! ## Overhead contract
+//!
+//! With `MPVL_OBS` unset, every instrumentation site reduces to one
+//! relaxed atomic load and a branch ([`enabled`]); no allocation, no
+//! locking, no formatting. The hot loops of the workspace are only
+//! instrumented at per-item granularity (one AC point, one Lanczos
+//! iteration), never inside inner numeric kernels.
+//!
+//! ## Determinism rule
+//!
+//! Exported *event* and *counter* lines must be byte-identical for a
+//! given workload at every `MPVL_THREADS` setting. Events therefore
+//! carry the item index they belong to (thread-count-invariant) and are
+//! exported stably sorted by `(stage, index)`; the worker id — a
+//! scheduling artifact that legitimately varies run to run — is
+//! queryable in-process via [`Event::worker`] and appears only on
+//! *timing* lines, which [`Capture::to_json_lines`] excludes (the full
+//! export [`Capture::to_json_lines_full`] appends them, sorted by key;
+//! all timing aggregation is integer arithmetic, so merge order cannot
+//! perturb the sums).
+
+pub mod console;
+mod json;
+
+pub use json::validate_json_lines;
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Enable state: one relaxed atomic, lazily seeded from `MPVL_OBS`.
+// ---------------------------------------------------------------------------
+
+const UNINIT: u8 = 0;
+const OFF: u8 = 1;
+const ON: u8 = 2;
+
+static STATE: AtomicU8 = AtomicU8::new(UNINIT);
+
+/// `true` when recording is on. The disabled path — the common case — is
+/// a single relaxed atomic load and a branch; the very first call reads
+/// `MPVL_OBS` once to seed the state.
+#[inline]
+pub fn enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        ON => true,
+        OFF => false,
+        _ => init_from_env(),
+    }
+}
+
+#[cold]
+fn init_from_env() -> bool {
+    let on = std::env::var("MPVL_OBS")
+        .map(|v| !v.is_empty() && v != "0" && v != "off")
+        .unwrap_or(false);
+    // Only transition out of UNINIT: an explicit `set_enabled` that raced
+    // ahead of us must not be overwritten.
+    let _ = STATE.compare_exchange(
+        UNINIT,
+        if on { ON } else { OFF },
+        Ordering::Relaxed,
+        Ordering::Relaxed,
+    );
+    STATE.load(Ordering::Relaxed) == ON
+}
+
+/// Forces recording on or off (tests and the [`capture`] API).
+pub fn set_enabled(on: bool) {
+    STATE.store(if on { ON } else { OFF }, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Ambient context: item index and worker id, thread-local.
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static CTX_INDEX: Cell<u64> = const { Cell::new(0) };
+    static CTX_WORKER: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Guard that tags events recorded on this thread with item index `i`
+/// until dropped (restores the previous index). A fan-out loop sets one
+/// per item so that nested instrumentation (e.g. an LDLᵀ zero pivot
+/// inside an AC point solve) lands on the right item.
+#[must_use = "the index tag lasts only while the guard lives"]
+pub struct IndexScope {
+    prev: u64,
+}
+
+/// Enters an [`IndexScope`] for item `i`.
+pub fn index_scope(i: u64) -> IndexScope {
+    IndexScope {
+        prev: CTX_INDEX.with(|c| c.replace(i)),
+    }
+}
+
+impl Drop for IndexScope {
+    fn drop(&mut self) {
+        CTX_INDEX.with(|c| c.set(self.prev));
+    }
+}
+
+/// Guard that tags events and timings recorded on this thread with worker
+/// id `w` until dropped. Pool workers set one in their init hook.
+#[must_use = "the worker tag lasts only while the guard lives"]
+pub struct WorkerScope {
+    prev: u64,
+}
+
+/// Enters a [`WorkerScope`] for worker `w`.
+pub fn worker_scope(w: u64) -> WorkerScope {
+    WorkerScope {
+        prev: CTX_WORKER.with(|c| c.replace(w)),
+    }
+}
+
+impl Drop for WorkerScope {
+    fn drop(&mut self) {
+        CTX_WORKER.with(|c| c.set(self.prev));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Records.
+// ---------------------------------------------------------------------------
+
+/// A field value on an [`Event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer field.
+    U64(u64),
+    /// Floating-point field (serialized as `null` when non-finite).
+    F64(f64),
+    /// Static string field.
+    Str(&'static str),
+    /// Boolean field.
+    Bool(bool),
+}
+
+/// One structured occurrence, e.g. a deflation or a dense-LU fallback.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Subsystem that recorded the event (`"lanczos"`, `"ldlt"`, …).
+    pub stage: &'static str,
+    /// What happened (`"deflation"`, `"zero_pivot"`, …).
+    pub name: &'static str,
+    /// Item index the event belongs to (iteration, frequency point);
+    /// thread-count-invariant, the export sort key.
+    pub index: u64,
+    /// Worker id that recorded the event — a scheduling artifact, kept
+    /// out of the deterministic export.
+    pub worker: u64,
+    /// Named payload fields, in recording order.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl Event {
+    /// Looks up a field by name.
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        self.fields.iter().find(|(n, _)| *n == name).map(|(_, v)| v)
+    }
+}
+
+/// A counter snapshot: the summed value of `(stage, name)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counter {
+    /// Subsystem key.
+    pub stage: &'static str,
+    /// Counter name.
+    pub name: &'static str,
+    /// Summed value.
+    pub value: u64,
+}
+
+/// Number of power-of-two histogram buckets (bucket `b` holds durations
+/// with `floor(log2(ns)) = b`, bucket 63 is the overflow).
+pub const TIMING_BUCKETS: usize = 64;
+
+/// Aggregated wall-clock timings of one `(stage, name, worker)` key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Timing {
+    /// Subsystem key.
+    pub stage: &'static str,
+    /// Span name.
+    pub name: &'static str,
+    /// Worker id the spans ran on.
+    pub worker: u64,
+    /// Number of spans aggregated.
+    pub count: u64,
+    /// Total nanoseconds across spans.
+    pub sum_ns: u64,
+    /// Fastest span, nanoseconds.
+    pub min_ns: u64,
+    /// Slowest span, nanoseconds.
+    pub max_ns: u64,
+    /// Power-of-two duration histogram (see [`TIMING_BUCKETS`]).
+    pub buckets: [u64; TIMING_BUCKETS],
+}
+
+impl Timing {
+    fn new(stage: &'static str, name: &'static str, worker: u64) -> Self {
+        Timing {
+            stage,
+            name,
+            worker,
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+            buckets: [0; TIMING_BUCKETS],
+        }
+    }
+
+    fn record(&mut self, ns: u64) {
+        self.count += 1;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+        let bucket = (63 - ns.max(1).leading_zeros()) as usize;
+        self.buckets[bucket.min(TIMING_BUCKETS - 1)] += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The sink.
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct Sink {
+    events: Vec<Event>,
+    counters: BTreeMap<(&'static str, &'static str), u64>,
+    timings: BTreeMap<(&'static str, &'static str, u64), Timing>,
+}
+
+static SINK: Mutex<Sink> = Mutex::new(Sink {
+    events: Vec::new(),
+    counters: BTreeMap::new(),
+    timings: BTreeMap::new(),
+});
+
+fn sink() -> MutexGuard<'static, Sink> {
+    // A panicking recorder must not wedge every later test; the sink's
+    // state is valid after any partial mutation.
+    SINK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Records an event under the ambient [`index_scope`]. No-op when
+/// disabled.
+pub fn event(stage: &'static str, name: &'static str, fields: Vec<(&'static str, Value)>) {
+    if !enabled() {
+        return;
+    }
+    event_at(stage, name, CTX_INDEX.with(Cell::get), fields);
+}
+
+/// Records an event with an explicit item index (serial call sites that
+/// track their own iteration count). No-op when disabled.
+pub fn event_at(
+    stage: &'static str,
+    name: &'static str,
+    index: u64,
+    fields: Vec<(&'static str, Value)>,
+) {
+    if !enabled() {
+        return;
+    }
+    let worker = CTX_WORKER.with(Cell::get);
+    sink().events.push(Event {
+        stage,
+        name,
+        index,
+        worker,
+        fields,
+    });
+}
+
+/// Adds `delta` to the `(stage, name)` counter. No-op when disabled.
+pub fn counter_add(stage: &'static str, name: &'static str, delta: u64) {
+    if !enabled() || delta == 0 {
+        return;
+    }
+    *sink().counters.entry((stage, name)).or_insert(0) += delta;
+}
+
+/// A running span; its wall-clock duration is recorded into the
+/// `(stage, name, worker)` timing histogram on drop.
+#[must_use = "a span measures until it is dropped"]
+pub struct Span {
+    stage: &'static str,
+    name: &'static str,
+    start: Instant,
+}
+
+/// Starts a [`Span`], or returns `None` when disabled (so the disabled
+/// path neither reads the clock nor allocates).
+pub fn span(stage: &'static str, name: &'static str) -> Option<Span> {
+    enabled().then(|| Span {
+        stage,
+        name,
+        start: Instant::now(),
+    })
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let worker = CTX_WORKER.with(Cell::get);
+        sink()
+            .timings
+            .entry((self.stage, self.name, worker))
+            .or_insert_with(|| Timing::new(self.stage, self.name, worker))
+            .record(ns);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Draining: capture API and env export.
+// ---------------------------------------------------------------------------
+
+/// Everything the sink held when it was drained; see [`capture`].
+#[derive(Debug, Clone)]
+pub struct Capture {
+    /// Events, stably sorted by `(stage, index)` — within one item the
+    /// recording order of its (single) worker is preserved.
+    pub events: Vec<Event>,
+    /// Counter snapshots, sorted by `(stage, name)`.
+    pub counters: Vec<Counter>,
+    /// Timing aggregates, sorted by `(stage, name, worker)`.
+    pub timings: Vec<Timing>,
+}
+
+impl Capture {
+    /// The `(stage, name)` counter value (0 when never touched).
+    pub fn counter(&self, stage: &str, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|c| c.stage == stage && c.name == name)
+            .map_or(0, |c| c.value)
+    }
+
+    /// All events of one `(stage, name)`.
+    pub fn events_named(&self, stage: &str, name: &str) -> Vec<&Event> {
+        self.events
+            .iter()
+            .filter(|e| e.stage == stage && e.name == name)
+            .collect()
+    }
+
+    /// The deterministic export: event and counter JSON lines only.
+    /// For one workload this string is byte-identical at every
+    /// `MPVL_THREADS` setting (the determinism rule in the crate docs).
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            json::write_event(&mut out, e);
+        }
+        for c in &self.counters {
+            json::write_counter(&mut out, c);
+        }
+        out
+    }
+
+    /// The full export: the deterministic lines plus worker-tagged
+    /// timing lines (values are wall-clock and vary run to run).
+    pub fn to_json_lines_full(&self) -> String {
+        let mut out = self.to_json_lines();
+        for t in &self.timings {
+            json::write_timing(&mut out, t);
+        }
+        out
+    }
+}
+
+/// Drains the sink into a [`Capture`], resetting it.
+fn drain() -> Capture {
+    let mut s = sink();
+    let mut events = std::mem::take(&mut s.events);
+    let counters = std::mem::take(&mut s.counters);
+    let timings = std::mem::take(&mut s.timings);
+    drop(s);
+    events.sort_by_key(|e| (e.stage, e.index));
+    Capture {
+        events,
+        counters: counters
+            .into_iter()
+            .map(|((stage, name), value)| Counter { stage, name, value })
+            .collect(),
+        timings: timings.into_values().collect(),
+    }
+}
+
+static CAPTURE_GATE: Mutex<()> = Mutex::new(());
+
+/// Runs `f` with recording forced on and returns its result together
+/// with everything it recorded.
+///
+/// Concurrent captures (the default multi-threaded test harness)
+/// serialize on a global gate so one test's events never leak into
+/// another's capture; keep capture-based tests in their own integration
+/// test binary so non-capturing tests cannot record concurrently while
+/// the gate holds recording open.
+pub fn capture<T>(f: impl FnOnce() -> T) -> (T, Capture) {
+    let _gate = CAPTURE_GATE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let prev = STATE.swap(ON, Ordering::Relaxed);
+    drain(); // discard anything recorded before the capture began
+    let result = f();
+    STATE.store(prev, Ordering::Relaxed);
+    (result, drain())
+}
+
+/// Exports the sink per the `MPVL_OBS` env knob and resets it.
+///
+/// * `MPVL_OBS=json` — JSON lines to stderr.
+/// * `MPVL_OBS=json:<path>` — JSON lines to `<path>` (parent directories
+///   are created).
+/// * unset / anything else — no-op.
+///
+/// Binaries call this once at exit. Returns the path written, if any.
+///
+/// # Errors
+///
+/// Propagates I/O failures from writing the export.
+pub fn export_env() -> std::io::Result<Option<std::path::PathBuf>> {
+    let Ok(spec) = std::env::var("MPVL_OBS") else {
+        return Ok(None);
+    };
+    if spec != "json" && !spec.starts_with("json:") {
+        return Ok(None);
+    }
+    let text = drain().to_json_lines_full();
+    match spec.strip_prefix("json:") {
+        Some(path) if !path.is_empty() => {
+            let path = std::path::PathBuf::from(path);
+            if let Some(parent) = path.parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent)?;
+                }
+            }
+            std::fs::write(&path, text)?;
+            Ok(Some(path))
+        }
+        _ => {
+            use std::io::Write as _;
+            std::io::stderr().write_all(text.as_bytes())?;
+            Ok(None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_collects_events_counters_and_timings() {
+        let ((), cap) = capture(|| {
+            let _w = worker_scope(3);
+            let _i = index_scope(7);
+            event(
+                "demo",
+                "thing",
+                vec![
+                    ("k", Value::U64(1)),
+                    ("s", Value::Str("x")),
+                    ("b", Value::Bool(true)),
+                    ("f", Value::F64(0.5)),
+                ],
+            );
+            counter_add("demo", "count", 2);
+            counter_add("demo", "count", 3);
+            let _sp = span("demo", "work");
+            std::hint::black_box(0u64);
+        });
+        assert_eq!(cap.events.len(), 1);
+        let e = &cap.events[0];
+        assert_eq!(
+            (e.stage, e.name, e.index, e.worker),
+            ("demo", "thing", 7, 3)
+        );
+        assert_eq!(e.field("k"), Some(&Value::U64(1)));
+        assert_eq!(cap.counter("demo", "count"), 5);
+        assert_eq!(cap.counter("demo", "missing"), 0);
+        assert_eq!(cap.timings.len(), 1);
+        let t = &cap.timings[0];
+        assert_eq!((t.stage, t.name, t.worker, t.count), ("demo", "work", 3, 1));
+        assert!(t.min_ns <= t.max_ns && t.sum_ns >= t.max_ns);
+        assert_eq!(t.buckets.iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        // Outside `capture`, with the state forced off, every primitive
+        // must be a no-op.
+        let ((), cap) = capture(|| {
+            set_enabled(false);
+            event("off", "e", vec![]);
+            counter_add("off", "c", 9);
+            assert!(span("off", "s").is_none());
+            set_enabled(true); // restore for the remainder of the capture
+        });
+        assert!(cap.events.is_empty());
+        assert_eq!(cap.counter("off", "c"), 0);
+        assert!(cap.timings.is_empty());
+    }
+
+    #[test]
+    fn scopes_nest_and_restore() {
+        let ((), cap) = capture(|| {
+            let _a = index_scope(1);
+            {
+                let _b = index_scope(2);
+                event("scope", "inner", vec![]);
+            }
+            event("scope", "outer", vec![]);
+        });
+        assert_eq!(cap.events_named("scope", "inner")[0].index, 2);
+        assert_eq!(cap.events_named("scope", "outer")[0].index, 1);
+    }
+
+    #[test]
+    fn export_sorts_events_by_stage_then_index() {
+        let ((), cap) = capture(|| {
+            event_at("b", "e", 2, vec![]);
+            event_at("a", "e", 5, vec![]);
+            event_at("b", "e", 0, vec![("freq", Value::F64(1e9))]);
+        });
+        let text = cap.to_json_lines();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"stage\":\"a\""));
+        assert!(lines[1].contains("\"index\":0"));
+        assert!(lines[2].contains("\"index\":2"));
+        validate_json_lines(&text).expect("export must be valid JSON lines");
+    }
+
+    #[test]
+    fn export_excludes_worker_from_event_lines() {
+        let ((), cap) = capture(|| {
+            let _w = worker_scope(5);
+            event_at("w", "e", 0, vec![]);
+            let _sp = span("w", "s");
+        });
+        let det = cap.to_json_lines();
+        assert!(!det.contains("\"worker\""), "deterministic lines: {det}");
+        let full = cap.to_json_lines_full();
+        assert!(full.contains("\"worker\":5"), "timing lines: {full}");
+        validate_json_lines(&full).expect("full export must be valid JSON lines");
+    }
+
+    #[test]
+    fn non_finite_f64_fields_serialize_as_null() {
+        let ((), cap) = capture(|| {
+            event_at("n", "e", 0, vec![("bad", Value::F64(f64::NAN))]);
+        });
+        let text = cap.to_json_lines();
+        assert!(text.contains("\"bad\":null"), "{text}");
+        validate_json_lines(&text).expect("valid despite NaN field");
+    }
+}

@@ -26,6 +26,7 @@
 //! ```
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// The worker count used by the env-driven entry points.
 ///
@@ -33,10 +34,26 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// parallelism; `MPVL_THREADS=1` forces the inline single-thread fallback.
 /// Unset or unparsable values fall back to
 /// [`std::thread::available_parallelism`] (1 if even that fails).
+///
+/// The environment is read **once per process** and cached: callers of
+/// the env-driven entry points never race a concurrent
+/// `std::env::set_var` (mutating the environment from a multi-threaded
+/// test harness is undefined behaviour on POSIX), and every pool
+/// invocation in one run sees the same worker count. Tests that need a
+/// specific count pass it explicitly (e.g.
+/// `mpvl_sim::ac_sweep_with_threads`, [`parallel_map_with`]) or test the
+/// pure parser [`thread_count_from`] instead of mutating the env.
 pub fn thread_count() -> usize {
-    std::env::var("MPVL_THREADS")
-        .ok()
-        .and_then(|s| s.trim().parse::<usize>().ok())
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(|| thread_count_from(std::env::var("MPVL_THREADS").ok().as_deref()))
+}
+
+/// Pure form of the [`thread_count`] policy: `spec` is the value of
+/// `MPVL_THREADS` (or `None` when unset). A positive integer wins;
+/// anything else falls back to the detected hardware parallelism (1 if
+/// even that fails).
+pub fn thread_count_from(spec: Option<&str>) -> usize {
+    spec.and_then(|s| s.trim().parse::<usize>().ok())
         .filter(|&t| t >= 1)
         .unwrap_or_else(|| {
             std::thread::available_parallelism()
@@ -251,15 +268,26 @@ mod tests {
     }
 
     #[test]
-    fn thread_count_env_override() {
-        std::env::set_var("MPVL_THREADS", "3");
-        assert_eq!(thread_count(), 3);
-        std::env::set_var("MPVL_THREADS", "not-a-number");
-        assert!(thread_count() >= 1);
-        std::env::set_var("MPVL_THREADS", "0");
-        assert!(thread_count() >= 1);
-        std::env::remove_var("MPVL_THREADS");
-        assert!(thread_count() >= 1);
+    fn thread_count_spec_parsing_is_pure() {
+        // The override policy is tested through the pure parser — no
+        // `std::env::set_var` (racy under the multi-threaded harness).
+        assert_eq!(thread_count_from(Some("3")), 3);
+        assert_eq!(thread_count_from(Some(" 8 ")), 8, "whitespace trimmed");
+        let fallback = thread_count_from(None);
+        assert!(fallback >= 1);
+        assert_eq!(thread_count_from(Some("0")), fallback, "0 is invalid");
+        assert_eq!(thread_count_from(Some("not-a-number")), fallback);
+        assert_eq!(thread_count_from(Some("-2")), fallback);
+        assert_eq!(thread_count_from(Some("")), fallback);
+    }
+
+    #[test]
+    fn thread_count_is_cached_and_stable() {
+        // Whatever the process environment says, the cached value is
+        // positive and identical across calls (one env read per process).
+        let first = thread_count();
+        assert!(first >= 1);
+        assert_eq!(thread_count(), first);
     }
 
     #[test]

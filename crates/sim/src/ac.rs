@@ -99,6 +99,7 @@ pub fn ac_sweep_with_threads(
     freqs_hz: &[f64],
     threads: usize,
 ) -> Result<Vec<AcPoint>, AcError> {
+    let _sweep_span = mpvl_obs::span("ac", "sweep");
     let g: CscMat<Complex64> = sys.g.map(Complex64::from_real);
     let c: CscMat<Complex64> = sys.c.map(Complex64::from_real);
     let bz = sys.b.map(Complex64::from_real);
@@ -119,21 +120,46 @@ pub fn ac_sweep_with_threads(
     let points = parallel_map_with(
         threads,
         freqs_hz,
-        // Each worker owns one preallocated numeric workspace.
-        |_| symbolic.as_ref().map(|s| NumericLdlt::new(Arc::clone(s))),
-        |num, _, &f| {
+        // Each worker owns one preallocated numeric workspace, plus the
+        // obs worker tag its spans and events are recorded under.
+        |w| {
+            (
+                mpvl_obs::worker_scope(w as u64),
+                symbolic.as_ref().map(|s| NumericLdlt::new(Arc::clone(s))),
+            )
+        },
+        |(_tag, num), i, &f| {
+            // Tag nested events (e.g. an LDLᵀ zero pivot) with this
+            // frequency point's index so the export is thread-count-
+            // invariant; time the whole point per worker.
+            let _item = mpvl_obs::index_scope(i as u64);
+            let _span = mpvl_obs::span("ac", "point_solve");
             let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * f);
             let sigma = sys.sigma(s);
             let k = g.add_scaled(Complex64::ONE, &c, sigma);
-            let x = match num.as_mut() {
+            let (x, solve) = match num.as_mut() {
                 Some(num) => match num.refactor(&k) {
-                    Ok(()) => num.solve_mat(&bz),
+                    Ok(()) => (num.solve_mat(&bz), "sparse_refactor"),
                     // Dense LU fallback (pivoted): handles indefinite/near-
                     // breakdown points the unpivoted sparse path rejects.
-                    Err(_) => dense_solve(&k, &bz, f)?,
+                    Err(_) => (dense_solve(&k, &bz, f)?, "dense_lu_fallback"),
                 },
-                None => dense_solve(&k, &bz, f)?,
+                None => (dense_solve(&k, &bz, f)?, "dense_lu"),
             };
+            if mpvl_obs::enabled() {
+                mpvl_obs::counter_add("ac", "points", 1);
+                if solve == "dense_lu_fallback" {
+                    mpvl_obs::counter_add("ac", "dense_lu_fallbacks", 1);
+                }
+                mpvl_obs::event(
+                    "ac",
+                    "point",
+                    vec![
+                        ("freq_hz", mpvl_obs::Value::F64(f)),
+                        ("solve", mpvl_obs::Value::Str(solve)),
+                    ],
+                );
+            }
             let z = bz.t_matmul(&x).scale(sys.output_factor(s));
             Ok(AcPoint { freq_hz: f, z })
         },

@@ -3,6 +3,54 @@
 //! crosstalk peak), used to compare full vs reduced simulations by what
 //! designers actually look at.
 
+use std::error::Error;
+use std::fmt;
+
+/// Error from [`Trace::try_new`]: the time/value slices cannot form a
+/// meaningful waveform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// `t` and `v` differ in length.
+    LengthMismatch {
+        /// Length of the time slice.
+        t_len: usize,
+        /// Length of the value slice.
+        v_len: usize,
+    },
+    /// Both slices are empty.
+    Empty,
+    /// `t[index] <= t[index - 1]` — time must be strictly ascending for
+    /// crossings and interpolation to be well defined.
+    NonAscendingTime {
+        /// First offending sample index.
+        index: usize,
+    },
+    /// `t[index]` is NaN or infinite.
+    NonFiniteTime {
+        /// First offending sample index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::LengthMismatch { t_len, v_len } => {
+                write!(f, "time/value length mismatch: {t_len} vs {v_len}")
+            }
+            TraceError::Empty => write!(f, "empty trace"),
+            TraceError::NonAscendingTime { index } => {
+                write!(f, "time not strictly ascending at sample {index}")
+            }
+            TraceError::NonFiniteTime { index } => {
+                write!(f, "non-finite time at sample {index}")
+            }
+        }
+    }
+}
+
+impl Error for TraceError {}
+
 /// A sampled waveform: paired time/value slices of equal length.
 ///
 /// # Examples
@@ -29,11 +77,47 @@ impl<'a> Trace<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if the slices differ in length or are empty.
+    /// Panics if the slices differ in length or are empty; with debug
+    /// assertions on, also panics when time is not strictly ascending
+    /// and finite. Callers handling untrusted data use
+    /// [`Trace::try_new`].
     pub fn new(t: &'a [f64], v: &'a [f64]) -> Self {
         assert_eq!(t.len(), v.len(), "time/value length mismatch");
         assert!(!t.is_empty(), "empty trace");
+        debug_assert!(
+            t.windows(2).all(|w| w[1] > w[0]) && t.iter().all(|x| x.is_finite()),
+            "time axis must be finite and strictly ascending (use try_new to validate)"
+        );
         Trace { t, v }
+    }
+
+    /// Validating constructor: checks matching non-empty lengths and a
+    /// finite, strictly ascending time axis. NaN *values* are allowed —
+    /// the crossing-based measurements skip them (a simulator can emit
+    /// NaN for a failed step without poisoning every measurement).
+    ///
+    /// # Errors
+    ///
+    /// See [`TraceError`].
+    pub fn try_new(t: &'a [f64], v: &'a [f64]) -> Result<Self, TraceError> {
+        if t.len() != v.len() {
+            return Err(TraceError::LengthMismatch {
+                t_len: t.len(),
+                v_len: v.len(),
+            });
+        }
+        if t.is_empty() {
+            return Err(TraceError::Empty);
+        }
+        for (i, &ti) in t.iter().enumerate() {
+            if !ti.is_finite() {
+                return Err(TraceError::NonFiniteTime { index: i });
+            }
+            if i > 0 && ti <= t[i - 1] {
+                return Err(TraceError::NonAscendingTime { index: i });
+            }
+        }
+        Ok(Trace { t, v })
     }
 
     /// Final sample value.
@@ -64,10 +148,20 @@ impl<'a> Trace<'a> {
     }
 
     /// First time the trace crosses `level` (linear interpolation), or
-    /// `None` if it never does.
+    /// `None` if it never does. NaN-safe: a non-finite `level` never
+    /// matches, and segments with a NaN endpoint are skipped (they carry
+    /// no sign information — the old behaviour silently returned a NaN
+    /// "crossing time" because every comparison against NaN is false in
+    /// just the wrong way).
     pub fn first_crossing(&self, level: f64) -> Option<f64> {
+        if !level.is_finite() {
+            return None;
+        }
         for w in 0..self.v.len() - 1 {
             let (v0, v1) = (self.v[w], self.v[w + 1]);
+            if v0.is_nan() || v1.is_nan() {
+                continue;
+            }
             if (v0 - level) * (v1 - level) <= 0.0 && v0 != v1 {
                 let frac = (level - v0) / (v1 - v0);
                 if (0.0..=1.0).contains(&frac) {
@@ -79,7 +173,9 @@ impl<'a> Trace<'a> {
     }
 
     /// 50 %-level delay relative to `t_ref` (e.g. the input edge time),
-    /// using the final value as the settled level.
+    /// using the final value as the settled level. `None` when the trace
+    /// never crosses, or when the final value is NaN (no settled level
+    /// to measure against).
     pub fn delay_50(&self, t_ref: f64) -> Option<f64> {
         let target = 0.5 * self.final_value();
         self.first_crossing(target).map(|t| t - t_ref)
@@ -180,6 +276,73 @@ mod tests {
         let tr = Trace::new(&t, &v);
         assert!((tr.first_crossing(1.0).unwrap() - 0.5).abs() < 1e-12);
         assert!(tr.first_crossing(3.0).is_none());
+    }
+
+    #[test]
+    fn try_new_rejects_malformed_axes() {
+        let t = [0.0, 1.0, 2.0];
+        let v = [0.0, 1.0, 2.0];
+        assert_eq!(
+            Trace::try_new(&t[..2], &v).unwrap_err(),
+            TraceError::LengthMismatch { t_len: 2, v_len: 3 }
+        );
+        assert_eq!(Trace::try_new(&[], &[]).unwrap_err(), TraceError::Empty);
+        // Duplicate time sample.
+        assert_eq!(
+            Trace::try_new(&[0.0, 1.0, 1.0], &v).unwrap_err(),
+            TraceError::NonAscendingTime { index: 2 }
+        );
+        // Decreasing time sample.
+        assert_eq!(
+            Trace::try_new(&[0.0, 2.0, 1.0], &v).unwrap_err(),
+            TraceError::NonAscendingTime { index: 2 }
+        );
+        // NaN / infinite time.
+        assert_eq!(
+            Trace::try_new(&[0.0, f64::NAN, 2.0], &v).unwrap_err(),
+            TraceError::NonFiniteTime { index: 1 }
+        );
+        assert_eq!(
+            Trace::try_new(&[0.0, 1.0, f64::INFINITY], &v).unwrap_err(),
+            TraceError::NonFiniteTime { index: 2 }
+        );
+        // Well-formed input passes.
+        assert!(Trace::try_new(&t, &v).is_ok());
+        // NaN *values* are allowed by design.
+        assert!(Trace::try_new(&t, &[0.0, f64::NAN, 2.0]).is_ok());
+    }
+
+    #[test]
+    fn first_crossing_skips_nan_samples() {
+        // A NaN sample mid-trace: both segments touching it are skipped,
+        // and the later genuine crossing is still found.
+        let t = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let v = [0.0, f64::NAN, 0.2, 0.4, 1.0];
+        let tr = Trace::try_new(&t, &v).unwrap();
+        let x = tr.first_crossing(0.5).unwrap();
+        assert!(x.is_finite(), "crossing time must not be NaN, got {x}");
+        assert!((x - (3.0 + 0.1 / 0.6)).abs() < 1e-12, "got {x}");
+        // A NaN level never matches.
+        assert!(tr.first_crossing(f64::NAN).is_none());
+    }
+
+    #[test]
+    fn delay_50_is_none_when_final_value_is_nan() {
+        let t = [0.0, 1.0, 2.0];
+        let v = [0.0, 1.0, f64::NAN];
+        let tr = Trace::try_new(&t, &v).unwrap();
+        // Old behaviour: 0.5 * NaN target silently produced a NaN delay
+        // (or a bogus crossing); now the measurement declines.
+        assert_eq!(tr.delay_50(0.0), None);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn new_panics_on_non_ascending_time_in_debug() {
+        let t = [0.0, 2.0, 1.0];
+        let v = [0.0, 0.0, 0.0];
+        let _ = Trace::new(&t, &v);
     }
 
     #[test]

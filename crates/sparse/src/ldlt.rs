@@ -322,6 +322,10 @@ impl SymbolicLdlt {
             l_colptr[k + 1] = l_colptr[k] + lnz[k];
         }
 
+        // Health telemetry: the analyze/refactor ratio is the symbolic-
+        // reuse hit rate of a sweep (one analyze, many refactors).
+        mpvl_obs::counter_add("ldlt", "symbolic_analyze", 1);
+
         Ok(SymbolicLdlt {
             n,
             perm,
@@ -430,9 +434,11 @@ impl<T: Scalar> NumericLdlt<T> {
         let sym = Arc::clone(&self.sym);
         if !sym.pattern_matches(a) {
             self.factored = false;
+            mpvl_obs::counter_add("ldlt", "pattern_mismatch", 1);
             return Err(LdltError::PatternMismatch);
         }
         self.factored = false;
+        mpvl_obs::counter_add("ldlt", "numeric_refactor", 1);
         let n = sym.n;
         let av = a.values();
         let max_abs = av.iter().map(|v| v.modulus()).fold(0.0, f64::max);
@@ -493,10 +499,19 @@ impl<T: Scalar> NumericLdlt<T> {
                 for v in &mut self.y {
                     *v = T::zero();
                 }
-                return Err(LdltError::ZeroPivot {
-                    step: k,
-                    magnitude: self.d[k].modulus(),
-                });
+                let magnitude = self.d[k].modulus();
+                if mpvl_obs::enabled() {
+                    mpvl_obs::counter_add("ldlt", "zero_pivots", 1);
+                    mpvl_obs::event(
+                        "ldlt",
+                        "zero_pivot",
+                        vec![
+                            ("step", mpvl_obs::Value::U64(k as u64)),
+                            ("magnitude", mpvl_obs::Value::F64(magnitude)),
+                        ],
+                    );
+                }
+                return Err(LdltError::ZeroPivot { step: k, magnitude });
             }
         }
         self.factored = true;

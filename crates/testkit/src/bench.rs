@@ -2,10 +2,16 @@
 //!
 //! Each suite is a plain `cargo run --release` binary: build a
 //! [`Bench`], time closures with [`Bench::bench`], and [`Bench::finish`]
-//! writes machine-readable JSON to `target/bench/BENCH_<suite>.json`
+//! writes machine-readable JSON to `<target dir>/bench/BENCH_<suite>.json`
 //! (besides the aligned table printed as it goes). Every sample is one
 //! timed call; the harness reports median, p90, min and mean wall-clock
 //! seconds over N samples after a warmup.
+//!
+//! The output directory is resolved against `CARGO_TARGET_DIR` when set,
+//! otherwise against the workspace root found from `CARGO_MANIFEST_DIR`
+//! (so `cargo run -p mpvl-bench` works from any cwd), and only falls
+//! back to the relative `target/bench` when neither is available (a
+//! binary executed outside cargo).
 //!
 //! Knobs (for CI smoke runs): `MPVL_BENCH_SAMPLES` and
 //! `MPVL_BENCH_WARMUP` override the per-suite defaults.
@@ -40,6 +46,35 @@ pub struct Bench {
     results: Vec<BenchResult>,
 }
 
+/// Resolves the cargo target directory: `$CARGO_TARGET_DIR` when set,
+/// else `<workspace root>/target` (the workspace root is the closest
+/// ancestor of `CARGO_MANIFEST_DIR` holding a `Cargo.lock`), else the
+/// cwd-relative `target` as a last resort (a binary executed outside
+/// cargo). Output-writing binaries anchor on this so running them from
+/// any cwd lands artifacts in one place.
+pub fn target_dir() -> PathBuf {
+    if let Some(dir) = std::env::var_os("CARGO_TARGET_DIR") {
+        return PathBuf::from(dir);
+    }
+    if let Some(manifest) = std::env::var_os("CARGO_MANIFEST_DIR") {
+        let mut dir = PathBuf::from(manifest);
+        loop {
+            if dir.join("Cargo.lock").exists() {
+                return dir.join("target");
+            }
+            if !dir.pop() {
+                break;
+            }
+        }
+    }
+    PathBuf::from("target")
+}
+
+/// The directory bench JSON lands in: `<target_dir()>/bench`.
+fn output_dir() -> PathBuf {
+    target_dir().join("bench")
+}
+
 impl Bench {
     /// Creates a suite with default warmup (3) and sample (15) counts,
     /// both overridable via `MPVL_BENCH_WARMUP` / `MPVL_BENCH_SAMPLES`.
@@ -51,15 +86,28 @@ impl Bench {
                 .and_then(|s| s.parse().ok())
                 .unwrap_or(default)
         };
+        Self::with_counts(
+            suite,
+            env_usize("MPVL_BENCH_WARMUP", 3),
+            env_usize("MPVL_BENCH_SAMPLES", 15),
+        )
+    }
+
+    /// Creates a suite with explicit warmup and sample counts (no env
+    /// reads — what tests use instead of mutating the process env).
+    #[must_use]
+    pub fn with_counts(suite: &str, warmup: usize, samples: usize) -> Self {
         let b = Bench {
             suite: suite.to_string(),
-            warmup: env_usize("MPVL_BENCH_WARMUP", 3),
-            samples: env_usize("MPVL_BENCH_SAMPLES", 15).max(1),
+            warmup,
+            samples: samples.max(1),
             results: Vec::new(),
         };
-        eprintln!(
+        mpvl_obs::ceprintln!(
             "# bench suite `{}`: {} warmup + {} samples per case",
-            b.suite, b.warmup, b.samples
+            b.suite,
+            b.warmup,
+            b.samples
         );
         b
     }
@@ -87,7 +135,7 @@ impl Bench {
             min_s: times[0],
             mean_s: times.iter().sum::<f64>() / n as f64,
         };
-        println!(
+        mpvl_obs::cprintln!(
             "{:<40} median {:>12} p90 {:>12} min {:>12}",
             result.name,
             fmt_time(result.median_s),
@@ -97,14 +145,18 @@ impl Bench {
         self.results.push(result);
     }
 
-    /// Writes `target/bench/BENCH_<suite>.json` and reports the path.
+    /// Writes `BENCH_<suite>.json` into the resolved bench output
+    /// directory (see the module docs) and reports the path.
     ///
     /// # Panics
     ///
-    /// Panics on I/O errors (bench binaries want loud failures).
+    /// Panics on I/O errors — loudly, naming the attempted path — since
+    /// a bench binary that silently dropped its record would poison the
+    /// timing trajectory.
     pub fn finish(self) {
-        let dir = PathBuf::from("target/bench");
-        fs::create_dir_all(&dir).expect("create target/bench");
+        let dir = output_dir();
+        fs::create_dir_all(&dir)
+            .unwrap_or_else(|e| panic!("create bench output dir {}: {e}", dir.display()));
         let path = dir.join(format!("BENCH_{}.json", self.suite));
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"suite\": {},\n", json_str(&self.suite)));
@@ -123,9 +175,11 @@ impl Bench {
             ));
         }
         out.push_str("  ]\n}\n");
-        let mut f = fs::File::create(&path).expect("create bench json");
-        f.write_all(out.as_bytes()).expect("write bench json");
-        println!("wrote {}", path.display());
+        let mut f = fs::File::create(&path)
+            .unwrap_or_else(|e| panic!("create bench json {}: {e}", path.display()));
+        f.write_all(out.as_bytes())
+            .unwrap_or_else(|e| panic!("write bench json {}: {e}", path.display()));
+        mpvl_obs::cprintln!("wrote {}", path.display());
     }
 }
 
@@ -166,9 +220,9 @@ mod tests {
 
     #[test]
     fn percentiles_are_ordered() {
-        std::env::set_var("MPVL_BENCH_SAMPLES", "9");
-        std::env::set_var("MPVL_BENCH_WARMUP", "0");
-        let mut b = Bench::new("selftest");
+        // Explicit counts — no `std::env::set_var` (racy under the
+        // multi-threaded test harness).
+        let mut b = Bench::with_counts("selftest", 0, 9);
         let mut k = 0u64;
         b.bench("spin", || {
             // A tiny but non-empty workload.
@@ -176,13 +230,24 @@ mod tests {
                 k = k.wrapping_add(i * i);
             }
         });
-        std::env::remove_var("MPVL_BENCH_SAMPLES");
-        std::env::remove_var("MPVL_BENCH_WARMUP");
         assert!(k > 0);
         let r = &b.results[0];
         assert_eq!(r.samples, 9);
         assert!(r.min_s <= r.median_s && r.median_s <= r.p90_s);
         assert!(r.min_s > 0.0);
+    }
+
+    #[test]
+    fn output_dir_is_anchored_when_cargo_provides_context() {
+        let dir = output_dir();
+        assert!(dir.ends_with("bench"), "got {}", dir.display());
+        // Under `cargo test` CARGO_MANIFEST_DIR is always set, so unless
+        // the user pinned a (possibly relative) CARGO_TARGET_DIR, the
+        // resolved path is absolute — cwd-independent.
+        if std::env::var_os("CARGO_TARGET_DIR").is_none() {
+            assert!(dir.is_absolute(), "got {}", dir.display());
+            assert!(dir.parent().unwrap().ends_with("target"));
+        }
     }
 
     #[test]

@@ -13,6 +13,31 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> console-hygiene gate (no println!/eprintln! in library code)"
+# Library crates must route console output through mpvl_obs::cprintln!/
+# ceprintln! (or a real sink); stray debug prints corrupt the bench
+# tables and the MPVL_OBS=json stderr export. Exempt: binaries
+# (src/bin/), doc-comment lines, and anything after a #[cfg(test)]
+# module starts. cprintln!/ceprintln! themselves don't match — the
+# leading `c` fails the word boundary.
+violations=$(
+    # `|| true`: an empty survivor set exits the grep pipeline nonzero,
+    # which is the *passing* case under pipefail.
+    { grep -rnE '(^|[^_[:alnum:]])(println|eprintln)!' crates/*/src --include='*.rs' \
+        | grep -v '/src/bin/' \
+        | grep -vE '^[^:]+:[0-9]+:[[:space:]]*//' || true; } \
+        | while IFS=: read -r file line rest; do
+            if ! head -n "$line" "$file" | grep -q '#\[cfg(test)\]'; then
+                echo "$file:$line:$rest"
+            fi
+        done
+)
+if [ -n "$violations" ]; then
+    echo "$violations" >&2
+    echo "console-hygiene gate failed: use mpvl_obs::cprintln!/ceprintln!" >&2
+    exit 1
+fi
+
 echo "==> cargo build --release --offline"
 cargo build --release --offline
 
@@ -28,9 +53,16 @@ MPVL_BENCH_WARMUP=1 MPVL_BENCH_SAMPLES=3 \
 
 test -s target/bench/BENCH_sparse_ldlt.json
 
-echo "==> smoke bench (bench_par_sweep, MPVL_THREADS=2, reduced samples)"
+echo "==> smoke bench (bench_par_sweep, MPVL_THREADS=2, MPVL_OBS=json export)"
+rm -f target/obs/ci_smoke.jsonl
 MPVL_BENCH_WARMUP=1 MPVL_BENCH_SAMPLES=3 MPVL_THREADS=2 \
+    MPVL_OBS=json:target/obs/ci_smoke.jsonl \
     cargo run -q --release --offline -p mpvl-bench --bin bench_par_sweep
 
 test -s target/bench/BENCH_par_sweep.json
+
+echo "==> validate obs export (target/obs/ci_smoke.jsonl)"
+cargo run -q --release --offline -p mpvl-bench --bin obs_validate -- \
+    target/obs/ci_smoke.jsonl
+
 echo "==> ci.sh: all green"
