@@ -94,8 +94,16 @@ pub fn parse_spice(text: &str) -> Result<(Circuit, HashMap<String, usize>), Pars
             break;
         }
         let tokens: Vec<&str> = stripped.split_whitespace().collect();
-        let card = tokens[0];
-        let kind = card.chars().next().expect("nonempty token");
+        // `trim` and `split_whitespace` share `char::is_whitespace`, so a
+        // non-empty `stripped` always yields at least one non-empty token —
+        // but a parser must have no panic path on *any* input, so both
+        // lookups stay fallible and degrade to "blank line".
+        let Some(&card) = tokens.first() else {
+            continue;
+        };
+        let Some(kind) = card.chars().next() else {
+            continue;
+        };
         let err = |message: String| ParseError { line, message };
         match kind.to_ascii_uppercase() {
             'R' | 'C' | 'L' => {

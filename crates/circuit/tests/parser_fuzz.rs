@@ -94,6 +94,62 @@ fn numeric_garbage_rejected() {
 }
 
 #[test]
+fn exotic_whitespace_and_control_chars_never_panic() {
+    // Named regression pins for the tokenizer audit: inputs where the
+    // "trim left a non-empty line, so split_whitespace must yield a
+    // token" assumption is most stressed. Unicode whitespace the two
+    // functions *agree* on (NEL, VT, line/paragraph separators), code
+    // points that look blank but are NOT whitespace (ZWSP, NBSP is
+    // whitespace in Rust — U+200B is not), and raw control bytes.
+    let pins: &[(&str, &str)] = &[
+        ("nul_byte", "\u{0}"),
+        ("nul_in_card", "R\u{0}1 a b 1k"),
+        ("vertical_tab_only", "\u{b}\u{b}"),
+        ("nel_only", "\u{85}"),
+        ("nel_between_tokens", "R1\u{85}a b 1k"),
+        ("zwsp_only", "\u{200b}"),
+        ("zwsp_card_prefix", "\u{200b}R1 a b 1k"),
+        ("line_separator", "\u{2028}"),
+        ("paragraph_separator", "\u{2029}"),
+        ("lone_semicolon", ";"),
+        ("semicolon_then_space", "; "),
+        ("whitespace_only_line", "   \t  "),
+        ("form_feed", "\u{c}R1 a b 1k"),
+        ("mixed_exotic", "\u{85}\u{b}\u{200b}\u{0};\u{2028}*"),
+    ];
+    for (name, input) in pins {
+        // Must return (not panic); both Ok and Err are acceptable.
+        let _ = parse_spice(input);
+        // Also embedded mid-netlist, where line accounting is live.
+        let _ = parse_spice(&format!("R1 a b 1k\n{input}\nC1 b 0 1p"));
+        let _ = name;
+    }
+}
+
+#[test]
+fn control_char_alphabet_never_panics() {
+    // Property sweep over an alphabet heavy in control characters and
+    // exotic whitespace — the classes the printable() generator misses.
+    check(
+        "control_char_alphabet_never_panics",
+        256,
+        vec_in(
+            string_of(
+                "R1ab k\u{0}\u{b}\u{c}\u{85}\u{a0}\u{200b}\u{2028}\u{2029};*.",
+                0,
+                30,
+            ),
+            0..8,
+        ),
+        |lines| {
+            let text = lines.join("\n");
+            let _ = parse_spice(&text);
+            Ok(())
+        },
+    );
+}
+
+#[test]
 fn empty_and_comment_only_inputs() {
     assert!(parse_spice("").unwrap().0.elements().is_empty());
     assert!(parse_spice("* nothing\n; also nothing\n.end")

@@ -39,29 +39,25 @@ impl ArnoldiModel {
         }
         let (factor, _s0) = factor_with_shift(sys, shift)?;
         let n = sys.dim();
-        let p = sys.num_ports();
-        // K^{-1} x = M^{-T} J M^{-1} x.
-        let kinv = |x: &[f64]| -> Vec<f64> {
-            let y = factor.apply_minv(x);
-            let jy: Vec<f64> = y.iter().zip(factor.j_diag()).map(|(&v, s)| v * s).collect();
-            factor.apply_minv_t(&jy)
+        // Blocked K^{-1} X = M^{-T} J M^{-1} X over whole frontiers;
+        // j_diag is hoisted once outside the iteration.
+        let j_diag = factor.j_diag();
+        let kinv_mat = |m: &Mat<f64>| -> Mat<f64> {
+            let mut y = factor.apply_minv_mat(m);
+            for j in 0..y.ncols() {
+                for (v, s) in y.col_mut(j).iter_mut().zip(&j_diag) {
+                    *v *= s;
+                }
+            }
+            factor.apply_minv_t_mat(&y)
         };
         // Starting block K^{-1} B, orthonormalized.
-        let mut r0 = Mat::zeros(n, p);
-        for j in 0..p {
-            let col = kinv(sys.b.col(j));
-            r0.col_mut(j).copy_from_slice(&col);
-        }
+        let r0 = kinv_mat(&sys.b);
         let mut x = orthonormalize_columns(&r0, 1e-10);
         let mut frontier = x.clone();
         while x.ncols() < order.min(n) && frontier.ncols() > 0 {
             // Next block: K^{-1} C * frontier, orthogonalized against X.
-            let mut next = Mat::zeros(n, frontier.ncols());
-            for j in 0..frontier.ncols() {
-                let cv = sys.c.matvec(frontier.col(j));
-                let w = kinv(&cv);
-                next.col_mut(j).copy_from_slice(&w);
-            }
+            let next = kinv_mat(&sys.c.mat_mul(&frontier));
             // MGS against the existing basis (twice), then internal.
             let mut cols: Vec<Vec<f64>> = (0..next.ncols()).map(|j| next.col(j).to_vec()).collect();
             for col in &mut cols {
@@ -86,26 +82,11 @@ impl ArnoldiModel {
             frontier = fresh;
         }
 
-        // Congruence projection with the *unshifted* G and C.
-        let gx = {
-            let mut m = Mat::zeros(n, x.ncols());
-            for j in 0..x.ncols() {
-                let col = sys.g.matvec(x.col(j));
-                m.col_mut(j).copy_from_slice(&col);
-            }
-            m
-        };
-        let cx = {
-            let mut m = Mat::zeros(n, x.ncols());
-            for j in 0..x.ncols() {
-                let col = sys.c.matvec(x.col(j));
-                m.col_mut(j).copy_from_slice(&col);
-            }
-            m
-        };
+        // Congruence projection with the *unshifted* G and C (blocked:
+        // one sparse traversal per matrix for all basis columns).
         Ok(ArnoldiModel {
-            ghat: x.t_matmul(&gx),
-            chat: x.t_matmul(&cx),
+            ghat: x.t_matmul(&sys.g.mat_mul(&x)),
+            chat: x.t_matmul(&sys.c.mat_mul(&x)),
             bhat: x.t_matmul(&sys.b),
             s_power: sys.s_power,
             output_s_factor: sys.output_s_factor,

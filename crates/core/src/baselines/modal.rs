@@ -62,18 +62,14 @@ impl ModalModel {
                 operation: "modal truncation (symmetric path)",
             });
         }
-        // Dense A = M^{-1} C M^{-T} (O(N^2) solves — baseline-only cost).
+        // Dense A = M^{-1} C M^{-T} = op applied to the identity, staged
+        // through the blocked operator (O(N^2) solves — baseline-only cost).
         let n = sys.dim();
         let p = sys.num_ports();
+        let op = crate::KrylovOperator::new(&factor, &sys.c);
+        let eye = Mat::from_fn(n, n, |i, j| if i == j { 1.0 } else { 0.0 });
         let mut a = Mat::zeros(n, n);
-        for j in 0..n {
-            let mut e = vec![0.0; n];
-            e[j] = 1.0;
-            let y = factor.apply_minv_t(&e);
-            let cy = sys.c.matvec(&y);
-            let col = factor.apply_minv(&cy);
-            a.col_mut(j).copy_from_slice(&col);
-        }
+        crate::LinearOperator::apply_block(&op, &eye, &mut a);
         // Defensive symmetrization (A is symmetric in exact arithmetic).
         let asym = Mat::from_fn(n, n, |i, j| 0.5 * (a[(i, j)] + a[(j, i)]));
         let eig = sym_eigen(&asym).map_err(|e| SympvlError::Eigen {

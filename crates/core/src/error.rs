@@ -40,6 +40,15 @@ pub enum SympvlError {
         /// Explanation.
         reason: String,
     },
+    /// The expansion point `s₀` is NaN or infinite — a shifted system
+    /// `G + s₀C` built from it would factor (or fail) nonsensically.
+    BadShift {
+        /// The offending expansion point.
+        s0: f64,
+    },
+    /// The system has dimension zero: nothing to reduce, and every
+    /// "is the factorization well conditioned" test would be vacuous.
+    EmptySystem,
 }
 
 impl fmt::Display for SympvlError {
@@ -57,6 +66,10 @@ impl fmt::Display for SympvlError {
             }
             SympvlError::BadOrder { order } => write!(f, "invalid reduction order {order}"),
             SympvlError::Synthesis { reason } => write!(f, "synthesis failed: {reason}"),
+            SympvlError::BadShift { s0 } => {
+                write!(f, "expansion point s0 = {s0} is not finite")
+            }
+            SympvlError::EmptySystem => write!(f, "system has dimension zero"),
         }
     }
 }

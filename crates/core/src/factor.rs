@@ -78,10 +78,20 @@ impl GFactor {
 
     /// Pivot magnitude range `(min |d|, max |d|)` of the factorization —
     /// a cheap conditioning signal (an ungrounded Laplacian factors with
-    /// one near-zero pivot instead of failing outright).
+    /// one near-zero pivot instead of failing outright). A
+    /// zero-dimensional factor reports `(0.0, 0.0)`, not the raw fold
+    /// identity `(∞, 0.0)`, so "is the factor well conditioned" checks
+    /// cannot pass vacuously.
     pub fn pivot_range(&self) -> (f64, f64) {
         let fold = |it: &mut dyn Iterator<Item = f64>| -> (f64, f64) {
-            it.fold((f64::INFINITY, 0.0), |(lo, hi), v| (lo.min(v), hi.max(v)))
+            let (lo, hi) = it.fold((f64::INFINITY, 0.0_f64), |(lo, hi), v| {
+                (lo.min(v), hi.max(v))
+            });
+            if lo.is_finite() {
+                (lo, hi)
+            } else {
+                (0.0, 0.0)
+            }
         };
         match self {
             GFactor::Sparse { fac, .. } => fold(&mut fac.d().iter().map(|v| v.abs())),
@@ -100,70 +110,153 @@ impl GFactor {
 
     /// Applies `M⁻¹` to `x`.
     pub fn apply_minv(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.dim()];
+        self.apply_minv_into(x, &mut out);
+        out
+    }
+
+    /// Applies `M⁻¹` into the caller-owned `out` — the allocation-free
+    /// primitive [`GFactor::apply_minv`] wraps. `out` doubles as the
+    /// working vector: the permutation gather lands in `out`, then the
+    /// triangular solve and scaling run in place, so no per-call `Vec`
+    /// or scatter buffer is allocated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` or `out.len()` differ from `self.dim()`.
+    pub fn apply_minv_into(&self, x: &[f64], out: &mut [f64]) {
         match self {
             GFactor::Sparse { fac, sqrt_d, .. } => {
                 let n = fac.dim();
-                let mut y: Vec<f64> = (0..n).map(|i| x[fac.perm()[i]]).collect();
-                fac.l_solve(&mut y);
-                for k in 0..n {
-                    y[k] /= sqrt_d[k];
+                assert_eq!(x.len(), n, "dimension mismatch");
+                assert_eq!(out.len(), n, "dimension mismatch");
+                let perm = fac.perm();
+                for i in 0..n {
+                    out[i] = x[perm[i]];
                 }
-                y
+                fac.l_solve(out);
+                for k in 0..n {
+                    out[k] /= sqrt_d[k];
+                }
             }
-            GFactor::Dense(mj) => mj.apply_minv(x),
+            GFactor::Dense(mj) => mj.apply_minv_into(x, out),
         }
     }
 
     /// Applies `M⁻ᵀ` to `x`.
     pub fn apply_minv_t(&self, x: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        let mut work = vec![0.0; n];
+        let mut out = vec![0.0; n];
+        self.apply_minv_t_into(x, &mut work, &mut out);
+        out
+    }
+
+    /// Applies `M⁻ᵀ` into the caller-owned `out` — the allocation-free
+    /// primitive [`GFactor::apply_minv_t`] wraps. The final step is a
+    /// permutation scatter, which cannot alias its source, so the
+    /// caller provides the `work` vector the solves run in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slice length differs from `self.dim()`.
+    pub fn apply_minv_t_into(&self, x: &[f64], work: &mut [f64], out: &mut [f64]) {
         match self {
             GFactor::Sparse { fac, sqrt_d, .. } => {
                 let n = fac.dim();
-                let mut y: Vec<f64> = (0..n).map(|k| x[k] / sqrt_d[k]).collect();
-                fac.lt_solve(&mut y);
-                let mut out = vec![0.0; n];
-                for i in 0..n {
-                    out[fac.perm()[i]] = y[i];
+                assert_eq!(x.len(), n, "dimension mismatch");
+                assert_eq!(work.len(), n, "dimension mismatch");
+                assert_eq!(out.len(), n, "dimension mismatch");
+                for k in 0..n {
+                    work[k] = x[k] / sqrt_d[k];
                 }
-                out
+                fac.lt_solve(work);
+                let perm = fac.perm();
+                for i in 0..n {
+                    out[perm[i]] = work[i];
+                }
             }
-            GFactor::Dense(mj) => mj.apply_minv_t(x),
+            GFactor::Dense(mj) => mj.apply_minv_t_into(x, work, out),
         }
     }
 
     /// Applies `M⁻¹` to every column of a dense matrix.
-    ///
-    /// The sparse path is blocked: each column is gathered, forward-solved
-    /// and scaled in place in the output, so the block-Lanczos inner loop
-    /// pays no per-column `Vec` allocation or permutation round-trip.
     pub fn apply_minv_mat(&self, x: &Mat<f64>) -> Mat<f64> {
-        match self {
-            GFactor::Sparse { fac, sqrt_d, .. } => {
-                let n = fac.dim();
-                assert_eq!(x.nrows(), n, "dimension mismatch");
-                let perm = fac.perm();
-                let mut out = Mat::zeros(n, x.ncols());
-                for j in 0..x.ncols() {
-                    let src = x.col(j);
-                    let dst = out.col_mut(j);
-                    for i in 0..n {
-                        dst[i] = src[perm[i]];
-                    }
-                    fac.l_solve(dst);
-                    for k in 0..n {
-                        dst[k] /= sqrt_d[k];
-                    }
-                }
-                out
+        self.apply_minv_mat_threads(x, mpvl_par::thread_count())
+    }
+
+    /// Applies `M⁻ᵀ` to every column of a dense matrix (the blocked
+    /// mirror of [`GFactor::apply_minv_mat`]).
+    pub fn apply_minv_t_mat(&self, x: &Mat<f64>) -> Mat<f64> {
+        self.apply_minv_t_mat_threads(x, mpvl_par::thread_count())
+    }
+
+    /// [`GFactor::apply_minv_mat`] with an explicit worker count.
+    ///
+    /// Columns are independent and each runs the exact serial
+    /// per-column kernel, with contiguous index-ordered chunks per
+    /// worker — the result is bit-identical at any `threads`.
+    pub fn apply_minv_mat_threads(&self, x: &Mat<f64>, threads: usize) -> Mat<f64> {
+        let n = self.dim();
+        assert_eq!(x.nrows(), n, "dimension mismatch");
+        let mut out = Mat::zeros(n, x.ncols());
+        let mut cols: Vec<&mut [f64]> = out.as_mut_slice().chunks_mut(n.max(1)).collect();
+        mpvl_par::parallel_for_chunks_with(threads, &mut cols, |offset, chunk| {
+            for (c, dst) in chunk.iter_mut().enumerate() {
+                self.apply_minv_into(x.col(offset + c), dst);
             }
-            GFactor::Dense(_) => {
-                let mut out = Mat::zeros(x.nrows(), x.ncols());
-                for j in 0..x.ncols() {
-                    let col = self.apply_minv(x.col(j));
-                    out.col_mut(j).copy_from_slice(&col);
-                }
-                out
+        });
+        out
+    }
+
+    /// [`GFactor::apply_minv_t_mat`] with an explicit worker count;
+    /// bit-identical at any `threads` (see
+    /// [`GFactor::apply_minv_mat_threads`]).
+    pub fn apply_minv_t_mat_threads(&self, x: &Mat<f64>, threads: usize) -> Mat<f64> {
+        let n = self.dim();
+        assert_eq!(x.nrows(), n, "dimension mismatch");
+        let mut out = Mat::zeros(n, x.ncols());
+        let mut cols: Vec<&mut [f64]> = out.as_mut_slice().chunks_mut(n.max(1)).collect();
+        mpvl_par::parallel_for_chunks_with(threads, &mut cols, |offset, chunk| {
+            let mut work = vec![0.0; n];
+            for (c, dst) in chunk.iter_mut().enumerate() {
+                self.apply_minv_t_into(x.col(offset + c), &mut work, dst);
             }
+        });
+        out
+    }
+
+    /// Blocked `M⁻¹ X` into a caller-owned matrix: the allocation-free
+    /// primitive the [`crate::LinearOperator`] block apply builds on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes do not line up.
+    pub fn apply_minv_mat_into(&self, x: &Mat<f64>, out: &mut Mat<f64>) {
+        let n = self.dim();
+        assert_eq!(x.nrows(), n, "dimension mismatch");
+        assert_eq!(out.nrows(), n, "dimension mismatch");
+        assert_eq!(x.ncols(), out.ncols(), "column count mismatch");
+        for j in 0..x.ncols() {
+            self.apply_minv_into(x.col(j), out.col_mut(j));
+        }
+    }
+
+    /// Blocked `M⁻ᵀ X` into a caller-owned matrix, with a caller-owned
+    /// `work` vector shared across columns (see
+    /// [`GFactor::apply_minv_t_into`] for why a scatter buffer is
+    /// unavoidable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes do not line up or `work.len() != self.dim()`.
+    pub fn apply_minv_t_mat_into(&self, x: &Mat<f64>, work: &mut [f64], out: &mut Mat<f64>) {
+        let n = self.dim();
+        assert_eq!(x.nrows(), n, "dimension mismatch");
+        assert_eq!(out.nrows(), n, "dimension mismatch");
+        assert_eq!(x.ncols(), out.ncols(), "column count mismatch");
+        for j in 0..x.ncols() {
+            self.apply_minv_t_into(x.col(j), work, out.col_mut(j));
         }
     }
 }

@@ -27,9 +27,66 @@
 //! against all closed clusters (default), trading the paper's banded-cost
 //! recurrence for robustness; the exact-arithmetic output is identical,
 //! and the banded mode is available for the cost ablation.
+//!
+//! ## Hot-path structure
+//!
+//! The operator is a [`LinearOperator`], not a boxed closure, so the
+//! process can apply it to a *block* of vectors at once: successor
+//! candidates `Â v` are generated lazily — all `p_c` successors of a
+//! closed cluster in one [`LinearOperator::apply_block`] call, and the
+//! remaining accepted-but-ungenerated prefix whenever the candidate
+//! queue runs dry. Because successors always enter the queue in
+//! acceptance order under both schedules, the FIFO pop sequence (and
+//! hence every FP operation, coefficient, and obs counter) is identical
+//! to eager per-acceptance generation. All per-candidate scratch — the
+//! `J∘w` vector, the cluster-projection right-hand side, the candidate
+//! buffers themselves, and the block-apply staging matrices — lives in
+//! a [`Workspace`] reused across the whole run; the steady-state inner
+//! loop performs no `Vec` allocation.
 
 use mpvl_la::{sym_eigen, Lu, Mat};
 use std::collections::VecDeque;
+
+/// A symmetric linear operator `x ↦ A x` applied into caller-owned
+/// storage — the interface the Lanczos process drives.
+///
+/// Implementations must be pure (the same `x` always produces the same
+/// `y`, bit for bit) and must write every element of `y`. Internal
+/// scratch, if any, is owned by the operator (interior mutability
+/// behind `&self`); callers never pass workspaces through this trait.
+pub trait LinearOperator {
+    /// The dimension `N` of the (square) operator.
+    fn dim(&self) -> usize;
+
+    /// Computes `y = A x`. Both slices are `dim()` long.
+    fn apply_into(&self, x: &[f64], y: &mut [f64]);
+
+    /// Computes `Y = A X` column by column.
+    ///
+    /// The default loops [`LinearOperator::apply_into`] over the
+    /// columns; implementations with a cheaper multi-RHS path (e.g. a
+    /// single sparse traversal serving every column) may override it,
+    /// **provided each output column stays bit-identical to a
+    /// columnwise `apply_into`** — the Lanczos process relies on block
+    /// and scalar application being interchangeable.
+    fn apply_block(&self, x: &Mat<f64>, y: &mut Mat<f64>) {
+        assert_eq!(x.ncols(), y.ncols(), "column count mismatch");
+        for j in 0..x.ncols() {
+            self.apply_into(x.col(j), y.col_mut(j));
+        }
+    }
+}
+
+/// Dense matrices are operators (used by tests and the dense baselines).
+impl LinearOperator for Mat<f64> {
+    fn dim(&self) -> usize {
+        self.nrows()
+    }
+
+    fn apply_into(&self, x: &[f64], y: &mut [f64]) {
+        self.matvec_into(x, y);
+    }
+}
 
 /// Tuning knobs for [`block_lanczos`].
 #[derive(Debug, Clone)]
@@ -76,6 +133,36 @@ struct Candidate {
     orig_norm: f64,
 }
 
+/// Reusable scratch for the Lanczos inner loop. Everything sized `N` or
+/// `max_cluster` is allocated once (or recycled) and reused for every
+/// candidate, so the steady-state per-candidate path is allocation-free.
+struct Workspace {
+    /// `J ∘ w` staging for the cluster projections.
+    jw: Vec<f64>,
+    /// Cluster-projection right-hand side, solved to coefficients in
+    /// place via [`Lu::solve_in_place`] (capacity `max_cluster`).
+    coef: Vec<f64>,
+    /// Recycled candidate buffers (from deflated / flushed candidates).
+    pool: Vec<Vec<f64>>,
+    /// Single-successor operator output.
+    av: Vec<f64>,
+    /// Block-apply staging `(V_batch, A·V_batch)`, keyed by width − 1;
+    /// at most `max_cluster` pairs ever exist, reused across closes.
+    batches: Vec<Option<(Mat<f64>, Mat<f64>)>>,
+}
+
+impl Workspace {
+    fn new(big_n: usize, max_cluster: usize) -> Self {
+        Workspace {
+            jw: vec![0.0; big_n],
+            coef: Vec::with_capacity(max_cluster.max(1)),
+            pool: Vec::new(),
+            av: vec![0.0; big_n],
+            batches: Vec::new(),
+        }
+    }
+}
+
 /// Output of [`block_lanczos`].
 #[derive(Debug, Clone)]
 pub struct LanczosOutcome {
@@ -110,9 +197,70 @@ impl LanczosOutcome {
     }
 }
 
+/// Generates queue candidates `J·A·vᵢ` for the accepted vectors
+/// `vectors[*gen_upto..upto]` in one blocked operator application, and
+/// advances the generation frontier.
+///
+/// Generation is deferred (to cluster closes and queue underruns)
+/// rather than eager (per acceptance), but candidates are pure
+/// functions of frozen accepted vectors and always enqueue in index
+/// order, so the FIFO pop sequence — and with it every downstream FP
+/// operation — is identical to the eager schedule.
+fn generate_successors<O: LinearOperator + ?Sized>(
+    op: &O,
+    j_diag: &[f64],
+    vectors: &[Vec<f64>],
+    gen_upto: &mut usize,
+    upto: usize,
+    queue: &mut VecDeque<Candidate>,
+    ws: &mut Workspace,
+) {
+    let lo = *gen_upto;
+    let m = upto - lo;
+    if m == 0 {
+        return;
+    }
+    let big_n = j_diag.len();
+    {
+        let _span = mpvl_obs::span("lanczos", "operator_apply");
+        if m == 1 {
+            op.apply_into(&vectors[lo], &mut ws.av);
+        } else {
+            let slot = m - 1;
+            if ws.batches.len() <= slot {
+                ws.batches.resize_with(slot + 1, || None);
+            }
+            let (vb, avb) = ws.batches[slot]
+                .get_or_insert_with(|| (Mat::zeros(big_n, m), Mat::zeros(big_n, m)));
+            for (c, idx) in (lo..upto).enumerate() {
+                vb.col_mut(c).copy_from_slice(&vectors[idx]);
+            }
+            op.apply_block(vb, avb);
+        }
+    }
+    for c in 0..m {
+        let mut w = ws.pool.pop().unwrap_or_else(|| vec![0.0; big_n]);
+        let av: &[f64] = if m == 1 {
+            &ws.av
+        } else {
+            ws.batches[m - 1].as_ref().expect("batch staged").1.col(c)
+        };
+        for (wi, (&x, &s)) in w.iter_mut().zip(av.iter().zip(j_diag)) {
+            *wi = x * s;
+        }
+        let orig_norm = mpvl_la::norm2(&w);
+        queue.push_back(Candidate {
+            w,
+            src: Src::Vector(lo + c),
+            orig_norm,
+        });
+    }
+    *gen_upto = upto;
+}
+
 /// Runs the symmetric block-Lanczos process.
 ///
-/// * `op` — applies `A = M⁻¹ C M⁻ᵀ`.
+/// * `op` — applies `A = M⁻¹ C M⁻ᵀ` (see [`LinearOperator`]).
 /// * `j_diag` — the signature `J = diag(±1)` from the `G = M J Mᵀ`
 ///   factorization.
 /// * `start` — the block `M⁻¹B` (`N × p`).
@@ -124,9 +272,10 @@ impl LanczosOutcome {
 ///
 /// # Panics
 ///
-/// Panics if `start` is empty or dimensions disagree with `j_diag`.
-pub fn block_lanczos(
-    op: &dyn Fn(&[f64]) -> Vec<f64>,
+/// Panics if `start` is empty or dimensions disagree with `j_diag` or
+/// `op.dim()`.
+pub fn block_lanczos<O: LinearOperator + ?Sized>(
+    op: &O,
     j_diag: &[f64],
     start: &Mat<f64>,
     max_order: usize,
@@ -137,6 +286,7 @@ pub fn block_lanczos(
     let p = start.ncols();
     assert!(p > 0, "starting block must have at least one column");
     assert_eq!(big_n, j_diag.len(), "dimension mismatch");
+    assert_eq!(big_n, op.dim(), "operator dimension mismatch");
     let identity_j = j_diag.iter().all(|&s| s == 1.0);
 
     // Coefficient storage; grown as vectors are accepted.
@@ -151,6 +301,11 @@ pub fn block_lanczos(
     let mut closed_delta_lu: Vec<Lu<f64>> = Vec::new();
     let mut open: Vec<usize> = Vec::new();
     let mut forced_cluster_closes = 0usize;
+
+    let mut ws = Workspace::new(big_n, opts.max_cluster);
+    // Successors exist for `vectors[..gen_upto]`; the frontier advances
+    // monotonically at cluster closes and queue underruns.
+    let mut gen_upto = 0usize;
 
     // Candidate queue; block size p_c = queue length.
     let mut queue: VecDeque<Candidate> = VecDeque::with_capacity(p);
@@ -186,11 +341,29 @@ pub fn block_lanczos(
         if !flushing && vectors.len() >= max_order.min(big_n) {
             flushing = true;
         }
-        let Some(mut cand) = queue.pop_front() else {
-            if !flushing {
-                exhausted = true;
+        let mut cand = match queue.pop_front() {
+            Some(cand) => cand,
+            None if gen_upto < vectors.len() => {
+                // Deferred successors remain; materialize them (this is
+                // exactly where the eager schedule would have had them
+                // queued already) and re-pop.
+                generate_successors(
+                    op,
+                    j_diag,
+                    &vectors,
+                    &mut gen_upto,
+                    vectors.len(),
+                    &mut queue,
+                    &mut ws,
+                );
+                queue.pop_front().expect("successors were just generated")
             }
-            break;
+            None => {
+                if !flushing {
+                    exhausted = true;
+                }
+                break;
+            }
         };
         iter_count += 1;
 
@@ -210,22 +383,24 @@ pub fn block_lanczos(
                 .position(|c| c.iter().any(|&idx| idx >= anchor))
                 .unwrap_or(closed.len())
         };
+        let ortho_span = mpvl_obs::span("lanczos", "orthogonalize");
         for _pass in 0..2 {
             for k in window_start..closed.len() {
                 let cluster = &closed[k];
-                // rhs = V_k^T (J ∘ w)
-                let jw: Vec<f64> = cand.w.iter().zip(j_diag).map(|(&x, &s)| x * s).collect();
-                let rhs: Vec<f64> = cluster
-                    .iter()
-                    .map(|&i| mpvl_la::dot(&vectors[i], &jw))
-                    .collect();
-                let coef = closed_delta_lu[k]
-                    .solve(&rhs)
+                // rhs = V_k^T (J ∘ w), solved in place against Δ^{(k)}.
+                for (ji, (&x, &s)) in ws.jw.iter_mut().zip(cand.w.iter().zip(j_diag)) {
+                    *ji = x * s;
+                }
+                ws.coef.clear();
+                ws.coef
+                    .extend(cluster.iter().map(|&i| mpvl_la::dot(&vectors[i], &ws.jw)));
+                closed_delta_lu[k]
+                    .solve_in_place(&mut ws.coef)
                     .expect("closed cluster Delta is invertible");
                 for (ci, &i) in cluster.iter().enumerate() {
-                    if coef[ci] != 0.0 {
-                        mpvl_la::axpy(-coef[ci], &vectors[i], &mut cand.w);
-                        record(&mut t_coef, &mut rho, i, cand.src, coef[ci]);
+                    if ws.coef[ci] != 0.0 {
+                        mpvl_la::axpy(-ws.coef[ci], &vectors[i], &mut cand.w);
+                        record(&mut t_coef, &mut rho, i, cand.src, ws.coef[ci]);
                     }
                 }
             }
@@ -243,10 +418,12 @@ pub fn block_lanczos(
                 break; // single pass suffices for the cheap banded mode
             }
         }
+        drop(ortho_span);
 
         // --- In the flush phase only the coefficients matter; the
         // remainder is the Lanczos truncation residual and is dropped.
         if flushing {
+            ws.pool.push(cand.w);
             continue;
         }
 
@@ -278,7 +455,8 @@ pub fn block_lanczos(
             if matches!(cand.src, Src::Init(_)) {
                 p1 -= 1;
             }
-            if queue.is_empty() {
+            ws.pool.push(cand.w);
+            if queue.is_empty() && gen_upto == vectors.len() {
                 exhausted = true;
                 break;
             }
@@ -347,17 +525,20 @@ pub fn block_lanczos(
             closed_delta_lu.push(Lu::new(dmat.clone()).expect("cluster Gram invertible"));
             closed_delta.push(dmat);
             closed.push(std::mem::take(&mut open));
-        }
 
-        // --- New candidate (step 3a): w = J · A v_idx.
-        let av = op(&vectors[idx]);
-        let w: Vec<f64> = av.iter().zip(j_diag).map(|(&x, &s)| x * s).collect();
-        let orig_norm = mpvl_la::norm2(&w);
-        queue.push_back(Candidate {
-            w,
-            src: Src::Vector(idx),
-            orig_norm,
-        });
+            // --- New candidates (step 3a): w = J · A vᵢ for every
+            // accepted vector whose successor is still pending — the
+            // just-closed cluster, in one blocked application.
+            generate_successors(
+                op,
+                j_diag,
+                &vectors,
+                &mut gen_upto,
+                vectors.len(),
+                &mut queue,
+                &mut ws,
+            );
+        }
     }
 
     // --- Truncate to the last closed cluster so Δ is invertible.
@@ -405,11 +586,6 @@ mod tests {
     use super::*;
     use mpvl_la::Mat;
 
-    /// Dense symmetric operator for testing.
-    fn dense_op(a: Mat<f64>) -> impl Fn(&[f64]) -> Vec<f64> {
-        move |x: &[f64]| a.matvec(x)
-    }
-
     fn spd_test_matrix(n: usize) -> Mat<f64> {
         Mat::from_fn(n, n, |i, j| {
             if i == j {
@@ -425,12 +601,25 @@ mod tests {
     }
 
     #[test]
+    fn default_apply_block_matches_columnwise_apply_into() {
+        let a = spd_test_matrix(9);
+        let x = Mat::from_fn(9, 4, |i, j| ((i * 7 + j * 3) as f64 * 0.31).sin());
+        let mut blocked = Mat::zeros(9, 4);
+        a.apply_block(&x, &mut blocked);
+        let mut col = vec![0.0; 9];
+        for j in 0..4 {
+            a.apply_into(x.col(j), &mut col);
+            assert_eq!(blocked.col(j), &col[..], "column {j}");
+        }
+    }
+
+    #[test]
     fn identity_j_produces_orthonormal_vectors() {
         let n = 12;
         let a = spd_test_matrix(n);
         let j = vec![1.0; n];
         let start = Mat::from_fn(n, 2, |i, jc| ((i + jc * 3) as f64 * 0.7).sin() + 0.1);
-        let out = block_lanczos(&dense_op(a), &j, &start, 8, &LanczosOptions::default());
+        let out = block_lanczos(&a, &j, &start, 8, &LanczosOptions::default());
         assert_eq!(out.order(), 8);
         let vtv = out.v.t_matmul(&out.v);
         assert!(
@@ -455,13 +644,7 @@ mod tests {
                 0.1 * (i as f64 + 1.0).recip()
             }
         });
-        let out = block_lanczos(
-            &dense_op(a.clone()),
-            &j,
-            &start,
-            8,
-            &LanczosOptions::default(),
-        );
+        let out = block_lanczos(&a, &j, &start, 8, &LanczosOptions::default());
         let av = a.matmul(&out.v);
         let vt = out.v.matmul(&out.t);
         // Columns 0..n-p are fully expanded; trailing p columns carry the
@@ -489,7 +672,7 @@ mod tests {
             ((seed >> 33) as f64) / (u32::MAX as f64) - 0.5
         };
         let start = Mat::from_fn(n, 3, |_, _| rng());
-        let out = block_lanczos(&dense_op(a), &j, &start, 9, &LanczosOptions::default());
+        let out = block_lanczos(&a, &j, &start, 9, &LanczosOptions::default());
         // J M^{-1} B = V rho; here J = I and "M^{-1}B" is `start`.
         let rec = out.v.matmul(&out.rho);
         assert!(
@@ -511,7 +694,7 @@ mod tests {
             let s = start[(i, 0)] + start[(i, 1)];
             start[(i, 2)] = s;
         }
-        let out = block_lanczos(&dense_op(a), &j, &start, 6, &LanczosOptions::default());
+        let out = block_lanczos(&a, &j, &start, 6, &LanczosOptions::default());
         assert_eq!(out.p1, 2);
         assert_eq!(out.deflation_steps.len(), 1);
     }
@@ -527,7 +710,7 @@ mod tests {
         start[(0, 0)] = 1.0;
         start[(3, 0)] = 1.0;
         start[(5, 0)] = 1.0;
-        let out = block_lanczos(&dense_op(a), &j, &start, 8, &LanczosOptions::default());
+        let out = block_lanczos(&a, &j, &start, 8, &LanczosOptions::default());
         assert!(out.exhausted);
         assert_eq!(out.order(), 3);
     }
@@ -541,13 +724,7 @@ mod tests {
             .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
             .collect();
         let start = Mat::from_fn(n, 2, |i, jc| ((i * 3 + jc * 5) as f64 * 0.17).sin() + 0.05);
-        let out = block_lanczos(
-            &dense_op(a.clone()),
-            &j,
-            &start,
-            8,
-            &LanczosOptions::default(),
-        );
+        let out = block_lanczos(&a, &j, &start, 8, &LanczosOptions::default());
         let order = out.order();
         assert!(order >= 4, "made progress despite indefinite J");
         // Check block J-orthogonality: V^T J V = Delta (block diagonal),
@@ -587,13 +764,7 @@ mod tests {
         start[(0, 0)] = 1.0;
         start[(n / 2, 0)] = 1.0;
         // v^T J v = 1 - 1 = 0 for the normalized start vector.
-        let out = block_lanczos(
-            &dense_op(a.clone()),
-            &j,
-            &start,
-            6,
-            &LanczosOptions::default(),
-        );
+        let out = block_lanczos(&a, &j, &start, 6, &LanczosOptions::default());
         assert!(
             out.clusters.iter().any(|c| c.len() >= 2),
             "expected a look-ahead cluster, got {:?}",
@@ -628,15 +799,9 @@ mod tests {
         let a = spd_test_matrix(n);
         let j = vec![1.0; n];
         let start = Mat::from_fn(n, 2, |i, jc| ((i + jc) as f64 * 0.41).cos() + 0.3);
-        let full = block_lanczos(
-            &dense_op(a.clone()),
-            &j,
-            &start,
-            10,
-            &LanczosOptions::default(),
-        );
+        let full = block_lanczos(&a, &j, &start, 10, &LanczosOptions::default());
         let banded = block_lanczos(
-            &dense_op(a),
+            &a,
             &j,
             &start,
             10,

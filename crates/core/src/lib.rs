@@ -46,6 +46,7 @@ mod io;
 mod lanczos;
 mod model;
 mod moments;
+mod operator;
 mod passivity;
 mod postprocess;
 mod rational;
@@ -60,9 +61,10 @@ pub use adaptive::{reduce_adaptive, AdaptiveOptions, AdaptiveOutcome};
 pub use error::SympvlError;
 pub use factor::GFactor;
 pub use io::{read_model, write_model};
-pub use lanczos::{block_lanczos, LanczosOptions, LanczosOutcome};
+pub use lanczos::{block_lanczos, LanczosOptions, LanczosOutcome, LinearOperator};
 pub use model::{ReducedModel, StampMatrices};
 pub use moments::exact_moments;
+pub use operator::KrylovOperator;
 pub use passivity::{certify, is_stable, sampled_passivity, Certificate, PassivityScan};
 pub use postprocess::{stabilize, PoleResidueModel, PostprocessOptions};
 pub use rational::{ExpansionPoint, RationalModel};

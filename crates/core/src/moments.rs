@@ -29,27 +29,26 @@ pub fn exact_moments(sys: &MnaSystem, s0: f64, count: usize) -> Result<Vec<Mat<f
     let p = sys.num_ports();
     let mut out = Vec::with_capacity(count);
     // W_0 = G̃^{-1} B ; W_{k+1} = G̃^{-1} C W_k ; m_k = (-1)^k B^T W_k.
+    // j_diag is hoisted out of the per-solve loop, and the block solve
+    // routes through the blocked M⁻¹ appliers (bit-identical per column).
+    let j_diag = factor.j_diag();
     let solve_mat = |m: &Mat<f64>| -> Mat<f64> {
-        let mut r = Mat::zeros(n, p);
+        // G̃^{-1} X = M^{-T} J M^{-1} X.
+        let mut y = factor.apply_minv_mat(m);
         for j in 0..p {
-            // G̃^{-1} x = M^{-T} J M^{-1} x.
-            let y = factor.apply_minv(m.col(j));
-            let jy: Vec<f64> = y.iter().zip(factor.j_diag()).map(|(&v, s)| v * s).collect();
-            let x = factor.apply_minv_t(&jy);
-            r.col_mut(j).copy_from_slice(&x);
+            for (v, s) in y.col_mut(j).iter_mut().zip(&j_diag) {
+                *v *= s;
+            }
         }
-        r
+        factor.apply_minv_t_mat(&y)
     };
     let mut w = solve_mat(&sys.b);
+    let mut cw = Mat::zeros(n, p);
     for k in 0..count {
         let mk = sys.b.t_matmul(&w);
         out.push(if k % 2 == 1 { mk.map(|v| -v) } else { mk });
         if k + 1 < count {
-            let mut cw = Mat::zeros(n, p);
-            for j in 0..p {
-                let col = sys.c.matvec(w.col(j));
-                cw.col_mut(j).copy_from_slice(&col);
-            }
+            sys.c.matvec_mat(&w, &mut cw);
             w = solve_mat(&cw);
         }
     }

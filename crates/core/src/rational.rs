@@ -62,10 +62,11 @@ impl RationalModel {
         for pt in points {
             let (factor, _) = factor_with_shift(sys, Shift::Value(pt.s0))?;
             identity_j &= factor.is_identity_j();
-            // K^{-1} x = M^{-T} J M^{-1} x.
+            // K^{-1} x = M^{-T} J M^{-1} x; j_diag hoisted out of the sweep loop.
+            let j_diag = factor.j_diag();
             let kinv = |x: &[f64]| -> Vec<f64> {
                 let y = factor.apply_minv(x);
-                let jy: Vec<f64> = y.iter().zip(factor.j_diag()).map(|(&v, s)| v * s).collect();
+                let jy: Vec<f64> = y.iter().zip(&j_diag).map(|(&v, s)| v * s).collect();
                 factor.apply_minv_t(&jy)
             };
             let mut block: Vec<Vec<f64>> =
@@ -85,18 +86,11 @@ impl RationalModel {
         if x.ncols() == 0 {
             return Err(SympvlError::BadOrder { order: 0 });
         }
-        // Congruence projection (preserves PSD for the J = I classes).
-        let mul = |m: &mpvl_sparse::CscMat<f64>, x: &Mat<f64>| -> Mat<f64> {
-            let mut out = Mat::zeros(n, x.ncols());
-            for j in 0..x.ncols() {
-                let col = m.matvec(x.col(j));
-                out.col_mut(j).copy_from_slice(&col);
-            }
-            out
-        };
+        // Congruence projection (preserves PSD for the J = I classes);
+        // the sparse multiplies share one traversal across columns.
         Ok(RationalModel {
-            ghat: x.t_matmul(&mul(&sys.g, &x)),
-            chat: x.t_matmul(&mul(&sys.c, &x)),
+            ghat: x.t_matmul(&sys.g.mat_mul(&x)),
+            chat: x.t_matmul(&sys.c.mat_mul(&x)),
             bhat: x.t_matmul(&sys.b),
             identity_j,
             s_power: sys.s_power,

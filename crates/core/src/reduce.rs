@@ -1,7 +1,7 @@
 //! The SyMPVL driver: from an assembled [`MnaSystem`] to a
 //! [`ReducedModel`].
 
-use crate::{block_lanczos, GFactor, LanczosOptions, ReducedModel, SympvlError};
+use crate::{block_lanczos, GFactor, KrylovOperator, LanczosOptions, ReducedModel, SympvlError};
 use mpvl_circuit::MnaSystem;
 
 /// Expansion-point policy (paper eq. 26).
@@ -74,11 +74,7 @@ pub fn sympvl(
         return Err(SympvlError::BadOrder { order });
     }
     let (factor, s0) = factor_with_shift(sys, opts.shift)?;
-    let op = |x: &[f64]| -> Vec<f64> {
-        let y = factor.apply_minv_t(x);
-        let cy = sys.c.matvec(&y);
-        factor.apply_minv(&cy)
-    };
+    let op = KrylovOperator::new(&factor, &sys.c);
     let start = factor.apply_minv_mat(&sys.b);
     let out = block_lanczos(&op, &factor.j_diag(), &start, order, &opts.lanczos);
     let n = out.order();
@@ -106,6 +102,12 @@ pub(crate) fn factor_with_shift(
     sys: &MnaSystem,
     shift: Shift,
 ) -> Result<(GFactor, f64), SympvlError> {
+    if sys.dim() == 0 {
+        // Also guards the Auto-accept conditioning test below: a dim-0
+        // factor has no pivots, and "min pivot > tol * max pivot" on an
+        // empty range must not pass vacuously.
+        return Err(SympvlError::EmptySystem);
+    }
     if !sys.is_symmetric() {
         return Err(SympvlError::RequiresDefiniteForm {
             operation: "SyMPVL (symmetric G, C; use baselines::mpvl for active circuits)",
@@ -114,6 +116,9 @@ pub(crate) fn factor_with_shift(
     match shift {
         Shift::None => Ok((GFactor::factor(&sys.g)?, 0.0)),
         Shift::Value(s0) => {
+            if !s0.is_finite() {
+                return Err(SympvlError::BadShift { s0 });
+            }
             let shifted = sys.g.add_scaled(1.0, &sys.c, s0);
             Ok((GFactor::factor(&shifted)?, s0))
         }
@@ -124,8 +129,12 @@ pub(crate) fn factor_with_shift(
             // negative) pivot, silently poisoning the reduction.
             Ok(f)
                 if {
+                    // `lo` is finite and nonzero only for a nonempty,
+                    // fully pivoted factor ([`GFactor::pivot_range`]
+                    // reports (0, 0) for dim-0); the guard cannot pass
+                    // vacuously.
                     let (lo, hi) = f.pivot_range();
-                    lo > 1e-10 * hi
+                    lo.is_finite() && lo > 1e-10 * hi
                 } =>
             {
                 Ok((f, 0.0))
@@ -283,6 +292,65 @@ mod tests {
         assert!(rel_err(m0.eval(s).unwrap()[(0, 0)], zx[(0, 0)]) < 1e-3);
         assert!(rel_err(m1.eval(s).unwrap()[(0, 0)], zx[(0, 0)]) < 1e-3);
         assert_eq!(m1.shift(), 1e9);
+    }
+
+    #[test]
+    fn rejects_non_finite_shift() {
+        // NaN/∞ expansion points used to be accepted silently and produce
+        // a nonsense shifted system; now they fail up front.
+        let sys = MnaSystem::assemble(&rc_ladder(5, 1.0, 1e-12)).unwrap();
+        for s0 in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let opts = SympvlOptions {
+                shift: Shift::Value(s0),
+                ..SympvlOptions::default()
+            };
+            match sympvl(&sys, 3, &opts) {
+                Err(SympvlError::BadShift { s0: got }) => {
+                    assert!(got.is_nan() == s0.is_nan() && (got.is_nan() || got == s0));
+                }
+                other => panic!("s0={s0}: expected BadShift, got {other:?}"),
+            }
+        }
+        // A finite explicit shift still works.
+        assert!(sympvl(
+            &sys,
+            3,
+            &SympvlOptions {
+                shift: Shift::Value(1e8),
+                ..SympvlOptions::default()
+            }
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn rejects_dimension_zero_system() {
+        // A dim-0 system used to sail through Shift::Auto: pivot_range()
+        // on an empty factor returned the fold identity (∞, 0), making the
+        // "lo > 1e-10 * hi" acceptance vacuously true.
+        use mpvl_circuit::CircuitClass;
+        use mpvl_la::Mat;
+        use mpvl_sparse::CscMat;
+        let sys = MnaSystem {
+            g: CscMat::zero(0, 0),
+            c: CscMat::zero(0, 0),
+            b: Mat::zeros(0, 1),
+            s_power: 1,
+            output_s_factor: 0,
+            class: CircuitClass::Rc,
+            num_node_unknowns: 0,
+            num_inductor_unknowns: 0,
+        };
+        for shift in [Shift::Auto, Shift::None, Shift::Value(0.0)] {
+            let opts = SympvlOptions {
+                shift,
+                ..SympvlOptions::default()
+            };
+            assert!(
+                matches!(sympvl(&sys, 1, &opts), Err(SympvlError::EmptySystem)),
+                "{shift:?} must reject a dim-0 system"
+            );
+        }
     }
 
     #[test]

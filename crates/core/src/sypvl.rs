@@ -14,7 +14,7 @@
 //! of the ref-\[8] Cauer-form synthesis ([`cauer_synthesis`]).
 
 use crate::reduce::factor_with_shift;
-use crate::{Shift, SympvlError};
+use crate::{KrylovOperator, LinearOperator, Shift, SympvlError};
 use mpvl_circuit::{Circuit, MnaSystem};
 use mpvl_la::Complex64;
 
@@ -75,11 +75,7 @@ impl SypvlModel {
                 operation: "classical SyPVL (J = I)",
             });
         }
-        let apply_a = |x: &[f64]| -> Vec<f64> {
-            let y = factor.apply_minv_t(x);
-            let cy = sys.c.matvec(&y);
-            factor.apply_minv(&cy)
-        };
+        let op = KrylovOperator::new(&factor, &sys.c);
         // Classical three-term symmetric Lanczos with full reorthogonalization.
         let r0 = factor.apply_minv(sys.b.col(0));
         let rho1 = mpvl_la::norm2(&r0);
@@ -94,8 +90,11 @@ impl SypvlModel {
         let mut basis: Vec<Vec<f64>> = vec![v.clone()];
         let mut alpha = Vec::with_capacity(n_max);
         let mut beta: Vec<f64> = Vec::with_capacity(n_max.saturating_sub(1));
+        // One operator apply target, reused across iterations (the operator
+        // itself allocates nothing per call; see `KrylovOperator`).
+        let mut w = vec![0.0; r0.len()];
         for k in 0..n_max {
-            let mut w = apply_a(&v);
+            op.apply_into(&v, &mut w);
             let a_k = mpvl_la::dot(&v, &w);
             alpha.push(a_k);
             mpvl_la::axpy(-a_k, &v, &mut w);
@@ -113,7 +112,7 @@ impl SypvlModel {
             }
             beta.push(b_k);
             v_prev = std::mem::take(&mut v);
-            v = w.into_iter().map(|x| x / b_k).collect();
+            v = w.iter().map(|&x| x / b_k).collect();
             basis.push(v.clone());
         }
         Ok(SypvlModel {

@@ -3,10 +3,10 @@
 
 use mpvl_circuit::generators::random_rc;
 use mpvl_circuit::MnaSystem;
-use mpvl_la::Complex64;
+use mpvl_la::{Complex64, Mat};
 use mpvl_testkit::prop::check;
 use mpvl_testkit::{prop_assert, prop_assert_eq};
-use sympvl::{read_model, sympvl, write_model, SympvlOptions};
+use sympvl::{read_model, sympvl, write_model, GFactor, SympvlOptions};
 
 #[test]
 fn io_roundtrip_is_lossless() {
@@ -92,6 +92,75 @@ fn dc_value_matches_moment_zero() {
         }
         Ok(())
     });
+}
+
+#[test]
+fn blocked_minv_appliers_are_bit_identical_to_columnwise() {
+    check(
+        "blocked_minv_appliers_are_bit_identical_to_columnwise",
+        24,
+        (0u64..500, 1usize..5),
+        |&(seed, ncols)| {
+            // apply_minv_mat / apply_minv_t_mat must reproduce the scalar
+            // appliers column for column — bitwise, since the blocked path
+            // is what the bit-identity guarantee of the Lanczos rework
+            // rests on.
+            let sys = MnaSystem::assemble(&random_rc(seed, 14, 2)).unwrap();
+            let factor = GFactor::factor(&sys.g).unwrap();
+            let n = sys.dim();
+            let x = Mat::from_fn(n, ncols, |i, j| {
+                (((seed as usize + i * 31 + j * 17) % 97) as f64 * 0.021).sin()
+            });
+            let fwd = factor.apply_minv_mat(&x);
+            let bwd = factor.apply_minv_t_mat(&x);
+            for j in 0..ncols {
+                prop_assert_eq!(
+                    fwd.col(j),
+                    &factor.apply_minv(x.col(j))[..],
+                    "apply_minv col {}",
+                    j
+                );
+                prop_assert_eq!(
+                    bwd.col(j),
+                    &factor.apply_minv_t(x.col(j))[..],
+                    "apply_minv_t col {}",
+                    j
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn blocked_minv_appliers_are_thread_count_invariant() {
+    check(
+        "blocked_minv_appliers_are_thread_count_invariant",
+        12,
+        0u64..500,
+        |&seed| {
+            // Chunked column fan-out must be bitwise independent of the
+            // worker count: each column runs the identical serial kernel,
+            // and chunks are contiguous and index-ordered.
+            let sys = MnaSystem::assemble(&random_rc(seed, 18, 3)).unwrap();
+            let factor = GFactor::factor(&sys.g).unwrap();
+            let n = sys.dim();
+            let x = Mat::from_fn(n, 5, |i, j| {
+                (((seed as usize + i * 13 + j * 41) % 89) as f64 * 0.037).cos()
+            });
+            let base_fwd = factor.apply_minv_mat_threads(&x, 1);
+            let base_bwd = factor.apply_minv_t_mat_threads(&x, 1);
+            for threads in [2, 4] {
+                let fwd = factor.apply_minv_mat_threads(&x, threads);
+                let bwd = factor.apply_minv_t_mat_threads(&x, threads);
+                for j in 0..5 {
+                    prop_assert_eq!(fwd.col(j), base_fwd.col(j), "fwd t={} col {}", threads, j);
+                    prop_assert_eq!(bwd.col(j), base_bwd.col(j), "bwd t={} col {}", threads, j);
+                }
+            }
+            Ok(())
+        },
+    );
 }
 
 #[test]

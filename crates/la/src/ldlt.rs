@@ -400,19 +400,35 @@ impl MjFactor {
     ///
     /// Panics if `x.len() != self.dim()`.
     pub fn apply_minv(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.dim()];
+        self.apply_minv_into(x, &mut out);
+        out
+    }
+
+    /// Applies `M⁻¹` into the caller-owned `out` — the allocation-free
+    /// primitive [`MjFactor::apply_minv`] wraps. `out` doubles as the
+    /// working vector (gather, then in-place triangular and block
+    /// solves), so no scratch is needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()` or `out.len() != self.dim()`.
+    pub fn apply_minv_into(&self, x: &[f64], out: &mut [f64]) {
         let n = self.dim();
         assert_eq!(x.len(), n, "dimension mismatch");
-        let mut y: Vec<f64> = (0..n).map(|i| x[self.perm[i]]).collect();
+        assert_eq!(out.len(), n, "dimension mismatch");
+        for i in 0..n {
+            out[i] = x[self.perm[i]];
+        }
         // L z = y (unit lower)
         for k in 0..n {
-            let yk = y[k];
+            let yk = out[k];
             for i in k + 1..n {
-                y[i] -= self.l[(i, k)] * yk;
+                out[i] -= self.l[(i, k)] * yk;
             }
         }
         // S w = z : S is block diagonal with 1x1/2x2 blocks. Solve blockwise.
-        solve_block_diag(&self.s, &mut y, false);
-        y
+        solve_block_diag(&self.s, out, false);
     }
 
     /// Applies `M⁻ᵀ` to `x`: `Pᵀ L⁻ᵀ S⁻ᵀ x`.
@@ -422,22 +438,38 @@ impl MjFactor {
     /// Panics if `x.len() != self.dim()`.
     pub fn apply_minv_t(&self, x: &[f64]) -> Vec<f64> {
         let n = self.dim();
+        let mut work = vec![0.0; n];
+        let mut out = vec![0.0; n];
+        self.apply_minv_t_into(x, &mut work, &mut out);
+        out
+    }
+
+    /// Applies `M⁻ᵀ` into the caller-owned `out` — the allocation-free
+    /// primitive [`MjFactor::apply_minv_t`] wraps. The final step is a
+    /// permutation scatter, which cannot alias its source, so the
+    /// caller supplies the `work` vector the solves run in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of the slices is not `self.dim()` long.
+    pub fn apply_minv_t_into(&self, x: &[f64], work: &mut [f64], out: &mut [f64]) {
+        let n = self.dim();
         assert_eq!(x.len(), n, "dimension mismatch");
-        let mut y = x.to_vec();
-        solve_block_diag(&self.s, &mut y, true);
+        assert_eq!(work.len(), n, "dimension mismatch");
+        assert_eq!(out.len(), n, "dimension mismatch");
+        work.copy_from_slice(x);
+        solve_block_diag(&self.s, work, true);
         // L^T u = w
         for k in (0..n).rev() {
-            let mut acc = y[k];
+            let mut acc = work[k];
             for i in k + 1..n {
-                acc -= self.l[(i, k)] * y[i];
+                acc -= self.l[(i, k)] * work[i];
             }
-            y[k] = acc;
+            work[k] = acc;
         }
-        let mut out = vec![0.0; n];
         for i in 0..n {
-            out[self.perm[i]] = y[i];
+            out[self.perm[i]] = work[i];
         }
-        out
     }
 }
 

@@ -120,9 +120,21 @@ impl<T: Scalar> Lu<T> {
     /// (can only happen for the zero-dimensional corner cases; factorization
     /// already rejects singular input).
     pub fn solve(&self, b: &[T]) -> Result<Vec<T>, SingularMatrixError> {
-        let n = self.dim();
-        assert_eq!(b.len(), n, "dimension mismatch");
         let mut x = b.to_vec();
+        self.solve_in_place(&mut x)?;
+        Ok(x)
+    }
+
+    /// Solves `A x = b` with `b` supplied (and overwritten) in place —
+    /// the allocation-free primitive [`Lu::solve`] wraps, with the same
+    /// operation order (swaps, unit-L forward, U back substitution).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if a diagonal entry of `U` is zero.
+    pub fn solve_in_place(&self, x: &mut [T]) -> Result<(), SingularMatrixError> {
+        let n = self.dim();
+        assert_eq!(x.len(), n, "dimension mismatch");
         // Apply the recorded row swaps.
         for k in 0..n {
             x.swap(k, self.piv[k]);
@@ -152,7 +164,7 @@ impl<T: Scalar> Lu<T> {
                 }
             }
         }
-        Ok(x)
+        Ok(())
     }
 
     /// Solves `Aᵀ x = b` using the same factorization

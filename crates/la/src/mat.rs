@@ -130,6 +130,14 @@ impl<T: Scalar> Mat<T> {
         &self.data
     }
 
+    /// The raw column-major buffer, mutably (column `j` occupies
+    /// `j*nrows..(j+1)*nrows` — the contract blocked kernels rely on to
+    /// split a matrix into independent per-column slices).
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
     /// Returns the transpose.
     pub fn transpose(&self) -> Mat<T> {
         Mat::from_fn(self.ncols, self.nrows, |i, j| self[(j, i)])
@@ -155,8 +163,22 @@ impl<T: Scalar> Mat<T> {
     ///
     /// Panics if `x.len() != self.ncols()`.
     pub fn matvec(&self, x: &[T]) -> Vec<T> {
-        assert_eq!(x.len(), self.ncols, "dimension mismatch");
         let mut y = vec![T::zero(); self.nrows];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// Matrix–vector product `A x` into the caller-owned `y`
+    /// (overwritten) — the allocation-free primitive [`Mat::matvec`]
+    /// wraps, with identical accumulation order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.ncols()` or `y.len() != self.nrows()`.
+    pub fn matvec_into(&self, x: &[T], y: &mut [T]) {
+        assert_eq!(x.len(), self.ncols, "dimension mismatch");
+        assert_eq!(y.len(), self.nrows, "dimension mismatch");
+        y.fill(T::zero());
         for j in 0..self.ncols {
             let xj = x[j];
             let col = self.col(j);
@@ -164,7 +186,6 @@ impl<T: Scalar> Mat<T> {
                 y[i] += col[i] * xj;
             }
         }
-        y
     }
 
     /// Transposed matrix–vector product `Aᵀ x` (no conjugation).

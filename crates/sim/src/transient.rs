@@ -146,18 +146,35 @@ pub fn transient(
     let k = sys.g.add_scaled(1.0, &sys.c, alpha / h);
     enum Companion {
         Sparse(SparseLdlt<f64>),
+        /// Symmetric saddle-point fallback: `G + αC` with a structurally
+        /// zero diagonal (e.g. an inductor-only internal node) defeats the
+        /// unpivoted sparse LDLᵀ but factors fine with Bunch–Kaufman —
+        /// the same fallback the reduction's `GFactor` uses.
+        SymDense(mpvl_la::BunchKaufman),
         Dense(mpvl_la::Lu<f64>),
     }
     impl Companion {
         fn solve(&self, b: &[f64]) -> Vec<f64> {
             match self {
                 Companion::Sparse(f) => f.solve(b),
+                Companion::SymDense(bk) => bk.solve(b),
                 Companion::Dense(lu) => lu.solve(b).expect("factored nonsingular"),
             }
         }
     }
     let fac = if sys.is_symmetric() {
-        Companion::Sparse(SparseLdlt::factor(&k, Ordering::MinDegree)?)
+        match SparseLdlt::factor(&k, Ordering::MinDegree) {
+            Ok(f) => Companion::Sparse(f),
+            Err(sparse_err) => {
+                mpvl_obs::counter_add("transient", "dense_fallbacks", 1);
+                // Keep the *sparse* error if the dense route fails too:
+                // it names the offending pivot.
+                Companion::SymDense(
+                    mpvl_la::BunchKaufman::new(&k.to_dense())
+                        .map_err(|_| TransientError::Factorization(sparse_err))?,
+                )
+            }
+        }
     } else {
         Companion::Dense(mpvl_la::Lu::new(k.to_dense()).map_err(|_| {
             TransientError::Factorization(mpvl_sparse::LdltError::ZeroPivot {
@@ -324,6 +341,51 @@ mod tests {
         assert!(
             (f_est - f0).abs() / f0 < 0.05,
             "estimated {f_est:.3e} vs analytic {f0:.3e}"
+        );
+    }
+
+    #[test]
+    fn symmetric_saddle_point_companion_uses_dense_fallback() {
+        // Node n2 touches only inductor L1, so the companion G + (α/h)C
+        // has a structurally zero diagonal there and the zero-diagonal row
+        // is the first one min-degree eliminates — the unpivoted sparse
+        // LDLᵀ hits a zero pivot, and `transient` used to surface that as
+        // a hard Factorization error even though the (symmetric,
+        // indefinite) matrix factors fine with Bunch–Kaufman.
+        let mut ckt = Circuit::new();
+        let n1 = ckt.add_node();
+        let n2 = ckt.add_node();
+        let (r, l, c, i0) = (10.0, 1e-6, 1e-9, 1e-3);
+        ckt.add_resistor("R1", n1, GROUND, r);
+        ckt.add_inductor("L1", n1, n2, l);
+        ckt.add_capacitor("C1", n1, GROUND, c);
+        ckt.add_port("p", n1, GROUND);
+        let sys = MnaSystem::assemble_general(&ckt).unwrap();
+        let h = 1e-9;
+        // Pin the premise: this companion really does defeat the sparse path.
+        let k = sys.g.add_scaled(1.0, &sys.c, 2.0 / h);
+        assert!(
+            SparseLdlt::factor(&k, Ordering::MinDegree).is_err(),
+            "regression premise: sparse LDLT must fail on this saddle point"
+        );
+        let res = transient(
+            &sys,
+            &[Waveform::Step {
+                t0: 0.0,
+                amplitude: i0,
+            }],
+            h,
+            2000,
+            Integrator::Trapezoidal,
+        )
+        .expect("dense symmetric fallback must rescue the factorization");
+        // The dangling inductor carries no current, so the port settles to
+        // the plain RC answer v -> i0 * R.
+        let v_end = res.port_voltages[(2000, 0)];
+        assert!(
+            (v_end - i0 * r).abs() < 1e-2 * i0 * r,
+            "expected {} at the port, got {v_end}",
+            i0 * r
         );
     }
 

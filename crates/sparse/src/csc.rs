@@ -144,8 +144,27 @@ impl<T: Scalar> CscMat<T> {
     ///
     /// Panics if `x.len() != self.ncols()`.
     pub fn matvec(&self, x: &[T]) -> Vec<T> {
-        assert_eq!(x.len(), self.ncols, "dimension mismatch");
         let mut y = vec![T::zero(); self.nrows];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// Matrix–vector product `A x`, accumulated into the caller-owned
+    /// `y` (overwritten, not added to). Allocation-free: this is the
+    /// primitive `matvec` wraps.
+    ///
+    /// The accumulation order per output entry is identical to the
+    /// historical `matvec` loop — columns ascending, stored entries
+    /// ascending, columns with `x[j] == 0` skipped — so results are
+    /// bit-identical to the allocating path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.ncols()` or `y.len() != self.nrows()`.
+    pub fn matvec_into(&self, x: &[T], y: &mut [T]) {
+        assert_eq!(x.len(), self.ncols, "dimension mismatch");
+        assert_eq!(y.len(), self.nrows, "dimension mismatch");
+        y.fill(T::zero());
         for j in 0..self.ncols {
             let xj = x[j];
             if xj == T::zero() {
@@ -156,6 +175,52 @@ impl<T: Scalar> CscMat<T> {
                 y[i] += v * xj;
             }
         }
+    }
+
+    /// Multi-RHS product `A X` into the caller-owned column-major `y`.
+    ///
+    /// One traversal of the sparse structure serves every right-hand
+    /// side: for each sparse column the entry list stays hot in cache
+    /// while the inner loop walks the RHS columns. For each individual
+    /// RHS column the contributions arrive in exactly the order
+    /// `matvec_into` produces them (columns ascending, entries
+    /// ascending, zero `x[(j, k)]` skipped), so each output column is
+    /// bit-identical to a columnwise `matvec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes do not line up.
+    pub fn matvec_mat(&self, x: &Mat<T>, y: &mut Mat<T>) {
+        assert_eq!(x.nrows(), self.ncols, "dimension mismatch");
+        assert_eq!(y.nrows(), self.nrows, "dimension mismatch");
+        assert_eq!(x.ncols(), y.ncols(), "RHS count mismatch");
+        let nrhs = x.ncols();
+        for k in 0..nrhs {
+            y.col_mut(k).fill(T::zero());
+        }
+        for j in 0..self.ncols {
+            let (rows, vals) = self.col_entries(j);
+            if rows.is_empty() {
+                continue;
+            }
+            for k in 0..nrhs {
+                let xjk = x[(j, k)];
+                if xjk == T::zero() {
+                    continue;
+                }
+                let yk = y.col_mut(k);
+                for (&i, &v) in rows.iter().zip(vals) {
+                    yk[i] += v * xjk;
+                }
+            }
+        }
+    }
+
+    /// Multi-RHS product `A X`, allocating the result (thin wrapper
+    /// over [`CscMat::matvec_mat`]).
+    pub fn mat_mul(&self, x: &Mat<T>) -> Mat<T> {
+        let mut y = Mat::zeros(self.nrows, x.ncols());
+        self.matvec_mat(x, &mut y);
         y
     }
 

@@ -187,6 +187,76 @@ fn mj_view_consistent_with_solve() {
     );
 }
 
+#[test]
+fn matvec_into_is_bit_identical_to_matvec() {
+    // The zero-alloc kernel must follow the exact historical accumulation
+    // order — bitwise, not approximately. Exercised on rectangular random
+    // patterns with exact-zero input entries (the `xj == 0` skip is
+    // load-bearing: `y += v * 0.0` could flip -0.0 to +0.0).
+    check(
+        "matvec_into_is_bit_identical_to_matvec",
+        48,
+        (
+            vec_in((0usize..7, 0usize..9, -2.0f64..2.0), 0..30),
+            vec_of(-1.0f64..1.0, 9),
+            0usize..9,
+        ),
+        |(entries, x, zero_at)| {
+            let mut t = TripletMat::new(7, 9);
+            for &(i, j, v) in entries {
+                t.push(i, j, v);
+            }
+            let a = t.to_csc();
+            let mut x = x.clone();
+            x[*zero_at] = 0.0; // force an exact-zero skip
+            let y1 = a.matvec(&x);
+            let mut y2 = vec![f64::NAN; 7]; // into must fully overwrite
+            a.matvec_into(&x, &mut y2);
+            prop_assert_eq!(&y1, &y2);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn mat_mul_is_bit_identical_to_columnwise_matvec() {
+    // The fused multi-RHS traversal reorders loops (column-of-A outer,
+    // RHS middle) but each output column's per-entry accumulation
+    // sequence must match the scalar kernel exactly.
+    check(
+        "mat_mul_is_bit_identical_to_columnwise_matvec",
+        48,
+        (
+            vec_in((0usize..8, 0usize..8, -2.0f64..2.0), 0..40),
+            vec_of(-1.0f64..1.0, 8 * 3),
+        ),
+        |(entries, xdata)| {
+            let mut t = TripletMat::new(8, 8);
+            for &(i, j, v) in entries {
+                t.push(i, j, v);
+            }
+            let a = t.to_csc();
+            let mut x = mpvl_la::Mat::zeros(8, 3);
+            for j in 0..3 {
+                for i in 0..8 {
+                    // Sprinkle exact zeros to hit the per-(j,k) skip.
+                    let v = xdata[j * 8 + i];
+                    x[(i, j)] = if v.abs() < 0.25 { 0.0 } else { v };
+                }
+            }
+            let blocked = a.mat_mul(&x);
+            let mut y = mpvl_la::Mat::zeros(8, 3);
+            a.matvec_mat(&x, &mut y);
+            for j in 0..3 {
+                let col = a.matvec(x.col(j));
+                prop_assert_eq!(blocked.col(j), &col[..], "mat_mul col {}", j);
+                prop_assert_eq!(y.col(j), &col[..], "matvec_mat col {}", j);
+            }
+            Ok(())
+        },
+    );
+}
+
 /// The nested strategy tuples above must still generate valid inputs.
 #[test]
 fn network_input_strategy_is_well_formed() {

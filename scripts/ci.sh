@@ -53,6 +53,27 @@ MPVL_BENCH_WARMUP=1 MPVL_BENCH_SAMPLES=3 \
 
 test -s target/bench/BENCH_sparse_ldlt.json
 
+echo "==> golden bit-identity across thread counts (MPVL_THREADS=2,4)"
+# The MPVL_THREADS=1 run above already covered the single-thread golden
+# fingerprints; the reduction must produce the same bits at any worker
+# count (column-chunked fan-out with the identical serial kernel).
+MPVL_THREADS=2 cargo test -q --offline -p sympvl --test golden_bitident
+MPVL_THREADS=4 cargo test -q --offline -p sympvl --test golden_bitident
+
+echo "==> smoke bench (bench_lanczos, reduced samples)"
+MPVL_BENCH_WARMUP=1 MPVL_BENCH_SAMPLES=3 \
+    cargo run -q --release --offline -p mpvl-bench --bin bench_lanczos
+
+test -s target/bench/BENCH_lanczos.json
+grep -q '"suite": *"lanczos"' target/bench/BENCH_lanczos.json
+for name in sympvl_order/8 sympvl_order/64 sympvl_size sympvl_reorth/full \
+    sympvl_reorth/banded; do
+    grep -q "\"$name" target/bench/BENCH_lanczos.json || {
+        echo "BENCH_lanczos.json missing result \"$name\"" >&2
+        exit 1
+    }
+done
+
 echo "==> smoke bench (bench_par_sweep, MPVL_THREADS=2, MPVL_OBS=json export)"
 rm -f target/obs/ci_smoke.jsonl
 MPVL_BENCH_WARMUP=1 MPVL_BENCH_SAMPLES=3 MPVL_THREADS=2 \
