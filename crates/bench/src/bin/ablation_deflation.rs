@@ -55,13 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let m = sympvl(
             &sys,
             10,
-            &SympvlOptions {
-                lanczos: LanczosOptions {
-                    dtol,
-                    ..LanczosOptions::default()
-                },
-                ..SympvlOptions::default()
-            },
+            &SympvlOptions::new().with_lanczos(LanczosOptions {
+                dtol,
+                ..LanczosOptions::default()
+            }),
         )?;
         let err = rel_err(m.eval(s)?[(0, 0)], zx[(0, 0)]);
         println!(
@@ -98,13 +95,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let banded = sympvl(
             &lsys,
             order,
-            &SympvlOptions {
-                lanczos: LanczosOptions {
-                    full_reorth: false,
-                    ..LanczosOptions::default()
-                },
-                ..SympvlOptions::default()
-            },
+            &SympvlOptions::new().with_lanczos(LanczosOptions {
+                full_reorth: false,
+                ..LanczosOptions::default()
+            }),
         )?;
         let t_band = t1.elapsed().as_secs_f64();
         for &f in &freqs {

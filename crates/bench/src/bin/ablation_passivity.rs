@@ -76,14 +76,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sys = MnaSystem::assemble_general(&ckt)?;
     let s0 = Shift::Value(2.0 * std::f64::consts::PI * 7e8);
     for order in [16usize, 32, 48, 64] {
-        let model = sympvl(
-            &sys,
-            order,
-            &SympvlOptions {
-                shift: s0,
-                ..SympvlOptions::default()
-            },
-        )?;
+        let model = sympvl(&sys, order, &SympvlOptions::new().with_shift(s0)?)?;
         assert!(!model.guarantees_passivity());
         let poles = model.poles()?;
         let max_re = poles.iter().map(|p| p.re).fold(f64::NEG_INFINITY, f64::max);

@@ -47,13 +47,10 @@ fn main() {
     bench.bench("sympvl_reorth/full", || {
         sympvl(&sys, 48, &SympvlOptions::default()).expect("reduce");
     });
-    let banded = SympvlOptions {
-        lanczos: LanczosOptions {
-            full_reorth: false,
-            ..LanczosOptions::default()
-        },
-        ..SympvlOptions::default()
-    };
+    let banded = SympvlOptions::new().with_lanczos(LanczosOptions {
+        full_reorth: false,
+        ..LanczosOptions::default()
+    });
     bench.bench("sympvl_reorth/banded", || {
         sympvl(&sys, 48, &banded).expect("reduce");
     });

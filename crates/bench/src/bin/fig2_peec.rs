@@ -44,10 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         models.push(sympvl(
             sys,
             n,
-            &SympvlOptions {
-                shift: Shift::Value(s0),
-                ..SympvlOptions::default()
-            },
+            &SympvlOptions::new().with_shift(Shift::Value(s0))?,
         )?);
     }
 

@@ -45,14 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let orders = [48usize, 64, 80];
     let mut models = Vec::new();
     for &n in &orders {
-        models.push(sympvl(
-            &sys,
-            n,
-            &SympvlOptions {
-                shift: s0,
-                ..SympvlOptions::default()
-            },
-        )?);
+        models.push(sympvl(&sys, n, &SympvlOptions::new().with_shift(s0)?)?);
     }
 
     // Port map (generator layout): 0 = pin1 ext, 1 = pin1 int,

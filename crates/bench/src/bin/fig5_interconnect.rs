@@ -28,15 +28,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Reduce to 34 states (the paper's synthesized circuit has 34 nodes).
     // Transient response is dominated by the slow poles, so expand near
     // DC (a small explicit shift regularizes the singular G).
-    let opts = SympvlOptions {
-        shift: Shift::Value(5e6),
-        ..SympvlOptions::default()
-    };
+    let opts = SympvlOptions::new().with_shift(Shift::Value(5e6))?;
     let rc_sys = MnaSystem::assemble(&ckt)?;
     let t_reduce = std::time::Instant::now();
     let model = sympvl(&rc_sys, 34, &opts)?;
     let reduce_secs = t_reduce.elapsed().as_secs_f64();
-    let synth = synthesize_rc(&model, &SynthesisOptions { prune_tol: 1e-7 })?;
+    let synth = synthesize_rc(&model, &SynthesisOptions::new().with_prune_tol(1e-7)?)?;
     let rst = stats(&synth.circuit);
     println!(
         "synthesized circuit: {:>6} nodes {:>6} resistors {:>6} capacitors  (paper:   34 /  459 /   170)",
@@ -144,7 +141,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Order scaling footnote: one block moment more makes the waveforms
     // strictly indistinguishable on our (richer-coupled) substitute.
     let model51 = sympvl(&rc_sys, 51, &opts)?;
-    let synth51 = synthesize_rc(&model51, &SynthesisOptions { prune_tol: 1e-7 })?;
+    let synth51 = synthesize_rc(&model51, &SynthesisOptions::new().with_prune_tol(1e-7)?)?;
     let red51 = MnaSystem::assemble_general(&embed_with_drivers(&synth51.circuit, 50.0))?;
     let r51 = transient(&red51, &drive, h, steps, Integrator::Trapezoidal)?;
     let mut w51 = 0.0f64;

@@ -8,12 +8,31 @@
 //! the difference between consecutive orders tracks the true error
 //! remarkably well (both are dominated by the first unmatched moments).
 
-use crate::{sympvl, ReducedModel, SympvlError, SympvlOptions};
+use crate::{ReducedModel, SympvlError, SympvlOptions, SympvlRun};
 use mpvl_circuit::MnaSystem;
 use mpvl_la::Complex64;
 
 /// Options for [`reduce_adaptive`].
+///
+/// Construct via [`AdaptiveOptions::for_band`] and chain the `with_*`
+/// builders; the struct is `#[non_exhaustive]` so options can grow
+/// without breaking callers. Impossible values (an empty or inverted
+/// band, a zero order step, non-positive tolerances) are rejected at
+/// build time, not deep inside the run.
+///
+/// ```
+/// use sympvl::AdaptiveOptions;
+/// # fn main() -> Result<(), sympvl::SympvlError> {
+/// let opts = AdaptiveOptions::for_band(1e7, 2e9)?
+///     .with_tol(1e-5)?
+///     .with_max_order(60)?;
+/// assert!(AdaptiveOptions::for_band(1e9, 1e9).is_err()); // zero band
+/// # let _ = opts;
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct AdaptiveOptions {
     /// Relative agreement (entrywise, worst over the band) between
     /// consecutive orders that counts as converged.
@@ -33,11 +52,21 @@ pub struct AdaptiveOptions {
 
 impl AdaptiveOptions {
     /// Sensible defaults for a band `f_lo..f_hi` (log-spaced probes).
-    pub fn for_band(f_lo: f64, f_hi: f64) -> Self {
-        assert!(f_lo > 0.0 && f_hi > f_lo, "need a positive band");
+    ///
+    /// # Errors
+    ///
+    /// [`SympvlError::InvalidOptions`] unless `0 < f_lo < f_hi` with both
+    /// endpoints finite — a zero or inverted band has no frequencies to
+    /// probe.
+    pub fn for_band(f_lo: f64, f_hi: f64) -> Result<Self, SympvlError> {
+        if !(f_lo.is_finite() && f_hi.is_finite() && f_lo > 0.0 && f_hi > f_lo) {
+            return Err(SympvlError::InvalidOptions {
+                reason: format!("need a finite positive band with f_hi > f_lo, got {f_lo}..{f_hi}"),
+            });
+        }
         let probes = 9;
         let (l0, l1) = (f_lo.ln(), f_hi.ln());
-        AdaptiveOptions {
+        Ok(AdaptiveOptions {
             tol: 1e-4,
             initial_order: 4,
             order_step: 4,
@@ -46,7 +75,100 @@ impl AdaptiveOptions {
                 .map(|i| (l0 + (l1 - l0) * i as f64 / (probes - 1) as f64).exp())
                 .collect(),
             sympvl: SympvlOptions::default(),
+        })
+    }
+
+    /// Sets the convergence tolerance.
+    ///
+    /// # Errors
+    ///
+    /// [`SympvlError::InvalidOptions`] unless `tol` is finite and
+    /// positive.
+    pub fn with_tol(mut self, tol: f64) -> Result<Self, SympvlError> {
+        if !(tol.is_finite() && tol > 0.0) {
+            return Err(SympvlError::InvalidOptions {
+                reason: format!("tolerance must be finite and positive, got {tol}"),
+            });
         }
+        self.tol = tol;
+        Ok(self)
+    }
+
+    /// Sets the first order to try.
+    ///
+    /// # Errors
+    ///
+    /// [`SympvlError::InvalidOptions`] for order zero.
+    pub fn with_initial_order(mut self, initial_order: usize) -> Result<Self, SympvlError> {
+        if initial_order == 0 {
+            return Err(SympvlError::InvalidOptions {
+                reason: "initial order must be at least 1".into(),
+            });
+        }
+        self.initial_order = initial_order;
+        Ok(self)
+    }
+
+    /// Sets the additive order step between attempts.
+    ///
+    /// # Errors
+    ///
+    /// [`SympvlError::InvalidOptions`] for a zero step (the loop would
+    /// never advance).
+    pub fn with_order_step(mut self, order_step: usize) -> Result<Self, SympvlError> {
+        if order_step == 0 {
+            return Err(SympvlError::InvalidOptions {
+                reason: "order step must be at least 1".into(),
+            });
+        }
+        self.order_step = order_step;
+        Ok(self)
+    }
+
+    /// Sets the hard cap on the order.
+    ///
+    /// # Errors
+    ///
+    /// [`SympvlError::InvalidOptions`] for a zero cap.
+    pub fn with_max_order(mut self, max_order: usize) -> Result<Self, SympvlError> {
+        if max_order == 0 {
+            return Err(SympvlError::InvalidOptions {
+                reason: "maximum order must be at least 1".into(),
+            });
+        }
+        self.max_order = max_order;
+        Ok(self)
+    }
+
+    /// Replaces the probe frequencies (Hz) at which agreement is
+    /// measured.
+    ///
+    /// # Errors
+    ///
+    /// [`SympvlError::InvalidOptions`] when the list is empty or any
+    /// frequency is non-finite or not positive.
+    pub fn with_probe_freqs(mut self, probe_freqs_hz: Vec<f64>) -> Result<Self, SympvlError> {
+        if probe_freqs_hz.is_empty() {
+            return Err(SympvlError::InvalidOptions {
+                reason: "need at least one probe frequency".into(),
+            });
+        }
+        if let Some(&bad) = probe_freqs_hz
+            .iter()
+            .find(|f| !(f.is_finite() && **f > 0.0))
+        {
+            return Err(SympvlError::InvalidOptions {
+                reason: format!("probe frequencies must be finite and positive, got {bad}"),
+            });
+        }
+        self.probe_freqs_hz = probe_freqs_hz;
+        Ok(self)
+    }
+
+    /// Sets the reduction options passed through to [`crate::sympvl`].
+    pub fn with_sympvl(mut self, sympvl: SympvlOptions) -> Self {
+        self.sympvl = sympvl;
+        self
     }
 }
 
@@ -79,7 +201,7 @@ pub struct AdaptiveOutcome {
 /// use sympvl::{reduce_adaptive, AdaptiveOptions};
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let sys = MnaSystem::assemble(&rc_ladder(80, 60.0, 1e-12))?;
-/// let out = reduce_adaptive(&sys, &AdaptiveOptions::for_band(1e7, 2e9))?;
+/// let out = reduce_adaptive(&sys, &AdaptiveOptions::for_band(1e7, 2e9)?)?;
 /// assert!(out.estimated_error <= 1e-4);
 /// assert!(out.model.order() < sys.dim());
 /// # Ok(())
@@ -89,13 +211,28 @@ pub fn reduce_adaptive(
     sys: &MnaSystem,
     opts: &AdaptiveOptions,
 ) -> Result<AdaptiveOutcome, SympvlError> {
+    let mut run = SympvlRun::new(sys, &opts.sympvl)?;
+    reduce_adaptive_with(sys, opts, &mut run)
+}
+
+/// The adaptive loop on an existing [`SympvlRun`] — each order step
+/// *continues* the retained Lanczos state (one factorization, no
+/// repeated Krylov steps), yet every intermediate model is bit-identical
+/// to a cold [`crate::sympvl`] call, so the convergence decisions — and
+/// the final model — match the from-scratch loop exactly. The session
+/// engine calls this against its cached run states.
+pub fn reduce_adaptive_with(
+    sys: &MnaSystem,
+    opts: &AdaptiveOptions,
+    run: &mut SympvlRun,
+) -> Result<AdaptiveOutcome, SympvlError> {
     assert!(!opts.probe_freqs_hz.is_empty(), "need probe frequencies");
     let _span = mpvl_obs::span("adaptive", "reduce_adaptive");
     let p = sys.num_ports().max(1);
     let step = opts.order_step.max(1).div_ceil(p) * p;
     let mut order = opts.initial_order.max(1);
     let mut orders_tried = vec![order];
-    let mut prev = sympvl(sys, order, &opts.sympvl)?;
+    let mut prev = run.model_at(sys, order)?;
     loop {
         if prev.is_exact() || prev.order() < order {
             // Krylov space exhausted: the model is as good as it gets.
@@ -117,7 +254,7 @@ pub fn reduce_adaptive(
                 hit_order_cap: true,
             });
         }
-        let next = sympvl(sys, next_order, &opts.sympvl)?;
+        let next = run.model_at(sys, next_order)?;
         orders_tried.push(next_order);
         let diff = band_difference(&prev, &next, &opts.probe_freqs_hz)?;
         if mpvl_obs::enabled() {
@@ -189,10 +326,10 @@ mod tests {
             ..InterconnectParams::default()
         });
         let sys = MnaSystem::assemble(&ckt).unwrap();
-        let opts = AdaptiveOptions {
-            tol: 1e-5,
-            ..AdaptiveOptions::for_band(1e7, 5e9)
-        };
+        let opts = AdaptiveOptions::for_band(1e7, 5e9)
+            .unwrap()
+            .with_tol(1e-5)
+            .unwrap();
         let out = reduce_adaptive(&sys, &opts).unwrap();
         assert!(!out.hit_order_cap, "orders tried {:?}", out.orders_tried);
         assert!(out.orders_tried.len() >= 2);
@@ -213,11 +350,12 @@ mod tests {
     #[test]
     fn small_system_exhausts_and_returns_exact() {
         let sys = MnaSystem::assemble(&random_rc(5, 6, 1)).unwrap();
-        let opts = AdaptiveOptions {
-            initial_order: 2,
-            order_step: 2,
-            ..AdaptiveOptions::for_band(1e7, 1e9)
-        };
+        let opts = AdaptiveOptions::for_band(1e7, 1e9)
+            .unwrap()
+            .with_initial_order(2)
+            .unwrap()
+            .with_order_step(2)
+            .unwrap();
         let out = reduce_adaptive(&sys, &opts).unwrap();
         assert!(out.model.order() <= sys.dim());
         assert!(!out.hit_order_cap);
@@ -232,13 +370,12 @@ mod tests {
             ..InterconnectParams::default()
         });
         let sys = MnaSystem::assemble(&ckt).unwrap();
-        let opts = AdaptiveOptions {
-            tol: 1e-14, // unreachably tight
-            initial_order: 4,
-            order_step: 4,
-            max_order: 12,
-            ..AdaptiveOptions::for_band(1e7, 5e9)
-        };
+        let opts = AdaptiveOptions::for_band(1e7, 5e9)
+            .unwrap()
+            .with_tol(1e-14) // unreachably tight
+            .unwrap()
+            .with_max_order(12)
+            .unwrap();
         let out = reduce_adaptive(&sys, &opts).unwrap();
         assert!(out.hit_order_cap);
         assert!(out.model.order() <= 12);
@@ -253,12 +390,14 @@ mod tests {
             ..InterconnectParams::default()
         });
         let sys = MnaSystem::assemble(&ckt).unwrap();
-        let opts = AdaptiveOptions {
-            tol: 1e-3,
-            initial_order: 3,
-            order_step: 1, // should round up to p = 3
-            ..AdaptiveOptions::for_band(1e7, 1e9)
-        };
+        let opts = AdaptiveOptions::for_band(1e7, 1e9)
+            .unwrap()
+            .with_tol(1e-3)
+            .unwrap()
+            .with_initial_order(3)
+            .unwrap()
+            .with_order_step(1) // should round up to p = 3
+            .unwrap();
         let out = reduce_adaptive(&sys, &opts).unwrap();
         for w in out.orders_tried.windows(2) {
             assert_eq!((w[1] - w[0]) % 3, 0, "orders {:?}", out.orders_tried);

@@ -57,7 +57,7 @@ impl ArnoldiModel {
         let mut frontier = x.clone();
         while x.ncols() < order.min(n) && frontier.ncols() > 0 {
             // Next block: K^{-1} C * frontier, orthogonalized against X.
-            let next = kinv_mat(&sys.c.mat_mul(&frontier));
+            let next = kinv_mat(&sys.c.matmul(&frontier));
             // MGS against the existing basis (twice), then internal.
             let mut cols: Vec<Vec<f64>> = (0..next.ncols()).map(|j| next.col(j).to_vec()).collect();
             for col in &mut cols {
@@ -85,8 +85,8 @@ impl ArnoldiModel {
         // Congruence projection with the *unshifted* G and C (blocked:
         // one sparse traversal per matrix for all basis columns).
         Ok(ArnoldiModel {
-            ghat: x.t_matmul(&sys.g.mat_mul(&x)),
-            chat: x.t_matmul(&sys.c.mat_mul(&x)),
+            ghat: x.t_matmul(&sys.g.matmul(&x)),
+            chat: x.t_matmul(&sys.c.matmul(&x)),
             bhat: x.t_matmul(&sys.b),
             s_power: sys.s_power,
             output_s_factor: sys.output_s_factor,

@@ -96,7 +96,7 @@ impl MpvlModel {
         // Forward multiply is blocked (one sparse traversal for the whole
         // frontier); the transpose multiply stays columnwise — CSC
         // transpose-apply is row-gather, already a single pass per column.
-        let c_mul = |m: &Mat<f64>| -> Mat<f64> { sys.c.mat_mul(m) };
+        let c_mul = |m: &Mat<f64>| -> Mat<f64> { sys.c.matmul(m) };
         let ct_mul = |m: &Mat<f64>| -> Mat<f64> {
             let mut out = Mat::zeros(n, m.ncols());
             for j in 0..m.ncols() {

@@ -182,13 +182,13 @@ impl GFactor {
 
     /// Applies `M⁻¹` to every column of a dense matrix.
     pub fn apply_minv_mat(&self, x: &Mat<f64>) -> Mat<f64> {
-        self.apply_minv_mat_threads(x, mpvl_par::thread_count())
+        self.apply_minv_mat_with_threads(x, mpvl_par::thread_count())
     }
 
     /// Applies `M⁻ᵀ` to every column of a dense matrix (the blocked
     /// mirror of [`GFactor::apply_minv_mat`]).
     pub fn apply_minv_t_mat(&self, x: &Mat<f64>) -> Mat<f64> {
-        self.apply_minv_t_mat_threads(x, mpvl_par::thread_count())
+        self.apply_minv_t_mat_with_threads(x, mpvl_par::thread_count())
     }
 
     /// [`GFactor::apply_minv_mat`] with an explicit worker count.
@@ -196,7 +196,7 @@ impl GFactor {
     /// Columns are independent and each runs the exact serial
     /// per-column kernel, with contiguous index-ordered chunks per
     /// worker — the result is bit-identical at any `threads`.
-    pub fn apply_minv_mat_threads(&self, x: &Mat<f64>, threads: usize) -> Mat<f64> {
+    pub fn apply_minv_mat_with_threads(&self, x: &Mat<f64>, threads: usize) -> Mat<f64> {
         let n = self.dim();
         assert_eq!(x.nrows(), n, "dimension mismatch");
         let mut out = Mat::zeros(n, x.ncols());
@@ -211,8 +211,8 @@ impl GFactor {
 
     /// [`GFactor::apply_minv_t_mat`] with an explicit worker count;
     /// bit-identical at any `threads` (see
-    /// [`GFactor::apply_minv_mat_threads`]).
-    pub fn apply_minv_t_mat_threads(&self, x: &Mat<f64>, threads: usize) -> Mat<f64> {
+    /// [`GFactor::apply_minv_mat_with_threads`]).
+    pub fn apply_minv_t_mat_with_threads(&self, x: &Mat<f64>, threads: usize) -> Mat<f64> {
         let n = self.dim();
         assert_eq!(x.nrows(), n, "dimension mismatch");
         let mut out = Mat::zeros(n, x.ncols());
@@ -224,6 +224,20 @@ impl GFactor {
             }
         });
         out
+    }
+
+    /// Renamed: explicit worker counts take the `_with_threads` suffix
+    /// (matching `ac_sweep_with_threads`).
+    #[deprecated(note = "renamed to `apply_minv_mat_with_threads`")]
+    pub fn apply_minv_mat_threads(&self, x: &Mat<f64>, threads: usize) -> Mat<f64> {
+        self.apply_minv_mat_with_threads(x, threads)
+    }
+
+    /// Renamed: explicit worker counts take the `_with_threads` suffix
+    /// (matching `ac_sweep_with_threads`).
+    #[deprecated(note = "renamed to `apply_minv_t_mat_with_threads`")]
+    pub fn apply_minv_t_mat_threads(&self, x: &Mat<f64>, threads: usize) -> Mat<f64> {
+        self.apply_minv_t_mat_with_threads(x, threads)
     }
 
     /// Blocked `M⁻¹ X` into a caller-owned matrix: the allocation-free

@@ -43,6 +43,19 @@
 //! buffers themselves, and the block-apply staging matrices — lives in
 //! a [`Workspace`] reused across the whole run; the steady-state inner
 //! loop performs no `Vec` allocation.
+//!
+//! ## Resumability
+//!
+//! The process is a state machine, [`BlockLanczos`]: `run(op, n)` accepts
+//! vectors until `n` are held (or the space is exhausted), and
+//! `outcome(op)` assembles a [`LanczosOutcome`] at the current order
+//! without consuming the state, so a later `run(op, n₂)` continues where
+//! the first left off. This is bit-identical to a from-scratch run at the
+//! larger order because the target order never enters the arithmetic: it
+//! only decides *when to stop accepting* (and when the trailing-column
+//! coefficient flush begins). `outcome` therefore performs the flush on a
+//! *clone* of the coefficient state — the retained state never observes
+//! it. The free function [`block_lanczos`] is `new` + `run` + `outcome`.
 
 use mpvl_la::{sym_eigen, Lu, Mat};
 use std::collections::VecDeque;
@@ -126,6 +139,7 @@ enum Src {
     Vector(usize),
 }
 
+#[derive(Clone)]
 struct Candidate {
     w: Vec<f64>,
     src: Src,
@@ -136,6 +150,8 @@ struct Candidate {
 /// Reusable scratch for the Lanczos inner loop. Everything sized `N` or
 /// `max_cluster` is allocated once (or recycled) and reused for every
 /// candidate, so the steady-state per-candidate path is allocation-free.
+/// Every buffer is fully overwritten before each read, so a fresh
+/// workspace and a long-lived one produce identical bits.
 struct Workspace {
     /// `J ∘ w` staging for the cluster projections.
     jw: Vec<f64>,
@@ -258,6 +274,492 @@ fn generate_successors<O: LinearOperator + ?Sized>(
     *gen_upto = upto;
 }
 
+/// Record a subtraction coefficient into T or rho.
+fn record(t_coef: &mut Mat<f64>, rho: &mut Mat<f64>, row: usize, src: Src, val: f64) {
+    match src {
+        Src::Init(col) => rho[(row, col)] += val,
+        Src::Vector(col) => t_coef[(row, col)] += val,
+    }
+}
+
+/// The candidate-processing kernel shared by the accepting phase
+/// ([`BlockLanczos::run`]) and the coefficient flush
+/// ([`BlockLanczos::outcome`]): J-orthogonalize against the closed
+/// clusters (twice for hygiene), plain-orthonormalize against the open
+/// cluster, and record every subtraction coefficient into `t_coef`/`rho`.
+///
+/// In banded mode, the closed-cluster sweep is restricted to the trailing
+/// window of clusters that the three-term structure actually couples to
+/// (those covering indices >= first index of the source's own window).
+#[allow(clippy::too_many_arguments)]
+fn orthogonalize_candidate(
+    opts: &LanczosOptions,
+    j_diag: &[f64],
+    identity_j: bool,
+    p: usize,
+    vectors: &[Vec<f64>],
+    closed: &[Vec<usize>],
+    closed_delta_lu: &[Lu<f64>],
+    open: &[usize],
+    ws: &mut Workspace,
+    cand: &mut Candidate,
+    t_coef: &mut Mat<f64>,
+    rho: &mut Mat<f64>,
+) {
+    let window_start = if opts.full_reorth {
+        0
+    } else {
+        let anchor = match cand.src {
+            Src::Init(_) => 0,
+            Src::Vector(i) => i.saturating_sub(2 * p + 2),
+        };
+        closed
+            .iter()
+            .position(|c| c.iter().any(|&idx| idx >= anchor))
+            .unwrap_or(closed.len())
+    };
+    let _ortho_span = mpvl_obs::span("lanczos", "orthogonalize");
+    for _pass in 0..2 {
+        for (k, cluster) in closed.iter().enumerate().skip(window_start) {
+            // rhs = V_k^T (J ∘ w), solved in place against Δ^{(k)}.
+            for (ji, (&x, &s)) in ws.jw.iter_mut().zip(cand.w.iter().zip(j_diag)) {
+                *ji = x * s;
+            }
+            ws.coef.clear();
+            ws.coef
+                .extend(cluster.iter().map(|&i| mpvl_la::dot(&vectors[i], &ws.jw)));
+            closed_delta_lu[k]
+                .solve_in_place(&mut ws.coef)
+                .expect("closed cluster Delta is invertible");
+            for (ci, &i) in cluster.iter().enumerate() {
+                if ws.coef[ci] != 0.0 {
+                    mpvl_la::axpy(-ws.coef[ci], &vectors[i], &mut cand.w);
+                    record(t_coef, rho, i, cand.src, ws.coef[ci]);
+                }
+            }
+        }
+        // --- Plain orthonormalization against the open cluster
+        // (step 1b: the open cluster's J-Gram is singular, so plain
+        // projections keep its raw vectors independent).
+        for &i in open {
+            let tau = mpvl_la::dot(&vectors[i], &cand.w);
+            if tau != 0.0 {
+                mpvl_la::axpy(-tau, &vectors[i], &mut cand.w);
+                record(t_coef, rho, i, cand.src, tau);
+            }
+        }
+        if identity_j && !opts.full_reorth {
+            break; // single pass suffices for the cheap banded mode
+        }
+    }
+}
+
+/// The block-Lanczos process as a resumable state machine.
+///
+/// Construct with [`BlockLanczos::new`], advance with
+/// [`BlockLanczos::run`], and read results with
+/// [`BlockLanczos::outcome`] — which does not consume the state, so the
+/// same instance can be escalated to a higher order later (the
+/// session engine's incremental adaptive path). Pausing and resuming is
+/// **bit-identical** to a single from-scratch run at the final order:
+/// the target order only gates when acceptance stops, never what is
+/// computed (see the module docs).
+///
+/// The operator is passed to `run`/`outcome` rather than stored, so the
+/// state itself is `'static` and can outlive borrowed operators (e.g.
+/// live in a cache next to the factorization it was built from). Every
+/// call must pass an operator that computes the same map bit-for-bit.
+pub struct BlockLanczos {
+    opts: LanczosOptions,
+    j_diag: Vec<f64>,
+    identity_j: bool,
+    big_n: usize,
+    p: usize,
+    /// Coefficient storage; grown by [`BlockLanczos::run`] to
+    /// `target.min(N) + 1` rows (growth copies bits, never values).
+    t_coef: Mat<f64>,
+    rho: Mat<f64>,
+    vectors: Vec<Vec<f64>>,
+    // Cluster bookkeeping.
+    closed: Vec<Vec<usize>>,
+    closed_delta: Vec<Mat<f64>>,
+    closed_delta_lu: Vec<Lu<f64>>,
+    open: Vec<usize>,
+    forced_cluster_closes: usize,
+    ws: Workspace,
+    /// Successors exist for `vectors[..gen_upto]`; the frontier advances
+    /// monotonically at cluster closes and queue underruns.
+    gen_upto: usize,
+    /// Candidate queue; block size p_c = queue length.
+    queue: VecDeque<Candidate>,
+    p1: usize,
+    deflation_steps: Vec<usize>,
+    exhausted: bool,
+    iter_count: usize,
+}
+
+impl BlockLanczos {
+    /// Seeds the process from the starting block `M⁻¹B` (`N × p`); no
+    /// operator application happens yet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is empty or its row count disagrees with
+    /// `j_diag`.
+    pub fn new(j_diag: &[f64], start: &Mat<f64>, opts: &LanczosOptions) -> Self {
+        let big_n = start.nrows();
+        let p = start.ncols();
+        assert!(p > 0, "starting block must have at least one column");
+        assert_eq!(big_n, j_diag.len(), "dimension mismatch");
+        let identity_j = j_diag.iter().all(|&s| s == 1.0);
+
+        let mut queue: VecDeque<Candidate> = VecDeque::with_capacity(p);
+        for jcol in 0..p {
+            let col = start.col(jcol);
+            let w: Vec<f64> = col.iter().zip(j_diag).map(|(&x, &s)| x * s).collect();
+            let orig_norm = mpvl_la::norm2(&w);
+            queue.push_back(Candidate {
+                w,
+                src: Src::Init(jcol),
+                orig_norm,
+            });
+        }
+
+        BlockLanczos {
+            opts: opts.clone(),
+            j_diag: j_diag.to_vec(),
+            identity_j,
+            big_n,
+            p,
+            t_coef: Mat::zeros(0, 0),
+            rho: Mat::zeros(0, p),
+            vectors: Vec::new(),
+            closed: Vec::new(),
+            closed_delta: Vec::new(),
+            closed_delta_lu: Vec::new(),
+            open: Vec::new(),
+            forced_cluster_closes: 0,
+            ws: Workspace::new(big_n, opts.max_cluster),
+            gen_upto: 0,
+            queue,
+            p1: p,
+            deflation_steps: Vec::new(),
+            exhausted: false,
+            iter_count: 0,
+        }
+    }
+
+    /// Number of Lanczos vectors accepted so far (closed + open clusters).
+    pub fn accepted(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Number of accepted vectors inside *closed* clusters — the order an
+    /// [`BlockLanczos::outcome`] taken now would have.
+    pub fn closed_count(&self) -> usize {
+        self.closed.iter().map(|c| c.len()).sum()
+    }
+
+    /// `true` once the Krylov space is exhausted: further `run` calls
+    /// cannot accept more vectors and the model is exact.
+    pub fn is_exhausted(&self) -> bool {
+        self.exhausted
+    }
+
+    /// Grows the coefficient storage to hold `target` accepted vectors
+    /// (plus the trailing flush row). A pure bit-copy: existing
+    /// coefficients are untouched, new cells are the zeros they would
+    /// have been allocated as up front.
+    fn ensure_capacity(&mut self, target: usize) {
+        let cap = target.min(self.big_n) + 1;
+        if self.t_coef.nrows() >= cap {
+            return;
+        }
+        let mut t = Mat::zeros(cap, cap);
+        for i in 0..self.t_coef.nrows() {
+            for j in 0..self.t_coef.ncols() {
+                t[(i, j)] = self.t_coef[(i, j)];
+            }
+        }
+        self.t_coef = t;
+        let mut r = Mat::zeros(cap, self.p);
+        for i in 0..self.rho.nrows() {
+            for j in 0..self.p {
+                r[(i, j)] = self.rho[(i, j)];
+            }
+        }
+        self.rho = r;
+    }
+
+    /// Accepts vectors until `target_order` are held (or the space is
+    /// exhausted). Calling with a target at or below the current
+    /// [`BlockLanczos::accepted`] count is a no-op; calling again with a
+    /// larger target continues the same process, bit-identically to
+    /// having asked for the larger order up front.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op.dim()` disagrees with the starting block.
+    pub fn run<O: LinearOperator + ?Sized>(&mut self, op: &O, target_order: usize) {
+        assert_eq!(self.big_n, op.dim(), "operator dimension mismatch");
+        let target = target_order.min(self.big_n);
+        self.ensure_capacity(target);
+        loop {
+            if self.exhausted || self.vectors.len() >= target {
+                break;
+            }
+            let mut cand = match self.queue.pop_front() {
+                Some(cand) => cand,
+                None if self.gen_upto < self.vectors.len() => {
+                    // Deferred successors remain; materialize them (this is
+                    // exactly where the eager schedule would have had them
+                    // queued already) and re-pop.
+                    generate_successors(
+                        op,
+                        &self.j_diag,
+                        &self.vectors,
+                        &mut self.gen_upto,
+                        self.vectors.len(),
+                        &mut self.queue,
+                        &mut self.ws,
+                    );
+                    self.queue
+                        .pop_front()
+                        .expect("successors were just generated")
+                }
+                None => {
+                    self.exhausted = true;
+                    break;
+                }
+            };
+            self.iter_count += 1;
+
+            orthogonalize_candidate(
+                &self.opts,
+                &self.j_diag,
+                self.identity_j,
+                self.p,
+                &self.vectors,
+                &self.closed,
+                &self.closed_delta_lu,
+                &self.open,
+                &mut self.ws,
+                &mut cand,
+                &mut self.t_coef,
+                &mut self.rho,
+            );
+
+            // --- Deflation test (step 1c).
+            let nrm = mpvl_la::norm2(&cand.w);
+            if nrm <= self.opts.dtol * cand.orig_norm.max(f64::MIN_POSITIVE) {
+                self.deflation_steps.push(self.iter_count);
+                if mpvl_obs::enabled() {
+                    mpvl_obs::counter_add("lanczos", "deflations", 1);
+                    mpvl_obs::event_at(
+                        "lanczos",
+                        "deflation",
+                        self.iter_count as u64,
+                        vec![
+                            (
+                                "src",
+                                mpvl_obs::Value::Str(match cand.src {
+                                    Src::Init(_) => "init",
+                                    Src::Vector(_) => "vector",
+                                }),
+                            ),
+                            (
+                                "rel_norm",
+                                mpvl_obs::Value::F64(nrm / cand.orig_norm.max(f64::MIN_POSITIVE)),
+                            ),
+                        ],
+                    );
+                }
+                if matches!(cand.src, Src::Init(_)) {
+                    self.p1 -= 1;
+                }
+                self.ws.pool.push(cand.w);
+                if self.queue.is_empty() && self.gen_upto == self.vectors.len() {
+                    self.exhausted = true;
+                    break;
+                }
+                continue;
+            }
+
+            // --- Accept (step 1h).
+            let idx = self.vectors.len();
+            record(&mut self.t_coef, &mut self.rho, idx, cand.src, nrm);
+            let mut v = cand.w;
+            mpvl_la::scal(1.0 / nrm, &mut v);
+            self.vectors.push(v);
+            self.open.push(idx);
+
+            // --- Cluster-completion check (step 2).
+            let m = self.open.len();
+            let mut dmat = Mat::zeros(m, m);
+            for (a, &ia) in self.open.iter().enumerate() {
+                for (b, &ib) in self.open.iter().enumerate() {
+                    let jw: f64 = self.vectors[ia]
+                        .iter()
+                        .zip(&self.vectors[ib])
+                        .zip(&self.j_diag)
+                        .map(|((&x, &y), &s)| x * s * y)
+                        .sum();
+                    dmat[(a, b)] = jw;
+                }
+            }
+            // `forced` flags a cluster that hit `max_cluster` while its Gram
+            // matrix was still ill-conditioned — the near-breakdown that
+            // look-ahead could not fully resolve.
+            let (close_now, forced) = if self.identity_j {
+                (true, false)
+            } else {
+                let eig = sym_eigen(&dmat).expect("tiny symmetric eigenproblem");
+                let min_abs = eig
+                    .values
+                    .iter()
+                    .map(|v| v.abs())
+                    .fold(f64::INFINITY, f64::min);
+                let well_conditioned = min_abs > self.opts.cluster_tol;
+                (
+                    well_conditioned || m >= self.opts.max_cluster,
+                    !well_conditioned && m >= self.opts.max_cluster,
+                )
+            };
+            if close_now {
+                if forced {
+                    self.forced_cluster_closes += 1;
+                }
+                if mpvl_obs::enabled() {
+                    mpvl_obs::counter_add("lanczos", "clusters_closed", 1);
+                    if forced {
+                        mpvl_obs::counter_add("lanczos", "forced_cluster_closes", 1);
+                    }
+                    mpvl_obs::event_at(
+                        "lanczos",
+                        "cluster_close",
+                        self.iter_count as u64,
+                        vec![
+                            ("size", mpvl_obs::Value::U64(m as u64)),
+                            ("forced", mpvl_obs::Value::Bool(forced)),
+                        ],
+                    );
+                }
+                self.closed_delta_lu
+                    .push(Lu::new(dmat.clone()).expect("cluster Gram invertible"));
+                self.closed_delta.push(dmat);
+                self.closed.push(std::mem::take(&mut self.open));
+
+                // --- New candidates (step 3a): w = J · A vᵢ for every
+                // accepted vector whose successor is still pending — the
+                // just-closed cluster, in one blocked application.
+                generate_successors(
+                    op,
+                    &self.j_diag,
+                    &self.vectors,
+                    &mut self.gen_upto,
+                    self.vectors.len(),
+                    &mut self.queue,
+                    &mut self.ws,
+                );
+            }
+        }
+    }
+
+    /// Assembles the [`LanczosOutcome`] at the current state, truncated
+    /// to the last *closed* cluster so `Δₙ` is always invertible.
+    ///
+    /// The candidates still in flight carry the trailing columns of `Tₙ`
+    /// (the paper computes `t_{·,n−p_c+1..n}` during iterations
+    /// `n+1..n+p_c`); this flush runs on a **clone** of the coefficient
+    /// state and queue, so the retained state is untouched and a later
+    /// [`BlockLanczos::run`] continues exactly as if no outcome had been
+    /// taken.
+    pub fn outcome<O: LinearOperator + ?Sized>(&self, op: &O) -> LanczosOutcome {
+        assert_eq!(self.big_n, op.dim(), "operator dimension mismatch");
+        let mut t_coef = self.t_coef.clone();
+        let mut rho = self.rho.clone();
+        let mut queue = self.queue.clone();
+        let mut gen_upto = self.gen_upto;
+        let mut iter_count = self.iter_count;
+        let mut ws = Workspace::new(self.big_n, self.opts.max_cluster);
+
+        // --- Flush: only the coefficients matter; each remainder is the
+        // Lanczos truncation residual and is dropped.
+        loop {
+            let mut cand = match queue.pop_front() {
+                Some(cand) => cand,
+                None if gen_upto < self.vectors.len() => {
+                    generate_successors(
+                        op,
+                        &self.j_diag,
+                        &self.vectors,
+                        &mut gen_upto,
+                        self.vectors.len(),
+                        &mut queue,
+                        &mut ws,
+                    );
+                    queue.pop_front().expect("successors were just generated")
+                }
+                None => break,
+            };
+            iter_count += 1;
+            orthogonalize_candidate(
+                &self.opts,
+                &self.j_diag,
+                self.identity_j,
+                self.p,
+                &self.vectors,
+                &self.closed,
+                &self.closed_delta_lu,
+                &self.open,
+                &mut ws,
+                &mut cand,
+                &mut t_coef,
+                &mut rho,
+            );
+            ws.pool.push(cand.w);
+        }
+
+        // --- Truncate to the last closed cluster so Δ is invertible.
+        let n: usize = self.closed.iter().map(|c| c.len()).sum();
+        if mpvl_obs::enabled() {
+            mpvl_obs::counter_add("lanczos", "iterations", iter_count as u64);
+            mpvl_obs::counter_add("lanczos", "accepted_vectors", n as u64);
+            if self.exhausted {
+                mpvl_obs::counter_add("lanczos", "exhausted", 1);
+            }
+        }
+        let mut v = Mat::zeros(self.big_n, n);
+        for (k, vec) in self.vectors.iter().take(n).enumerate() {
+            v.col_mut(k).copy_from_slice(vec);
+        }
+        let t = t_coef.submatrix(0, n, 0, n);
+        let rho_out = rho.submatrix(0, n, 0, self.p);
+        let mut delta = Mat::zeros(n, n);
+        for (k, cluster) in self.closed.iter().enumerate() {
+            let d = &self.closed_delta[k];
+            for (a, &ia) in cluster.iter().enumerate() {
+                for (b, &ib) in cluster.iter().enumerate() {
+                    if ia < n && ib < n {
+                        delta[(ia, ib)] = d[(a, b)];
+                    }
+                }
+            }
+        }
+        LanczosOutcome {
+            v,
+            t,
+            delta,
+            rho: rho_out,
+            p1: self.p1,
+            deflation_steps: self.deflation_steps.clone(),
+            clusters: self.closed.clone(),
+            exhausted: self.exhausted,
+            forced_cluster_closes: self.forced_cluster_closes,
+        }
+    }
+}
+
 /// Runs the symmetric block-Lanczos process.
 ///
 /// * `op` — applies `A = M⁻¹ C M⁻ᵀ` (see [`LinearOperator`]).
@@ -269,6 +771,9 @@ fn generate_successors<O: LinearOperator + ?Sized>(
 ///
 /// The returned outcome is truncated to the last *closed* cluster so that
 /// `Δₙ` is always invertible.
+///
+/// This is the one-shot convenience wrapper over [`BlockLanczos`]:
+/// `new` + `run(max_order)` + `outcome`.
 ///
 /// # Panics
 ///
@@ -282,303 +787,10 @@ pub fn block_lanczos<O: LinearOperator + ?Sized>(
     opts: &LanczosOptions,
 ) -> LanczosOutcome {
     let _span = mpvl_obs::span("lanczos", "block_lanczos");
-    let big_n = start.nrows();
-    let p = start.ncols();
-    assert!(p > 0, "starting block must have at least one column");
-    assert_eq!(big_n, j_diag.len(), "dimension mismatch");
-    assert_eq!(big_n, op.dim(), "operator dimension mismatch");
-    let identity_j = j_diag.iter().all(|&s| s == 1.0);
-
-    // Coefficient storage; grown as vectors are accepted.
-    let cap = max_order.min(big_n) + 1;
-    let mut t_coef = Mat::zeros(cap, cap);
-    let mut rho = Mat::zeros(cap, p);
-    let mut vectors: Vec<Vec<f64>> = Vec::with_capacity(cap);
-
-    // Cluster bookkeeping.
-    let mut closed: Vec<Vec<usize>> = Vec::new(); // index sets
-    let mut closed_delta: Vec<Mat<f64>> = Vec::new(); // Δ^{(k)} per closed cluster
-    let mut closed_delta_lu: Vec<Lu<f64>> = Vec::new();
-    let mut open: Vec<usize> = Vec::new();
-    let mut forced_cluster_closes = 0usize;
-
-    let mut ws = Workspace::new(big_n, opts.max_cluster);
-    // Successors exist for `vectors[..gen_upto]`; the frontier advances
-    // monotonically at cluster closes and queue underruns.
-    let mut gen_upto = 0usize;
-
-    // Candidate queue; block size p_c = queue length.
-    let mut queue: VecDeque<Candidate> = VecDeque::with_capacity(p);
-    for jcol in 0..p {
-        let col = start.col(jcol);
-        let w: Vec<f64> = col.iter().zip(j_diag).map(|(&x, &s)| x * s).collect();
-        let orig_norm = mpvl_la::norm2(&w);
-        queue.push_back(Candidate {
-            w,
-            src: Src::Init(jcol),
-            orig_norm,
-        });
-    }
-
-    let mut p1 = p;
-    let mut deflation_steps = Vec::new();
-    let mut exhausted = false;
-    let mut iter_count = 0usize;
-
-    // Record a subtraction coefficient into T or rho.
-    let record =
-        |t_coef: &mut Mat<f64>, rho: &mut Mat<f64>, row: usize, src: Src, val: f64| match src {
-            Src::Init(col) => rho[(row, col)] += val,
-            Src::Vector(col) => t_coef[(row, col)] += val,
-        };
-
-    // After `max_order` vectors are accepted, the candidates still in
-    // flight carry the trailing columns of Tₙ (the paper computes
-    // t_{·,n−p_c+1..n} during iterations n+1..n+p_c); `flushing` processes
-    // them for their coefficients without accepting new vectors.
-    let mut flushing = false;
-    loop {
-        if !flushing && vectors.len() >= max_order.min(big_n) {
-            flushing = true;
-        }
-        let mut cand = match queue.pop_front() {
-            Some(cand) => cand,
-            None if gen_upto < vectors.len() => {
-                // Deferred successors remain; materialize them (this is
-                // exactly where the eager schedule would have had them
-                // queued already) and re-pop.
-                generate_successors(
-                    op,
-                    j_diag,
-                    &vectors,
-                    &mut gen_upto,
-                    vectors.len(),
-                    &mut queue,
-                    &mut ws,
-                );
-                queue.pop_front().expect("successors were just generated")
-            }
-            None => {
-                if !flushing {
-                    exhausted = true;
-                }
-                break;
-            }
-        };
-        iter_count += 1;
-
-        // --- J-orthogonalize against closed clusters (twice for hygiene).
-        // In banded mode, restrict to the trailing window of clusters that
-        // the three-term structure actually couples to (those covering
-        // indices >= first index of the source's own window).
-        let window_start = if opts.full_reorth {
-            0
-        } else {
-            let anchor = match cand.src {
-                Src::Init(_) => 0,
-                Src::Vector(i) => i.saturating_sub(2 * p + 2),
-            };
-            closed
-                .iter()
-                .position(|c| c.iter().any(|&idx| idx >= anchor))
-                .unwrap_or(closed.len())
-        };
-        let ortho_span = mpvl_obs::span("lanczos", "orthogonalize");
-        for _pass in 0..2 {
-            for k in window_start..closed.len() {
-                let cluster = &closed[k];
-                // rhs = V_k^T (J ∘ w), solved in place against Δ^{(k)}.
-                for (ji, (&x, &s)) in ws.jw.iter_mut().zip(cand.w.iter().zip(j_diag)) {
-                    *ji = x * s;
-                }
-                ws.coef.clear();
-                ws.coef
-                    .extend(cluster.iter().map(|&i| mpvl_la::dot(&vectors[i], &ws.jw)));
-                closed_delta_lu[k]
-                    .solve_in_place(&mut ws.coef)
-                    .expect("closed cluster Delta is invertible");
-                for (ci, &i) in cluster.iter().enumerate() {
-                    if ws.coef[ci] != 0.0 {
-                        mpvl_la::axpy(-ws.coef[ci], &vectors[i], &mut cand.w);
-                        record(&mut t_coef, &mut rho, i, cand.src, ws.coef[ci]);
-                    }
-                }
-            }
-            // --- Plain orthonormalization against the open cluster
-            // (step 1b: the open cluster's J-Gram is singular, so plain
-            // projections keep its raw vectors independent).
-            for &i in &open {
-                let tau = mpvl_la::dot(&vectors[i], &cand.w);
-                if tau != 0.0 {
-                    mpvl_la::axpy(-tau, &vectors[i], &mut cand.w);
-                    record(&mut t_coef, &mut rho, i, cand.src, tau);
-                }
-            }
-            if identity_j && !opts.full_reorth {
-                break; // single pass suffices for the cheap banded mode
-            }
-        }
-        drop(ortho_span);
-
-        // --- In the flush phase only the coefficients matter; the
-        // remainder is the Lanczos truncation residual and is dropped.
-        if flushing {
-            ws.pool.push(cand.w);
-            continue;
-        }
-
-        // --- Deflation test (step 1c).
-        let nrm = mpvl_la::norm2(&cand.w);
-        if nrm <= opts.dtol * cand.orig_norm.max(f64::MIN_POSITIVE) {
-            deflation_steps.push(iter_count);
-            if mpvl_obs::enabled() {
-                mpvl_obs::counter_add("lanczos", "deflations", 1);
-                mpvl_obs::event_at(
-                    "lanczos",
-                    "deflation",
-                    iter_count as u64,
-                    vec![
-                        (
-                            "src",
-                            mpvl_obs::Value::Str(match cand.src {
-                                Src::Init(_) => "init",
-                                Src::Vector(_) => "vector",
-                            }),
-                        ),
-                        (
-                            "rel_norm",
-                            mpvl_obs::Value::F64(nrm / cand.orig_norm.max(f64::MIN_POSITIVE)),
-                        ),
-                    ],
-                );
-            }
-            if matches!(cand.src, Src::Init(_)) {
-                p1 -= 1;
-            }
-            ws.pool.push(cand.w);
-            if queue.is_empty() && gen_upto == vectors.len() {
-                exhausted = true;
-                break;
-            }
-            continue;
-        }
-
-        // --- Accept (step 1h).
-        let idx = vectors.len();
-        record(&mut t_coef, &mut rho, idx, cand.src, nrm);
-        let mut v = cand.w;
-        mpvl_la::scal(1.0 / nrm, &mut v);
-        vectors.push(v);
-        open.push(idx);
-
-        // --- Cluster-completion check (step 2).
-        let m = open.len();
-        let mut dmat = Mat::zeros(m, m);
-        for (a, &ia) in open.iter().enumerate() {
-            for (b, &ib) in open.iter().enumerate() {
-                let jw: f64 = vectors[ia]
-                    .iter()
-                    .zip(&vectors[ib])
-                    .zip(j_diag)
-                    .map(|((&x, &y), &s)| x * s * y)
-                    .sum();
-                dmat[(a, b)] = jw;
-            }
-        }
-        // `forced` flags a cluster that hit `max_cluster` while its Gram
-        // matrix was still ill-conditioned — the near-breakdown that
-        // look-ahead could not fully resolve.
-        let (close_now, forced) = if identity_j {
-            (true, false)
-        } else {
-            let eig = sym_eigen(&dmat).expect("tiny symmetric eigenproblem");
-            let min_abs = eig
-                .values
-                .iter()
-                .map(|v| v.abs())
-                .fold(f64::INFINITY, f64::min);
-            let well_conditioned = min_abs > opts.cluster_tol;
-            (
-                well_conditioned || m >= opts.max_cluster,
-                !well_conditioned && m >= opts.max_cluster,
-            )
-        };
-        if close_now {
-            if forced {
-                forced_cluster_closes += 1;
-            }
-            if mpvl_obs::enabled() {
-                mpvl_obs::counter_add("lanczos", "clusters_closed", 1);
-                if forced {
-                    mpvl_obs::counter_add("lanczos", "forced_cluster_closes", 1);
-                }
-                mpvl_obs::event_at(
-                    "lanczos",
-                    "cluster_close",
-                    iter_count as u64,
-                    vec![
-                        ("size", mpvl_obs::Value::U64(m as u64)),
-                        ("forced", mpvl_obs::Value::Bool(forced)),
-                    ],
-                );
-            }
-            closed_delta_lu.push(Lu::new(dmat.clone()).expect("cluster Gram invertible"));
-            closed_delta.push(dmat);
-            closed.push(std::mem::take(&mut open));
-
-            // --- New candidates (step 3a): w = J · A vᵢ for every
-            // accepted vector whose successor is still pending — the
-            // just-closed cluster, in one blocked application.
-            generate_successors(
-                op,
-                j_diag,
-                &vectors,
-                &mut gen_upto,
-                vectors.len(),
-                &mut queue,
-                &mut ws,
-            );
-        }
-    }
-
-    // --- Truncate to the last closed cluster so Δ is invertible.
-    let n_usable: usize = closed.iter().map(|c| c.len()).sum();
-    let n = n_usable;
-    if mpvl_obs::enabled() {
-        mpvl_obs::counter_add("lanczos", "iterations", iter_count as u64);
-        mpvl_obs::counter_add("lanczos", "accepted_vectors", n as u64);
-        if exhausted {
-            mpvl_obs::counter_add("lanczos", "exhausted", 1);
-        }
-    }
-    let mut v = Mat::zeros(big_n, n);
-    for (k, vec) in vectors.iter().take(n).enumerate() {
-        v.col_mut(k).copy_from_slice(vec);
-    }
-    let t = t_coef.submatrix(0, n, 0, n);
-    let rho_out = rho.submatrix(0, n, 0, p);
-    let mut delta = Mat::zeros(n, n);
-    for (k, cluster) in closed.iter().enumerate() {
-        let d = &closed_delta[k];
-        for (a, &ia) in cluster.iter().enumerate() {
-            for (b, &ib) in cluster.iter().enumerate() {
-                if ia < n && ib < n {
-                    delta[(ia, ib)] = d[(a, b)];
-                }
-            }
-        }
-    }
-    LanczosOutcome {
-        v,
-        t,
-        delta,
-        rho: rho_out,
-        p1,
-        deflation_steps,
-        clusters: closed,
-        exhausted,
-        forced_cluster_closes,
-    }
+    assert_eq!(start.nrows(), op.dim(), "operator dimension mismatch");
+    let mut state = BlockLanczos::new(j_diag, start, opts);
+    state.run(op, max_order);
+    state.outcome(op)
 }
 
 #[cfg(test)]
@@ -598,6 +810,21 @@ mod tests {
                 0.0
             }
         })
+    }
+
+    /// Exact bitwise equality (distinguishes -0.0/0.0, total on NaN).
+    fn assert_bits_eq(a: &Mat<f64>, b: &Mat<f64>, what: &str) {
+        assert_eq!(a.nrows(), b.nrows(), "{what}: row count");
+        assert_eq!(a.ncols(), b.ncols(), "{what}: col count");
+        for j in 0..a.ncols() {
+            for (i, (x, y)) in a.col(j).iter().zip(b.col(j)).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "{what}: bit mismatch at ({i},{j}): {x} vs {y}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -817,5 +1044,86 @@ mod tests {
             "T mismatch {}",
             (&full.t - &banded.t).max_abs()
         );
+    }
+
+    #[test]
+    fn incremental_run_is_bit_identical_to_scratch() {
+        // Pause-and-resume must match a single from-scratch run exactly,
+        // including with indefinite J (look-ahead clusters).
+        let n = 14;
+        let a = spd_test_matrix(n);
+        for j in [
+            vec![1.0; n],
+            (0..n)
+                .map(|i| if i % 3 == 0 { -1.0 } else { 1.0 })
+                .collect::<Vec<_>>(),
+        ] {
+            let start = Mat::from_fn(n, 2, |i, jc| ((i * 5 + jc * 7) as f64 * 0.19).sin() + 0.07);
+            let scratch = block_lanczos(&a, &j, &start, 10, &LanczosOptions::default());
+
+            let mut state = BlockLanczos::new(&j, &start, &LanczosOptions::default());
+            state.run(&a, 4);
+            let mid = state.outcome(&a);
+            state.run(&a, 10);
+            let resumed = state.outcome(&a);
+
+            assert_bits_eq(&resumed.t, &scratch.t, "T resumed vs scratch");
+            assert_bits_eq(&resumed.delta, &scratch.delta, "Delta resumed vs scratch");
+            assert_bits_eq(&resumed.rho, &scratch.rho, "rho resumed vs scratch");
+            assert_bits_eq(&resumed.v, &scratch.v, "V resumed vs scratch");
+            assert_eq!(resumed.p1, scratch.p1);
+            assert_eq!(resumed.clusters, scratch.clusters);
+            assert_eq!(resumed.exhausted, scratch.exhausted);
+
+            // The mid-run outcome equals a scratch run at the smaller order.
+            let scratch_mid = block_lanczos(&a, &j, &start, 4, &LanczosOptions::default());
+            assert_bits_eq(&mid.t, &scratch_mid.t, "T mid vs scratch@4");
+            assert_bits_eq(&mid.delta, &scratch_mid.delta, "Delta mid vs scratch@4");
+            assert_bits_eq(&mid.rho, &scratch_mid.rho, "rho mid vs scratch@4");
+        }
+    }
+
+    #[test]
+    fn outcome_is_nondestructive_and_repeatable() {
+        let n = 12;
+        let a = spd_test_matrix(n);
+        let j = vec![1.0; n];
+        let start = Mat::from_fn(n, 2, |i, jc| ((i + jc * 3) as f64 * 0.7).sin() + 0.1);
+        let mut state = BlockLanczos::new(&j, &start, &LanczosOptions::default());
+        state.run(&a, 6);
+        let first = state.outcome(&a);
+        let second = state.outcome(&a);
+        assert_bits_eq(&first.t, &second.t, "repeat outcome T");
+        assert_bits_eq(&first.rho, &second.rho, "repeat outcome rho");
+        // State still continuable after two outcomes.
+        state.run(&a, 8);
+        let grown = state.outcome(&a);
+        let scratch = block_lanczos(&a, &j, &start, 8, &LanczosOptions::default());
+        assert_bits_eq(&grown.t, &scratch.t, "grown T vs scratch@8");
+        assert_bits_eq(&grown.delta, &scratch.delta, "grown Delta vs scratch@8");
+    }
+
+    #[test]
+    fn incremental_exhaustion_matches_scratch() {
+        // Invariant subspace of dimension 3: escalating past it must
+        // report exhaustion exactly like the one-shot run.
+        let n = 8;
+        let a = Mat::from_diag(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let j = vec![1.0; n];
+        let mut start = Mat::zeros(n, 1);
+        start[(0, 0)] = 1.0;
+        start[(3, 0)] = 1.0;
+        start[(5, 0)] = 1.0;
+        let scratch = block_lanczos(&a, &j, &start, 8, &LanczosOptions::default());
+        let mut state = BlockLanczos::new(&j, &start, &LanczosOptions::default());
+        state.run(&a, 2);
+        assert!(!state.is_exhausted());
+        state.run(&a, 8);
+        assert!(state.is_exhausted());
+        let out = state.outcome(&a);
+        assert_eq!(out.order(), 3);
+        assert_bits_eq(&out.t, &scratch.t, "exhausted T");
+        assert_bits_eq(&out.v, &scratch.v, "exhausted V");
+        assert!(out.exhausted);
     }
 }

@@ -51,24 +51,30 @@ mod passivity;
 mod postprocess;
 mod rational;
 mod reduce;
+mod run;
 mod state_space;
 mod sypvl;
 
 pub mod baselines;
 pub mod synthesis;
 
-pub use adaptive::{reduce_adaptive, AdaptiveOptions, AdaptiveOutcome};
-pub use error::SympvlError;
+pub use adaptive::{reduce_adaptive, reduce_adaptive_with, AdaptiveOptions, AdaptiveOutcome};
+pub use error::{Error, SympvlError};
 pub use factor::GFactor;
 pub use io::{read_model, write_model};
-pub use lanczos::{block_lanczos, LanczosOptions, LanczosOutcome, LinearOperator};
+pub use lanczos::{block_lanczos, BlockLanczos, LanczosOptions, LanczosOutcome, LinearOperator};
 pub use model::{ReducedModel, StampMatrices};
 pub use moments::exact_moments;
 pub use operator::KrylovOperator;
 pub use passivity::{certify, is_stable, sampled_passivity, Certificate, PassivityScan};
 pub use postprocess::{stabilize, PoleResidueModel, PostprocessOptions};
 pub use rational::{ExpansionPoint, RationalModel};
-pub use reduce::{sympvl, Shift, SympvlOptions};
+pub use reduce::{
+    factor_target, factor_with_shift_via, sympvl, FactorTarget, Shift, SympvlOptions,
+};
+pub use run::SympvlRun;
 pub use state_space::{simulate_stamp, StampTransient};
-pub use synthesis::{foster_synthesis, synthesize_rc, SynthesisOptions};
+pub use synthesis::{
+    foster_synthesis, synthesize_rc, FosterSection, SynthesisOptions, SynthesizedCircuit,
+};
 pub use sypvl::{cauer_synthesis, CauerSection, SypvlModel};

@@ -48,7 +48,7 @@ pub fn exact_moments(sys: &MnaSystem, s0: f64, count: usize) -> Result<Vec<Mat<f
         let mk = sys.b.t_matmul(&w);
         out.push(if k % 2 == 1 { mk.map(|v| -v) } else { mk });
         if k + 1 < count {
-            sys.c.matvec_mat(&w, &mut cw);
+            sys.c.matvec_mat_into(&w, &mut cw);
             w = solve_mat(&cw);
         }
     }

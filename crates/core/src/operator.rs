@@ -88,7 +88,7 @@ impl LinearOperator for KrylovOperator<'_> {
             work, ymat, cymat, ..
         } = &mut *s;
         self.factor.apply_minv_t_mat_into(x, work, ymat);
-        self.c.matvec_mat(ymat, cymat);
+        self.c.matvec_mat_into(ymat, cymat);
         self.factor.apply_minv_mat_into(cymat, out);
     }
 }

@@ -89,8 +89,8 @@ impl RationalModel {
         // Congruence projection (preserves PSD for the J = I classes);
         // the sparse multiplies share one traversal across columns.
         Ok(RationalModel {
-            ghat: x.t_matmul(&sys.g.mat_mul(&x)),
-            chat: x.t_matmul(&sys.c.mat_mul(&x)),
+            ghat: x.t_matmul(&sys.g.matmul(&x)),
+            chat: x.t_matmul(&sys.c.matmul(&x)),
             bhat: x.t_matmul(&sys.b),
             identity_j,
             s_power: sys.s_power,

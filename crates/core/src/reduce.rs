@@ -1,8 +1,10 @@
 //! The SyMPVL driver: from an assembled [`MnaSystem`] to a
 //! [`ReducedModel`].
 
-use crate::{block_lanczos, GFactor, KrylovOperator, LanczosOptions, ReducedModel, SympvlError};
+use crate::lanczos::LanczosOutcome;
+use crate::{GFactor, LanczosOptions, ReducedModel, SympvlError, SympvlRun};
 use mpvl_circuit::MnaSystem;
+use std::sync::Arc;
 
 /// Expansion-point policy (paper eq. 26).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -18,7 +20,26 @@ pub enum Shift {
 }
 
 /// Options for [`sympvl`].
+///
+/// Construct via [`SympvlOptions::new`] (or `default()`) and chain the
+/// `with_*` builders; the struct is `#[non_exhaustive]` so options can
+/// grow without breaking callers. Validating setters reject impossible
+/// values (a non-finite explicit shift) at build time rather than deep
+/// inside the run.
+///
+/// ```
+/// use sympvl::{Shift, SympvlOptions};
+/// # fn main() -> Result<(), sympvl::SympvlError> {
+/// let opts = SympvlOptions::new().with_shift(Shift::Value(1e9))?;
+/// assert!(SympvlOptions::new()
+///     .with_shift(Shift::Value(f64::NAN))
+///     .is_err());
+/// # let _ = opts;
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct SympvlOptions {
     /// Expansion-point policy.
     pub shift: Shift,
@@ -32,6 +53,37 @@ impl Default for SympvlOptions {
             shift: Shift::Auto,
             lanczos: LanczosOptions::default(),
         }
+    }
+}
+
+impl SympvlOptions {
+    /// Starts from the defaults: [`Shift::Auto`] and default Lanczos
+    /// tuning.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the expansion-point policy.
+    ///
+    /// # Errors
+    ///
+    /// [`SympvlError::BadShift`] when `shift` is `Shift::Value(s0)` with a
+    /// NaN or infinite `s0`.
+    pub fn with_shift(mut self, shift: Shift) -> Result<Self, SympvlError> {
+        if let Shift::Value(s0) = shift {
+            if !s0.is_finite() {
+                return Err(SympvlError::BadShift { s0 });
+            }
+        }
+        self.shift = shift;
+        Ok(self)
+    }
+
+    /// Sets the Lanczos-process tuning (infallible — [`LanczosOptions`]
+    /// tolerances are checked by the process itself).
+    pub fn with_lanczos(mut self, lanczos: LanczosOptions) -> Self {
+        self.lanczos = lanczos;
+        self
     }
 }
 
@@ -73,35 +125,54 @@ pub fn sympvl(
     if order == 0 {
         return Err(SympvlError::BadOrder { order });
     }
-    let (factor, s0) = factor_with_shift(sys, opts.shift)?;
-    let op = KrylovOperator::new(&factor, &sys.c);
-    let start = factor.apply_minv_mat(&sys.b);
-    let out = block_lanczos(&op, &factor.j_diag(), &start, order, &opts.lanczos);
-    let n = out.order();
-    if n == 0 {
-        return Err(SympvlError::BadOrder { order });
-    }
-    Ok(ReducedModel {
-        t: out.t,
-        delta: out.delta,
-        rho: out.rho,
-        shift: s0,
-        s_power: sys.s_power,
-        output_s_factor: sys.output_s_factor,
-        identity_j: factor.is_identity_j(),
-        original_dim: sys.dim(),
-        p1: out.p1,
-        deflations: out.deflation_steps.len(),
-        exhausted: out.exhausted,
-    })
+    let mut run = SympvlRun::new(sys, opts)?;
+    run.model_at(sys, order)
 }
 
-/// Factors `G + s₀C` per the shift policy, returning the factor and the
-/// shift actually used.
-pub(crate) fn factor_with_shift(
+/// The concrete matrix a [`Shift`] policy asks to factor.
+///
+/// `Unshifted` factors `G` alone — on *G's own* sparsity pattern and
+/// fill-reducing ordering. `Shifted(σ)` factors `G + σC` — on the
+/// `G`/`C` *union* pattern, whose ordering generally differs. The two
+/// are therefore distinct cache keys even for `σ = 0`: `Shifted(0.0)`
+/// and `Unshifted` produce numerically equal but **bit-different**
+/// factors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FactorTarget {
+    /// Factor `G` (pattern and ordering of `G` alone).
+    Unshifted,
+    /// Factor `G + σC` (union pattern), `σ` finite.
+    Shifted(f64),
+}
+
+/// Factors a [`FactorTarget`] directly — the uncached seam default.
+/// Session caches wrap this to interpose per-target memoization.
+pub fn factor_target(sys: &MnaSystem, target: FactorTarget) -> Result<Arc<GFactor>, SympvlError> {
+    match target {
+        FactorTarget::Unshifted => GFactor::factor(&sys.g).map(Arc::new),
+        FactorTarget::Shifted(s0) => {
+            let shifted = sys.g.add_scaled(1.0, &sys.c, s0);
+            GFactor::factor(&shifted).map(Arc::new)
+        }
+    }
+}
+
+/// Resolves a [`Shift`] policy to a factorization, routing every
+/// concrete factorization attempt through `factor_fn` — the seam the
+/// session engine uses to interpose its cache. `factor_fn` must behave
+/// like [`GFactor::factor`] on the [`FactorTarget`] matrix (returning a
+/// cached copy of exactly that result is fine; computing something else
+/// is not). The policy logic — validation guards, the `Auto`
+/// conditioning test, and the automatic-shift back-off ladder — lives
+/// here, once, so cached and uncached paths cannot drift.
+pub fn factor_with_shift_via<F>(
     sys: &MnaSystem,
     shift: Shift,
-) -> Result<(GFactor, f64), SympvlError> {
+    factor_fn: &mut F,
+) -> Result<(Arc<GFactor>, f64), SympvlError>
+where
+    F: FnMut(&MnaSystem, FactorTarget) -> Result<Arc<GFactor>, SympvlError>,
+{
     if sys.dim() == 0 {
         // Also guards the Auto-accept conditioning test below: a dim-0
         // factor has no pivots, and "min pivot > tol * max pivot" on an
@@ -114,15 +185,14 @@ pub(crate) fn factor_with_shift(
         });
     }
     match shift {
-        Shift::None => Ok((GFactor::factor(&sys.g)?, 0.0)),
+        Shift::None => Ok((factor_fn(sys, FactorTarget::Unshifted)?, 0.0)),
         Shift::Value(s0) => {
             if !s0.is_finite() {
                 return Err(SympvlError::BadShift { s0 });
             }
-            let shifted = sys.g.add_scaled(1.0, &sys.c, s0);
-            Ok((GFactor::factor(&shifted)?, s0))
+            Ok((factor_fn(sys, FactorTarget::Shifted(s0))?, s0))
         }
-        Shift::Auto => match GFactor::factor(&sys.g) {
+        Shift::Auto => match factor_fn(sys, FactorTarget::Unshifted) {
             // Accept the unshifted factorization only when it is
             // well-conditioned: an ungrounded Laplacian is rank-deficient
             // but can squeak past the pivot floor with one tiny (even
@@ -154,8 +224,7 @@ pub(crate) fn factor_with_shift(
                 // pivot, back off toward the full scale.)
                 for eps in [1e-3, 1e-1, 1.0] {
                     let s0 = eps * gn / cn;
-                    let shifted = sys.g.add_scaled(1.0, &sys.c, s0);
-                    if let Ok(f) = GFactor::factor(&shifted) {
+                    if let Ok(f) = factor_fn(sys, FactorTarget::Shifted(s0)) {
                         return Ok((f, s0));
                     }
                 }
@@ -165,6 +234,45 @@ pub(crate) fn factor_with_shift(
             }
         },
     }
+}
+
+/// Factors `G + s₀C` per the shift policy, returning the factor and the
+/// shift actually used.
+pub(crate) fn factor_with_shift(
+    sys: &MnaSystem,
+    shift: Shift,
+) -> Result<(Arc<GFactor>, f64), SympvlError> {
+    factor_with_shift_via(sys, shift, &mut factor_target)
+}
+
+/// Packages a Lanczos outcome as a [`ReducedModel`] — the single
+/// assembly site shared by [`sympvl`] and [`SympvlRun`], so every path
+/// produces field-identical models.
+pub(crate) fn assemble_model(
+    sys: &MnaSystem,
+    factor: &GFactor,
+    s0: f64,
+    out: LanczosOutcome,
+    requested_order: usize,
+) -> Result<ReducedModel, SympvlError> {
+    if out.order() == 0 {
+        return Err(SympvlError::BadOrder {
+            order: requested_order,
+        });
+    }
+    Ok(ReducedModel {
+        t: out.t,
+        delta: out.delta,
+        rho: out.rho,
+        shift: s0,
+        s_power: sys.s_power,
+        output_s_factor: sys.output_s_factor,
+        identity_j: factor.is_identity_j(),
+        original_dim: sys.dim(),
+        p1: out.p1,
+        deflations: out.deflation_steps.len(),
+        exhausted: out.exhausted,
+    })
 }
 
 fn frob(m: &mpvl_sparse::CscMat<f64>) -> f64 {

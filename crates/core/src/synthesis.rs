@@ -23,7 +23,22 @@ use mpvl_circuit::Circuit;
 use mpvl_la::{sym_eigen, Lu, Mat, Qr};
 
 /// Options for the unstamping synthesis.
+///
+/// Construct via [`SynthesisOptions::new`] (or `default()`) and chain
+/// the `with_*` builders; the struct is `#[non_exhaustive]` so options
+/// can grow without breaking callers.
+///
+/// ```
+/// use sympvl::SynthesisOptions;
+/// # fn main() -> Result<(), sympvl::SympvlError> {
+/// let exact = SynthesisOptions::new().with_prune_tol(0.0)?;
+/// assert!(SynthesisOptions::new().with_prune_tol(-1.0).is_err());
+/// # let _ = exact;
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct SynthesisOptions {
     /// Drop synthesized elements whose admittance magnitude is below
     /// `prune_tol × (largest magnitude in its matrix)`. `0.0` keeps the
@@ -34,6 +49,30 @@ pub struct SynthesisOptions {
 impl Default for SynthesisOptions {
     fn default() -> Self {
         SynthesisOptions { prune_tol: 1e-9 }
+    }
+}
+
+impl SynthesisOptions {
+    /// Starts from the defaults (`prune_tol = 1e-9`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the relative element-pruning threshold (`0.0` keeps the
+    /// synthesis exact).
+    ///
+    /// # Errors
+    ///
+    /// [`SympvlError::InvalidOptions`] unless `prune_tol` is finite and
+    /// non-negative.
+    pub fn with_prune_tol(mut self, prune_tol: f64) -> Result<Self, SympvlError> {
+        if !(prune_tol.is_finite() && prune_tol >= 0.0) {
+            return Err(SympvlError::InvalidOptions {
+                reason: format!("prune tolerance must be finite and non-negative, got {prune_tol}"),
+            });
+        }
+        self.prune_tol = prune_tol;
+        Ok(self)
     }
 }
 

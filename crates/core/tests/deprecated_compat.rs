@@ -1,0 +1,57 @@
+//! The deprecated kernel names must keep compiling (one-release grace
+//! period, see MIGRATION.md) and must stay exact aliases of their
+//! replacements. This file opts out of the workspace-wide
+//! `-D deprecated` gate on purpose — it is the one place old names are
+//! allowed.
+#![allow(deprecated)]
+
+use mpvl_circuit::{generators::rc_ladder, MnaSystem};
+use mpvl_la::Mat;
+use mpvl_sparse::TripletMat;
+use sympvl::GFactor;
+
+#[test]
+fn csc_old_names_alias_new_names() {
+    let mut t = TripletMat::new(6, 6);
+    for i in 0..6 {
+        t.push(i, i, 2.0 + i as f64);
+        if i + 1 < 6 {
+            t.push_sym(i, i + 1, -0.5);
+        }
+    }
+    let a = t.to_csc();
+    let x = Mat::from_fn(6, 3, |i, j| ((i * 3 + j) as f64 * 0.37).sin());
+    let new = a.matmul(&x);
+    let old = a.mat_mul(&x);
+    let mut new_into = Mat::zeros(6, 3);
+    let mut old_into = Mat::zeros(6, 3);
+    a.matvec_mat_into(&x, &mut new_into);
+    a.matvec_mat(&x, &mut old_into);
+    for j in 0..3 {
+        assert_eq!(new.col(j), old.col(j), "matmul vs mat_mul col {j}");
+        assert_eq!(
+            new_into.col(j),
+            old_into.col(j),
+            "matvec_mat_into vs matvec_mat col {j}"
+        );
+    }
+}
+
+#[test]
+fn gfactor_old_names_alias_new_names() {
+    let sys = MnaSystem::assemble(&rc_ladder(12, 10.0, 1e-12)).unwrap();
+    // G alone is singular on the ladder (C-only end node); shift it.
+    let shifted = sys.g.add_scaled(1.0, &sys.c, 1e9);
+    let f = GFactor::factor(&shifted).unwrap();
+    let x = Mat::from_fn(sys.dim(), 2, |i, j| ((i + 5 * j) as f64 * 0.23).cos());
+    for threads in [1, 2] {
+        let new_fwd = f.apply_minv_mat_with_threads(&x, threads);
+        let old_fwd = f.apply_minv_mat_threads(&x, threads);
+        let new_bwd = f.apply_minv_t_mat_with_threads(&x, threads);
+        let old_bwd = f.apply_minv_t_mat_threads(&x, threads);
+        for j in 0..2 {
+            assert_eq!(new_fwd.col(j), old_fwd.col(j), "fwd threads={threads}");
+            assert_eq!(new_bwd.col(j), old_bwd.col(j), "bwd threads={threads}");
+        }
+    }
+}

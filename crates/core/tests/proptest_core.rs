@@ -148,11 +148,11 @@ fn blocked_minv_appliers_are_thread_count_invariant() {
             let x = Mat::from_fn(n, 5, |i, j| {
                 (((seed as usize + i * 13 + j * 41) % 89) as f64 * 0.037).cos()
             });
-            let base_fwd = factor.apply_minv_mat_threads(&x, 1);
-            let base_bwd = factor.apply_minv_t_mat_threads(&x, 1);
+            let base_fwd = factor.apply_minv_mat_with_threads(&x, 1);
+            let base_bwd = factor.apply_minv_t_mat_with_threads(&x, 1);
             for threads in [2, 4] {
-                let fwd = factor.apply_minv_mat_threads(&x, threads);
-                let bwd = factor.apply_minv_t_mat_threads(&x, threads);
+                let fwd = factor.apply_minv_mat_with_threads(&x, threads);
+                let bwd = factor.apply_minv_t_mat_with_threads(&x, threads);
                 for j in 0..5 {
                     prop_assert_eq!(fwd.col(j), base_fwd.col(j), "fwd t={} col {}", threads, j);
                     prop_assert_eq!(bwd.col(j), base_bwd.col(j), "bwd t={} col {}", threads, j);

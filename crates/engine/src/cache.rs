@@ -1,0 +1,177 @@
+//! Shift-keyed factorization cache.
+//!
+//! Symbolic + numeric `M J Mᵀ` factorization is the dominant cost of a
+//! reduction, and a session routinely revisits the same expansion point
+//! (every adaptive escalation, every batch member at a shared shift).
+//! The cache keys on the *concrete matrix factored* — see
+//! [`FactorKey`] — and is LRU-bounded so long-lived sessions cannot
+//! accumulate factors without bound. Failed factorizations are cached
+//! too ([`SympvlError`] is `Clone`): the `Shift::Auto` back-off ladder
+//! probes singular candidates, and re-probing them on every request
+//! would redo the most expensive failure path.
+
+use std::sync::Arc;
+use sympvl::{FactorTarget, GFactor, SympvlError};
+
+/// Cache key: the concrete matrix a factorization attempt targets.
+///
+/// `Unshifted` (factor `G` on its own pattern) and `Shifted` with
+/// `σ = 0` (factor `G + 0·C` on the union pattern) are **distinct
+/// keys** — their orderings differ, so the factors are bit-different
+/// even though they are numerically equal. Shifts are keyed by exact
+/// `f64` bits: bit-identity is the workspace contract, so "nearly the
+/// same" shifts must not share a factor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FactorKey {
+    /// `G` alone, on `G`'s own sparsity pattern.
+    Unshifted,
+    /// `G + σC` on the union pattern, keyed by the bits of `σ`.
+    Shifted(u64),
+}
+
+impl FactorKey {
+    /// The key for a [`FactorTarget`].
+    pub fn of(target: FactorTarget) -> Self {
+        match target {
+            FactorTarget::Unshifted => FactorKey::Unshifted,
+            FactorTarget::Shifted(s0) => FactorKey::Shifted(s0.to_bits()),
+        }
+    }
+}
+
+/// Counters exposed through
+/// [`ReductionSession::cache_stats`](crate::ReductionSession::cache_stats).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct CacheStats {
+    /// Factorization requests served from the cache.
+    pub factor_hits: u64,
+    /// Factorization requests that had to factor.
+    pub factor_misses: u64,
+    /// Cached factors dropped by the LRU bound.
+    pub factor_evictions: u64,
+    /// Factors currently cached (successes and cached failures).
+    pub cached_factors: usize,
+    /// Lanczos run states currently retained.
+    pub retained_runs: usize,
+    /// Reduced models currently retained for [`crate::EvalRequest`]s.
+    pub cached_models: usize,
+}
+
+/// LRU-bounded map from [`FactorKey`] to a factorization result.
+///
+/// Linear scan over a `Vec` — capacities are single-digit, so this
+/// beats a hash map plus recency list in both code and cycles. The
+/// most recently used entry sits at the back.
+pub(crate) struct FactorCache {
+    capacity: usize,
+    entries: Vec<(FactorKey, Result<Arc<GFactor>, SympvlError>)>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl FactorCache {
+    pub(crate) fn new(capacity: usize) -> Self {
+        FactorCache {
+            capacity: capacity.max(1),
+            entries: Vec::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Returns the cached result for `key`, computing and inserting it
+    /// with `factor` on a miss (evicting the least recently used entry
+    /// when full). Emits `engine/factor_cache_{hits,misses}` counters.
+    pub(crate) fn get_or_insert_with(
+        &mut self,
+        key: FactorKey,
+        factor: impl FnOnce() -> Result<Arc<GFactor>, SympvlError>,
+    ) -> Result<Arc<GFactor>, SympvlError> {
+        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.hits += 1;
+            mpvl_obs::counter_add("engine", "factor_cache_hits", 1);
+            // Move to the back: most recently used.
+            let entry = self.entries.remove(pos);
+            self.entries.push(entry);
+            return self.entries.last().expect("just pushed").1.clone();
+        }
+        self.misses += 1;
+        mpvl_obs::counter_add("engine", "factor_cache_misses", 1);
+        let result = factor();
+        if self.entries.len() >= self.capacity {
+            let _evicted = self.entries.remove(0);
+            self.evictions += 1;
+            mpvl_obs::counter_add("engine", "factor_cache_evictions", 1);
+        }
+        self.entries.push((key, result.clone()));
+        result
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub(crate) fn counters(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.evictions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_err(tag: &str) -> Result<Arc<GFactor>, SympvlError> {
+        Err(SympvlError::Factorization { reason: tag.into() })
+    }
+
+    #[test]
+    fn keys_distinguish_unshifted_from_zero_shift() {
+        assert_ne!(
+            FactorKey::of(FactorTarget::Unshifted),
+            FactorKey::of(FactorTarget::Shifted(0.0))
+        );
+        assert_eq!(
+            FactorKey::of(FactorTarget::Shifted(1e9)),
+            FactorKey::of(FactorTarget::Shifted(1e9))
+        );
+        assert_ne!(
+            FactorKey::of(FactorTarget::Shifted(1e9)),
+            FactorKey::of(FactorTarget::Shifted(1e9 + 1.0))
+        );
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_and_counts() {
+        let mut cache = FactorCache::new(2);
+        let k = |s: f64| FactorKey::Shifted(s.to_bits());
+        let _ = cache.get_or_insert_with(k(1.0), || dummy_err("a"));
+        let _ = cache.get_or_insert_with(k(2.0), || dummy_err("b"));
+        // Touch 1.0 so 2.0 becomes least recently used.
+        let _ = cache.get_or_insert_with(k(1.0), || unreachable!("cached"));
+        let _ = cache.get_or_insert_with(k(3.0), || dummy_err("c"));
+        // 2.0 must have been evicted; 1.0 must still be cached.
+        let _ = cache.get_or_insert_with(k(1.0), || unreachable!("still cached"));
+        let r = cache.get_or_insert_with(k(2.0), || dummy_err("b2"));
+        assert_eq!(
+            r.unwrap_err(),
+            dummy_err("b2").unwrap_err(),
+            "2.0 was evicted and refactored"
+        );
+        let (hits, misses, evictions) = cache.counters();
+        assert_eq!((hits, misses, evictions), (2, 4, 2));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn failures_are_cached_as_negative_entries() {
+        let mut cache = FactorCache::new(4);
+        let key = FactorKey::Unshifted;
+        let first = cache.get_or_insert_with(key, || dummy_err("singular"));
+        assert!(first.is_err());
+        let second = cache.get_or_insert_with(key, || unreachable!("failure is cached"));
+        assert_eq!(first.unwrap_err(), second.unwrap_err());
+    }
+}

@@ -1,0 +1,251 @@
+//! Request and outcome types for the session engine.
+//!
+//! All request structs follow the workspace options convention: they are
+//! `#[non_exhaustive]`, constructed through chainable `with_*` builders,
+//! and impossible values are rejected at build time (a zero order, a
+//! non-finite shift or frequency) rather than deep inside the run.
+
+use sympvl::{
+    AdaptiveOptions, Certificate, ReducedModel, Shift, SympvlError, SympvlOptions,
+    SynthesisOptions, SynthesizedCircuit,
+};
+
+use mpvl_la::{Complex64, Mat};
+
+/// How the reduction order is chosen for one request.
+#[derive(Debug, Clone)]
+pub enum OrderSpec {
+    /// Reduce to exactly this order (subject to Krylov exhaustion).
+    Fixed(usize),
+    /// Grow the order adaptively until the band criterion converges.
+    /// The embedded [`AdaptiveOptions::sympvl`] field is ignored — the
+    /// request-level [`ReductionRequest::sympvl`] options are what run.
+    Adaptive(AdaptiveOptions),
+}
+
+/// Optional by-products to compute alongside the reduced model.
+///
+/// Defaults to the model alone; chain `with_*` to opt in.
+#[derive(Debug, Clone, Default)]
+#[non_exhaustive]
+pub struct Want {
+    /// Compute the model's poles.
+    pub poles: bool,
+    /// Run the §5 passivity certificate with this tolerance.
+    pub certificate: Option<f64>,
+    /// Synthesize an RC netlist realizing the model.
+    pub synthesis: Option<SynthesisOptions>,
+}
+
+impl Want {
+    /// Just the reduced model, no by-products.
+    pub fn model_only() -> Self {
+        Self::default()
+    }
+
+    /// Also compute the model's poles.
+    pub fn with_poles(mut self) -> Self {
+        self.poles = true;
+        self
+    }
+
+    /// Also run the passivity certificate ([`sympvl::certify`]) with the
+    /// given eigenvalue tolerance.
+    ///
+    /// # Errors
+    ///
+    /// [`SympvlError::InvalidOptions`] unless `tol` is finite and
+    /// non-negative.
+    pub fn with_certificate(mut self, tol: f64) -> Result<Self, SympvlError> {
+        if !(tol.is_finite() && tol >= 0.0) {
+            return Err(SympvlError::InvalidOptions {
+                reason: format!("certificate tolerance must be finite and non-negative, got {tol}"),
+            });
+        }
+        self.certificate = Some(tol);
+        Ok(self)
+    }
+
+    /// Also synthesize an RC netlist ([`sympvl::synthesize_rc`]).
+    pub fn with_synthesis(mut self, opts: SynthesisOptions) -> Self {
+        self.synthesis = Some(opts);
+        self
+    }
+}
+
+/// One reduction to perform against a
+/// [`ReductionSession`](crate::ReductionSession).
+///
+/// ```
+/// use mpvl_engine::{ReductionRequest, Want};
+/// use sympvl::Shift;
+/// # fn main() -> Result<(), sympvl::SympvlError> {
+/// let req = ReductionRequest::fixed(12)?
+///     .with_shift(Shift::Value(1e9))?
+///     .with_want(Want::model_only().with_poles());
+/// assert!(ReductionRequest::fixed(0).is_err()); // rejected at build
+/// # let _ = req;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct ReductionRequest {
+    /// Fixed order or adaptive band.
+    pub order: OrderSpec,
+    /// Reduction options (shift policy, Lanczos tuning). For adaptive
+    /// requests these override the options embedded in the
+    /// [`AdaptiveOptions`].
+    pub sympvl: SympvlOptions,
+    /// By-products to compute from the model.
+    pub want: Want,
+}
+
+impl ReductionRequest {
+    /// A fixed-order reduction with default options.
+    ///
+    /// # Errors
+    ///
+    /// [`SympvlError::BadOrder`] for order zero.
+    pub fn fixed(order: usize) -> Result<Self, SympvlError> {
+        if order == 0 {
+            return Err(SympvlError::BadOrder { order });
+        }
+        Ok(ReductionRequest {
+            order: OrderSpec::Fixed(order),
+            sympvl: SympvlOptions::default(),
+            want: Want::default(),
+        })
+    }
+
+    /// An adaptive reduction; the request's [`SympvlOptions`] are taken
+    /// from `opts.sympvl` (override them with
+    /// [`ReductionRequest::with_shift`] /
+    /// [`ReductionRequest::with_sympvl`]).
+    pub fn adaptive(opts: AdaptiveOptions) -> Self {
+        let sympvl = opts.sympvl.clone();
+        ReductionRequest {
+            order: OrderSpec::Adaptive(opts),
+            sympvl,
+            want: Want::default(),
+        }
+    }
+
+    /// Sets the expansion-point policy.
+    ///
+    /// # Errors
+    ///
+    /// [`SympvlError::BadShift`] for a non-finite explicit shift.
+    pub fn with_shift(mut self, shift: Shift) -> Result<Self, SympvlError> {
+        self.sympvl = self.sympvl.with_shift(shift)?;
+        Ok(self)
+    }
+
+    /// Replaces the reduction options wholesale.
+    pub fn with_sympvl(mut self, sympvl: SympvlOptions) -> Self {
+        self.sympvl = sympvl;
+        self
+    }
+
+    /// Selects the by-products to compute.
+    pub fn with_want(mut self, want: Want) -> Self {
+        self.want = want;
+        self
+    }
+}
+
+/// Handle to a reduced model retained by the session, usable in
+/// [`EvalRequest`]s without re-reducing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModelId(pub(crate) usize);
+
+impl ModelId {
+    /// The model's position in the session store. Ids are assigned in
+    /// request order (deterministic under any thread count), so this is
+    /// stable across reruns of the same request sequence.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// Convergence bookkeeping from an adaptive request (mirrors
+/// [`sympvl::AdaptiveOutcome`] minus the model).
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct AdaptiveInfo {
+    /// Worst entrywise relative difference to the previous order.
+    pub estimated_error: f64,
+    /// Orders attempted, in sequence.
+    pub orders_tried: Vec<usize>,
+    /// `true` when the order cap was hit before convergence.
+    pub hit_order_cap: bool,
+}
+
+/// Result of one [`ReductionRequest`].
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct ReductionOutcome {
+    /// Handle for evaluating this model through the session later.
+    pub model_id: ModelId,
+    /// The reduced model itself.
+    pub model: ReducedModel,
+    /// Present for adaptive requests.
+    pub adaptive: Option<AdaptiveInfo>,
+    /// Present when [`Want::poles`] was set.
+    pub poles: Option<Vec<Complex64>>,
+    /// Present when [`Want::certificate`] was set.
+    pub certificate: Option<Certificate>,
+    /// Present when [`Want::synthesis`] was set.
+    pub synthesis: Option<SynthesizedCircuit>,
+}
+
+/// A frequency-sweep evaluation of a session-retained reduced model.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct EvalRequest {
+    /// Which model to evaluate.
+    pub model: ModelId,
+    /// Frequencies (Hz) to evaluate at, `s = j·2πf`.
+    pub freqs_hz: Vec<f64>,
+}
+
+impl EvalRequest {
+    /// Builds an evaluation request.
+    ///
+    /// # Errors
+    ///
+    /// [`SympvlError::InvalidOptions`] when the frequency list is empty
+    /// or contains a non-finite entry (DC, `f = 0`, is allowed).
+    pub fn new(model: ModelId, freqs_hz: Vec<f64>) -> Result<Self, SympvlError> {
+        if freqs_hz.is_empty() {
+            return Err(SympvlError::InvalidOptions {
+                reason: "need at least one evaluation frequency".into(),
+            });
+        }
+        if let Some(&bad) = freqs_hz.iter().find(|f| !f.is_finite()) {
+            return Err(SympvlError::InvalidOptions {
+                reason: format!("evaluation frequencies must be finite, got {bad}"),
+            });
+        }
+        Ok(EvalRequest { model, freqs_hz })
+    }
+}
+
+/// One evaluated frequency point of a reduced model.
+#[derive(Debug, Clone)]
+pub struct EvalPoint {
+    /// Frequency in Hz.
+    pub freq_hz: f64,
+    /// The `p × p` reduced impedance matrix `Zₙ(j·2πf)`.
+    pub z: Mat<Complex64>,
+}
+
+/// Result of one [`EvalRequest`].
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct EvalOutcome {
+    /// The model that was evaluated.
+    pub model: ModelId,
+    /// One point per requested frequency, in request order.
+    pub points: Vec<EvalPoint>,
+}

@@ -1,0 +1,494 @@
+//! The reduction session: one system, many requests.
+
+use crate::cache::{CacheStats, FactorCache, FactorKey};
+use crate::request::{
+    AdaptiveInfo, EvalOutcome, EvalPoint, EvalRequest, ModelId, OrderSpec, ReductionOutcome,
+    ReductionRequest,
+};
+use mpvl_circuit::MnaSystem;
+use mpvl_la::Complex64;
+use mpvl_sim::{AcError, AcPoint, AcSweeper};
+use std::sync::{Arc, Mutex};
+use sympvl::{
+    certify, factor_target, reduce_adaptive_with, synthesize_rc, Certificate, FactorTarget,
+    GFactor, ReducedModel, Shift, SympvlError, SympvlOptions, SympvlRun, SynthesizedCircuit,
+};
+
+/// Resource bounds for a [`ReductionSession`].
+///
+/// `#[non_exhaustive]` with chainable `with_*` builders, like every
+/// options struct in the workspace; zero capacities are rejected at
+/// build time.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct SessionOptions {
+    /// Most factorizations (successes and cached failures) kept, LRU.
+    pub max_cached_factors: usize,
+    /// Most paused Lanczos run states kept, LRU.
+    pub max_retained_runs: usize,
+}
+
+impl Default for SessionOptions {
+    fn default() -> Self {
+        SessionOptions {
+            max_cached_factors: 8,
+            max_retained_runs: 8,
+        }
+    }
+}
+
+impl SessionOptions {
+    /// Starts from the defaults (8 factors, 8 runs).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bounds the factorization cache.
+    ///
+    /// # Errors
+    ///
+    /// [`SympvlError::InvalidOptions`] for a zero capacity.
+    pub fn with_max_cached_factors(mut self, n: usize) -> Result<Self, SympvlError> {
+        if n == 0 {
+            return Err(SympvlError::InvalidOptions {
+                reason: "factor cache capacity must be at least 1".into(),
+            });
+        }
+        self.max_cached_factors = n;
+        Ok(self)
+    }
+
+    /// Bounds the retained-run pool.
+    ///
+    /// # Errors
+    ///
+    /// [`SympvlError::InvalidOptions`] for a zero capacity.
+    pub fn with_max_retained_runs(mut self, n: usize) -> Result<Self, SympvlError> {
+        if n == 0 {
+            return Err(SympvlError::InvalidOptions {
+                reason: "retained-run capacity must be at least 1".into(),
+            });
+        }
+        self.max_retained_runs = n;
+        Ok(self)
+    }
+}
+
+/// Identity of a retained [`SympvlRun`]: the shift policy plus every
+/// Lanczos tuning field, by exact bits. Two requests share a run state
+/// only when nothing about their reduction can differ.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct RunKey {
+    shift: ShiftKey,
+    dtol: u64,
+    cluster_tol: u64,
+    full_reorth: bool,
+    max_cluster: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ShiftKey {
+    None,
+    Auto,
+    Value(u64),
+}
+
+impl RunKey {
+    fn of(opts: &SympvlOptions) -> Self {
+        RunKey {
+            shift: match opts.shift {
+                Shift::None => ShiftKey::None,
+                Shift::Auto => ShiftKey::Auto,
+                Shift::Value(s0) => ShiftKey::Value(s0.to_bits()),
+            },
+            dtol: opts.lanczos.dtol.to_bits(),
+            cluster_tol: opts.lanczos.cluster_tol.to_bits(),
+            full_reorth: opts.lanczos.full_reorth,
+            max_cluster: opts.lanczos.max_cluster,
+        }
+    }
+}
+
+/// LRU pool of paused Lanczos runs (most recently used at the back).
+struct RunPool {
+    capacity: usize,
+    entries: Vec<(RunKey, SympvlRun)>,
+}
+
+impl RunPool {
+    fn new(capacity: usize) -> Self {
+        RunPool {
+            capacity: capacity.max(1),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Checks a run out (removes it; the caller puts it back).
+    fn take(&mut self, key: &RunKey) -> Option<SympvlRun> {
+        let pos = self.entries.iter().position(|(k, _)| k == key)?;
+        Some(self.entries.remove(pos).1)
+    }
+
+    /// Checks a run back in. If another worker raced a fresh run in
+    /// under the same key, the further-advanced state wins (results are
+    /// bit-identical either way; keeping the deeper state saves work).
+    fn put(&mut self, key: RunKey, run: SympvlRun) {
+        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
+            if self.entries[pos].1.reached_order() >= run.reached_order() {
+                return;
+            }
+            self.entries.remove(pos);
+        }
+        if self.entries.len() >= self.capacity {
+            self.entries.remove(0);
+        }
+        self.entries.push((key, run));
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// A reduction outcome before the model is registered in the store —
+/// registration is deferred so batch [`ModelId`]s can be assigned in
+/// request-index order regardless of worker scheduling.
+struct PendingOutcome {
+    model: ReducedModel,
+    adaptive: Option<AdaptiveInfo>,
+    poles: Option<Vec<Complex64>>,
+    certificate: Option<Certificate>,
+    synthesis: Option<SynthesizedCircuit>,
+}
+
+/// One system, many reductions: a [`ReductionSession`] is constructed
+/// once from an [`MnaSystem`] and serves reduction, evaluation, and AC
+/// sweep requests, reusing everything reusable in between:
+///
+/// * factorizations of `G + s₀C`, keyed by the exact matrix factored
+///   ([`FactorKey`]) and LRU-bounded;
+/// * paused block-Lanczos states ([`SympvlRun`]), so an escalating
+///   order — or an adaptive request revisiting a shift — continues the
+///   Krylov process instead of restarting it;
+/// * the AC sweeper's symbolic LDLᵀ analysis;
+/// * reduced models, addressable by [`ModelId`] for later
+///   [`EvalRequest`]s.
+///
+/// **Determinism contract:** every model a session produces is
+/// bit-identical to the corresponding free-function call
+/// ([`sympvl::sympvl`], [`sympvl::reduce_adaptive`],
+/// [`mpvl_sim::ac_sweep`]) — cache hits, evictions, batching, and
+/// thread counts never change a single bit, only the time it takes.
+/// Batch results come back in request-index order.
+///
+/// ```
+/// use mpvl_circuit::{generators::rc_ladder, MnaSystem};
+/// use mpvl_engine::{ReductionRequest, ReductionSession};
+/// # fn main() -> Result<(), sympvl::SympvlError> {
+/// let sys = MnaSystem::assemble(&rc_ladder(40, 100.0, 1e-12)).unwrap();
+/// let session = ReductionSession::new(sys);
+/// let small = session.reduce(&ReductionRequest::fixed(4)?)?;
+/// let large = session.reduce(&ReductionRequest::fixed(8)?)?; // resumes, no refactor
+/// assert_eq!(small.model.order(), 4);
+/// assert_eq!(large.model.order(), 8);
+/// // Auto-shift probed singular G (cached failure), then factored the
+/// // shifted matrix — and the second reduce touched neither.
+/// assert_eq!(session.cache_stats().factor_misses, 2);
+/// # Ok(())
+/// # }
+/// ```
+pub struct ReductionSession {
+    sys: MnaSystem,
+    factors: Mutex<FactorCache>,
+    runs: Mutex<RunPool>,
+    models: Mutex<Vec<Arc<ReducedModel>>>,
+    sweeper: Mutex<Option<Arc<AcSweeper>>>,
+}
+
+impl ReductionSession {
+    /// Builds a session around `sys` with default bounds.
+    pub fn new(sys: MnaSystem) -> Self {
+        Self::with_options(sys, SessionOptions::default())
+    }
+
+    /// Builds a session with explicit resource bounds.
+    pub fn with_options(sys: MnaSystem, opts: SessionOptions) -> Self {
+        ReductionSession {
+            sys,
+            factors: Mutex::new(FactorCache::new(opts.max_cached_factors)),
+            runs: Mutex::new(RunPool::new(opts.max_retained_runs)),
+            models: Mutex::new(Vec::new()),
+            sweeper: Mutex::new(None),
+        }
+    }
+
+    /// The system this session reduces.
+    pub fn system(&self) -> &MnaSystem {
+        &self.sys
+    }
+
+    /// Serves one reduction request.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the underlying reduction, pole, certificate, or
+    /// synthesis computation reports.
+    pub fn reduce(&self, request: &ReductionRequest) -> Result<ReductionOutcome, SympvlError> {
+        let _span = mpvl_obs::span("engine", "reduce");
+        let pending = self.execute(request)?;
+        Ok(self.register(pending))
+    }
+
+    /// Serves a batch of reduction requests, fanning independent shift
+    /// groups across threads (`MPVL_THREADS` / [`mpvl_par::thread_count`]).
+    ///
+    /// Results come back in request-index order, with per-request errors
+    /// in place, and are bit-identical to serving the requests one at a
+    /// time — requests sharing a run key are processed sequentially on
+    /// one worker so escalations still resume retained state.
+    pub fn reduce_batch(
+        &self,
+        requests: &[ReductionRequest],
+    ) -> Vec<Result<ReductionOutcome, SympvlError>> {
+        self.reduce_batch_with_threads(requests, mpvl_par::thread_count())
+    }
+
+    /// [`ReductionSession::reduce_batch`] with an explicit thread count.
+    pub fn reduce_batch_with_threads(
+        &self,
+        requests: &[ReductionRequest],
+        threads: usize,
+    ) -> Vec<Result<ReductionOutcome, SympvlError>> {
+        let _span = mpvl_obs::span("engine", "reduce_batch");
+        // Group by run key, preserving first-appearance order; each
+        // group runs sequentially against one checked-out run.
+        let mut groups: Vec<(RunKey, Vec<usize>)> = Vec::new();
+        for (i, request) in requests.iter().enumerate() {
+            let key = RunKey::of(&request.sympvl);
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, members)) => members.push(i),
+                None => groups.push((key, vec![i])),
+            }
+        }
+        let per_group: Vec<Vec<(usize, Result<PendingOutcome, SympvlError>)>> =
+            mpvl_par::parallel_map_with(
+                threads,
+                &groups,
+                |_| (),
+                |_, _, (key, members)| {
+                    let mut results = Vec::with_capacity(members.len());
+                    match self.checkout_or_create_run(&requests[members[0]].sympvl) {
+                        Ok(mut run) => {
+                            for &i in members {
+                                results.push((i, self.execute_with_run(&mut run, &requests[i])));
+                            }
+                            self.checkin_run(*key, run);
+                        }
+                        Err(e) => {
+                            for &i in members {
+                                results.push((i, Err(e.clone())));
+                            }
+                        }
+                    }
+                    results
+                },
+            );
+        // Scatter back to request order, then register models in that
+        // order so ModelIds are deterministic under any thread count.
+        let mut slots: Vec<Option<Result<PendingOutcome, SympvlError>>> =
+            requests.iter().map(|_| None).collect();
+        for group in per_group {
+            for (i, result) in group {
+                slots[i] = Some(result);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.expect("every request is in exactly one group")
+                    .map(|pending| self.register(pending))
+            })
+            .collect()
+    }
+
+    /// The retained model behind an id, if it exists.
+    pub fn model(&self, id: ModelId) -> Option<Arc<ReducedModel>> {
+        self.models.lock().unwrap().get(id.0).cloned()
+    }
+
+    /// Evaluates a retained model over a frequency sweep.
+    ///
+    /// # Errors
+    ///
+    /// [`SympvlError::InvalidOptions`] for an unknown [`ModelId`];
+    /// [`SympvlError::Singular`] when a frequency hits a pole.
+    pub fn eval(&self, request: &EvalRequest) -> Result<EvalOutcome, SympvlError> {
+        let model = self
+            .model(request.model)
+            .ok_or_else(|| SympvlError::InvalidOptions {
+                reason: format!("no model with id {:?} in this session", request.model.0),
+            })?;
+        let _span = mpvl_obs::span("engine", "eval");
+        let points = request
+            .freqs_hz
+            .iter()
+            .map(|&f| {
+                let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * f);
+                model.eval(s).map(|z| EvalPoint { freq_hz: f, z })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(EvalOutcome {
+            model: request.model,
+            points,
+        })
+    }
+
+    /// Evaluates a batch of sweeps in parallel, results in request-index
+    /// order.
+    pub fn eval_batch(&self, requests: &[EvalRequest]) -> Vec<Result<EvalOutcome, SympvlError>> {
+        self.eval_batch_with_threads(requests, mpvl_par::thread_count())
+    }
+
+    /// [`ReductionSession::eval_batch`] with an explicit thread count.
+    pub fn eval_batch_with_threads(
+        &self,
+        requests: &[EvalRequest],
+        threads: usize,
+    ) -> Vec<Result<EvalOutcome, SympvlError>> {
+        mpvl_par::parallel_map_with(
+            threads,
+            requests,
+            |_| (),
+            |_, _, request| self.eval(request),
+        )
+    }
+
+    /// Exact AC sweep of the *full* system, reusing the session's
+    /// symbolic LDLᵀ analysis across calls (first call pays it).
+    ///
+    /// # Errors
+    ///
+    /// See [`mpvl_sim::ac_sweep`].
+    pub fn ac_sweep(&self, freqs_hz: &[f64]) -> Result<Vec<AcPoint>, AcError> {
+        self.ac_sweep_with_threads(freqs_hz, mpvl_par::thread_count())
+    }
+
+    /// [`ReductionSession::ac_sweep`] with an explicit thread count.
+    pub fn ac_sweep_with_threads(
+        &self,
+        freqs_hz: &[f64],
+        threads: usize,
+    ) -> Result<Vec<AcPoint>, AcError> {
+        let sweeper = {
+            let mut guard = self.sweeper.lock().unwrap();
+            guard
+                .get_or_insert_with(|| Arc::new(AcSweeper::new(&self.sys)))
+                .clone()
+        };
+        sweeper.sweep_with_threads(freqs_hz, threads)
+    }
+
+    /// Cache occupancy and hit/miss counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        let factors = self.factors.lock().unwrap();
+        let (factor_hits, factor_misses, factor_evictions) = factors.counters();
+        CacheStats {
+            factor_hits,
+            factor_misses,
+            factor_evictions,
+            cached_factors: factors.len(),
+            retained_runs: self.runs.lock().unwrap().len(),
+            cached_models: self.models.lock().unwrap().len(),
+        }
+    }
+
+    /// Factorization with the session cache interposed — the `factor_fn`
+    /// seam of [`sympvl::factor_with_shift_via`].
+    fn cached_factor(&self, target: FactorTarget) -> Result<Arc<GFactor>, SympvlError> {
+        self.factors
+            .lock()
+            .unwrap()
+            .get_or_insert_with(FactorKey::of(target), || factor_target(&self.sys, target))
+    }
+
+    fn checkout_or_create_run(&self, opts: &SympvlOptions) -> Result<SympvlRun, SympvlError> {
+        if let Some(run) = self.runs.lock().unwrap().take(&RunKey::of(opts)) {
+            return Ok(run);
+        }
+        SympvlRun::new_via(&self.sys, opts, &mut |_, target| self.cached_factor(target))
+    }
+
+    fn checkin_run(&self, key: RunKey, run: SympvlRun) {
+        self.runs.lock().unwrap().put(key, run);
+    }
+
+    fn execute(&self, request: &ReductionRequest) -> Result<PendingOutcome, SympvlError> {
+        let key = RunKey::of(&request.sympvl);
+        let mut run = self.checkout_or_create_run(&request.sympvl)?;
+        let result = self.execute_with_run(&mut run, request);
+        self.checkin_run(key, run);
+        result
+    }
+
+    fn execute_with_run(
+        &self,
+        run: &mut SympvlRun,
+        request: &ReductionRequest,
+    ) -> Result<PendingOutcome, SympvlError> {
+        let (model, adaptive) = match &request.order {
+            OrderSpec::Fixed(order) => (run.model_at(&self.sys, *order)?, None),
+            OrderSpec::Adaptive(adaptive_opts) => {
+                let mut opts = adaptive_opts.clone();
+                opts.sympvl = request.sympvl.clone();
+                let out = reduce_adaptive_with(&self.sys, &opts, run)?;
+                (
+                    out.model,
+                    Some(AdaptiveInfo {
+                        estimated_error: out.estimated_error,
+                        orders_tried: out.orders_tried,
+                        hit_order_cap: out.hit_order_cap,
+                    }),
+                )
+            }
+        };
+        let poles = if request.want.poles {
+            Some(model.poles()?)
+        } else {
+            None
+        };
+        let certificate = request
+            .want
+            .certificate
+            .map(|tol| certify(&model, tol))
+            .transpose()?;
+        let synthesis = request
+            .want
+            .synthesis
+            .as_ref()
+            .map(|opts| synthesize_rc(&model, opts))
+            .transpose()?;
+        Ok(PendingOutcome {
+            model,
+            adaptive,
+            poles,
+            certificate,
+            synthesis,
+        })
+    }
+
+    /// Retains the model and assigns its id. Called in request-index
+    /// order (sequentially) so ids are deterministic.
+    fn register(&self, pending: PendingOutcome) -> ReductionOutcome {
+        let mut models = self.models.lock().unwrap();
+        let model_id = ModelId(models.len());
+        models.push(Arc::new(pending.model.clone()));
+        ReductionOutcome {
+            model_id,
+            model: pending.model,
+            adaptive: pending.adaptive,
+            poles: pending.poles,
+            certificate: pending.certificate,
+            synthesis: pending.synthesis,
+        }
+    }
+}

@@ -85,7 +85,7 @@ pub struct AcPoint {
 /// # }
 /// ```
 pub fn ac_sweep(sys: &MnaSystem, freqs_hz: &[f64]) -> Result<Vec<AcPoint>, AcError> {
-    ac_sweep_with_threads(sys, freqs_hz, mpvl_par::thread_count())
+    AcSweeper::new(sys).sweep(freqs_hz)
 }
 
 /// [`ac_sweep`] with an explicit worker count (determinism tests and the
@@ -99,72 +99,162 @@ pub fn ac_sweep_with_threads(
     freqs_hz: &[f64],
     threads: usize,
 ) -> Result<Vec<AcPoint>, AcError> {
-    let _sweep_span = mpvl_obs::span("ac", "sweep");
-    let g: CscMat<Complex64> = sys.g.map(Complex64::from_real);
-    let c: CscMat<Complex64> = sys.c.map(Complex64::from_real);
-    let bz = sys.b.map(Complex64::from_real);
+    AcSweeper::new(sys).sweep_with_threads(freqs_hz, threads)
+}
 
-    // The unpivoted symmetric sparse path is only valid for symmetric
-    // matrices; active circuits (VCCS) take the dense pivoted route.
-    // Symbolic analysis happens once, on the union pattern `G + C` (the
-    // pattern of `G + σ(s)C` at every frequency).
-    let symbolic: Option<Arc<SymbolicLdlt>> = if sys.is_symmetric() {
-        let union = g.add_scaled(Complex64::ONE, &c, Complex64::ONE);
-        SymbolicLdlt::analyze(&union, Ordering::MinDegree)
-            .ok()
-            .map(Arc::new)
-    } else {
-        None
-    };
+/// Reusable AC-sweep state: the complexified system matrices and the
+/// one-time [`SymbolicLdlt`] analysis, ready to serve any number of
+/// [`AcSweeper::sweep`] calls.
+///
+/// The free functions [`ac_sweep`]/[`ac_sweep_with_threads`] construct
+/// one per call; the session engine constructs one per system and
+/// amortizes the symbolic analysis (and the `f64 → Complex64` matrix
+/// copies) across every sweep request. Sweeps through a retained
+/// sweeper are bit-identical to the free functions: the symbolic
+/// analysis is deterministic, and each point's numeric work is
+/// unchanged.
+pub struct AcSweeper {
+    g: CscMat<Complex64>,
+    c: CscMat<Complex64>,
+    bz: Mat<Complex64>,
+    /// `None` for nonsymmetric (active) systems, which take the dense
+    /// pivoted route at every point.
+    symbolic: Option<Arc<SymbolicLdlt>>,
+    s_power: u32,
+    output_s_factor: u32,
+}
 
-    let points = parallel_map_with(
-        threads,
-        freqs_hz,
-        // Each worker owns one preallocated numeric workspace, plus the
-        // obs worker tag its spans and events are recorded under.
-        |w| {
-            (
-                mpvl_obs::worker_scope(w as u64),
-                symbolic.as_ref().map(|s| NumericLdlt::new(Arc::clone(s))),
-            )
-        },
-        |(_tag, num), i, &f| {
-            // Tag nested events (e.g. an LDLᵀ zero pivot) with this
-            // frequency point's index so the export is thread-count-
-            // invariant; time the whole point per worker.
-            let _item = mpvl_obs::index_scope(i as u64);
-            let _span = mpvl_obs::span("ac", "point_solve");
-            let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * f);
-            let sigma = sys.sigma(s);
-            let k = g.add_scaled(Complex64::ONE, &c, sigma);
-            let (x, solve) = match num.as_mut() {
-                Some(num) => match num.refactor(&k) {
-                    Ok(()) => (num.solve_mat(&bz), "sparse_refactor"),
-                    // Dense LU fallback (pivoted): handles indefinite/near-
-                    // breakdown points the unpivoted sparse path rejects.
-                    Err(_) => (dense_solve(&k, &bz, f)?, "dense_lu_fallback"),
-                },
-                None => (dense_solve(&k, &bz, f)?, "dense_lu"),
-            };
-            if mpvl_obs::enabled() {
-                mpvl_obs::counter_add("ac", "points", 1);
-                if solve == "dense_lu_fallback" {
-                    mpvl_obs::counter_add("ac", "dense_lu_fallbacks", 1);
+impl AcSweeper {
+    /// Complexifies the system and performs the one-time symbolic
+    /// analysis on the `G`/`C` union pattern (the pattern of
+    /// `G + σ(s)C` at every frequency).
+    pub fn new(sys: &MnaSystem) -> Self {
+        let g: CscMat<Complex64> = sys.g.map(Complex64::from_real);
+        let c: CscMat<Complex64> = sys.c.map(Complex64::from_real);
+        let bz = sys.b.map(Complex64::from_real);
+
+        // The unpivoted symmetric sparse path is only valid for symmetric
+        // matrices; active circuits (VCCS) take the dense pivoted route.
+        let symbolic: Option<Arc<SymbolicLdlt>> = if sys.is_symmetric() {
+            let union = g.add_scaled(Complex64::ONE, &c, Complex64::ONE);
+            SymbolicLdlt::analyze(&union, Ordering::MinDegree)
+                .ok()
+                .map(Arc::new)
+        } else {
+            None
+        };
+        AcSweeper {
+            g,
+            c,
+            bz,
+            symbolic,
+            s_power: sys.s_power,
+            output_s_factor: sys.output_s_factor,
+        }
+    }
+
+    /// `σ(s) = s^{s_power}` — mirrors [`MnaSystem::sigma`] exactly.
+    fn sigma(&self, s: Complex64) -> Complex64 {
+        match self.s_power {
+            1 => s,
+            2 => s * s,
+            p => {
+                let mut acc = Complex64::ONE;
+                for _ in 0..p {
+                    acc *= s;
                 }
-                mpvl_obs::event(
-                    "ac",
-                    "point",
-                    vec![
-                        ("freq_hz", mpvl_obs::Value::F64(f)),
-                        ("solve", mpvl_obs::Value::Str(solve)),
-                    ],
-                );
+                acc
             }
-            let z = bz.t_matmul(&x).scale(sys.output_factor(s));
-            Ok(AcPoint { freq_hz: f, z })
-        },
-    );
-    points.into_iter().collect()
+        }
+    }
+
+    /// `s^{output_s_factor}` — mirrors [`MnaSystem::output_factor`].
+    fn output_factor(&self, s: Complex64) -> Complex64 {
+        match self.output_s_factor {
+            0 => Complex64::ONE,
+            1 => s,
+            p => {
+                let mut acc = Complex64::ONE;
+                for _ in 0..p {
+                    acc *= s;
+                }
+                acc
+            }
+        }
+    }
+
+    /// Sweeps on [`mpvl_par::thread_count`] workers.
+    ///
+    /// # Errors
+    ///
+    /// See [`ac_sweep`].
+    pub fn sweep(&self, freqs_hz: &[f64]) -> Result<Vec<AcPoint>, AcError> {
+        self.sweep_with_threads(freqs_hz, mpvl_par::thread_count())
+    }
+
+    /// Sweeps with an explicit worker count; the result is bit-identical
+    /// at every thread count.
+    ///
+    /// # Errors
+    ///
+    /// See [`ac_sweep`].
+    pub fn sweep_with_threads(
+        &self,
+        freqs_hz: &[f64],
+        threads: usize,
+    ) -> Result<Vec<AcPoint>, AcError> {
+        let _sweep_span = mpvl_obs::span("ac", "sweep");
+        let points = parallel_map_with(
+            threads,
+            freqs_hz,
+            // Each worker owns one preallocated numeric workspace, plus the
+            // obs worker tag its spans and events are recorded under.
+            |w| {
+                (
+                    mpvl_obs::worker_scope(w as u64),
+                    self.symbolic
+                        .as_ref()
+                        .map(|s| NumericLdlt::new(Arc::clone(s))),
+                )
+            },
+            |(_tag, num), i, &f| {
+                // Tag nested events (e.g. an LDLᵀ zero pivot) with this
+                // frequency point's index so the export is thread-count-
+                // invariant; time the whole point per worker.
+                let _item = mpvl_obs::index_scope(i as u64);
+                let _span = mpvl_obs::span("ac", "point_solve");
+                let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * f);
+                let sigma = self.sigma(s);
+                let k = self.g.add_scaled(Complex64::ONE, &self.c, sigma);
+                let (x, solve) = match num.as_mut() {
+                    Some(num) => match num.refactor(&k) {
+                        Ok(()) => (num.solve_mat(&self.bz), "sparse_refactor"),
+                        // Dense LU fallback (pivoted): handles indefinite/near-
+                        // breakdown points the unpivoted sparse path rejects.
+                        Err(_) => (dense_solve(&k, &self.bz, f)?, "dense_lu_fallback"),
+                    },
+                    None => (dense_solve(&k, &self.bz, f)?, "dense_lu"),
+                };
+                if mpvl_obs::enabled() {
+                    mpvl_obs::counter_add("ac", "points", 1);
+                    if solve == "dense_lu_fallback" {
+                        mpvl_obs::counter_add("ac", "dense_lu_fallbacks", 1);
+                    }
+                    mpvl_obs::event(
+                        "ac",
+                        "point",
+                        vec![
+                            ("freq_hz", mpvl_obs::Value::F64(f)),
+                            ("solve", mpvl_obs::Value::Str(solve)),
+                        ],
+                    );
+                }
+                let z = self.bz.t_matmul(&x).scale(self.output_factor(s));
+                Ok(AcPoint { freq_hz: f, z })
+            },
+        );
+        points.into_iter().collect()
+    }
 }
 
 /// Shared dense pivoted solve for the nonsymmetric path and the sparse
@@ -287,6 +377,29 @@ mod tests {
                 }
             }
             assert!(worst < 1e-8, "asymmetry {worst} at {} Hz", pt.freq_hz);
+        }
+    }
+
+    #[test]
+    fn retained_sweeper_bit_identical_to_free_function() {
+        let sys = MnaSystem::assemble(&rc_ladder(20, 50.0, 1e-12)).unwrap();
+        let freqs = log_space(1e6, 1e10, 11);
+        let free = ac_sweep_with_threads(&sys, &freqs, 1).unwrap();
+        let sweeper = AcSweeper::new(&sys);
+        // Two sweeps through the same sweeper: both must match the free
+        // function exactly (the retained symbolic analysis changes no bits).
+        for _ in 0..2 {
+            let kept = sweeper.sweep_with_threads(&freqs, 1).unwrap();
+            assert_eq!(kept.len(), free.len());
+            for (a, b) in kept.iter().zip(&free) {
+                assert_eq!(a.freq_hz.to_bits(), b.freq_hz.to_bits());
+                for j in 0..a.z.ncols() {
+                    for (x, y) in a.z.col(j).iter().zip(b.z.col(j)) {
+                        assert_eq!(x.re.to_bits(), y.re.to_bits(), "re at {} Hz", a.freq_hz);
+                        assert_eq!(x.im.to_bits(), y.im.to_bits(), "im at {} Hz", a.freq_hz);
+                    }
+                }
+            }
         }
     }
 

@@ -190,7 +190,7 @@ impl<T: Scalar> CscMat<T> {
     /// # Panics
     ///
     /// Panics if the shapes do not line up.
-    pub fn matvec_mat(&self, x: &Mat<T>, y: &mut Mat<T>) {
+    pub fn matvec_mat_into(&self, x: &Mat<T>, y: &mut Mat<T>) {
         assert_eq!(x.nrows(), self.ncols, "dimension mismatch");
         assert_eq!(y.nrows(), self.nrows, "dimension mismatch");
         assert_eq!(x.ncols(), y.ncols(), "RHS count mismatch");
@@ -217,11 +217,27 @@ impl<T: Scalar> CscMat<T> {
     }
 
     /// Multi-RHS product `A X`, allocating the result (thin wrapper
-    /// over [`CscMat::matvec_mat`]).
-    pub fn mat_mul(&self, x: &Mat<T>) -> Mat<T> {
+    /// over [`CscMat::matvec_mat_into`]; named for consistency with
+    /// `Mat::matmul`).
+    pub fn matmul(&self, x: &Mat<T>) -> Mat<T> {
         let mut y = Mat::zeros(self.nrows, x.ncols());
-        self.matvec_mat(x, &mut y);
+        self.matvec_mat_into(x, &mut y);
         y
+    }
+
+    /// Renamed: the caller-owned-output convention is `*_into`
+    /// ([`CscMat::matvec_into`], [`CscMat::matvec_mat_into`]).
+    #[deprecated(
+        note = "renamed to `matvec_mat_into` (caller-owned output takes the `_into` suffix)"
+    )]
+    pub fn matvec_mat(&self, x: &Mat<T>, y: &mut Mat<T>) {
+        self.matvec_mat_into(x, y);
+    }
+
+    /// Renamed: allocating products are named after `Mat::matmul`.
+    #[deprecated(note = "renamed to `matmul` (allocating products match `Mat::matmul`)")]
+    pub fn mat_mul(&self, x: &Mat<T>) -> Mat<T> {
+        self.matmul(x)
     }
 
     /// Transposed product `Aᵀ x` (no conjugation).

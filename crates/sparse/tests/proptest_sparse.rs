@@ -244,9 +244,9 @@ fn mat_mul_is_bit_identical_to_columnwise_matvec() {
                     x[(i, j)] = if v.abs() < 0.25 { 0.0 } else { v };
                 }
             }
-            let blocked = a.mat_mul(&x);
+            let blocked = a.matmul(&x);
             let mut y = mpvl_la::Mat::zeros(8, 3);
-            a.matvec_mat(&x, &mut y);
+            a.matvec_mat_into(&x, &mut y);
             for j in 0..3 {
                 let col = a.matvec(x.col(j));
                 prop_assert_eq!(blocked.col(j), &col[..], "mat_mul col {}", j);

@@ -31,10 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sys = MnaSystem::assemble(&ckt)?;
 
     // 1. Adaptive reduction: pick the order automatically for the band.
-    let opts = AdaptiveOptions {
-        tol: 1e-6,
-        ..AdaptiveOptions::for_band(1e7, 1e10)
-    };
+    let opts = AdaptiveOptions::for_band(1e7, 1e10)?.with_tol(1e-6)?;
     let out = reduce_adaptive(&sys, &opts)?;
     println!(
         "adaptive reduction: tried orders {:?}, converged at {} (estimated error {:.1e})",

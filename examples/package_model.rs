@@ -40,14 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Expansion point inside the band, as the paper's methodology implies.
     let s0 = Shift::Value(2.0 * std::f64::consts::PI * 7e8);
     for order in [48, 64, 80] {
-        let model = sympvl(
-            &sys,
-            order,
-            &SympvlOptions {
-                shift: s0,
-                ..SympvlOptions::default()
-            },
-        )?;
+        let model = sympvl(&sys, order, &SympvlOptions::new().with_shift(s0)?)?;
         let mut errs: Vec<f64> = Vec::new();
         for pt in &exact {
             let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * pt.freq_hz);

@@ -37,10 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let rom = sympvl(
             sys,
             order,
-            &SympvlOptions {
-                shift: Shift::Value(s0),
-                ..SympvlOptions::default()
-            },
+            &SympvlOptions::new().with_shift(Shift::Value(s0))?,
         )?;
         let mut worst: f64 = 0.0;
         let mut median = Vec::new();

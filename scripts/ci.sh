@@ -10,6 +10,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Deprecated names are shims for one release cycle: external code gets a
+# warning, in-tree code must not use them. crates/core/tests/
+# deprecated_compat.rs opts back in with #![allow(deprecated)], which
+# overrides the command-line deny.
+export RUSTFLAGS="-D deprecated"
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
@@ -38,8 +44,10 @@ if [ -n "$violations" ]; then
     exit 1
 fi
 
-echo "==> cargo build --release --offline"
-cargo build --release --offline
+echo "==> cargo build --release --offline --all-targets"
+# --all-targets pulls in the examples and integration tests, so a
+# deprecated name anywhere in tree fails here under -D deprecated.
+cargo build --release --offline --all-targets
 
 echo "==> cargo test -q --offline (MPVL_THREADS=1: single-thread fallback)"
 # The env pin keeps the mpvl-par inline fallback on every env-driven
@@ -73,6 +81,25 @@ for name in sympvl_order/8 sympvl_order/64 sympvl_size sympvl_reorth/full \
         exit 1
     }
 done
+
+echo "==> smoke bench (bench_engine, reduced samples)"
+MPVL_BENCH_WARMUP=1 MPVL_BENCH_SAMPLES=3 \
+    cargo run -q --release --offline -p mpvl-bench --bin bench_engine
+
+test -s target/bench/BENCH_engine.json
+grep -q '"suite": *"engine"' target/bench/BENCH_engine.json
+for name in session_rc/cold session_rc/warm session_rlc/cold \
+    session_rlc/warm ac_sweep/cold ac_sweep/warm; do
+    grep -q "\"$name" target/bench/BENCH_engine.json || {
+        echo "BENCH_engine.json missing result \"$name\"" >&2
+        exit 1
+    }
+done
+
+echo "==> session determinism across threads (MPVL_THREADS=2)"
+# The MPVL_THREADS=1 workspace run above already covered the inline
+# path; the engine's batch fan-out must be bit-identical with a pool.
+MPVL_THREADS=2 cargo test -q --offline -p mpvl-engine --test session_determinism
 
 echo "==> smoke bench (bench_par_sweep, MPVL_THREADS=2, MPVL_OBS=json export)"
 rm -f target/obs/ci_smoke.jsonl

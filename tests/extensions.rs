@@ -23,12 +23,15 @@ fn adaptive_then_stabilize_pipeline_on_rlc() {
         ..PackageParams::default()
     });
     let sys = MnaSystem::assemble_general(&ckt).unwrap();
-    let mut opts = AdaptiveOptions::for_band(1e8, 1.5e9);
-    opts.tol = 1e-5;
-    opts.sympvl = SympvlOptions {
-        shift: Shift::Value(2.0 * std::f64::consts::PI * 5e8),
-        ..SympvlOptions::default()
-    };
+    let opts = AdaptiveOptions::for_band(1e8, 1.5e9)
+        .unwrap()
+        .with_tol(1e-5)
+        .unwrap()
+        .with_sympvl(
+            SympvlOptions::new()
+                .with_shift(Shift::Value(2.0 * std::f64::consts::PI * 5e8))
+                .unwrap(),
+        );
     let out = reduce_adaptive(&sys, &opts).unwrap();
     let stable = stabilize(&out.model, &PostprocessOptions::default()).unwrap();
     assert!(stable.is_stable(1e-6));
@@ -111,10 +114,10 @@ fn adaptive_estimate_is_conservative_enough() {
         ..InterconnectParams::default()
     });
     let sys = MnaSystem::assemble(&ckt).unwrap();
-    let opts = AdaptiveOptions {
-        tol: 1e-7,
-        ..AdaptiveOptions::for_band(1e7, 5e9)
-    };
+    let opts = AdaptiveOptions::for_band(1e7, 5e9)
+        .unwrap()
+        .with_tol(1e-7)
+        .unwrap();
     let out = reduce_adaptive(&sys, &opts).unwrap();
     let mut worst_true: f64 = 0.0;
     for &f in &opts.probe_freqs_hz {

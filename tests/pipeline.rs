@@ -60,10 +60,9 @@ fn package_rlc_reduction_with_indefinite_j() {
     let model = sympvl(
         &sys,
         48,
-        &SympvlOptions {
-            shift: Shift::Value(2.0 * std::f64::consts::PI * 5e8),
-            ..SympvlOptions::default()
-        },
+        &SympvlOptions::new()
+            .with_shift(Shift::Value(2.0 * std::f64::consts::PI * 5e8))
+            .unwrap(),
     )
     .unwrap();
     // RLC: no passivity guarantee, but the approximation must converge.
@@ -187,10 +186,7 @@ fn explicit_shift_reproduces_paper_workflow() {
     let rom = sympvl(
         sys,
         24,
-        &SympvlOptions {
-            shift: Shift::Value(s0),
-            ..SympvlOptions::default()
-        },
+        &SympvlOptions::new().with_shift(Shift::Value(s0)).unwrap(),
     )
     .unwrap();
     assert_eq!(rom.shift(), s0);

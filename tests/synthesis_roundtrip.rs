@@ -21,7 +21,11 @@ fn synthesized_circuit_matches_model_over_band() {
     });
     let sys = MnaSystem::assemble(&ckt).unwrap();
     let model = sympvl(&sys, 16, &SympvlOptions::default()).unwrap();
-    let synth = synthesize_rc(&model, &SynthesisOptions { prune_tol: 0.0 }).unwrap();
+    let synth = synthesize_rc(
+        &model,
+        &SynthesisOptions::new().with_prune_tol(0.0).unwrap(),
+    )
+    .unwrap();
     let red_sys = MnaSystem::assemble_lenient(&synth.circuit).unwrap();
     let freqs = log_space(1e7, 1e10, 7);
     let z_model = ac_sweep(&red_sys, &freqs).unwrap();
