@@ -1,0 +1,137 @@
+//! Performance gate over the recorded bench JSON.
+//!
+//! Reads `target/bench/BENCH_sparse_ldlt.json` and
+//! `target/bench/BENCH_par_sweep.json` (as written by the two bench
+//! binaries earlier in the ci.sh run) and fails the build when either
+//! performance bug this crate fixed regresses:
+//!
+//! 1. **Supernodal vs scalar factor** — the supernodal numeric kernel
+//!    must not be slower than the reference scalar kernel at n = 1360
+//!    (a 5 % median tolerance absorbs timer noise).
+//! 2. **Thread scaling of the large AC sweep** — the threads=4 median
+//!    of `ac_sweep_large8` must be strictly below the threads=1 median.
+//!    On a machine without real parallelism (available_parallelism < 2)
+//!    that is physically impossible, so the strict check is skipped
+//!    loudly and replaced by a no-catastrophic-regression bound
+//!    (threads=4 within 1.25× of threads=1: the chunked scheduler must
+//!    not melt down when oversubscribed on one core).
+//!
+//! Run with `cargo run --release -p mpvl-bench --bin bench_gate`;
+//! exits nonzero with a diagnostic on the first violated gate.
+
+use mpvl_testkit::bench::target_dir;
+
+/// Extracts `median_s` for the named result from our own bench JSON
+/// (one result object per line — see `mpvl_testkit::bench::Bench`).
+fn median(json: &str, name: &str) -> Option<f64> {
+    let needle = format!("\"name\": \"{name}\"");
+    for line in json.lines() {
+        if line.contains(&needle) {
+            let tag = "\"median_s\": ";
+            let at = line.find(tag)? + tag.len();
+            let rest = &line[at..];
+            let end = rest.find(',').unwrap_or(rest.len());
+            return rest[..end].trim().trim_end_matches('}').trim().parse().ok();
+        }
+    }
+    None
+}
+
+fn load(suite: &str) -> String {
+    let path = target_dir()
+        .join("bench")
+        .join(format!("BENCH_{suite}.json"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!(
+            "bench_gate: cannot read {} ({e}); run the bench binaries first",
+            path.display()
+        );
+        std::process::exit(1);
+    })
+}
+
+fn require(json: &str, suite: &str, name: &str) -> f64 {
+    median(json, name).unwrap_or_else(|| {
+        eprintln!("bench_gate: BENCH_{suite}.json has no result \"{name}\"");
+        std::process::exit(1);
+    })
+}
+
+fn main() {
+    let mut failures = 0usize;
+
+    // Gate 1: supernodal numeric factor vs the scalar reference kernel.
+    let sparse = load("sparse_ldlt");
+    let scalar = require(&sparse, "sparse_ldlt", "ldlt_numeric_scalar/1360");
+    let supernodal = require(&sparse, "sparse_ldlt", "ldlt_numeric_supernodal/1360");
+    const FACTOR_TOLERANCE: f64 = 1.05;
+    if supernodal > scalar * FACTOR_TOLERANCE {
+        eprintln!(
+            "bench_gate FAIL: supernodal factor at n=1360 is slower than scalar: \
+             {:.3e}s vs {:.3e}s (allowed {FACTOR_TOLERANCE}x)",
+            supernodal, scalar
+        );
+        failures += 1;
+    } else {
+        println!(
+            "bench_gate ok: supernodal factor {:.3e}s vs scalar {:.3e}s at n=1360 \
+             (ratio {:.3})",
+            supernodal,
+            scalar,
+            supernodal / scalar
+        );
+    }
+
+    // Gate 2: the large AC sweep must scale with threads.
+    let par = load("par_sweep");
+    let t1 = require(&par, "par_sweep", "ac_sweep_large8/threads=1");
+    let t4 = require(&par, "par_sweep", "ac_sweep_large8/threads=4");
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    if cores >= 2 {
+        if t4 >= t1 {
+            eprintln!(
+                "bench_gate FAIL: ac_sweep_large8 threads=4 median {:.3e}s is not \
+                 below threads=1 median {:.3e}s on a {cores}-core machine",
+                t4, t1
+            );
+            failures += 1;
+        } else {
+            println!(
+                "bench_gate ok: ac_sweep_large8 threads=4 {:.3e}s < threads=1 {:.3e}s \
+                 (speedup {:.2}x)",
+                t4,
+                t1,
+                t1 / t4
+            );
+        }
+    } else {
+        println!(
+            "bench_gate SKIP: strict threads=4 < threads=1 check needs >= 2 cores, \
+             this machine reports {cores}; checking oversubscription bound instead"
+        );
+        const OVERSUBSCRIBE_TOLERANCE: f64 = 1.25;
+        if t4 > t1 * OVERSUBSCRIBE_TOLERANCE {
+            eprintln!(
+                "bench_gate FAIL: ac_sweep_large8 threads=4 median {:.3e}s exceeds \
+                 {OVERSUBSCRIBE_TOLERANCE}x the threads=1 median {:.3e}s on one core \
+                 (the chunked scheduler should be near-free when oversubscribed)",
+                t4, t1
+            );
+            failures += 1;
+        } else {
+            println!(
+                "bench_gate ok: ac_sweep_large8 threads=4 {:.3e}s within \
+                 {OVERSUBSCRIBE_TOLERANCE}x of threads=1 {:.3e}s on one core",
+                t4, t1
+            );
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("bench_gate: {failures} gate(s) failed");
+        std::process::exit(1);
+    }
+    println!("bench_gate: all gates passed");
+}

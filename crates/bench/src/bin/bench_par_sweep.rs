@@ -9,9 +9,9 @@
 //! affects the reported ambient default — the measured cases pin their
 //! worker counts explicitly.
 
-use mpvl_circuit::generators::{package, PackageParams};
+use mpvl_circuit::generators::{interconnect, package, InterconnectParams, PackageParams};
 use mpvl_circuit::MnaSystem;
-use mpvl_sim::{ac_sweep_with_threads, log_space};
+use mpvl_sim::{ac_sweep_with_threads, log_space, AcSweeper};
 use mpvl_testkit::bench::Bench;
 
 fn main() {
@@ -33,6 +33,39 @@ fn main() {
         bench.bench(&format!("ac_sweep_32pts/threads={threads}"), || {
             ac_sweep_with_threads(&sys, &freqs, threads).expect("sweep");
         });
+    }
+    if let (Some(t1), Some(t4)) = (
+        bench.median_of("ac_sweep_32pts/threads=1"),
+        bench.median_of("ac_sweep_32pts/threads=4"),
+    ) {
+        bench.push_value("speedup/32pts_t4_vs_t1", t1 / t4);
+    }
+
+    // The large factor-bound case (the CI-gated one): 17 coupled wires,
+    // n = 1360, 8 points — per point the numeric refactorization
+    // dominates, so this is where chunked scheduling plus per-worker
+    // workspace reuse must show up as real thread scaling. A retained
+    // sweeper keeps the symbolic analysis and the union-merge plan out
+    // of the timed region (both are frequency-independent setup).
+    let ckt = interconnect(&InterconnectParams {
+        wires: 17,
+        coupling_reach: 4,
+        ..InterconnectParams::default()
+    });
+    let sys = MnaSystem::assemble(&ckt).expect("assemble");
+    let sweeper = AcSweeper::new(&sys);
+    let freqs = log_space(1e7, 2e10, 8);
+    for threads in [1usize, 2, 4] {
+        bench.bench(&format!("ac_sweep_large8/threads={threads}"), || {
+            sweeper.sweep_with_threads(&freqs, threads).expect("sweep");
+        });
+    }
+    if let (Some(t1), Some(t4)) = (
+        bench.median_of("ac_sweep_large8/threads=1"),
+        bench.median_of("ac_sweep_large8/threads=4"),
+    ) {
+        // > 1.0 means threads=4 beats threads=1 on the large case.
+        bench.push_value("speedup/large8_t4_vs_t1", t1 / t4);
     }
 
     bench.finish();

@@ -6,8 +6,9 @@
 
 use mpvl_circuit::generators::{interconnect, InterconnectParams};
 use mpvl_circuit::MnaSystem;
-use mpvl_sparse::{Ordering, SparseLdlt};
+use mpvl_sparse::{NumericLdlt, Ordering, SparseLdlt, SymbolicLdlt};
 use mpvl_testkit::bench::Bench;
+use std::sync::Arc;
 
 fn systems() -> Vec<(usize, mpvl_sparse::CscMat<f64>)> {
     [4usize, 8, 17]
@@ -41,6 +42,33 @@ fn main() {
         bench.bench(&format!("ldlt_solve/{n}"), || {
             f.solve(&rhs);
         });
+    }
+
+    // Numeric-kernel comparison at the largest case: the reference
+    // scalar up-looking kernel vs the supernodal kernel (serial, and
+    // with the ambient worker count) on a shared symbolic analysis —
+    // the repeated-refactor cost every sweep point pays.
+    let (n, k) = systems().pop().expect("nonempty");
+    let sym = Arc::new(SymbolicLdlt::analyze(&k, Ordering::MinDegree).expect("analyze"));
+    let mut num = NumericLdlt::new(Arc::clone(&sym));
+    let scalar_name = format!("ldlt_numeric_scalar/{n}");
+    let supernodal_name = format!("ldlt_numeric_supernodal/{n}");
+    bench.bench(&scalar_name, || {
+        num.refactor_scalar(&k).expect("refactor");
+    });
+    bench.bench(&supernodal_name, || {
+        num.refactor(&k).expect("refactor");
+    });
+    let threads = mpvl_par::thread_count();
+    bench.bench(&format!("ldlt_numeric_supernodal_mt/{n}"), || {
+        num.refactor_with_threads(&k, threads).expect("refactor");
+    });
+    if let (Some(s), Some(sn)) = (
+        bench.median_of(&scalar_name),
+        bench.median_of(&supernodal_name),
+    ) {
+        // > 1.0 means the supernodal kernel is faster than scalar.
+        bench.push_value(&format!("speedup/supernodal_vs_scalar/{n}"), s / sn);
     }
 
     let (_, k) = systems().pop().expect("nonempty");

@@ -168,17 +168,44 @@ where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
+    parallel_for_chunks_with_init(threads, data, |_| (), |(), offset, slice| f(offset, slice));
+}
+
+/// [`parallel_for_chunks_with`] with per-chunk-worker state.
+///
+/// `init(ci)` runs once on the worker handling chunk `ci` (0-based chunk
+/// index) to build its private state — typically a preallocated numeric
+/// workspace — and `f(&mut state, offset, chunk)` then processes the
+/// whole chunk with it. Chunk boundaries depend only on `data.len()` and
+/// `threads` (ceiling division), never on scheduling, so which items a
+/// state instance sees is deterministic. `threads <= 1` runs
+/// `f(&mut init(0), 0, data)` inline without spawning.
+///
+/// This is the coarse-granularity counterpart of [`parallel_map_with`]:
+/// one `init` and one `f` call per *chunk* instead of one `f` call per
+/// item, which keeps expensive per-worker setup (and any per-item
+/// amortization inside `f`) out of a hot per-item path.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+pub fn parallel_for_chunks_with_init<T, S, I, F>(threads: usize, data: &mut [T], init: I, f: F)
+where
+    T: Send,
+    I: Fn(usize) -> S + Sync,
+    F: Fn(&mut S, usize, &mut [T]) + Sync,
+{
     let n = data.len();
     let threads = threads.max(1).min(n.max(1));
     if threads == 1 {
-        f(0, data);
+        f(&mut init(0), 0, data);
         return;
     }
     let chunk = n.div_ceil(threads);
     std::thread::scope(|scope| {
         for (ci, slice) in data.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            scope.spawn(move || f(ci * chunk, slice));
+            let (init, f) = (&init, &f);
+            scope.spawn(move || f(&mut init(ci), ci * chunk, slice));
         }
     });
 }
@@ -264,6 +291,30 @@ mod tests {
             });
             let expect: Vec<usize> = (0..41).collect();
             assert_eq!(data, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn chunk_init_runs_once_per_chunk_with_the_chunk_index() {
+        for threads in [1, 2, 3, 5, 16] {
+            let mut data = vec![(usize::MAX, usize::MAX); 41];
+            parallel_for_chunks_with_init(
+                threads,
+                &mut data,
+                |ci| (ci, 0usize),
+                |(ci, count), offset, chunk| {
+                    for (k, v) in chunk.iter_mut().enumerate() {
+                        *count += 1;
+                        *v = (*ci, offset + k);
+                    }
+                    assert_eq!(*count, chunk.len(), "state reused across items");
+                },
+            );
+            let chunk = 41usize.div_ceil(threads.min(41));
+            for (i, &(ci, idx)) in data.iter().enumerate() {
+                assert_eq!(idx, i, "threads={threads}");
+                assert_eq!(ci, i / chunk, "threads={threads}");
+            }
         }
     }
 

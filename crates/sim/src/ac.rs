@@ -8,17 +8,20 @@
 //!
 //! The sweep exploits that the pattern of `G + σ(s)C` is frequency-
 //! independent: one [`SymbolicLdlt`] analysis (ordering, elimination tree,
-//! `L` pattern) is shared by every point, and each point pays only a
-//! numeric [`NumericLdlt::refactor`] plus a blocked multi-RHS solve.
-//! Frequency points are independent, so they fan out across the
-//! `mpvl-par` scoped thread pool — each worker owns one preallocated
-//! numeric workspace, and results are reassembled in input order,
-//! bit-identical to the single-threaded sweep.
+//! `L` pattern) and one [`AddScaledPlan`] union merge are shared by every
+//! point, and each point pays only an in-place `K` refill, a numeric
+//! [`NumericLdlt::refactor`] and a blocked multi-RHS solve. Frequency
+//! points are independent, so the sweep splits them into one contiguous
+//! chunk per `mpvl-par` worker — each worker builds its numeric
+//! workspace, `K` template and solve buffers once, then loops over its
+//! chunk allocation-free on the sparse path. Chunk boundaries depend only
+//! on the point count and thread count, so the output (and the per-point
+//! numeric work) is bit-identical to the single-threaded sweep.
 
 use mpvl_circuit::MnaSystem;
 use mpvl_la::{Complex64, Lu, Mat};
-use mpvl_par::parallel_map_with;
-use mpvl_sparse::{CscMat, NumericLdlt, Ordering, SymbolicLdlt};
+use mpvl_par::parallel_for_chunks_with_init;
+use mpvl_sparse::{AddScaledPlan, CscMat, NumericLdlt, Ordering, SymbolicLdlt};
 use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
@@ -120,24 +123,31 @@ pub struct AcSweeper {
     /// `None` for nonsymmetric (active) systems, which take the dense
     /// pivoted route at every point.
     symbolic: Option<Arc<SymbolicLdlt>>,
+    /// The precomputed `G`/`C` pattern-union merge: per point, `K` is
+    /// refilled in place instead of re-merged and reallocated.
+    plan: AddScaledPlan,
+    /// The union matrix `G + C` — the `K` template each worker clones
+    /// once and refills per point via [`AddScaledPlan::apply_into`].
+    k_union: CscMat<Complex64>,
     s_power: u32,
     output_s_factor: u32,
 }
 
 impl AcSweeper {
-    /// Complexifies the system and performs the one-time symbolic
-    /// analysis on the `G`/`C` union pattern (the pattern of
-    /// `G + σ(s)C` at every frequency).
+    /// Complexifies the system, merges the `G`/`C` union pattern once
+    /// (the pattern of `G + σ(s)C` at every frequency) and performs the
+    /// one-time symbolic analysis on it.
     pub fn new(sys: &MnaSystem) -> Self {
         let g: CscMat<Complex64> = sys.g.map(Complex64::from_real);
         let c: CscMat<Complex64> = sys.c.map(Complex64::from_real);
         let bz = sys.b.map(Complex64::from_real);
+        let plan = AddScaledPlan::new(&g, &c);
+        let k_union = plan.build(Complex64::ONE, &g, Complex64::ONE, &c);
 
         // The unpivoted symmetric sparse path is only valid for symmetric
         // matrices; active circuits (VCCS) take the dense pivoted route.
         let symbolic: Option<Arc<SymbolicLdlt>> = if sys.is_symmetric() {
-            let union = g.add_scaled(Complex64::ONE, &c, Complex64::ONE);
-            SymbolicLdlt::analyze(&union, Ordering::MinDegree)
+            SymbolicLdlt::analyze(&k_union, Ordering::MinDegree)
                 .ok()
                 .map(Arc::new)
         } else {
@@ -148,6 +158,8 @@ impl AcSweeper {
             c,
             bz,
             symbolic,
+            plan,
+            k_union,
             s_power: sys.s_power,
             output_s_factor: sys.output_s_factor,
         }
@@ -204,56 +216,108 @@ impl AcSweeper {
         threads: usize,
     ) -> Result<Vec<AcPoint>, AcError> {
         let _sweep_span = mpvl_obs::span("ac", "sweep");
-        let points = parallel_map_with(
+        // One contiguous chunk of points per worker: the numeric
+        // workspace, the `K` template and the solve buffers are built
+        // once per worker, outside the per-point loop, and every point
+        // of the chunk reuses them allocation-free on the sparse path.
+        // Chunk boundaries are a pure function of (len, threads), and a
+        // point's work never depends on which worker runs it, so the
+        // output is bit-identical at every thread count.
+        let mut slots: Vec<Option<Result<AcPoint, AcError>>> = vec![None; freqs_hz.len()];
+        parallel_for_chunks_with_init(
             threads,
-            freqs_hz,
-            // Each worker owns one preallocated numeric workspace, plus the
-            // obs worker tag its spans and events are recorded under.
-            |w| {
+            &mut slots,
+            // Per-worker state: the obs worker tag its spans and events
+            // are recorded under, the numeric workspace, the `K` matrix
+            // refilled in place per point, and the solve output/scratch.
+            |ci| {
                 (
-                    mpvl_obs::worker_scope(w as u64),
+                    mpvl_obs::worker_scope(ci as u64),
                     self.symbolic
                         .as_ref()
                         .map(|s| NumericLdlt::new(Arc::clone(s))),
+                    self.k_union.clone(),
+                    Mat::zeros(self.bz.nrows(), self.bz.ncols()),
+                    vec![Complex64::ZERO; self.bz.nrows()],
                 )
             },
-            |(_tag, num), i, &f| {
-                // Tag nested events (e.g. an LDLᵀ zero pivot) with this
-                // frequency point's index so the export is thread-count-
-                // invariant; time the whole point per worker.
-                let _item = mpvl_obs::index_scope(i as u64);
-                let _span = mpvl_obs::span("ac", "point_solve");
-                let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * f);
-                let sigma = self.sigma(s);
-                let k = self.g.add_scaled(Complex64::ONE, &self.c, sigma);
-                let (x, solve) = match num.as_mut() {
-                    Some(num) => match num.refactor(&k) {
-                        Ok(()) => (num.solve_mat(&self.bz), "sparse_refactor"),
-                        // Dense LU fallback (pivoted): handles indefinite/near-
-                        // breakdown points the unpivoted sparse path rejects.
-                        Err(_) => (dense_solve(&k, &self.bz, f)?, "dense_lu_fallback"),
-                    },
-                    None => (dense_solve(&k, &self.bz, f)?, "dense_lu"),
-                };
-                if mpvl_obs::enabled() {
-                    mpvl_obs::counter_add("ac", "points", 1);
-                    if solve == "dense_lu_fallback" {
-                        mpvl_obs::counter_add("ac", "dense_lu_fallbacks", 1);
-                    }
-                    mpvl_obs::event(
-                        "ac",
-                        "point",
-                        vec![
-                            ("freq_hz", mpvl_obs::Value::F64(f)),
-                            ("solve", mpvl_obs::Value::Str(solve)),
-                        ],
-                    );
+            |(_tag, num, k, x, work), offset, chunk| {
+                for (j, slot) in chunk.iter_mut().enumerate() {
+                    let i = offset + j;
+                    *slot = Some(self.solve_point(num, k, x, work, i, freqs_hz[i]));
                 }
-                let z = self.bz.t_matmul(&x).scale(self.output_factor(s));
-                Ok(AcPoint { freq_hz: f, z })
             },
         );
-        points.into_iter().collect()
+        // First failure in `freqs_hz` order wins, matching the serial
+        // sweep; every point is attempted regardless (a later worker
+        // does not stop because an earlier chunk hit a pole).
+        let mut points = Vec::with_capacity(freqs_hz.len());
+        for slot in slots {
+            points.push(slot.expect("every slot filled")?);
+        }
+        Ok(points)
+    }
+
+    /// Solves one frequency point with the worker's reusable buffers:
+    /// `K` is refilled in place, the sparse path solves into `x` with
+    /// scratch `work`, and the dense (fallback) path replaces `x`.
+    fn solve_point(
+        &self,
+        num: &mut Option<NumericLdlt<Complex64>>,
+        k: &mut CscMat<Complex64>,
+        x: &mut Mat<Complex64>,
+        work: &mut [Complex64],
+        index: usize,
+        f: f64,
+    ) -> Result<AcPoint, AcError> {
+        // Tag nested events (e.g. an LDLᵀ zero pivot) with this
+        // frequency point's index so the export is thread-count-
+        // invariant; time the whole point per worker.
+        let _item = mpvl_obs::index_scope(index as u64);
+        let _span = mpvl_obs::span("ac", "point_solve");
+        let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * f);
+        let sigma = self.sigma(s);
+        self.plan.apply_into(
+            Complex64::ONE,
+            self.g.values(),
+            sigma,
+            self.c.values(),
+            k.values_mut(),
+        );
+        let solve = match num.as_mut() {
+            Some(num) => match num.refactor(k) {
+                Ok(()) => {
+                    num.solve_mat_into(&self.bz, work, x);
+                    "sparse_refactor"
+                }
+                // Dense LU fallback (pivoted): handles indefinite/near-
+                // breakdown points the unpivoted sparse path rejects.
+                Err(_) => {
+                    *x = dense_solve(k, &self.bz, f)?;
+                    "dense_lu_fallback"
+                }
+            },
+            None => {
+                *x = dense_solve(k, &self.bz, f)?;
+                "dense_lu"
+            }
+        };
+        if mpvl_obs::enabled() {
+            mpvl_obs::counter_add("ac", "points", 1);
+            if solve == "dense_lu_fallback" {
+                mpvl_obs::counter_add("ac", "dense_lu_fallbacks", 1);
+            }
+            mpvl_obs::event(
+                "ac",
+                "point",
+                vec![
+                    ("freq_hz", mpvl_obs::Value::F64(f)),
+                    ("solve", mpvl_obs::Value::Str(solve)),
+                ],
+            );
+        }
+        let z = self.bz.t_matmul(x).scale(self.output_factor(s));
+        Ok(AcPoint { freq_hz: f, z })
     }
 }
 

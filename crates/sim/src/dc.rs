@@ -29,7 +29,7 @@ impl DcSolver {
         match Lu::new(sys.g.to_dense()) {
             Ok(lu) => Ok(DcSolver::Dense(lu)),
             Err(e) => Err(DcError::NoDcPath(LdltError::ZeroPivot {
-                step: e.step,
+                col: e.step,
                 magnitude: 0.0,
             })),
         }

@@ -178,7 +178,7 @@ pub fn transient(
     } else {
         Companion::Dense(mpvl_la::Lu::new(k.to_dense()).map_err(|_| {
             TransientError::Factorization(mpvl_sparse::LdltError::ZeroPivot {
-                step: 0,
+                col: 0,
                 magnitude: 0.0,
             })
         })?)

@@ -61,6 +61,53 @@ fn peec_parallel_sweep_is_bit_identical() {
 }
 
 #[test]
+fn odd_point_counts_and_thread_counts_are_bit_identical() {
+    // Chunked scheduling must not care about divisibility: point counts
+    // that leave ragged last chunks (including counts below the thread
+    // count) and prime worker counts all reproduce the serial sweep.
+    let model = peec(&PeecParams {
+        cells: 24,
+        output_cell: 12,
+        ..PeecParams::default()
+    });
+    for points in [1, 2, 3, 7, 17] {
+        let freqs = if points == 1 {
+            vec![1e9]
+        } else {
+            log_space(1e8, 5e9, points)
+        };
+        let serial = ac_sweep_with_threads(&model.system, &freqs, 1).unwrap();
+        for threads in [2, 3, 5] {
+            let par = ac_sweep_with_threads(&model.system, &freqs, threads).unwrap();
+            assert_bit_identical(&serial, &par, threads);
+        }
+    }
+}
+
+#[test]
+fn repeated_sweeps_through_one_sweeper_are_bit_identical() {
+    // A retained sweeper reuses its symbolic analysis and union-merge
+    // plan across sweeps; per-worker workspaces are rebuilt per sweep.
+    // Every repetition at every thread count must reproduce sweep one.
+    let ckt = package(&PackageParams {
+        pins: 8,
+        signal_pins: vec![0, 4],
+        sections: 4,
+        ..PackageParams::default()
+    });
+    let sys = MnaSystem::assemble_general(&ckt).unwrap();
+    let freqs = log_space(1e7, 2e10, 9);
+    let sweeper = mpvl_sim::AcSweeper::new(&sys);
+    let first = sweeper.sweep_with_threads(&freqs, 1).unwrap();
+    for rep in 0..3 {
+        for threads in [1, 2, 4] {
+            let again = sweeper.sweep_with_threads(&freqs, threads).unwrap();
+            assert_bit_identical(&first, &again, threads + 100 * rep);
+        }
+    }
+}
+
+#[test]
 fn default_entry_point_matches_explicit_serial() {
     // `ac_sweep` (env-driven thread count) must agree with the explicit
     // serial sweep whatever this machine's core count is.

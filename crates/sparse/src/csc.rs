@@ -121,6 +121,17 @@ impl<T: Scalar> CscMat<T> {
         &self.values
     }
 
+    /// Mutable values of the stored entries, column by column.
+    ///
+    /// The pattern (shape, `col_ptr`, `row_idx`) stays fixed; only the
+    /// numeric payload can change. This is what lets a reusable template
+    /// matrix be refilled in place (e.g. by [`AddScaledPlan::apply_into`])
+    /// without reallocating per call.
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [T] {
+        &mut self.values
+    }
+
     /// Row indices and values of column `j`.
     #[inline]
     pub fn col_entries(&self, j: usize) -> (&[usize], &[T]) {
@@ -414,6 +425,112 @@ impl<T: Scalar> CscMat<T> {
     }
 }
 
+/// A precomputed pattern-union plan for `alpha * A + beta * B`.
+///
+/// [`CscMat::add_scaled`] re-merges the two sparsity patterns and
+/// reallocates the result on every call; in a frequency sweep the same
+/// `G`/`C` pair is combined once per point, so the merge is pure
+/// overhead. The plan runs the merge once, remembering for each stored
+/// entry of the union which source entries feed it, and
+/// [`apply_into`](Self::apply_into) then refills a preallocated value
+/// slice with no allocation and no pattern work.
+///
+/// Bit-compatibility contract: for every entry, `apply_into` evaluates
+/// the *same floating-point expression* `add_scaled` would —
+/// `alpha * va`, `beta * vb`, or `alpha * va + beta * vb` — so the
+/// produced values are byte-identical to a fresh `add_scaled` call.
+#[derive(Debug, Clone)]
+pub struct AddScaledPlan {
+    nnz: usize,
+    /// Per union entry: index into A's values, or `usize::MAX` if absent.
+    src_a: Vec<usize>,
+    /// Per union entry: index into B's values, or `usize::MAX` if absent.
+    src_b: Vec<usize>,
+}
+
+impl AddScaledPlan {
+    /// Builds the plan from two same-shape patterns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn new<T: Scalar>(a: &CscMat<T>, b: &CscMat<T>) -> Self {
+        assert_eq!((a.nrows, a.ncols), (b.nrows, b.ncols), "shape mismatch");
+        let mut src_a = Vec::with_capacity(a.nnz() + b.nnz());
+        let mut src_b = Vec::with_capacity(a.nnz() + b.nnz());
+        for j in 0..a.ncols {
+            let (ra, _) = a.col_entries(j);
+            let (rb, _) = b.col_entries(j);
+            let (base_a, base_b) = (a.col_ptr[j], b.col_ptr[j]);
+            let (mut ka, mut kb) = (0, 0);
+            while ka < ra.len() || kb < rb.len() {
+                let ia = ra.get(ka).copied().unwrap_or(usize::MAX);
+                let ib = rb.get(kb).copied().unwrap_or(usize::MAX);
+                if ia < ib {
+                    src_a.push(base_a + ka);
+                    src_b.push(usize::MAX);
+                    ka += 1;
+                } else if ib < ia {
+                    src_a.push(usize::MAX);
+                    src_b.push(base_b + kb);
+                    kb += 1;
+                } else {
+                    src_a.push(base_a + ka);
+                    src_b.push(base_b + kb);
+                    ka += 1;
+                    kb += 1;
+                }
+            }
+        }
+        let nnz = src_a.len();
+        AddScaledPlan { nnz, src_a, src_b }
+    }
+
+    /// Number of stored entries in the union pattern.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// The union matrix `alpha * A + beta * B` itself — the template to
+    /// clone per worker and refill via [`apply_into`](Self::apply_into).
+    /// Equal (pattern and values) to `a.add_scaled(alpha, b, beta)`.
+    pub fn build<T: Scalar>(&self, alpha: T, a: &CscMat<T>, beta: T, b: &CscMat<T>) -> CscMat<T> {
+        let mut out = a.add_scaled(alpha, b, beta);
+        debug_assert_eq!(out.nnz(), self.nnz);
+        self.apply_into(alpha, a.values(), beta, b.values(), out.values_mut());
+        out
+    }
+
+    /// Refills `out` with the values of `alpha * A + beta * B`, where
+    /// `a_vals`/`b_vals` are the value slices of matrices with the
+    /// patterns the plan was built from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from [`nnz`](Self::nnz) (debug
+    /// assertions also check the source lengths).
+    pub fn apply_into<T: Scalar>(
+        &self,
+        alpha: T,
+        a_vals: &[T],
+        beta: T,
+        b_vals: &[T],
+        out: &mut [T],
+    ) {
+        assert_eq!(out.len(), self.nnz, "output length mismatch");
+        for (o, (&sa, &sb)) in out.iter_mut().zip(self.src_a.iter().zip(&self.src_b)) {
+            *o = if sb == usize::MAX {
+                alpha * a_vals[sa]
+            } else if sa == usize::MAX {
+                beta * b_vals[sb]
+            } else {
+                alpha * a_vals[sa] + beta * b_vals[sb]
+            };
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -470,6 +587,26 @@ mod tests {
         let c = a.add_scaled(1.0, &a, -1.0);
         assert_eq!(c.get(0, 0), 0.0);
         assert_eq!(c.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn add_scaled_plan_matches_add_scaled_bitwise() {
+        let a = example();
+        let i = CscMat::<f64>::identity(3);
+        let plan = AddScaledPlan::new(&a, &i);
+        for &(alpha, beta) in &[(1.0, 10.0), (-2.5, 0.0), (0.0, 3.0)] {
+            let fresh = a.add_scaled(alpha, &i, beta);
+            let planned = plan.build(alpha, &a, beta, &i);
+            assert_eq!(planned, fresh);
+            // And refilling an existing template reproduces it bitwise.
+            let mut out = vec![f64::NAN; plan.nnz()];
+            plan.apply_into(alpha, a.values(), beta, i.values(), &mut out);
+            assert_eq!(out, fresh.values());
+        }
+        // Asymmetric coverage: entries present only in A, only in B, both.
+        let plan_rev = AddScaledPlan::new(&i, &a);
+        let fresh = i.add_scaled(2.0, &a, -1.0);
+        assert_eq!(plan_rev.build(2.0, &i, -1.0, &a), fresh);
     }
 
     #[test]

@@ -5,12 +5,30 @@
 //! exact column counts from the upper triangle, then a numeric pass fills
 //! `L` (unit lower triangular, CSC) and the diagonal `D` column by column.
 //!
+//! The numeric pass is *supernodal*: the symbolic analysis detects
+//! fundamental supernodes (maximal etree chains whose column patterns
+//! nest), precomputes the full row pattern of `L` and each target column's
+//! update plan as supernode *segments*, and the numeric kernel then runs
+//! one contiguous panel update per segment instead of a pointer-chasing
+//! scalar loop. Crucially the kernel performs **exactly the same
+//! floating-point operations in exactly the same order** as the scalar
+//! up-looking kernel (kept as [`NumericLdlt::refactor_scalar`]), so the
+//! two produce byte-identical `L`, `D`, and solves — the workspace's
+//! golden-fingerprint tests rely on this.
+//!
+//! Large factorizations additionally parallelize over independent etree
+//! subtrees ([`NumericLdlt::refactor_with_threads`]): each worker factors
+//! a disjoint set of subtree columns into private buffers, results are
+//! merged in a fixed task order, and the shared ancestor ("separator")
+//! columns run serially afterwards — deterministic and bit-identical to
+//! the serial pass at every thread count by construction.
+//!
 //! The two passes are exposed both fused ([`SparseLdlt::factor`], the
 //! one-shot API) and split ([`SymbolicLdlt`] + [`NumericLdlt`]): when many
 //! matrices share one sparsity pattern — an AC sweep factoring `G + σ(s)C`
 //! per frequency — the symbolic work (ordering, permuted pattern, etree,
-//! column counts) is paid once and each additional matrix costs only the
-//! numeric pass, with zero allocation.
+//! column counts, supernodes, update plans) is paid once and each
+//! additional matrix costs only the numeric pass, with zero allocation.
 //!
 //! The factorization is *unpivoted*; a fill-reducing symmetric permutation
 //! is applied first. This is the right tool for the matrices this
@@ -33,13 +51,29 @@ use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
 
+/// Supernodes are capped at this many columns: wider panels stop fitting
+/// the accumulator and panel buffers in cache and the extra grouping buys
+/// nothing. This is a grouping granularity knob only — it never changes
+/// numeric results.
+const SUPERNODE_MAX_WIDTH: usize = 64;
+
+/// Segments narrower than 2 columns or with fewer shared below-supernode
+/// rows than this run the plain (position-computed) loop: the panel
+/// gather/scatter would cost more than it saves.
+const PANEL_MIN_RANK: usize = 4;
+
+/// Minimum estimated factorization work (inner-loop operations) before
+/// subtree parallelism amortizes thread spawn plus merge copies.
+const PAR_MIN_COST: u64 = 1_000_000;
+
 /// Error from the sparse LDLᵀ factorization.
 #[derive(Debug, Clone, PartialEq)]
 pub enum LdltError {
     /// A pivot magnitude fell below the breakdown tolerance.
     ZeroPivot {
-        /// Elimination step (in permuted order) of the bad pivot.
-        step: usize,
+        /// The offending column, as an index into the *original*
+        /// (unpermuted) matrix.
+        col: usize,
         /// The offending pivot magnitude.
         magnitude: f64,
     },
@@ -58,10 +92,9 @@ pub enum LdltError {
 impl fmt::Display for LdltError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            LdltError::ZeroPivot { step, magnitude } => write!(
-                f,
-                "zero pivot at elimination step {step} (magnitude {magnitude:.3e})"
-            ),
+            LdltError::ZeroPivot { col, magnitude } => {
+                write!(f, "zero pivot at column {col} (magnitude {magnitude:.3e})")
+            }
             LdltError::NotSquare { nrows, ncols } => {
                 write!(f, "matrix is {nrows}x{ncols}, expected square")
             }
@@ -154,16 +187,48 @@ fn solve_mat_permuted<T: Scalar>(
     out
 }
 
+/// One run of a target column's update plan: `width` consecutive update
+/// columns starting at `first`, all inside one supernode, with `rank`
+/// shared below-supernode rows preceding the target. The runs encode the
+/// scalar kernel's exact iteration order, so replaying them is bitwise
+/// equivalent.
+#[derive(Debug, Clone, Copy)]
+struct SnSegment {
+    first: usize,
+    width: usize,
+    rank: usize,
+}
+
+/// One independent etree subtree of a parallel numeric pass: its columns
+/// in ascending order and, per column, how many of its stored rows fall
+/// inside the subtree (the prefix a worker computes and the merge copies).
+#[derive(Debug)]
+struct SubtreeTask {
+    cols: Vec<usize>,
+    plen: Vec<usize>,
+    cost: u64,
+}
+
+/// Deterministic schedule for [`NumericLdlt::refactor_with_threads`]:
+/// disjoint subtree tasks plus the shared ancestor columns that must run
+/// serially after the merge, in ascending order.
+#[derive(Debug)]
+struct SubtreePlan {
+    tasks: Vec<SubtreeTask>,
+    seps: Vec<usize>,
+}
+
 /// The reusable symbolic half of a sparse LDLᵀ factorization.
 ///
 /// Everything that depends only on the sparsity *pattern* of `A` is
 /// computed once here — the fill-reducing permutation, the permuted
 /// pattern `B = PᵀAP` (with a gather map from `A`'s value array, so no
-/// per-factorization triplet sort), the elimination tree, and the exact
-/// column counts of `L`. A [`NumericLdlt`] then refactors new *values*
-/// with the same pattern at a fraction of the from-scratch cost — the
-/// structure of an AC sweep, where `G + σ(s)C` changes values but never
-/// pattern across frequency points.
+/// per-factorization triplet sort), the elimination tree, the exact
+/// column counts *and full row pattern* of `L`, the supernode partition,
+/// and each target column's update plan. A [`NumericLdlt`] then refactors
+/// new *values* with the same pattern at a fraction of the from-scratch
+/// cost — the structure of an AC sweep, where `G + σ(s)C` changes values
+/// but never pattern across frequency points.
 ///
 /// # Examples
 ///
@@ -201,6 +266,22 @@ pub struct SymbolicLdlt {
     parent: Vec<usize>,
     /// Column pointers of `L` (exact counts from the symbolic pass).
     l_colptr: Vec<usize>,
+    /// Full row pattern of `L` in storage order (rows ascending per
+    /// column), shared by every numeric factorization of this pattern.
+    l_rowidx: Vec<usize>,
+    /// Supernode partition: supernode `s` spans columns
+    /// `sn_ptr[s]..sn_ptr[s+1]`.
+    sn_ptr: Vec<usize>,
+    /// Column → supernode index.
+    sn_of: Vec<usize>,
+    /// Per-target-column update plan: column `k`'s segments are
+    /// `rp_seg[rp_ptr[k]..rp_ptr[k+1]]`, in the scalar kernel's order.
+    rp_ptr: Vec<usize>,
+    rp_seg: Vec<SnSegment>,
+    /// Estimated numeric work per target column (inner-loop operations),
+    /// driving the subtree schedule.
+    col_cost: Vec<u64>,
+    total_cost: u64,
     /// Pattern fingerprint of the analyzed `A`, validated on refactor.
     a_colptr: Vec<usize>,
     a_rowidx: Vec<usize>,
@@ -322,9 +403,112 @@ impl SymbolicLdlt {
             l_colptr[k + 1] = l_colptr[k] + lnz[k];
         }
 
+        // --- Supernodes: maximal etree chains whose column patterns nest
+        // (fundamental supernodes, `pattern(k-1) = {k} ∪ pattern(k)`),
+        // width-capped. Detection is a pure function of `parent` + counts.
+        let mut sn_ptr = vec![0usize];
+        for k in 1..n {
+            let fundamental = parent[k - 1] == k
+                && lnz[k - 1] == lnz[k] + 1
+                && k - *sn_ptr.last().expect("nonempty") < SUPERNODE_MAX_WIDTH;
+            if !fundamental {
+                sn_ptr.push(k);
+            }
+        }
+        sn_ptr.push(n);
+        let mut sn_of = vec![0usize; n];
+        {
+            let mut s = 0;
+            for (k, v) in sn_of.iter_mut().enumerate() {
+                while k >= sn_ptr[s + 1] {
+                    s += 1;
+                }
+                *v = s;
+            }
+        }
+
+        // --- Second symbolic walk: the full row pattern of L in storage
+        // order, each target column's update plan as supernode segments
+        // (a run-length encoding of the scalar kernel's exact iteration
+        // order), and per-column work estimates for subtree scheduling.
+        let l_nnz_total = l_colptr[n];
+        let mut l_rowidx = vec![0usize; l_nnz_total];
+        let mut lnz_done = vec![0usize; n];
+        let mut rp_ptr = vec![0usize; n + 1];
+        let mut rp_seg: Vec<SnSegment> = Vec::new();
+        let mut col_cost = vec![0u64; n];
+        let mut pattern = vec![0usize; n];
+        let mut stack = vec![0usize; n];
+        for v in &mut flag {
+            *v = usize::MAX;
+        }
+        for k in 0..n {
+            flag[k] = k;
+            let mut top = n;
+            for p in b_colptr[k]..b_colptr[k + 1] {
+                let ri = b_rowidx[p];
+                if ri >= k {
+                    continue;
+                }
+                let mut len = 0;
+                let mut i = ri;
+                while flag[i] != k {
+                    stack[len] = i;
+                    len += 1;
+                    flag[i] = k;
+                    i = parent[i];
+                }
+                while len > 0 {
+                    len -= 1;
+                    top -= 1;
+                    pattern[top] = stack[len];
+                }
+            }
+            let seg_start = rp_seg.len();
+            let mut cost = 0u64;
+            let mut prev = usize::MAX;
+            for &i in &pattern[top..n] {
+                let pos = l_colptr[i] + lnz_done[i];
+                l_rowidx[pos] = k;
+                cost += lnz_done[i] as u64 + 2;
+                if prev != usize::MAX && i == prev + 1 && sn_of[i] == sn_of[prev] {
+                    rp_seg.last_mut().expect("run started").width += 1;
+                } else {
+                    rp_seg.push(SnSegment {
+                        first: i,
+                        width: 1,
+                        rank: 0,
+                    });
+                }
+                prev = i;
+                lnz_done[i] += 1;
+            }
+            for seg in &mut rp_seg[seg_start..] {
+                let s = sn_of[seg.first];
+                if s != sn_of[k] {
+                    // Rows already placed in the supernode's last column
+                    // are exactly the shared below-supernode rows that
+                    // precede this target (k itself was appended this
+                    // round, hence the -1). Intra-supernode segments keep
+                    // rank 0: no shared row precedes a column of its own
+                    // supernode.
+                    let c1 = sn_ptr[s + 1] - 1;
+                    seg.rank = lnz_done[c1] - 1;
+                    debug_assert_eq!(l_rowidx[l_colptr[c1] + seg.rank], k);
+                }
+            }
+            rp_ptr[k + 1] = rp_seg.len();
+            col_cost[k] = cost;
+        }
+        let total_cost = col_cost.iter().sum();
+
         // Health telemetry: the analyze/refactor ratio is the symbolic-
-        // reuse hit rate of a sweep (one analyze, many refactors).
+        // reuse hit rate of a sweep (one analyze, many refactors); the
+        // supernode count tracks how much panel structure the pattern has.
         mpvl_obs::counter_add("ldlt", "symbolic_analyze", 1);
+        if n > 0 {
+            mpvl_obs::counter_add("ldlt", "supernodes", (sn_ptr.len() - 1) as u64);
+        }
 
         Ok(SymbolicLdlt {
             n,
@@ -334,6 +518,13 @@ impl SymbolicLdlt {
             b_src,
             parent,
             l_colptr,
+            l_rowidx,
+            sn_ptr,
+            sn_of,
+            rp_ptr,
+            rp_seg,
+            col_cost,
+            total_cost,
             a_colptr: a.col_ptr().to_vec(),
             a_rowidx: a.row_idx().to_vec(),
         })
@@ -354,6 +545,17 @@ impl SymbolicLdlt {
         &self.perm
     }
 
+    /// Number of supernodes (panels of columns with nested patterns) the
+    /// numeric pass will exploit. Equals `dim()` when the pattern has no
+    /// chain structure; much smaller on matrices with dense fill.
+    pub fn supernode_count(&self) -> usize {
+        if self.n == 0 {
+            0
+        } else {
+            self.sn_ptr.len() - 1
+        }
+    }
+
     /// `true` when `a` has exactly the pattern this analysis was built on.
     pub fn pattern_matches<T: Scalar>(&self, a: &CscMat<T>) -> bool {
         a.nrows() == self.n
@@ -361,11 +563,222 @@ impl SymbolicLdlt {
             && a.col_ptr() == &self.a_colptr[..]
             && a.row_idx() == &self.a_rowidx[..]
     }
+
+    /// Deterministic subtree schedule for a parallel numeric pass, or
+    /// `None` when the matrix is too small, the etree has no exploitable
+    /// branching (a path, where every column is an ancestor of the
+    /// previous), or the independent fraction of the work is too small to
+    /// win. A pure function of the symbolic data and `threads` — never of
+    /// scheduling — which is what keeps the parallel pass reproducible.
+    fn plan_subtrees(&self, threads: usize) -> Option<SubtreePlan> {
+        let n = self.n;
+        if threads < 2 || self.total_cost < PAR_MIN_COST {
+            return None;
+        }
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut queue: Vec<usize> = Vec::new();
+        for i in 0..n {
+            if self.parent[i] == usize::MAX {
+                queue.push(i);
+            } else {
+                children[self.parent[i]].push(i);
+            }
+        }
+        // Subtree work: children precede parents in index order, so one
+        // ascending pass accumulates bottom-up.
+        let mut sub: Vec<u64> = self.col_cost.clone();
+        for i in 0..n {
+            if self.parent[i] != usize::MAX {
+                sub[self.parent[i]] += sub[i];
+            }
+        }
+        // Split any subtree heavier than a fraction of the total into its
+        // children; split nodes become serial separator columns.
+        let limit = (self.total_cost / (threads as u64 * 4)).max(1);
+        let mut task_roots: Vec<usize> = Vec::new();
+        let mut seps: Vec<usize> = Vec::new();
+        let mut qi = 0;
+        while qi < queue.len() {
+            let r = queue[qi];
+            qi += 1;
+            if sub[r] > limit && !children[r].is_empty() {
+                seps.push(r);
+                queue.extend_from_slice(&children[r]);
+            } else {
+                task_roots.push(r);
+            }
+        }
+        if task_roots.len() < 2 || task_roots.len() > 64 * threads {
+            return None;
+        }
+        let par_cost: u64 = task_roots.iter().map(|&r| sub[r]).sum();
+        if par_cost * 2 < self.total_cost {
+            return None;
+        }
+        let mut tasks: Vec<SubtreeTask> = Vec::with_capacity(task_roots.len());
+        let mut dfs: Vec<usize> = Vec::new();
+        for &r in &task_roots {
+            let mut cols: Vec<usize> = Vec::new();
+            dfs.push(r);
+            while let Some(x) = dfs.pop() {
+                cols.push(x);
+                dfs.extend_from_slice(&children[x]);
+            }
+            cols.sort_unstable();
+            // Rows of a subtree column are its ancestors; those inside the
+            // subtree are exactly the rows ≤ the subtree root — a storage
+            // prefix, since rows are kept ascending.
+            let plen = cols
+                .iter()
+                .map(|&i| {
+                    let lo = self.l_colptr[i];
+                    let hi = self.l_colptr[i + 1];
+                    self.l_rowidx[lo..hi].partition_point(|&row| row <= r)
+                })
+                .collect();
+            tasks.push(SubtreeTask {
+                cols,
+                plen,
+                cost: sub[r],
+            });
+        }
+        // Heaviest-first so dynamic claiming load-balances; ties break on
+        // the task's smallest column, unique across disjoint subtrees.
+        tasks.sort_by(|a, b| b.cost.cmp(&a.cost).then(a.cols[0].cmp(&b.cols[0])));
+        seps.sort_unstable();
+        Some(SubtreePlan { tasks, seps })
+    }
+}
+
+/// Factors one target column `k` of the supernodal up-looking pass:
+/// assembles column `k` of `B` into the sparse accumulator `y`, replays
+/// the precomputed segment plan (contiguous panel updates where a
+/// supernode is wide enough), and stores the new entries of `L` and
+/// `d[k]`. Every floating-point operation matches the scalar kernel's
+/// order exactly; the panel path only changes *addressing* (a gather into
+/// `panel`, contiguous arithmetic, a scatter back), never arithmetic.
+///
+/// On a pivot breakdown returns `(k, magnitude)`; `y` is already clean at
+/// that point (every dirtied entry is a pattern entry, and all were
+/// consumed by the segment loop).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn factor_column<T: Scalar>(
+    sym: &SymbolicLdlt,
+    av: &[T],
+    pivot_floor: f64,
+    k: usize,
+    y: &mut [T],
+    panel: &mut [T],
+    l_values: &mut [T],
+    d: &mut [T],
+) -> Result<(), (usize, f64)> {
+    for p in sym.b_colptr[k]..sym.b_colptr[k + 1] {
+        let ri = sym.b_rowidx[p];
+        if ri > k {
+            continue;
+        }
+        y[ri] += av[sym.b_src[p]];
+    }
+    d[k] = y[k];
+    y[k] = T::zero();
+    for seg in &sym.rp_seg[sym.rp_ptr[k]..sym.rp_ptr[k + 1]] {
+        let s = sym.sn_of[seg.first];
+        let c1 = sym.sn_ptr[s + 1] - 1;
+        // Rows `i+1..=ce` of every update column in this segment are the
+        // supernode's own columns: contiguous in `y` and in storage.
+        // Beyond them sit `rank` shared below-supernode rows, identical
+        // (set and order) across the segment.
+        let ce = c1.min(k - 1);
+        let rank = seg.rank;
+        if seg.width >= 2 && rank >= PANEL_MIN_RANK {
+            let rbase = sym.l_colptr[c1];
+            let rrows = &sym.l_rowidx[rbase..rbase + rank];
+            for (q, &r) in rrows.iter().enumerate() {
+                panel[q] = y[r];
+            }
+            for i in seg.first..seg.first + seg.width {
+                let yi = y[i];
+                y[i] = T::zero();
+                let lo = sym.l_colptr[i];
+                let clen = ce - i;
+                debug_assert!(sym.l_rowidx[lo..lo + clen]
+                    .iter()
+                    .enumerate()
+                    .all(|(t, &r)| r == i + 1 + t));
+                for (t, lv) in l_values[lo..lo + clen].iter().enumerate() {
+                    y[i + 1 + t] -= *lv * yi;
+                }
+                for (q, lv) in l_values[lo + clen..lo + clen + rank].iter().enumerate() {
+                    panel[q] -= *lv * yi;
+                }
+                let pos = lo + clen + rank;
+                debug_assert_eq!(sym.l_rowidx[pos], k);
+                let di = d[i];
+                let l_ki = yi / di;
+                d[k] -= l_ki * yi;
+                l_values[pos] = l_ki;
+            }
+            for (q, &r) in rrows.iter().enumerate() {
+                y[r] = panel[q];
+            }
+        } else {
+            for i in seg.first..seg.first + seg.width {
+                let yi = y[i];
+                y[i] = T::zero();
+                let lo = sym.l_colptr[i];
+                let clen = ce - i;
+                debug_assert!(sym.l_rowidx[lo..lo + clen]
+                    .iter()
+                    .enumerate()
+                    .all(|(t, &r)| r == i + 1 + t));
+                for (t, lv) in l_values[lo..lo + clen].iter().enumerate() {
+                    y[i + 1 + t] -= *lv * yi;
+                }
+                let rpart = lo + clen;
+                for q in 0..rank {
+                    y[sym.l_rowidx[rpart + q]] -= l_values[rpart + q] * yi;
+                }
+                let pos = rpart + rank;
+                debug_assert_eq!(sym.l_rowidx[pos], k);
+                let di = d[i];
+                let l_ki = yi / di;
+                d[k] -= l_ki * yi;
+                l_values[pos] = l_ki;
+            }
+        }
+    }
+    let magnitude = d[k].modulus();
+    if magnitude <= pivot_floor {
+        return Err((k, magnitude));
+    }
+    Ok(())
+}
+
+/// Per-worker buffers of the parallel numeric pass. Full-size, written
+/// only at positions owned by the worker's subtree columns, so reuse
+/// across a worker's tasks needs no clearing: disjoint tasks touch
+/// disjoint positions, and `y` is clean after every completed or aborted
+/// column (see [`factor_column`]).
+struct WorkerBufs<T> {
+    y: Vec<T>,
+    panel: Vec<T>,
+    l: Vec<T>,
+    d: Vec<T>,
+}
+
+/// One subtree task's result: the compacted per-column storage prefixes
+/// plus the diagonal entries, in the task's own column order, and the
+/// first pivot breakdown if any.
+struct TaskOut<T> {
+    err: Option<(usize, f64)>,
+    data: Vec<T>,
 }
 
 /// The numeric half of a split sparse LDLᵀ: values of `L` and `D` plus the
-/// preallocated workspaces of the up-looking factorization, all reusable
-/// across [`NumericLdlt::refactor`] calls against one [`SymbolicLdlt`].
+/// preallocated workspaces of the supernodal up-looking factorization, all
+/// reusable across [`NumericLdlt::refactor`] calls against one
+/// [`SymbolicLdlt`].
 ///
 /// Each parallel worker owns one of these (sharing the `Arc`'d symbolic
 /// analysis), which is exactly the shape a fanned-out AC sweep needs.
@@ -373,12 +786,13 @@ impl SymbolicLdlt {
 pub struct NumericLdlt<T> {
     sym: Arc<SymbolicLdlt>,
     factored: bool,
-    l_rowidx: Vec<usize>,
     l_values: Vec<T>,
     /// Diagonal of `D`, in permuted order.
     d: Vec<T>,
     // Workspaces of the numeric pass.
     y: Vec<T>,
+    panel: Vec<T>,
+    // Workspaces of the scalar reference kernel only.
     pattern: Vec<usize>,
     stack: Vec<usize>,
     lnz_done: Vec<usize>,
@@ -395,10 +809,10 @@ impl<T: Scalar> NumericLdlt<T> {
         NumericLdlt {
             sym,
             factored: false,
-            l_rowidx: vec![0; l_nnz],
             l_values: vec![T::zero(); l_nnz],
             d: vec![T::zero(); n],
             y: vec![T::zero(); n],
+            panel: vec![T::zero(); n],
             pattern: vec![0; n],
             stack: vec![0; n],
             lnz_done: vec![0; n],
@@ -419,9 +833,53 @@ impl<T: Scalar> NumericLdlt<T> {
         Ok(num)
     }
 
+    /// Validates `a` against the analyzed pattern and computes the pivot
+    /// breakdown floor; the shared prologue of every refactor flavor.
+    fn refactor_prologue(&mut self, a: &CscMat<T>) -> Result<f64, LdltError> {
+        if !self.sym.pattern_matches(a) {
+            self.factored = false;
+            mpvl_obs::counter_add("ldlt", "pattern_mismatch", 1);
+            return Err(LdltError::PatternMismatch);
+        }
+        self.factored = false;
+        mpvl_obs::counter_add("ldlt", "numeric_refactor", 1);
+        let max_abs = a.values().iter().map(|v| v.modulus()).fold(0.0, f64::max);
+        for v in &mut self.y {
+            *v = T::zero();
+        }
+        Ok(1e-13 * max_abs.max(f64::MIN_POSITIVE))
+    }
+
+    /// The single breakdown exit: clears the accumulator, emits the
+    /// telemetry once (always from the calling thread, so exports stay
+    /// identical at every thread count), and builds the error carrying the
+    /// *original* column index.
+    fn zero_pivot_error(&mut self, step: usize, magnitude: f64) -> LdltError {
+        for v in &mut self.y {
+            *v = T::zero();
+        }
+        let col = self.sym.perm[step];
+        if mpvl_obs::enabled() {
+            mpvl_obs::counter_add("ldlt", "zero_pivots", 1);
+            mpvl_obs::event(
+                "ldlt",
+                "zero_pivot",
+                vec![
+                    ("step", mpvl_obs::Value::U64(step as u64)),
+                    ("col", mpvl_obs::Value::U64(col as u64)),
+                    ("magnitude", mpvl_obs::Value::F64(magnitude)),
+                ],
+            );
+        }
+        LdltError::ZeroPivot { col, magnitude }
+    }
+
     /// Numeric refactorization: recomputes `L` and `D` for a matrix with
     /// the *same pattern* as the symbolic analysis but new values. No
-    /// allocation, no permutation build, no symbolic work.
+    /// allocation, no permutation build, no symbolic work. Runs the
+    /// supernodal kernel serially; see
+    /// [`NumericLdlt::refactor_with_threads`] for the subtree-parallel
+    /// variant (bit-identical output).
     ///
     /// # Errors
     ///
@@ -431,29 +889,168 @@ impl<T: Scalar> NumericLdlt<T> {
     ///   tolerance (`1e-13 · max|A|`); the workspaces stay valid, so a
     ///   later `refactor` with better-conditioned values may still succeed.
     pub fn refactor(&mut self, a: &CscMat<T>) -> Result<(), LdltError> {
+        let pivot_floor = self.refactor_prologue(a)?;
         let sym = Arc::clone(&self.sym);
-        if !sym.pattern_matches(a) {
-            self.factored = false;
-            mpvl_obs::counter_add("ldlt", "pattern_mismatch", 1);
-            return Err(LdltError::PatternMismatch);
+        for k in 0..sym.n {
+            if let Err((step, magnitude)) = factor_column(
+                &sym,
+                a.values(),
+                pivot_floor,
+                k,
+                &mut self.y,
+                &mut self.panel,
+                &mut self.l_values,
+                &mut self.d,
+            ) {
+                return Err(self.zero_pivot_error(step, magnitude));
+            }
         }
-        self.factored = false;
-        mpvl_obs::counter_add("ldlt", "numeric_refactor", 1);
+        self.factored = true;
+        Ok(())
+    }
+
+    /// [`NumericLdlt::refactor`] with independent etree subtrees factored
+    /// in parallel on up to `threads` workers.
+    ///
+    /// Workers factor disjoint subtree columns into private buffers; the
+    /// results are merged in a fixed task order and the shared ancestor
+    /// columns run serially afterwards, so the output — including which
+    /// pivot breaks down first — is byte-identical to the serial pass at
+    /// every thread count. Small or chain-shaped problems fall back to the
+    /// serial kernel automatically.
+    ///
+    /// # Errors
+    ///
+    /// See [`NumericLdlt::refactor`].
+    pub fn refactor_with_threads(
+        &mut self,
+        a: &CscMat<T>,
+        threads: usize,
+    ) -> Result<(), LdltError> {
+        let plan = if threads > 1 {
+            self.sym.plan_subtrees(threads)
+        } else {
+            None
+        };
+        let Some(plan) = plan else {
+            return self.refactor(a);
+        };
+        let pivot_floor = self.refactor_prologue(a)?;
+        let sym = Arc::clone(&self.sym);
+        let av = a.values();
+        let n = sym.n;
+        let l_nnz = sym.l_nnz();
+        let outs: Vec<TaskOut<T>> = mpvl_par::parallel_map_with(
+            threads,
+            &plan.tasks,
+            |_w| WorkerBufs {
+                y: vec![T::zero(); n],
+                panel: vec![T::zero(); n],
+                l: vec![T::zero(); l_nnz],
+                d: vec![T::zero(); n],
+            },
+            |bufs, _i, task| {
+                let mut err = None;
+                for &k in &task.cols {
+                    if let Err(e) = factor_column(
+                        &sym,
+                        av,
+                        pivot_floor,
+                        k,
+                        &mut bufs.y,
+                        &mut bufs.panel,
+                        &mut bufs.l,
+                        &mut bufs.d,
+                    ) {
+                        err = Some(e);
+                        break;
+                    }
+                }
+                // Compact the task's slots out so the worker can reuse its
+                // buffers for the next task it claims.
+                let mut data =
+                    Vec::with_capacity(task.plen.iter().sum::<usize>() + task.cols.len());
+                for (&i, &len) in task.cols.iter().zip(&task.plen) {
+                    let lo = sym.l_colptr[i];
+                    data.extend_from_slice(&bufs.l[lo..lo + len]);
+                }
+                for &i in &task.cols {
+                    data.push(bufs.d[i]);
+                }
+                TaskOut { err, data }
+            },
+        );
+        // Deterministic merge: fixed task order, disjoint positions.
+        let mut first_err: Option<(usize, f64)> = None;
+        for (task, out) in plan.tasks.iter().zip(&outs) {
+            let mut pos = 0;
+            for (&i, &len) in task.cols.iter().zip(&task.plen) {
+                let lo = sym.l_colptr[i];
+                self.l_values[lo..lo + len].copy_from_slice(&out.data[pos..pos + len]);
+                pos += len;
+            }
+            for &i in &task.cols {
+                self.d[i] = out.data[pos];
+                pos += 1;
+            }
+            if let Some((k, m)) = out.err {
+                if first_err.is_none_or(|(fk, _)| k < fk) {
+                    first_err = Some((k, m));
+                }
+            }
+        }
+        // Serial separator phase, ascending, stopping at the earliest
+        // worker breakdown: a separator column below it sees exactly the
+        // values the serial pass would (all its descendants completed),
+        // so the reported first failure matches the serial kernel.
+        for &k in &plan.seps {
+            if let Some((fk, _)) = first_err {
+                if k > fk {
+                    break;
+                }
+            }
+            if let Err(e) = factor_column(
+                &sym,
+                av,
+                pivot_floor,
+                k,
+                &mut self.y,
+                &mut self.panel,
+                &mut self.l_values,
+                &mut self.d,
+            ) {
+                first_err = Some(e);
+                break;
+            }
+        }
+        match first_err {
+            Some((step, magnitude)) => Err(self.zero_pivot_error(step, magnitude)),
+            None => {
+                self.factored = true;
+                Ok(())
+            }
+        }
+    }
+
+    /// The scalar up-looking reference kernel (pre-supernodal), kept for
+    /// parity tests and the supernodal-vs-scalar CI bench gate. Produces
+    /// byte-identical results to [`NumericLdlt::refactor`] — the
+    /// supernodal kernel replays this kernel's exact operation order.
+    ///
+    /// # Errors
+    ///
+    /// See [`NumericLdlt::refactor`].
+    pub fn refactor_scalar(&mut self, a: &CscMat<T>) -> Result<(), LdltError> {
+        let pivot_floor = self.refactor_prologue(a)?;
+        let sym = Arc::clone(&self.sym);
         let n = sym.n;
         let av = a.values();
-        let max_abs = av.iter().map(|v| v.modulus()).fold(0.0, f64::max);
-        let pivot_floor = 1e-13 * max_abs.max(f64::MIN_POSITIVE);
-
-        for v in &mut self.y {
-            *v = T::zero();
-        }
         for v in &mut self.lnz_done {
             *v = 0;
         }
         for v in &mut self.flag {
             *v = usize::MAX;
         }
-
         for k in 0..n {
             self.flag[k] = k;
             let mut top = n;
@@ -485,33 +1082,18 @@ impl<T: Scalar> NumericLdlt<T> {
                 let lo = sym.l_colptr[i];
                 let hi = lo + self.lnz_done[i];
                 for p in lo..hi {
-                    self.y[self.l_rowidx[p]] -= self.l_values[p] * yi;
+                    self.y[sym.l_rowidx[p]] -= self.l_values[p] * yi;
                 }
                 let di = self.d[i];
                 let l_ki = yi / di;
                 self.d[k] -= l_ki * yi;
-                self.l_rowidx[hi] = k;
+                debug_assert_eq!(sym.l_rowidx[hi], k);
                 self.l_values[hi] = l_ki;
                 self.lnz_done[i] += 1;
             }
             if self.d[k].modulus() <= pivot_floor {
-                // Clear the dirty tail of y so the next refactor starts clean.
-                for v in &mut self.y {
-                    *v = T::zero();
-                }
                 let magnitude = self.d[k].modulus();
-                if mpvl_obs::enabled() {
-                    mpvl_obs::counter_add("ldlt", "zero_pivots", 1);
-                    mpvl_obs::event(
-                        "ldlt",
-                        "zero_pivot",
-                        vec![
-                            ("step", mpvl_obs::Value::U64(k as u64)),
-                            ("magnitude", mpvl_obs::Value::F64(magnitude)),
-                        ],
-                    );
-                }
-                return Err(LdltError::ZeroPivot { step: k, magnitude });
+                return Err(self.zero_pivot_error(k, magnitude));
             }
         }
         self.factored = true;
@@ -543,6 +1125,17 @@ impl<T: Scalar> NumericLdlt<T> {
         &self.d
     }
 
+    /// The stored values of `L` (storage order of the shared symbolic row
+    /// pattern) — what the bit-identity property suite compares.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless factored.
+    pub fn l_values(&self) -> &[T] {
+        assert!(self.factored, "not factored");
+        &self.l_values
+    }
+
     /// Matrix inertia `(n_neg, n_zero, n_pos)` from the real parts of `D`.
     ///
     /// # Panics
@@ -566,7 +1159,7 @@ impl<T: Scalar> NumericLdlt<T> {
         solve_permuted_into(
             &self.sym.perm,
             &self.sym.l_colptr,
-            &self.l_rowidx,
+            &self.sym.l_rowidx,
             &self.l_values,
             &self.d,
             b,
@@ -587,11 +1180,43 @@ impl<T: Scalar> NumericLdlt<T> {
         solve_mat_permuted(
             &self.sym.perm,
             &self.sym.l_colptr,
-            &self.l_rowidx,
+            &self.sym.l_rowidx,
             &self.l_values,
             &self.d,
             b,
         )
+    }
+
+    /// Allocation-free variant of [`NumericLdlt::solve_mat`]: writes the
+    /// solution into `out` using the caller's `work` buffer. Every entry
+    /// of `out` and `work` is overwritten, so reuse across calls is safe
+    /// and bit-identical to the allocating path — what the AC sweep's
+    /// pre-warmed per-worker workspaces rely on.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless factored, or on any dimension mismatch
+    /// (`b.nrows()`/`out.nrows()` vs `dim()`, `out.ncols()` vs
+    /// `b.ncols()`, `work.len()` vs `dim()`).
+    pub fn solve_mat_into(&self, b: &Mat<T>, work: &mut [T], out: &mut Mat<T>) {
+        assert!(self.factored, "not factored");
+        let n = self.sym.n;
+        assert_eq!(b.nrows(), n, "dimension mismatch");
+        assert_eq!(out.nrows(), n, "output row mismatch");
+        assert_eq!(out.ncols(), b.ncols(), "output column mismatch");
+        assert_eq!(work.len(), n, "workspace length mismatch");
+        for j in 0..b.ncols() {
+            solve_permuted_into(
+                &self.sym.perm,
+                &self.sym.l_colptr,
+                &self.sym.l_rowidx,
+                &self.l_values,
+                &self.d,
+                b.col(j),
+                work,
+                out.col_mut(j),
+            );
+        }
     }
 }
 
@@ -667,30 +1292,28 @@ impl<T: Scalar> SparseLdlt<T> {
 
     /// Factors with an explicit permutation (`perm[new] = old`).
     ///
-    /// This is the one-shot path: symbolic analysis plus numeric pass.
-    /// Callers factoring many matrices with one shared pattern should use
-    /// [`SymbolicLdlt::analyze`] once and [`NumericLdlt::refactor`] per
-    /// matrix instead.
+    /// This is the one-shot path: symbolic analysis plus numeric pass,
+    /// with large factorizations parallelized over etree subtrees on the
+    /// process-wide [`mpvl_par::thread_count`] workers (bit-identical to
+    /// serial). Callers factoring many matrices with one shared pattern
+    /// should use [`SymbolicLdlt::analyze`] once and
+    /// [`NumericLdlt::refactor`] per matrix instead.
     ///
     /// # Errors
     ///
     /// See [`SparseLdlt::factor`].
     pub fn factor_with_perm(a: &CscMat<T>, perm: Vec<usize>) -> Result<Self, LdltError> {
         let sym = Arc::new(SymbolicLdlt::analyze_with_perm(a, perm)?);
-        let num = NumericLdlt::factor(&sym, a)?;
-        let NumericLdlt {
-            l_rowidx,
-            l_values,
-            d,
-            ..
-        } = num;
+        let mut num = NumericLdlt::new(Arc::clone(&sym));
+        num.refactor_with_threads(a, mpvl_par::thread_count())?;
+        let NumericLdlt { l_values, d, .. } = num;
         // `num` held the only other reference; unwrap to avoid cloning.
         let sym = Arc::try_unwrap(sym).unwrap_or_else(|arc| (*arc).clone());
         Ok(SparseLdlt {
             n: sym.n,
             perm: sym.perm,
             l_colptr: sym.l_colptr,
-            l_rowidx,
+            l_rowidx: sym.l_rowidx,
             l_values,
             d,
         })
@@ -936,6 +1559,28 @@ mod tests {
     }
 
     #[test]
+    fn zero_pivot_reports_original_column() {
+        // A diagonal matrix with one exactly-zero entry, factored under a
+        // reversing permutation: the error must name the *original* column,
+        // not the elimination step.
+        let n = 7;
+        let bad = 2usize;
+        let mut t = TripletMat::new(n, n);
+        for i in 0..n {
+            t.push(i, i, if i == bad { 0.0 } else { 1.0 + i as f64 });
+        }
+        let a = t.to_csc();
+        let perm: Vec<usize> = (0..n).rev().collect();
+        let step = n - 1 - bad; // where the reversed order eliminates it
+        match SparseLdlt::factor_with_perm(&a, perm) {
+            Err(LdltError::ZeroPivot { col, .. }) => {
+                assert_eq!(col, bad, "expected original index, step was {step}");
+            }
+            other => panic!("expected zero pivot, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn rejects_rectangular() {
         let a = CscMat::<f64>::zero(2, 3);
         assert!(matches!(
@@ -1080,12 +1725,86 @@ mod tests {
     }
 
     #[test]
+    fn solve_mat_into_matches_allocating_solve_mat_on_reused_buffers() {
+        let a = laplacian(25);
+        let sym = Arc::new(SymbolicLdlt::analyze(&a, Ordering::Rcm).unwrap());
+        let num = NumericLdlt::factor(&sym, &a).unwrap();
+        let b1 = Mat::from_fn(25, 3, |i, j| ((i * 7 + j * 13) as f64 * 0.01).sin());
+        let b2 = Mat::from_fn(25, 3, |i, j| ((i * 3 + j * 5) as f64 * 0.02).cos());
+        // Deliberately dirty buffers: every entry must be overwritten.
+        let mut work = vec![1234.5; 25];
+        let mut out = Mat::from_fn(25, 3, |_, _| -7.75);
+        num.solve_mat_into(&b1, &mut work, &mut out);
+        assert_eq!(out.as_slice(), num.solve_mat(&b1).as_slice());
+        num.solve_mat_into(&b2, &mut work, &mut out);
+        assert_eq!(out.as_slice(), num.solve_mat(&b2).as_slice());
+    }
+
+    #[test]
     fn symbolic_predicts_exact_fill() {
         let a = laplacian(60);
         let sym = SymbolicLdlt::analyze(&a, Ordering::MinDegree).unwrap();
         let f = SparseLdlt::factor_with_perm(&a, sym.perm().to_vec()).unwrap();
         assert_eq!(sym.l_nnz(), f.l_nnz());
         assert_eq!(sym.dim(), 60);
+    }
+
+    #[test]
+    fn supernodes_partition_the_columns() {
+        // The supernode partition must tile 0..n with contiguous ranges on
+        // every shape we throw at it, and a fully dense pattern must
+        // collapse into ~n/SUPERNODE_MAX_WIDTH panels.
+        let dense = {
+            let n = 24;
+            let mut t = TripletMat::new(n, n);
+            for i in 0..n {
+                t.push(i, i, 10.0 + i as f64);
+                for j in i + 1..n {
+                    t.push_sym(i, j, -0.1);
+                }
+            }
+            t.to_csc()
+        };
+        let sym = SymbolicLdlt::analyze(&dense, Ordering::Natural).unwrap();
+        assert_eq!(sym.supernode_count(), 1, "dense L is one panel");
+        let tri = laplacian(30);
+        let sym = SymbolicLdlt::analyze(&tri, Ordering::Natural).unwrap();
+        assert!(sym.supernode_count() >= 15);
+        assert_eq!(
+            SymbolicLdlt::analyze(&CscMat::<f64>::zero(0, 0), Ordering::Natural)
+                .unwrap()
+                .supernode_count(),
+            0
+        );
+    }
+
+    #[test]
+    fn supernodal_kernel_matches_scalar_kernel_bitwise() {
+        // The in-module smoke version of the property suite in
+        // tests/supernodal_bitident.rs: dense-ish fill exercises wide
+        // panels, and every byte of L, D must agree with the scalar
+        // reference kernel.
+        let n = 40;
+        let mut t = TripletMat::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 6.0 + (i as f64) * 0.25);
+            if i + 1 < n {
+                t.push_sym(i, i + 1, -1.0);
+            }
+            if i + 7 < n {
+                t.push_sym(i, i + 7, -0.5);
+            }
+        }
+        let a = t.to_csc();
+        for o in [Ordering::Natural, Ordering::MinDegree, Ordering::Rcm] {
+            let sym = Arc::new(SymbolicLdlt::analyze(&a, o).unwrap());
+            let mut sup = NumericLdlt::new(Arc::clone(&sym));
+            let mut sca = NumericLdlt::new(Arc::clone(&sym));
+            sup.refactor(&a).unwrap();
+            sca.refactor_scalar(&a).unwrap();
+            assert_eq!(sup.d(), sca.d(), "{o:?}: D differs");
+            assert_eq!(sup.l_values(), sca.l_values(), "{o:?}: L differs");
+        }
     }
 
     #[test]

@@ -49,7 +49,7 @@ mod order;
 mod triplet;
 
 pub use amd::quotient_min_degree;
-pub use csc::CscMat;
+pub use csc::{AddScaledPlan, CscMat};
 pub use ldlt::{LdltError, NumericLdlt, SparseLdlt, SparseMj, SymbolicLdlt};
 pub use order::{compute_ordering, is_permutation, min_degree, rcm, Ordering};
 pub use triplet::TripletMat;

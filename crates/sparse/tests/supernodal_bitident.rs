@@ -1,0 +1,319 @@
+//! Bit-identity suite for the supernodal numeric kernel.
+//!
+//! The supernodal factorization (panel kernels + parallel etree
+//! subtrees) is an *addressing* optimization: it must perform the exact
+//! floating-point operations of the reference scalar up-looking kernel,
+//! in the exact order. These tests pin that contract byte-for-byte —
+//! `L` values, `D`, and `solve_mat` output — across random RC/RLC-style
+//! generator matrices, every ordering, and worker counts 1/2/4, plus
+//! the degenerate shapes (dim-0, diagonal-only, one single supernode)
+//! and zero-pivot error parity on singular and saddle-point systems.
+
+use mpvl_la::{Complex64, Mat};
+use mpvl_sparse::{CscMat, LdltError, NumericLdlt, Ordering, SymbolicLdlt, TripletMat};
+use mpvl_testkit::rng::SmallRng;
+use std::sync::Arc;
+
+const ORDERINGS: [Ordering; 3] = [Ordering::Natural, Ordering::MinDegree, Ordering::Rcm];
+const THREADS: [usize; 3] = [1, 2, 4];
+
+/// Random connected conductance matrix (RC-style: SPD Laplacian plus a
+/// ground leak) on `n` nodes.
+fn rc_matrix(n: usize, rng: &mut SmallRng) -> CscMat<f64> {
+    let mut t = TripletMat::new(n, n);
+    t.push(0, 0, 0.5 + rng.unit_f64());
+    for i in 0..n.saturating_sub(1) {
+        stamp(&mut t, i, i + 1, 0.1 + rng.unit_f64());
+    }
+    for _ in 0..3 * n {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b {
+            stamp(&mut t, a, b, 0.1 + rng.unit_f64());
+        }
+    }
+    t.to_csc()
+}
+
+/// Random complex-symmetric `G + σC`-style matrix (RLC at a fixed
+/// frequency): the RC pattern with complex branch weights. Unpivoted
+/// LDLᵀ on it exercises genuinely complex pivots.
+fn rlc_matrix(n: usize, rng: &mut SmallRng) -> CscMat<Complex64> {
+    let mut t = TripletMat::new(n, n);
+    t.push(0, 0, Complex64::new(1.0 + rng.unit_f64(), rng.unit_f64()));
+    for i in 0..n.saturating_sub(1) {
+        let w = Complex64::new(0.2 + rng.unit_f64(), 0.5 * rng.unit_f64());
+        stamp(&mut t, i, i + 1, w);
+    }
+    for _ in 0..2 * n {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b {
+            let w = Complex64::new(0.2 + rng.unit_f64(), 0.3 * rng.unit_f64());
+            stamp(&mut t, a, b, w);
+        }
+    }
+    t.to_csc()
+}
+
+fn stamp<T: mpvl_la::Scalar>(t: &mut TripletMat<T>, a: usize, b: usize, w: T) {
+    t.push(a, a, w);
+    t.push(b, b, w);
+    t.push_sym(a, b, T::zero() - w);
+}
+
+/// Byte-exact equality via the IEEE bit patterns (distinguishes -0.0
+/// from +0.0 and would catch any reassociation the operator `==` hides).
+fn assert_bits_f64(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: entry {i}: {x:?} vs {y:?}"
+        );
+    }
+}
+
+fn assert_bits_c64(a: &[Complex64], b: &[Complex64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.re.to_bits(),
+            y.re.to_bits(),
+            "{what}: re {i}: {x:?} vs {y:?}"
+        );
+        assert_eq!(
+            x.im.to_bits(),
+            y.im.to_bits(),
+            "{what}: im {i}: {x:?} vs {y:?}"
+        );
+    }
+}
+
+/// Factors `a` with the scalar reference kernel and with the supernodal
+/// kernel at each worker count, asserting byte-identical `L`, `D` and
+/// multi-RHS solve every time.
+fn check_bitident_f64(a: &CscMat<f64>, ordering: Ordering, label: &str) {
+    let sym = Arc::new(SymbolicLdlt::analyze(a, ordering).unwrap());
+    let n = a.nrows();
+    let rhs = Mat::from_fn(n, 2, |i, j| ((i * 13 + j * 7 + 1) as f64 * 0.17).sin());
+
+    let mut reference = NumericLdlt::new(Arc::clone(&sym));
+    reference.refactor_scalar(a).unwrap();
+    let x_ref = reference.solve_mat(&rhs);
+
+    for threads in THREADS {
+        let mut num = NumericLdlt::new(Arc::clone(&sym));
+        num.refactor_with_threads(a, threads).unwrap();
+        let what = format!("{label}/{ordering:?}/threads={threads}");
+        assert_bits_f64(num.l_values(), reference.l_values(), &format!("{what}: L"));
+        assert_bits_f64(num.d(), reference.d(), &format!("{what}: D"));
+        assert_bits_f64(
+            num.solve_mat(&rhs).as_slice(),
+            x_ref.as_slice(),
+            &format!("{what}: solve"),
+        );
+    }
+}
+
+fn check_bitident_c64(a: &CscMat<Complex64>, ordering: Ordering, label: &str) {
+    let sym = Arc::new(SymbolicLdlt::analyze(a, ordering).unwrap());
+    let n = a.nrows();
+    let rhs = Mat::from_fn(n, 2, |i, j| {
+        let t = (i * 11 + j * 5 + 1) as f64 * 0.13;
+        Complex64::new(t.sin(), t.cos())
+    });
+
+    let mut reference = NumericLdlt::new(Arc::clone(&sym));
+    reference.refactor_scalar(a).unwrap();
+    let x_ref = reference.solve_mat(&rhs);
+
+    for threads in THREADS {
+        let mut num = NumericLdlt::new(Arc::clone(&sym));
+        num.refactor_with_threads(a, threads).unwrap();
+        let what = format!("{label}/{ordering:?}/threads={threads}");
+        assert_bits_c64(num.l_values(), reference.l_values(), &format!("{what}: L"));
+        assert_bits_c64(num.d(), reference.d(), &format!("{what}: D"));
+        assert_bits_c64(
+            num.solve_mat(&rhs).as_slice(),
+            x_ref.as_slice(),
+            &format!("{what}: solve"),
+        );
+    }
+}
+
+#[test]
+fn random_rc_matrices_match_scalar_kernel_bitwise() {
+    let mut rng = SmallRng::seed_from_u64(0x5eed_51);
+    for case in 0..12 {
+        let n = [5, 17, 40, 80][case % 4];
+        let a = rc_matrix(n, &mut rng);
+        for ordering in ORDERINGS {
+            check_bitident_f64(&a, ordering, &format!("rc{case}(n={n})"));
+        }
+    }
+}
+
+#[test]
+fn random_rlc_matrices_match_scalar_kernel_bitwise() {
+    let mut rng = SmallRng::seed_from_u64(0xc0_ffee);
+    for case in 0..8 {
+        let n = [6, 23, 48, 90][case % 4];
+        let a = rlc_matrix(n, &mut rng);
+        for ordering in ORDERINGS {
+            check_bitident_c64(&a, ordering, &format!("rlc{case}(n={n})"));
+        }
+    }
+}
+
+#[test]
+fn dim_zero_matrix() {
+    let a: CscMat<f64> = TripletMat::new(0, 0).to_csc();
+    for ordering in ORDERINGS {
+        check_bitident_f64(&a, ordering, "dim0");
+    }
+}
+
+#[test]
+fn diagonal_only_matrix() {
+    // No off-diagonal entries: every column is its own trivial pattern,
+    // so detection degenerates to width-1 supernodes throughout.
+    let mut t = TripletMat::new(9, 9);
+    for i in 0..9 {
+        t.push(i, i, 1.0 + i as f64);
+    }
+    let a = t.to_csc();
+    for ordering in ORDERINGS {
+        check_bitident_f64(&a, ordering, "diag");
+    }
+}
+
+#[test]
+fn fully_dense_block_is_a_single_supernode() {
+    // A dense SPD matrix under Natural ordering: every column's
+    // below-diagonal pattern nests into the next, giving one maximal
+    // supernode (up to the width cap) — the panel kernel's best case.
+    let n = 24;
+    let mut t = TripletMat::new(n, n);
+    for i in 0..n {
+        t.push(i, i, n as f64 + 1.0);
+        for j in 0..i {
+            t.push_sym(j, i, -1.0 / (1.0 + (i - j) as f64));
+        }
+    }
+    let a = t.to_csc();
+    for ordering in ORDERINGS {
+        check_bitident_f64(&a, ordering, "dense24");
+    }
+}
+
+/// The outcome — success with byte-identical factors, or the exact
+/// error (variant, original column index, magnitude) — must match
+/// between the scalar kernel and the supernodal kernel at every worker
+/// count. Returns the scalar kernel's error, if any.
+fn check_outcome_parity(a: &CscMat<f64>, ordering: Ordering, label: &str) -> Option<LdltError> {
+    let sym = Arc::new(SymbolicLdlt::analyze(a, ordering).unwrap());
+    let mut reference = NumericLdlt::new(Arc::clone(&sym));
+    let expected = reference.refactor_scalar(a);
+    for threads in THREADS {
+        let mut num = NumericLdlt::new(Arc::clone(&sym));
+        let got = num.refactor_with_threads(a, threads);
+        let what = format!("{label}/{ordering:?}/threads={threads}");
+        assert_eq!(got, expected, "{what}: outcome");
+        if expected.is_ok() {
+            assert_bits_f64(num.l_values(), reference.l_values(), &format!("{what}: L"));
+            assert_bits_f64(num.d(), reference.d(), &format!("{what}: D"));
+        }
+    }
+    expected.err()
+}
+
+#[test]
+fn zero_pivot_parity_on_singular_system() {
+    // A floating two-node island (no ground leak anywhere): the last
+    // eliminated column of the island has an exactly zero pivot
+    // (2 - 2²/2 is exact in IEEE arithmetic), under every ordering.
+    let mut t = TripletMat::new(6, 6);
+    t.push(0, 0, 1.0);
+    for i in 0..3 {
+        stamp(&mut t, i, i + 1, 1.0);
+    }
+    stamp(&mut t, 4, 5, 2.0); // isolated pair: singular 2x2 Laplacian
+    let a = t.to_csc();
+    for ordering in ORDERINGS {
+        let err =
+            check_outcome_parity(&a, ordering, "island").expect("floating island must be rejected");
+        match err {
+            LdltError::ZeroPivot { col, .. } => {
+                assert!(
+                    col == 4 || col == 5,
+                    "zero pivot must name an island column (original index), got {col}"
+                );
+            }
+            other => panic!("expected ZeroPivot, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn zero_pivot_parity_on_saddle_point_system() {
+    // MNA-style saddle point: a zero diagonal at column 0, coupled in
+    // via an off-diagonal. Under Natural ordering the scalar kernel
+    // rejects it immediately; under fill-reducing orderings it may
+    // factor (indefinite) — either way the supernodal outcome must
+    // match exactly, since `transient` keys its dense fallback on it.
+    let mut t = TripletMat::new(5, 5);
+    t.push_sym(0, 1, 1.0); // zero diagonal at column 0
+    t.push(1, 1, 2.0);
+    stamp(&mut t, 1, 2, 1.0);
+    stamp(&mut t, 2, 3, 1.0);
+    stamp(&mut t, 3, 4, 1.0);
+    t.push(4, 4, 0.5);
+    let a = t.to_csc();
+    let mut rejected_somewhere = false;
+    for ordering in ORDERINGS {
+        rejected_somewhere |= check_outcome_parity(&a, ordering, "saddle").is_some();
+    }
+    assert!(
+        rejected_somewhere,
+        "at least one ordering should hit the zero diagonal first"
+    );
+}
+
+#[test]
+fn workspace_recovers_identically_after_a_rejected_system() {
+    // A workspace that just rejected a singular system must factor the
+    // next healthy system byte-identically to a fresh scalar-kernel
+    // workspace — at every worker count (no stale panel or subtree
+    // state survives the error path). The two systems share one
+    // pattern: only the island's ground-leak value differs.
+    let build = |island_leak: f64| {
+        let mut t = TripletMat::new(6, 6);
+        t.push(0, 0, 1.0);
+        for i in 0..3 {
+            stamp(&mut t, i, i + 1, 1.0);
+        }
+        stamp(&mut t, 4, 5, 2.0);
+        t.push(4, 4, island_leak); // same pattern either way
+        t.to_csc()
+    };
+    let singular = build(0.0);
+    let healthy = build(0.7);
+    assert_eq!(singular.col_ptr(), healthy.col_ptr(), "patterns must match");
+
+    for ordering in ORDERINGS {
+        let sym = Arc::new(SymbolicLdlt::analyze(&healthy, ordering).unwrap());
+        let mut fresh = NumericLdlt::new(Arc::clone(&sym));
+        fresh.refactor_scalar(&healthy).unwrap();
+        for threads in THREADS {
+            let mut num = NumericLdlt::new(Arc::clone(&sym));
+            num.refactor_with_threads(&singular, threads)
+                .expect_err("floating island is singular");
+            num.refactor_with_threads(&healthy, threads).unwrap();
+            let what = format!("recovery/{ordering:?}/threads={threads}");
+            assert_bits_f64(num.l_values(), fresh.l_values(), &format!("{what}: L"));
+            assert_bits_f64(num.d(), fresh.d(), &format!("{what}: D"));
+        }
+    }
+}

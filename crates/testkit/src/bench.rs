@@ -145,6 +145,32 @@ impl Bench {
         self.results.push(result);
     }
 
+    /// Records an already-computed scalar (e.g. a speedup ratio derived
+    /// from two timed cases) as a single-sample result, so it lands in
+    /// the JSON and the printed table alongside the timed cases.
+    pub fn push_value(&mut self, name: &str, value: f64) {
+        let result = BenchResult {
+            name: name.to_string(),
+            samples: 1,
+            median_s: value,
+            p90_s: value,
+            min_s: value,
+            mean_s: value,
+        };
+        mpvl_obs::cprintln!("{:<40} value  {:>12.4}", result.name, value);
+        self.results.push(result);
+    }
+
+    /// The median of an already-recorded case, by name — what derived
+    /// ratio cases ([`push_value`](Self::push_value)) are computed from.
+    #[must_use]
+    pub fn median_of(&self, name: &str) -> Option<f64> {
+        self.results
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.median_s)
+    }
+
     /// Writes `BENCH_<suite>.json` into the resolved bench output
     /// directory (see the module docs) and reports the path.
     ///

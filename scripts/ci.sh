@@ -60,6 +60,13 @@ MPVL_BENCH_WARMUP=1 MPVL_BENCH_SAMPLES=3 \
     cargo run -q --release --offline -p mpvl-bench --bin bench_sparse_ldlt
 
 test -s target/bench/BENCH_sparse_ldlt.json
+for name in ldlt_numeric_scalar/1360 ldlt_numeric_supernodal/1360 \
+    speedup/supernodal_vs_scalar/1360; do
+    grep -q "\"$name" target/bench/BENCH_sparse_ldlt.json || {
+        echo "BENCH_sparse_ldlt.json missing result \"$name\"" >&2
+        exit 1
+    }
+done
 
 echo "==> golden bit-identity across thread counts (MPVL_THREADS=2,4)"
 # The MPVL_THREADS=1 run above already covered the single-thread golden
@@ -108,9 +115,22 @@ MPVL_BENCH_WARMUP=1 MPVL_BENCH_SAMPLES=3 MPVL_THREADS=2 \
     cargo run -q --release --offline -p mpvl-bench --bin bench_par_sweep
 
 test -s target/bench/BENCH_par_sweep.json
+for name in ac_sweep_large8/threads=1 ac_sweep_large8/threads=4 \
+    speedup/large8_t4_vs_t1; do
+    grep -q "\"$name" target/bench/BENCH_par_sweep.json || {
+        echo "BENCH_par_sweep.json missing result \"$name\"" >&2
+        exit 1
+    }
+done
 
 echo "==> validate obs export (target/obs/ci_smoke.jsonl)"
 cargo run -q --release --offline -p mpvl-bench --bin obs_validate -- \
     target/obs/ci_smoke.jsonl
+
+echo "==> bench gate (supernodal vs scalar factor, sweep thread scaling)"
+# Fails if the supernodal kernel is slower than the scalar kernel at
+# n=1360, or if the threads=4 large-case sweep does not beat threads=1
+# (strict on multicore; a loud skip + oversubscription bound on 1 core).
+cargo run -q --release --offline -p mpvl-bench --bin bench_gate
 
 echo "==> ci.sh: all green"
