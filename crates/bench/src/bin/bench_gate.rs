@@ -15,6 +15,11 @@
 //!    loudly and replaced by a no-catastrophic-regression bound
 //!    (threads=4 within 1.25× of threads=1: the chunked scheduler must
 //!    not melt down when oversubscribed on one core).
+//! 3. **Compiled pole–residue evaluation vs per-point LU** — from
+//!    `BENCH_eval.json`: the compiled plan must be strictly faster than
+//!    the LU path on the order-40 × 2001-point sweep. The comparison is
+//!    algorithmic (O(q·p²) vs O(q³) per point, both single-threaded
+//!    inner loops), so it holds on any core count.
 //!
 //! Run with `cargo run --release -p mpvl-bench --bin bench_gate`;
 //! exits nonzero with a diagnostic on the first violated gate.
@@ -127,6 +132,27 @@ fn main() {
                 t4, t1
             );
         }
+    }
+
+    // Gate 3: compiled pole–residue evaluation must beat per-point LU.
+    let eval = load("eval");
+    let lu = require(&eval, "eval", "eval_lu/40x2001");
+    let compiled = require(&eval, "eval", "eval_compiled/40x2001");
+    if compiled >= lu {
+        eprintln!(
+            "bench_gate FAIL: compiled eval at 40x2001 is not faster than LU: \
+             {:.3e}s vs {:.3e}s",
+            compiled, lu
+        );
+        failures += 1;
+    } else {
+        println!(
+            "bench_gate ok: compiled eval {:.3e}s vs LU {:.3e}s at 40x2001 \
+             (speedup {:.2}x)",
+            compiled,
+            lu,
+            lu / compiled
+        );
     }
 
     if failures > 0 {

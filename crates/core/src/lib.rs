@@ -41,6 +41,7 @@
 
 mod adaptive;
 mod error;
+mod eval;
 mod factor;
 mod io;
 mod lanczos;
@@ -60,6 +61,7 @@ pub mod synthesis;
 
 pub use adaptive::{reduce_adaptive, reduce_adaptive_with, AdaptiveOptions, AdaptiveOutcome};
 pub use error::{Error, SympvlError};
+pub use eval::{EvalPlan, EvalWorkspace};
 pub use factor::GFactor;
 pub use io::{read_model, write_model};
 pub use lanczos::{block_lanczos, BlockLanczos, LanczosOptions, LanczosOutcome, LinearOperator};

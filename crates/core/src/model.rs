@@ -1,7 +1,9 @@
 //! The reduced-order model produced by SyMPVL.
 
+use crate::eval::{lu_eval_sigma_into, EvalConsts, EvalWorkspace};
 use crate::SympvlError;
 use mpvl_la::{general_eigenvalues, sym_eigen, Complex64, Lu, Mat};
+use std::sync::{Arc, OnceLock};
 
 /// A matrix-Padé reduced-order model
 /// `Zₙ(s) = s^{osf} · ρₙᵀ (Δₙ⁻¹ + x TₙΔₙ⁻¹)⁻¹ ρₙ`,  `x = s^{sp} − s₀`
@@ -34,6 +36,12 @@ pub struct ReducedModel {
     pub(crate) deflations: usize,
     /// `true` when the Krylov space was exhausted (model is exact).
     pub(crate) exhausted: bool,
+    /// Lazily cached evaluation constants (`ρ`, `Δρ` complexified) —
+    /// computed once on first evaluation, shared with compiled plans.
+    pub(crate) consts: OnceLock<Arc<EvalConsts>>,
+    /// Lazily cached eigenvalues of `Tₙ` — seeded by plan compilation,
+    /// reused by the pole routines so the eigensolver runs at most once.
+    pub(crate) lambdas: OnceLock<Arc<Vec<Complex64>>>,
 }
 
 impl ReducedModel {
@@ -73,6 +81,8 @@ impl ReducedModel {
             p1,
             deflations: 0,
             exhausted: false,
+            consts: OnceLock::new(),
+            lambdas: OnceLock::new(),
         }
     }
 
@@ -152,6 +162,17 @@ impl ReducedModel {
         &self.rho
     }
 
+    /// The cached evaluation constants (`ρ` and `Δ·ρ` complexified),
+    /// computed on first use and shared with compiled plans.
+    pub(crate) fn consts(&self) -> &Arc<EvalConsts> {
+        self.consts.get_or_init(|| Arc::new(EvalConsts::of(self)))
+    }
+
+    /// A reusable evaluation workspace sized for this model.
+    pub fn eval_workspace(&self) -> EvalWorkspace {
+        EvalWorkspace::for_model(self)
+    }
+
     /// Evaluates the model in the pencil domain:
     /// `Ẑ(σ) = ρᵀ Δ (I + (σ − s₀)T)⁻¹ ρ` — no leading `s` factor.
     ///
@@ -159,21 +180,36 @@ impl ReducedModel {
     ///
     /// Returns [`SympvlError::Singular`] if `σ` hits a model pole exactly.
     pub fn eval_sigma(&self, sigma: Complex64) -> Result<Mat<Complex64>, SympvlError> {
-        let n = self.order();
+        let mut ws = self.eval_workspace();
+        let mut out = Mat::zeros(self.num_ports(), self.num_ports());
+        self.eval_sigma_into(&mut ws, sigma, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`ReducedModel::eval_sigma`] with caller-owned scratch and output —
+    /// the allocation-free form batch evaluators use (the `K` buffer, the
+    /// multi-RHS solve buffer, and the output are all reused). Same
+    /// floating-point operations in the same order as `eval_sigma`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SympvlError::Singular`] if `σ` hits a model pole exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is not `ports × ports`.
+    pub fn eval_sigma_into(
+        &self,
+        ws: &mut EvalWorkspace,
+        sigma: Complex64,
+        out: &mut Mat<Complex64>,
+    ) -> Result<(), SympvlError> {
+        let p = self.num_ports();
+        assert_eq!(out.nrows(), p, "output must be ports x ports");
+        assert_eq!(out.ncols(), p, "output must be ports x ports");
+        ws.ensure(self.order(), p);
         let x = sigma - self.shift;
-        let k = Mat::from_fn(n, n, |i, j| {
-            let idm = if i == j { 1.0 } else { 0.0 };
-            Complex64::from_real(idm) + x * self.t[(i, j)]
-        });
-        let lu = Lu::new(k).map_err(|_| SympvlError::Singular {
-            context: "reduced-model evaluation",
-        })?;
-        let rho_c = self.rho.map(Complex64::from_real);
-        let y = lu.solve_mat(&rho_c).map_err(|_| SympvlError::Singular {
-            context: "reduced-model evaluation",
-        })?;
-        let drho = self.delta.matmul(&self.rho).map(Complex64::from_real);
-        Ok(drho.t_matmul(&y))
+        lu_eval_sigma_into(&self.t, self.consts(), x, ws, out)
     }
 
     /// Evaluates the full transfer function `Zₙ(s)` at a complex frequency,
@@ -205,14 +241,16 @@ impl ReducedModel {
         Ok(z.scale(ipow(s, self.output_s_factor)))
     }
 
-    /// Model poles in the pencil (σ) domain: `σ = s₀ − 1/λ` over the
-    /// nonzero eigenvalues `λ` of `Tₙ`.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SympvlError::Eigen`] if the eigensolver fails.
-    pub fn sigma_poles(&self) -> Result<Vec<Complex64>, SympvlError> {
-        let lambdas: Vec<Complex64> = if self.identity_j {
+    /// The eigenvalues of `Tₙ`, computed at most once per model: the
+    /// first call (or a compiled [`crate::EvalPlan`], which seeds this
+    /// cache) runs the eigensolver; later calls return the cached values.
+    /// Both producers use the exact same solver on the exact same matrix,
+    /// so the cached bits never depend on who filled the cache first.
+    pub(crate) fn t_eigenvalues(&self) -> Result<Arc<Vec<Complex64>>, SympvlError> {
+        if let Some(cached) = self.lambdas.get() {
+            return Ok(cached.clone());
+        }
+        let computed: Vec<Complex64> = if self.identity_j {
             sym_eigen(&self.t)
                 .map_err(|e| SympvlError::Eigen {
                     reason: e.to_string(),
@@ -226,8 +264,29 @@ impl ReducedModel {
                 reason: e.to_string(),
             })?
         };
+        Ok(self.lambdas.get_or_init(|| Arc::new(computed)).clone())
+    }
+
+    /// Seeds the eigenvalue cache from a compiled plan (no-op when the
+    /// cache is already filled — both producers compute identical bits).
+    pub(crate) fn seed_t_eigenvalues(&self, lambdas: &[Complex64]) {
+        self.lambdas.get_or_init(|| Arc::new(lambdas.to_vec()));
+    }
+
+    /// Model poles in the pencil (σ) domain: `σ = s₀ − 1/λ` over the
+    /// nonzero eigenvalues `λ` of `Tₙ`.
+    ///
+    /// The eigenvalues are cached: repeated pole queries — or a query
+    /// after a compiled [`crate::EvalPlan`] already diagonalized `Tₙ` —
+    /// do not re-run the eigensolver.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SympvlError::Eigen`] if the eigensolver fails.
+    pub fn sigma_poles(&self) -> Result<Vec<Complex64>, SympvlError> {
+        let lambdas = self.t_eigenvalues()?;
         Ok(lambdas
-            .into_iter()
+            .iter()
             .filter(|l| l.abs() > 1e-300)
             .map(|l| Complex64::from_real(self.shift) - l.recip())
             .collect())
@@ -296,7 +355,7 @@ impl ReducedModel {
 pub type StampMatrices = (Mat<f64>, Mat<f64>, Mat<f64>);
 
 /// Integer power for complex scalars.
-fn ipow(s: Complex64, p: u32) -> Complex64 {
+pub(crate) fn ipow(s: Complex64, p: u32) -> Complex64 {
     let mut acc = Complex64::ONE;
     for _ in 0..p {
         acc *= s;

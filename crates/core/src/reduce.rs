@@ -272,6 +272,8 @@ pub(crate) fn assemble_model(
         p1: out.p1,
         deflations: out.deflation_steps.len(),
         exhausted: out.exhausted,
+        consts: std::sync::OnceLock::new(),
+        lambdas: std::sync::OnceLock::new(),
     })
 }
 

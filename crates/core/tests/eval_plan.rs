@@ -1,0 +1,216 @@
+//! Property tests for the compiled pole–residue evaluation plan.
+//!
+//! The contract under test: away from poles a compiled [`EvalPlan`]
+//! agrees with the exact LU path to ~1e-10 relative Frobenius error;
+//! near a pole (or when compilation falls back) it *is* the LU path,
+//! bit for bit.
+
+use mpvl_circuit::generators::{
+    package, random_lc, random_rc, random_rl, rc_ladder, PackageParams,
+};
+use mpvl_circuit::MnaSystem;
+use mpvl_la::{Complex64, Mat};
+use mpvl_testkit::prop::check;
+use mpvl_testkit::prop_assert;
+use sympvl::{sympvl, EvalPlan, SympvlOptions};
+
+/// Relative Frobenius distance between two complex matrices.
+fn rel_err(a: &Mat<Complex64>, b: &Mat<Complex64>) -> f64 {
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+        num += (*x - *y).norm_sqr();
+        den += y.norm_sqr();
+    }
+    num.sqrt() / den.sqrt().max(f64::MIN_POSITIVE)
+}
+
+fn cmat_bits(m: &Mat<Complex64>) -> Vec<u64> {
+    m.as_slice()
+        .iter()
+        .flat_map(|v| [v.re.to_bits(), v.im.to_bits()])
+        .collect()
+}
+
+/// `σ = s^{s_power}` — the frequency variable the recurrence lives in.
+fn sigma_of_s(model: &sympvl::ReducedModel, s: Complex64) -> Complex64 {
+    (0..model.s_power()).fold(Complex64::ONE, |acc, _| acc * s)
+}
+
+/// `true` when `x` is comfortably away from every pole of the plan, so
+/// both paths are well-conditioned and the 1e-10 band is meaningful.
+fn away_from_poles(plan: &EvalPlan, x: Complex64) -> bool {
+    let Some(lambdas) = plan.lambdas() else {
+        return true;
+    };
+    lambdas
+        .iter()
+        .all(|&l| (Complex64::ONE + x * l).abs() > 1e-2)
+}
+
+#[test]
+fn compiled_plan_matches_lu_on_random_rc() {
+    check(
+        "compiled_plan_matches_lu_on_random_rc",
+        24,
+        (0u64..1000, 2usize..12),
+        |&(seed, order)| {
+            let sys = MnaSystem::assemble(&random_rc(seed, 15, 2)).unwrap();
+            let model = sympvl(&sys, order, &SympvlOptions::default()).unwrap();
+            let plan = EvalPlan::compile(&model);
+            prop_assert!(
+                plan.is_compiled(),
+                "RC model should take the symmetric path: {:?}",
+                plan.fallback_reason()
+            );
+            let mut ws = plan.workspace();
+            let mut fast = Mat::zeros(2, 2);
+            for k in 0..7 {
+                let f = 1e6 * 10f64.powf(4.0 * k as f64 / 6.0);
+                let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * f);
+                if !away_from_poles(&plan, s - model.shift()) {
+                    continue;
+                }
+                plan.eval_into(&mut ws, s, &mut fast).unwrap();
+                let exact = model.eval(s).unwrap();
+                let rel = rel_err(&fast, &exact);
+                prop_assert!(rel < 1e-10, "at {f} Hz: rel {rel:.3e}");
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn plan_matches_lu_on_random_rl_and_lc() {
+    // Random RL / LC systems broaden the spectrum zoo. A plan that
+    // compiles must hit the accuracy band; one that falls back must
+    // match the LU path bit for bit. (These generators happen to yield
+    // definite matrices — the general non-identity-J path is pinned by
+    // `general_path_compiles_on_rlc_package` below.)
+    check(
+        "plan_matches_lu_on_random_rl_and_lc",
+        24,
+        (0u64..1000, 2usize..9, 0u8..2),
+        |&(seed, order, kind)| {
+            let ckt = if kind == 0 {
+                random_rl(seed, 12, 2)
+            } else {
+                random_lc(seed, 12, 2)
+            };
+            let sys = MnaSystem::assemble(&ckt).unwrap();
+            let model = sympvl(&sys, order, &SympvlOptions::default()).unwrap();
+            let plan = EvalPlan::compile(&model);
+            let mut ws = plan.workspace();
+            let mut fast = Mat::zeros(2, 2);
+            for k in 0..5 {
+                let f = 1e7 * 10f64.powf(3.0 * k as f64 / 4.0);
+                let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * f);
+                let sigma = sigma_of_s(&model, s);
+                if !away_from_poles(&plan, sigma - model.shift()) {
+                    continue;
+                }
+                let exact = match model.eval(s) {
+                    Ok(z) => z,
+                    Err(_) => continue, // singular for LU too: nothing to compare
+                };
+                plan.eval_into(&mut ws, s, &mut fast).unwrap();
+                if plan.is_compiled() {
+                    let rel = rel_err(&fast, &exact);
+                    prop_assert!(rel < 1e-10, "at {f} Hz: rel {rel:.3e}");
+                } else {
+                    prop_assert!(
+                        cmat_bits(&fast) == cmat_bits(&exact),
+                        "fallback plan must be bit-identical to LU at {f} Hz"
+                    );
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn general_path_compiles_on_rlc_package() {
+    // The RLC package model has an indefinite MNA matrix, so J ≠ I and
+    // compilation must go through the general complex eigenvector path.
+    let sys = MnaSystem::assemble(&package(&PackageParams::default())).unwrap();
+    for order in [4usize, 8, 12] {
+        let model = sympvl(&sys, order, &SympvlOptions::default()).unwrap();
+        assert!(!model.guarantees_passivity(), "expected J != I");
+        let plan = EvalPlan::compile(&model);
+        assert!(
+            plan.is_compiled(),
+            "order {order}: {:?}",
+            plan.fallback_reason()
+        );
+        let p = model.num_ports();
+        let mut ws = plan.workspace();
+        let mut fast = Mat::zeros(p, p);
+        let mut checked = 0usize;
+        for k in 0..7 {
+            let f = 1e7 * 10f64.powf(3.0 * k as f64 / 6.0);
+            let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * f);
+            if !away_from_poles(&plan, sigma_of_s(&model, s) - model.shift()) {
+                continue;
+            }
+            plan.eval_into(&mut ws, s, &mut fast).unwrap();
+            let exact = model.eval(s).unwrap();
+            let rel = rel_err(&fast, &exact);
+            assert!(rel < 1e-10, "order {order} at {f} Hz: rel {rel:.3e}");
+            checked += 1;
+        }
+        assert!(checked > 0, "order {order}: every point was near a pole");
+    }
+}
+
+#[test]
+fn near_pole_points_redirect_to_exact_lu() {
+    // Within the near-pole guard band the plan must hand the point to
+    // the exact LU path — bit-identical to `eval_sigma`, not merely close.
+    let sys = MnaSystem::assemble(&rc_ladder(30, 1.0, 1e-12)).unwrap();
+    let model = sympvl(&sys, 8, &SympvlOptions::default()).unwrap();
+    let plan = EvalPlan::compile(&model);
+    assert!(plan.is_compiled());
+    let lambdas = plan.lambdas().unwrap().to_vec();
+    let mut ws = plan.workspace();
+    let mut out = Mat::zeros(1, 1);
+    let mut redirected = 0usize;
+    for &lam in &lambdas {
+        if lam.abs() < 1e-300 {
+            continue;
+        }
+        // x = -1/λ · (1 + 1e-9): |1 + xλ| ≈ 1e-9, inside the 1e-8 band.
+        let x = -lam.recip() * Complex64::new(1.0 + 1e-9, 0.0);
+        let sigma = Complex64::from_real(model.shift()) + x;
+        let exact = match model.eval_sigma(sigma) {
+            Ok(z) => z,
+            Err(_) => continue, // singular for LU as well — consistent
+        };
+        plan.eval_sigma_into(&mut ws, sigma, &mut out).unwrap();
+        assert_eq!(
+            cmat_bits(&out),
+            cmat_bits(&exact),
+            "near-pole point must use the LU path exactly"
+        );
+        redirected += 1;
+    }
+    assert!(redirected > 0, "test never exercised the near-pole band");
+}
+
+#[test]
+fn poles_agree_between_plan_and_cold_model() {
+    // `sigma_poles` is served from the plan's eigenvalues once a plan is
+    // compiled; the bits must equal a never-compiled model's poles.
+    let sys = MnaSystem::assemble(&random_rc(42, 15, 2)).unwrap();
+    let warm = sympvl(&sys, 9, &SympvlOptions::default()).unwrap();
+    let cold = sympvl(&sys, 9, &SympvlOptions::default()).unwrap();
+    let _plan = EvalPlan::compile(&warm); // seeds warm's eigenvalue cache
+    let a = warm.sigma_poles().unwrap();
+    let b = cold.sigma_poles().unwrap();
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.re.to_bits(), y.re.to_bits());
+        assert_eq!(x.im.to_bits(), y.im.to_bits());
+    }
+}

@@ -166,6 +166,13 @@ impl ModelId {
     pub fn index(&self) -> usize {
         self.0
     }
+
+    /// The id a session assigns to its first reduction — handy when a
+    /// request is built before the reduction runs (ids are deterministic,
+    /// assigned in request order starting at zero).
+    pub fn first() -> ModelId {
+        ModelId(0)
+    }
 }
 
 /// Convergence bookkeeping from an adaptive request (mirrors
@@ -228,6 +235,40 @@ impl EvalRequest {
             });
         }
         Ok(EvalRequest { model, freqs_hz })
+    }
+
+    /// Builds a log-spaced sweep request through the validated
+    /// [`mpvl_sim::FreqGrid`] helper.
+    ///
+    /// ```
+    /// use mpvl_engine::{EvalRequest, ModelId};
+    /// # fn main() -> Result<(), sympvl::SympvlError> {
+    /// let req = EvalRequest::log_sweep(ModelId::first(), 1e6, 1e10, 201)?;
+    /// assert_eq!(req.freqs_hz.len(), 201);
+    /// assert!(EvalRequest::log_sweep(ModelId::first(), -1.0, 1e10, 201).is_err());
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`SympvlError::InvalidOptions`] unless `0 < f_lo < f_hi` (finite)
+    /// and `points >= 2` (see [`mpvl_sim::FreqGrid::log`]).
+    pub fn log_sweep(
+        model: ModelId,
+        f_lo: f64,
+        f_hi: f64,
+        points: usize,
+    ) -> Result<Self, SympvlError> {
+        let grid = mpvl_sim::FreqGrid::log(f_lo, f_hi, points).map_err(|e| {
+            SympvlError::InvalidOptions {
+                reason: e.to_string(),
+            }
+        })?;
+        Ok(EvalRequest {
+            model,
+            freqs_hz: grid.into_vec(),
+        })
     }
 }
 

@@ -6,12 +6,13 @@ use crate::request::{
     ReductionRequest,
 };
 use mpvl_circuit::MnaSystem;
-use mpvl_la::Complex64;
+use mpvl_la::{Complex64, Mat};
 use mpvl_sim::{AcError, AcPoint, AcSweeper};
 use std::sync::{Arc, Mutex};
 use sympvl::{
-    certify, factor_target, reduce_adaptive_with, synthesize_rc, Certificate, FactorTarget,
-    GFactor, ReducedModel, Shift, SympvlError, SympvlOptions, SympvlRun, SynthesizedCircuit,
+    certify, factor_target, reduce_adaptive_with, synthesize_rc, Certificate, EvalPlan,
+    EvalWorkspace, FactorTarget, GFactor, ReducedModel, Shift, SympvlError, SympvlOptions,
+    SympvlRun, SynthesizedCircuit,
 };
 
 /// Resource bounds for a [`ReductionSession`].
@@ -202,6 +203,9 @@ pub struct ReductionSession {
     factors: Mutex<FactorCache>,
     runs: Mutex<RunPool>,
     models: Mutex<Vec<Arc<ReducedModel>>>,
+    /// Compiled evaluation plans, index-aligned with `models` (compiled
+    /// lazily on the first eval of each model, then reused forever).
+    plans: Mutex<Vec<Option<Arc<EvalPlan>>>>,
     sweeper: Mutex<Option<Arc<AcSweeper>>>,
 }
 
@@ -218,6 +222,7 @@ impl ReductionSession {
             factors: Mutex::new(FactorCache::new(opts.max_cached_factors)),
             runs: Mutex::new(RunPool::new(opts.max_retained_runs)),
             models: Mutex::new(Vec::new()),
+            plans: Mutex::new(Vec::new()),
             sweeper: Mutex::new(None),
         }
     }
@@ -316,35 +321,61 @@ impl ReductionSession {
         self.models.lock().unwrap().get(id.0).cloned()
     }
 
-    /// Evaluates a retained model over a frequency sweep.
+    /// The compiled evaluation plan for a retained model, compiling it on
+    /// first use. Obs counters: `engine/eval_plan_hits`,
+    /// `engine/eval_plan_compiles`, `engine/eval_plan_fallbacks`.
+    pub fn plan_for(&self, id: ModelId, model: &Arc<ReducedModel>) -> Arc<EvalPlan> {
+        let mut plans = self.plans.lock().unwrap();
+        if plans.len() <= id.0 {
+            plans.resize_with(id.0 + 1, || None);
+        }
+        if let Some(plan) = &plans[id.0] {
+            mpvl_obs::counter_add("engine", "eval_plan_hits", 1);
+            return plan.clone();
+        }
+        let plan = Arc::new(EvalPlan::compile(model));
+        mpvl_obs::counter_add("engine", "eval_plan_compiles", 1);
+        if !plan.is_compiled() {
+            mpvl_obs::counter_add("engine", "eval_plan_fallbacks", 1);
+        }
+        plans[id.0] = Some(plan.clone());
+        plan
+    }
+
+    /// Evaluates a retained model over a frequency sweep, fanning the
+    /// **points** across threads (`MPVL_THREADS`). The first eval of a
+    /// model compiles its pole–residue [`EvalPlan`]; warm evals are pure
+    /// O(order·ports²) accumulation with zero per-point allocation.
     ///
     /// # Errors
     ///
     /// [`SympvlError::InvalidOptions`] for an unknown [`ModelId`];
     /// [`SympvlError::Singular`] when a frequency hits a pole.
     pub fn eval(&self, request: &EvalRequest) -> Result<EvalOutcome, SympvlError> {
-        let model = self
-            .model(request.model)
-            .ok_or_else(|| SympvlError::InvalidOptions {
-                reason: format!("no model with id {:?} in this session", request.model.0),
-            })?;
-        let _span = mpvl_obs::span("engine", "eval");
-        let points = request
-            .freqs_hz
-            .iter()
-            .map(|&f| {
-                let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * f);
-                model.eval(s).map(|z| EvalPoint { freq_hz: f, z })
-            })
-            .collect::<Result<Vec<_>, _>>()?;
-        Ok(EvalOutcome {
-            model: request.model,
-            points,
-        })
+        self.eval_with_threads(request, mpvl_par::thread_count())
     }
 
-    /// Evaluates a batch of sweeps in parallel, results in request-index
-    /// order.
+    /// [`ReductionSession::eval`] with an explicit thread count.
+    ///
+    /// # Errors
+    ///
+    /// See [`ReductionSession::eval`].
+    pub fn eval_with_threads(
+        &self,
+        request: &EvalRequest,
+        threads: usize,
+    ) -> Result<EvalOutcome, SympvlError> {
+        let _span = mpvl_obs::span("engine", "eval");
+        self.eval_many(std::slice::from_ref(request), threads)
+            .pop()
+            .expect("one result per request")
+    }
+
+    /// Evaluates a batch of sweeps, results in request-index order. All
+    /// points of all requests are flattened into one pool and chunked
+    /// across threads, so a single 2000-point sweep parallelizes as well
+    /// as 2000 one-point sweeps — with bit-identical results at any
+    /// thread count.
     pub fn eval_batch(&self, requests: &[EvalRequest]) -> Vec<Result<EvalOutcome, SympvlError>> {
         self.eval_batch_with_threads(requests, mpvl_par::thread_count())
     }
@@ -355,12 +386,122 @@ impl ReductionSession {
         requests: &[EvalRequest],
         threads: usize,
     ) -> Vec<Result<EvalOutcome, SympvlError>> {
-        mpvl_par::parallel_map_with(
-            threads,
-            requests,
-            |_| (),
-            |_, _, request| self.eval(request),
-        )
+        let _span = mpvl_obs::span("engine", "eval_batch");
+        self.eval_many(requests, threads)
+    }
+
+    /// The shared eval core: resolve plans serially (deterministic obs
+    /// counters), flatten every (request, point) pair into one slot pool,
+    /// chunk the pool across workers with per-worker workspaces, then
+    /// reassemble per-request outcomes in request-index order.
+    ///
+    /// Each point's arithmetic is self-contained (its own workspace fill,
+    /// its own output matrix), so the chunk boundaries cannot change a
+    /// single bit of any result — only the wall-clock time.
+    fn eval_many(
+        &self,
+        requests: &[EvalRequest],
+        threads: usize,
+    ) -> Vec<Result<EvalOutcome, SympvlError>> {
+        let resolved: Vec<Result<Arc<EvalPlan>, SympvlError>> = requests
+            .iter()
+            .map(|request| {
+                self.model(request.model)
+                    .ok_or_else(|| SympvlError::InvalidOptions {
+                        reason: format!("no model with id {:?} in this session", request.model.0),
+                    })
+                    .map(|model| self.plan_for(request.model, &model))
+            })
+            .collect();
+        struct Slot {
+            req: usize,
+            freq_hz: f64,
+            z: Mat<Complex64>,
+            err: Option<SympvlError>,
+        }
+        let total: usize = requests
+            .iter()
+            .zip(&resolved)
+            .filter(|(_, r)| r.is_ok())
+            .map(|(request, _)| request.freqs_hz.len())
+            .sum();
+        let mut slots: Vec<Slot> = Vec::with_capacity(total);
+        for (i, plan) in resolved.iter().enumerate() {
+            if let Ok(plan) = plan {
+                let p = plan.ports();
+                for &f in &requests[i].freqs_hz {
+                    slots.push(Slot {
+                        req: i,
+                        freq_hz: f,
+                        z: Mat::zeros(p, p),
+                        err: None,
+                    });
+                }
+            }
+        }
+        mpvl_obs::counter_add("engine", "eval_points", slots.len() as u64);
+        {
+            let _span = mpvl_obs::span("engine", "eval_points");
+            mpvl_par::parallel_for_chunks_with_init(
+                threads,
+                &mut slots,
+                |_| None::<(usize, EvalWorkspace)>,
+                |state, _, chunk| {
+                    for slot in chunk.iter_mut() {
+                        let Ok(plan) = &resolved[slot.req] else {
+                            continue; // failed requests contribute no slots
+                        };
+                        // Rebuild the workspace only when the plan changes
+                        // (slots are contiguous per request, so this is
+                        // rare); keyed by plan identity.
+                        let key = Arc::as_ptr(plan) as usize;
+                        if state.as_ref().map(|(k, _)| *k) != Some(key) {
+                            *state = Some((key, plan.workspace()));
+                        }
+                        let ws = &mut state.as_mut().expect("workspace installed above").1;
+                        let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * slot.freq_hz);
+                        if let Err(e) = plan.eval_into(ws, s, &mut slot.z) {
+                            slot.err = Some(e);
+                        }
+                    }
+                },
+            );
+        }
+        // Reassemble in request-index order; the first failing point of a
+        // request (in frequency order) decides its error, matching the
+        // serial early-exit semantics.
+        let mut out = Vec::with_capacity(requests.len());
+        let mut slot_iter = slots.into_iter().peekable();
+        for (i, plan) in resolved.into_iter().enumerate() {
+            match plan {
+                Err(e) => out.push(Err(e)),
+                Ok(_) => {
+                    let mut points = Vec::with_capacity(requests[i].freqs_hz.len());
+                    let mut first_err = None;
+                    while slot_iter.peek().is_some_and(|slot| slot.req == i) {
+                        let slot = slot_iter.next().expect("peeked");
+                        if first_err.is_some() {
+                            continue;
+                        }
+                        match slot.err {
+                            Some(e) => first_err = Some(e),
+                            None => points.push(EvalPoint {
+                                freq_hz: slot.freq_hz,
+                                z: slot.z,
+                            }),
+                        }
+                    }
+                    out.push(match first_err {
+                        Some(e) => Err(e),
+                        None => Ok(EvalOutcome {
+                            model: requests[i].model,
+                            points,
+                        }),
+                    });
+                }
+            }
+        }
+        out
     }
 
     /// Exact AC sweep of the *full* system, reusing the session's

@@ -243,7 +243,10 @@ fn session_ac_sweep_matches_free_function_repeatedly() {
 }
 
 #[test]
-fn eval_matches_direct_model_evaluation() {
+fn eval_matches_compiled_plan_and_lu_accuracy() {
+    // Session eval routes through the compiled pole–residue plan: results
+    // must be bit-identical to evaluating that plan directly, and within
+    // the documented accuracy band of the exact LU path.
     let sys = interconnect_sys();
     let session = ReductionSession::new(sys.clone());
     let outcome = session
@@ -254,16 +257,85 @@ fn eval_matches_direct_model_evaluation() {
         .eval(&EvalRequest::new(outcome.model_id, freqs.clone()).unwrap())
         .unwrap();
     let cold = sympvl(&sys, 12, &SympvlOptions::default()).unwrap();
+    let plan = sympvl::EvalPlan::compile(&cold);
+    let mut ws = plan.workspace();
+    let mut direct = Mat::zeros(plan.ports(), plan.ports());
     assert_eq!(sweep.points.len(), freqs.len());
     for (point, &f) in sweep.points.iter().zip(&freqs) {
         let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * f);
-        let expect = cold.eval(s).unwrap();
+        plan.eval_into(&mut ws, s, &mut direct).unwrap();
         let mut ha = Fnv::new();
         let mut hb = Fnv::new();
         ha.eat_cmat(&point.z);
-        hb.eat_cmat(&expect);
-        assert_eq!(ha.0, hb.0, "at {f} Hz");
+        hb.eat_cmat(&direct);
+        assert_eq!(ha.0, hb.0, "plan bit-identity at {f} Hz");
+        // And the plan sits within the documented band of the LU path.
+        let exact = cold.eval(s).unwrap();
+        let mut num = 0.0f64;
+        let mut den = 0.0f64;
+        for (a, b) in point.z.as_slice().iter().zip(exact.as_slice()) {
+            num += (*a - *b).norm_sqr();
+            den += b.norm_sqr();
+        }
+        let rel = num.sqrt() / den.sqrt().max(f64::MIN_POSITIVE);
+        assert!(rel < 1e-10, "LU accuracy at {f} Hz: rel {rel:.3e}");
     }
+}
+
+#[test]
+fn eval_batch_is_thread_invariant_with_ragged_points() {
+    // Ragged point counts across several models force chunk boundaries to
+    // land mid-request at some thread counts; results must not care.
+    let sys = interconnect_sys();
+    let session = ReductionSession::new(sys.clone());
+    let ids: Vec<_> = [6, 9, 12]
+        .iter()
+        .map(|&order| {
+            session
+                .reduce(&ReductionRequest::fixed(order).unwrap())
+                .unwrap()
+                .model_id
+        })
+        .collect();
+    let requests = vec![
+        EvalRequest::new(ids[0], mpvl_sim::log_space(1e6, 1e10, 7)).unwrap(),
+        EvalRequest::new(ids[1], vec![1e8]).unwrap(),
+        EvalRequest::log_sweep(ids[2], 1e5, 5e9, 23).unwrap(),
+        EvalRequest::new(ids[0], vec![2e7, 3e8, 4e9, 5e9, 7e9]).unwrap(),
+    ];
+    let mut per_thread = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let outcomes = session.eval_batch_with_threads(&requests, threads);
+        let mut h = Fnv::new();
+        for outcome in &outcomes {
+            let outcome = outcome.as_ref().expect("all requests valid");
+            for point in &outcome.points {
+                h.eat_f64(point.freq_hz);
+                h.eat_cmat(&point.z);
+            }
+        }
+        per_thread.push(h.0);
+    }
+    assert_eq!(per_thread[0], per_thread[1], "threads=1 vs threads=2");
+    assert_eq!(per_thread[0], per_thread[2], "threads=1 vs threads=4");
+}
+
+#[test]
+fn eval_plans_are_cached_per_model() {
+    let sys = interconnect_sys();
+    let session = ReductionSession::new(sys);
+    let outcome = session
+        .reduce(&ReductionRequest::fixed(8).unwrap())
+        .unwrap();
+    let request = EvalRequest::new(outcome.model_id, vec![1e7, 1e9]).unwrap();
+    let (_, report) = mpvl_obs::capture(|| {
+        session.eval(&request).unwrap();
+        session.eval(&request).unwrap();
+        session.eval(&request).unwrap();
+    });
+    assert_eq!(report.counter("engine", "eval_plan_compiles"), 1);
+    assert_eq!(report.counter("engine", "eval_plan_hits"), 2);
+    assert_eq!(report.counter("engine", "eval_points"), 6);
 }
 
 #[test]

@@ -11,7 +11,7 @@
 //!   of general-RLC reduced models (where `Tₙ` is `Δₙ⁻¹`·symmetric, hence
 //!   non-symmetric) and for the AWE baseline's companion-matrix root finding.
 
-use crate::{Complex64, Mat};
+use crate::{Complex64, Lu, Mat};
 use std::error::Error;
 use std::fmt;
 
@@ -500,6 +500,173 @@ pub fn general_eigenvalues(a: &Mat<f64>) -> Result<Vec<Complex64>, EigenConverge
     Ok(eig)
 }
 
+/// Eigendecomposition of a real (generally non-symmetric) matrix.
+#[derive(Debug, Clone)]
+pub struct GeneralEigen {
+    /// Eigenvalues, ordered exactly as [`general_eigenvalues`] returns them
+    /// (ascending real part, then imaginary part).
+    pub values: Vec<Complex64>,
+    /// Complex eigenvector columns; column `k` pairs with `values[k]`.
+    /// Each column has unit 2-norm with its largest-modulus entry rotated
+    /// onto the positive real axis, so the decomposition is deterministic.
+    pub vectors: Mat<Complex64>,
+}
+
+/// Computes all eigenvalues *and eigenvectors* of a real (generally
+/// non-symmetric) matrix.
+///
+/// Eigenvalues come from [`general_eigenvalues`] (Francis double-shift QR);
+/// each eigenvector is then isolated by shifted complex inverse iteration:
+/// factor `A − μI` with [`Lu`] at `μ` equal to the eigenvalue (retrying with
+/// deterministically perturbed shifts if the factorization is exactly
+/// singular), iterate a fixed deterministic start vector, and accept once
+/// the eigen-residual `‖Av − λv‖∞` is small relative to `‖A‖`.
+///
+/// For a **defective** matrix (a Jordan block) the eigenvectors of a repeated
+/// eigenvalue come out numerically parallel; this function still returns —
+/// callers that need a similarity transform must check the conditioning of
+/// the returned basis themselves (e.g. via `Lu::rcond_estimate`).
+///
+/// # Errors
+///
+/// Returns [`EigenConvergenceError`] if the QR iteration fails or some
+/// eigenvector's inverse iteration cannot reach a small residual.
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+///
+/// # Examples
+///
+/// ```
+/// use mpvl_la::{Mat, general_eigen};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let a = Mat::from_rows(&[&[0.0, -1.0], &[1.0, 0.0]]); // eigs ±i
+/// let e = general_eigen(&a)?;
+/// assert!((e.values[0].im.abs() - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn general_eigen(a: &Mat<f64>) -> Result<GeneralEigen, EigenConvergenceError> {
+    let n = a.nrows();
+    assert_eq!(n, a.ncols(), "eigenvalue solver requires square input");
+    let values = general_eigenvalues(a)?;
+    if n == 0 {
+        return Ok(GeneralEigen {
+            values,
+            vectors: Mat::zeros(0, 0),
+        });
+    }
+    let ac: Mat<Complex64> = a.map(Complex64::from_real);
+    let scale = a.max_abs().max(f64::MIN_POSITIVE);
+    let mut vectors = Mat::zeros(n, n);
+    for (k, &lambda) in values.iter().enumerate() {
+        let v = inverse_iteration_vector(&ac, lambda, k, scale)
+            .ok_or(EigenConvergenceError { index: k })?;
+        vectors.col_mut(k).copy_from_slice(&v);
+    }
+    Ok(GeneralEigen { values, vectors })
+}
+
+/// One eigenvector of `ac` for eigenvalue `lambda` by shifted inverse
+/// iteration. Fully deterministic: the start vector is seeded from the
+/// eigenvalue index `k`, and failed factorizations retry with a fixed
+/// geometric ladder of complex shift perturbations.
+fn inverse_iteration_vector(
+    ac: &Mat<Complex64>,
+    lambda: Complex64,
+    k: usize,
+    scale: f64,
+) -> Option<Vec<Complex64>> {
+    let n = ac.nrows();
+    // Deterministic pseudo-random start vector (splitmix64 on the index):
+    // varies with k so repeated eigenvalues with a genuine multi-dimensional
+    // eigenspace get linearly independent iterates.
+    let mut state = (k as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut next = || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        ((z >> 11) as f64) / ((1u64 << 53) as f64) // in [0, 1)
+    };
+    let start: Vec<Complex64> = (0..n).map(|_| Complex64::from_real(0.5 + next())).collect();
+
+    for attempt in 0..6u32 {
+        // attempt 0 factors at the eigenvalue itself (partial pivoting makes
+        // that numerically fine in almost all cases); later attempts back off
+        // along a fixed complex direction to dodge exactly singular shifts.
+        let mu = if attempt == 0 {
+            lambda
+        } else {
+            let delta = scale * 1e-12 * 8f64.powi(attempt as i32 - 1);
+            lambda + Complex64::new(delta, 0.5 * delta)
+        };
+        let m = Mat::from_fn(
+            n,
+            n,
+            |i, j| {
+                if i == j {
+                    ac[(i, j)] - mu
+                } else {
+                    ac[(i, j)]
+                }
+            },
+        );
+        let Ok(lu) = Lu::new(m) else { continue };
+        let mut v = start.clone();
+        let mut ok = true;
+        for _ in 0..3 {
+            if lu.solve_in_place(&mut v).is_err() {
+                ok = false;
+                break;
+            }
+            let norm = v.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+            if !(norm.is_finite() && norm > 0.0) {
+                ok = false;
+                break;
+            }
+            let inv = 1.0 / norm;
+            for z in &mut v {
+                *z = *z * inv;
+            }
+        }
+        if !ok {
+            continue;
+        }
+        // Accept on a small eigen-residual relative to ‖A‖.
+        let av = ac.matvec(&v);
+        let resid = av
+            .iter()
+            .zip(&v)
+            .map(|(&avi, &vi)| (avi - lambda * vi).abs())
+            .fold(0.0f64, f64::max);
+        if resid > 1e-8 * scale {
+            continue;
+        }
+        // Deterministic phase: rotate the largest-modulus entry (first one on
+        // ties) onto the positive real axis.
+        let (imax, _) =
+            v.iter()
+                .enumerate()
+                .map(|(i, z)| (i, z.abs()))
+                .fold(
+                    (0usize, -1.0f64),
+                    |acc, it| if it.1 > acc.1 { it } else { acc },
+                );
+        let m = v[imax].abs();
+        if m > 0.0 {
+            let phase = v[imax].conj() * (1.0 / m);
+            for z in &mut v {
+                *z = *z * phase;
+            }
+        }
+        return Some(v);
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -631,6 +798,86 @@ mod tests {
         let one = Mat::from_rows(&[&[7.0]]);
         assert_eq!(sym_eigen(&one).unwrap().values, vec![7.0]);
         assert_eq!(general_eigenvalues(&one).unwrap()[0].re, 7.0);
+    }
+
+    #[test]
+    fn general_eigen_reconstructs_nonsymmetric_matrix() {
+        // Non-symmetric, diagonalizable, with a complex conjugate pair.
+        let a = Mat::from_rows(&[
+            &[1.0, -2.0, 0.3, 0.0],
+            &[2.0, 1.0, 0.0, -0.1],
+            &[0.0, 0.4, -3.0, 1.0],
+            &[0.2, 0.0, 0.0, 2.0],
+        ]);
+        let e = general_eigen(&a).unwrap();
+        let ac = a.map(Complex64::from_real);
+        for k in 0..4 {
+            let av = ac.matvec(e.vectors.col(k));
+            for i in 0..4 {
+                let r = (av[i] - e.values[k] * e.vectors[(i, k)]).abs();
+                assert!(r < 1e-9, "residual {r} at ({i},{k})");
+            }
+            let norm: f64 = e.vectors.col(k).iter().map(|z| z.norm_sqr()).sum();
+            assert!((norm - 1.0).abs() < 1e-12, "column {k} not unit norm");
+        }
+    }
+
+    #[test]
+    fn general_eigen_is_deterministic() {
+        let a = Mat::from_rows(&[&[0.0, -4.0, 1.0], &[1.0, 0.0, 0.5], &[0.0, 0.3, 2.0]]);
+        let e1 = general_eigen(&a).unwrap();
+        let e2 = general_eigen(&a).unwrap();
+        assert_eq!(e1.values, e2.values);
+        for (u, v) in e1.vectors.as_slice().iter().zip(e2.vectors.as_slice()) {
+            assert_eq!(u.re.to_bits(), v.re.to_bits());
+            assert_eq!(u.im.to_bits(), v.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn general_eigen_matches_sym_eigen_spectrum() {
+        let a = Mat::from_fn(6, 6, |i, j| {
+            if i == j {
+                1.0 + i as f64
+            } else if i.abs_diff(j) == 1 {
+                -0.5
+            } else {
+                0.0
+            }
+        });
+        let es = sym_eigen(&a).unwrap();
+        let eg = general_eigen(&a).unwrap();
+        let mut re: Vec<f64> = eg.values.iter().map(|z| z.re).collect();
+        re.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (u, v) in es.values.iter().zip(&re) {
+            assert!((u - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn general_eigen_empty_and_single() {
+        let e = general_eigen(&Mat::zeros(0, 0)).unwrap();
+        assert!(e.values.is_empty());
+        let one = Mat::from_rows(&[&[7.0]]);
+        let e = general_eigen(&one).unwrap();
+        assert_eq!(e.values[0].re, 7.0);
+        assert!((e.vectors[(0, 0)] - Complex64::ONE).abs() < 1e-14);
+    }
+
+    #[test]
+    fn general_eigen_defective_matrix_returns_parallel_vectors() {
+        // Jordan block: defective, only one true eigenvector. The returned
+        // basis must exist but is (near-)singular — callers detect that via
+        // the conditioning check, which is the plan-compile fallback trigger.
+        let a = Mat::from_rows(&[&[1.0, 1.0], &[0.0, 1.0]]);
+        let e = general_eigen(&a).unwrap();
+        let rcond = Lu::new(e.vectors.clone())
+            .map(|lu| lu.rcond_estimate())
+            .unwrap_or(0.0);
+        assert!(
+            rcond < 1e-6,
+            "Jordan-block basis should be ill-conditioned, rcond {rcond}"
+        );
     }
 
     #[test]

@@ -11,8 +11,9 @@
 //! * [`BunchKaufman`] / [`MjFactor`] — symmetric-indefinite LDLᵀ and the
 //!   paper's `G = M J Mᵀ` form (eq. 15) with `J = diag(±1)`.
 //! * [`Qr`] — Householder QR, plus [`orthonormalize_columns`].
-//! * [`sym_eigen`] / [`general_eigenvalues`] — eigensolvers for the
-//!   stability/passivity certificates and pole computation.
+//! * [`sym_eigen`] / [`general_eigenvalues`] / [`general_eigen`] —
+//!   eigensolvers for the stability/passivity certificates, pole
+//!   computation, and pole–residue evaluation-plan compilation.
 //!
 //! Everything is implemented from scratch (no external numeric crates), as
 //! documented in `DESIGN.md`.
@@ -49,7 +50,9 @@ mod vecops;
 
 pub use cholesky::Cholesky;
 pub use complex::Complex64;
-pub use eig::{general_eigenvalues, sym_eigen, EigenConvergenceError, SymEigen};
+pub use eig::{
+    general_eigen, general_eigenvalues, sym_eigen, EigenConvergenceError, GeneralEigen, SymEigen,
+};
 pub use ldlt::{BunchKaufman, MjFactor, PivotBlock};
 pub use lu::{solve_dense, Lu, SingularMatrixError};
 pub use mat::Mat;

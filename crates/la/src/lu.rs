@@ -293,6 +293,15 @@ impl<T: Scalar> Lu<T> {
         self.solve_mat(&Mat::identity(self.dim()))
     }
 
+    /// Consumes the factorization and returns the packed `L\U` storage.
+    ///
+    /// The contents are the factored matrix, not the original one — this
+    /// exists so batch evaluators can recycle the allocation of a matrix
+    /// that was consumed by [`Lu::new`] (refill it before the next factor).
+    pub fn into_matrix(self) -> Mat<T> {
+        self.lu
+    }
+
     /// Reciprocal condition estimate based on diagonal pivot ratios.
     ///
     /// This is the cheap `min|u_ii| / max|u_ii|` estimate — adequate for

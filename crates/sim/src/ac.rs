@@ -333,30 +333,155 @@ fn dense_solve(
         .map_err(|_| AcError::SingularAtFrequency { freq_hz })
 }
 
+/// Error returned by the [`FreqGrid`] constructors for an invalid span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridError {
+    /// What was wrong with the requested grid.
+    pub reason: String,
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid frequency grid: {}", self.reason)
+    }
+}
+
+impl std::error::Error for GridError {}
+
+/// A validated frequency grid (Hz), strictly increasing and finite.
+///
+/// The fallible counterpart of [`log_space`] / [`lin_space`] — same
+/// floating-point formulas, but a bad span comes back as a [`GridError`]
+/// instead of a panic, which is what request-building code paths want
+/// (engine eval requests and the figure benches).
+///
+/// ```
+/// use mpvl_sim::FreqGrid;
+/// let grid = FreqGrid::log(1e6, 1e9, 4).unwrap();
+/// assert_eq!(grid.len(), 4);
+/// assert!((grid.as_slice()[0] - 1e6).abs() < 1e-6);
+/// assert!(FreqGrid::log(-1.0, 1e9, 4).is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FreqGrid {
+    freqs: Vec<f64>,
+}
+
+impl FreqGrid {
+    /// Logarithmically spaced grid from `f_lo` to `f_hi` (inclusive).
+    ///
+    /// # Errors
+    ///
+    /// [`GridError`] unless `0 < f_lo < f_hi` (finite) and `points >= 2`.
+    pub fn log(f_lo: f64, f_hi: f64, points: usize) -> Result<Self, GridError> {
+        if !(f_lo.is_finite() && f_hi.is_finite()) {
+            return Err(GridError {
+                reason: format!("endpoints must be finite, got {f_lo} and {f_hi}"),
+            });
+        }
+        if !(f_lo > 0.0) {
+            return Err(GridError {
+                reason: format!("log grid needs a positive start, got {f_lo}"),
+            });
+        }
+        if !(f_hi > f_lo) {
+            return Err(GridError {
+                reason: format!("end {f_hi} must exceed start {f_lo}"),
+            });
+        }
+        if points < 2 {
+            return Err(GridError {
+                reason: format!("need at least 2 points, got {points}"),
+            });
+        }
+        let l0 = f_lo.ln();
+        let l1 = f_hi.ln();
+        Ok(FreqGrid {
+            freqs: (0..points)
+                .map(|i| (l0 + (l1 - l0) * i as f64 / (points - 1) as f64).exp())
+                .collect(),
+        })
+    }
+
+    /// Linearly spaced grid from `f_lo` to `f_hi` (inclusive).
+    ///
+    /// # Errors
+    ///
+    /// [`GridError`] unless `f_lo < f_hi` (finite) and `points >= 2`.
+    pub fn lin(f_lo: f64, f_hi: f64, points: usize) -> Result<Self, GridError> {
+        if !(f_lo.is_finite() && f_hi.is_finite()) {
+            return Err(GridError {
+                reason: format!("endpoints must be finite, got {f_lo} and {f_hi}"),
+            });
+        }
+        if !(f_hi > f_lo) {
+            return Err(GridError {
+                reason: format!("end {f_hi} must exceed start {f_lo}"),
+            });
+        }
+        if points < 2 {
+            return Err(GridError {
+                reason: format!("need at least 2 points, got {points}"),
+            });
+        }
+        Ok(FreqGrid {
+            freqs: (0..points)
+                .map(|i| f_lo + (f_hi - f_lo) * i as f64 / (points - 1) as f64)
+                .collect(),
+        })
+    }
+
+    /// Number of grid points (always at least 2).
+    pub fn len(&self) -> usize {
+        self.freqs.len()
+    }
+
+    /// Always `false`; present for clippy's `len`/`is_empty` convention.
+    pub fn is_empty(&self) -> bool {
+        self.freqs.is_empty()
+    }
+
+    /// The frequencies in Hz.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.freqs
+    }
+
+    /// Consumes the grid into its frequency vector.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.freqs
+    }
+}
+
+impl From<FreqGrid> for Vec<f64> {
+    fn from(grid: FreqGrid) -> Vec<f64> {
+        grid.freqs
+    }
+}
+
 /// Logarithmically spaced frequency grid from `f_lo` to `f_hi` (inclusive).
+///
+/// The panicking convenience form of [`FreqGrid::log`].
 ///
 /// # Panics
 ///
 /// Panics unless `0 < f_lo < f_hi` and `points >= 2`.
 pub fn log_space(f_lo: f64, f_hi: f64, points: usize) -> Vec<f64> {
-    assert!(f_lo > 0.0 && f_hi > f_lo && points >= 2);
-    let l0 = f_lo.ln();
-    let l1 = f_hi.ln();
-    (0..points)
-        .map(|i| (l0 + (l1 - l0) * i as f64 / (points - 1) as f64).exp())
-        .collect()
+    FreqGrid::log(f_lo, f_hi, points)
+        .unwrap_or_else(|e| panic!("{e}"))
+        .into_vec()
 }
 
 /// Linearly spaced frequency grid from `f_lo` to `f_hi` (inclusive).
+///
+/// The panicking convenience form of [`FreqGrid::lin`].
 ///
 /// # Panics
 ///
 /// Panics unless `f_lo < f_hi` and `points >= 2`.
 pub fn lin_space(f_lo: f64, f_hi: f64, points: usize) -> Vec<f64> {
-    assert!(f_hi > f_lo && points >= 2);
-    (0..points)
-        .map(|i| f_lo + (f_hi - f_lo) * i as f64 / (points - 1) as f64)
-        .collect()
+    FreqGrid::lin(f_lo, f_hi, points)
+        .unwrap_or_else(|e| panic!("{e}"))
+        .into_vec()
 }
 
 #[cfg(test)]
@@ -364,6 +489,38 @@ mod tests {
     use super::*;
     use mpvl_circuit::generators::{package, peec, rc_ladder, PackageParams, PeecParams};
     use mpvl_circuit::{Circuit, GROUND};
+
+    #[test]
+    fn freq_grid_matches_free_functions_bitwise() {
+        let g = FreqGrid::log(1e6, 1e10, 33).unwrap();
+        let f = log_space(1e6, 1e10, 33);
+        assert_eq!(g.len(), 33);
+        for (a, b) in g.as_slice().iter().zip(&f) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let g = FreqGrid::lin(2.5e8, 5e9, 17).unwrap();
+        let f = lin_space(2.5e8, 5e9, 17);
+        for (a, b) in g.as_slice().iter().zip(&f) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn freq_grid_rejects_bad_spans() {
+        assert!(FreqGrid::log(0.0, 1e9, 4).is_err());
+        assert!(FreqGrid::log(-1.0, 1e9, 4).is_err());
+        assert!(FreqGrid::log(1e9, 1e6, 4).is_err());
+        assert!(FreqGrid::log(1e6, 1e9, 1).is_err());
+        assert!(FreqGrid::log(f64::NAN, 1e9, 4).is_err());
+        assert!(FreqGrid::log(1e6, f64::INFINITY, 4).is_err());
+        assert!(FreqGrid::lin(1e9, 1e6, 4).is_err());
+        assert!(FreqGrid::lin(1e6, 1e9, 0).is_err());
+        assert!(FreqGrid::lin(1e6, f64::NAN, 4).is_err());
+        // Negative starts are fine for linear grids (e.g. sweep offsets).
+        assert!(FreqGrid::lin(-5.0, 5.0, 3).is_ok());
+        let e = FreqGrid::log(1e9, 1e6, 4).unwrap_err();
+        assert!(e.to_string().contains("must exceed"));
+    }
 
     #[test]
     fn matches_dense_reference_on_rc() {

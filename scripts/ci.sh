@@ -127,10 +127,24 @@ echo "==> validate obs export (target/obs/ci_smoke.jsonl)"
 cargo run -q --release --offline -p mpvl-bench --bin obs_validate -- \
     target/obs/ci_smoke.jsonl
 
-echo "==> bench gate (supernodal vs scalar factor, sweep thread scaling)"
+echo "==> smoke bench (bench_eval, reduced samples)"
+MPVL_BENCH_WARMUP=1 MPVL_BENCH_SAMPLES=3 \
+    cargo run -q --release --offline -p mpvl-bench --bin bench_eval
+
+test -s target/bench/BENCH_eval.json
+for name in eval_lu/40x2001 eval_compiled/40x2001 \
+    speedup/compiled_vs_lu/40x2001; do
+    grep -q "\"$name" target/bench/BENCH_eval.json || {
+        echo "BENCH_eval.json missing result \"$name\"" >&2
+        exit 1
+    }
+done
+
+echo "==> bench gate (factor kernel, sweep scaling, compiled eval)"
 # Fails if the supernodal kernel is slower than the scalar kernel at
-# n=1360, or if the threads=4 large-case sweep does not beat threads=1
-# (strict on multicore; a loud skip + oversubscription bound on 1 core).
+# n=1360, if the threads=4 large-case sweep does not beat threads=1
+# (strict on multicore; a loud skip + oversubscription bound on 1 core),
+# or if the compiled pole-residue eval is not faster than per-point LU.
 cargo run -q --release --offline -p mpvl-bench --bin bench_gate
 
 echo "==> ci.sh: all green"
