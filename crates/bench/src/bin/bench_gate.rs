@@ -20,6 +20,12 @@
 //!    the LU path on the order-40 × 2001-point sweep. The comparison is
 //!    algorithmic (O(q·p²) vs O(q³) per point, both single-threaded
 //!    inner loops), so it holds on any core count.
+//! 4. **Service registry effectiveness** — from `BENCH_service.json`:
+//!    the warm service replaying known work must stay registry-bound
+//!    (`registry/warm_hit_ratio` ≥ 0.5) and a registry-hit submit must
+//!    be strictly faster than a cold service submit. Both comparisons
+//!    are structural (a hit skips the whole reduction), so they hold on
+//!    any core count.
 //!
 //! Run with `cargo run --release -p mpvl-bench --bin bench_gate`;
 //! exits nonzero with a diagnostic on the first violated gate.
@@ -152,6 +158,36 @@ fn main() {
             compiled,
             lu,
             lu / compiled
+        );
+    }
+
+    // Gate 4: the service registry must actually absorb repeat work.
+    let service = load("service");
+    let hit_ratio = require(&service, "service", "registry/warm_hit_ratio");
+    let cold = require(&service, "service", "service_submit/cold");
+    let warm_submit = require(&service, "service", "service_submit/registry_warm");
+    const MIN_HIT_RATIO: f64 = 0.5;
+    if hit_ratio < MIN_HIT_RATIO {
+        eprintln!(
+            "bench_gate FAIL: warm service registry hit ratio {hit_ratio:.3} is below \
+             {MIN_HIT_RATIO} — repeat submits are not being content-addressed"
+        );
+        failures += 1;
+    } else if warm_submit >= cold {
+        eprintln!(
+            "bench_gate FAIL: registry-warm submit {:.3e}s is not faster than a cold \
+             submit {:.3e}s — a hit should skip the whole reduction",
+            warm_submit, cold
+        );
+        failures += 1;
+    } else {
+        println!(
+            "bench_gate ok: registry hit ratio {:.3}, warm submit {:.3e}s vs cold \
+             {:.3e}s (speedup {:.2}x)",
+            hit_ratio,
+            warm_submit,
+            cold,
+            cold / warm_submit
         );
     }
 

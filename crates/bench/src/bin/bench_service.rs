@@ -1,0 +1,102 @@
+//! Throughput of the service layer: what does the operational wrapper
+//! cost, and what does the content-addressed registry buy back?
+//!
+//! Three cases over the same ladder workloads:
+//!
+//! * `service_submit/cold` — a fresh [`ReductionService`] per sample,
+//!   so every submit pays ingestion, session assembly, the full
+//!   reduction, and the eval sweep.
+//! * `service_submit/registry_warm` — one shared service, primed once;
+//!   every sample is a registry hit that skips the reduction and only
+//!   re-derives the byproducts (poles, certificate, sweep).
+//! * `service_batch/mixed` — a warm batch across three circuits, the
+//!   steady-state shape of a server juggling several netlists.
+//!
+//! The derived `registry/warm_hit_ratio` value (hits / lookups on the
+//! warm service) feeds the bench_gate regression check: a warm service
+//! replaying known work must stay registry-bound, and the warm submit
+//! must beat the cold one.
+//!
+//! Run with `cargo run --release -p mpvl-bench --bin bench_service`;
+//! writes `target/bench/BENCH_service.json`.
+
+use mpvl_engine::ReductionRequest;
+use mpvl_service::{ReductionService, ServiceOptions, ServiceRequest};
+use mpvl_sim::log_space;
+use mpvl_testkit::bench::Bench;
+
+fn ladder(n: usize, r: f64, c: f64) -> String {
+    let mut s = String::new();
+    for i in 1..=n {
+        let prev = if i == 1 {
+            "in".to_string()
+        } else {
+            format!("m{}", i - 1)
+        };
+        s.push_str(&format!("R{i} {prev} m{i} {r:e}\n"));
+        s.push_str(&format!("C{i} m{i} 0 {c:e}\n"));
+    }
+    s.push_str("Pin in 0\n.end\n");
+    s
+}
+
+fn request(netlist: &str, order: usize) -> ServiceRequest {
+    ServiceRequest::new(netlist, ReductionRequest::fixed(order).expect("order"))
+        .expect("valid netlist")
+        .with_eval(log_space(1e6, 1e10, 21))
+        .expect("valid sweep")
+}
+
+fn main() {
+    let mut bench = Bench::new("service");
+
+    let main_netlist = ladder(200, 100.0, 1e-12);
+    let main_request = request(&main_netlist, 12);
+
+    // Cold: every sample is a brand-new service — ingestion, session
+    // assembly, full reduction, sweep.
+    bench.bench("service_submit/cold", || {
+        let service = ReductionService::new(ServiceOptions::default());
+        service.submit(&main_request).expect("cold submit");
+    });
+
+    // Warm: one service, primed; every sample is a registry hit.
+    let warm = ReductionService::new(ServiceOptions::default());
+    warm.submit(&main_request).expect("prime");
+    bench.bench("service_submit/registry_warm", || {
+        let outcome = warm.submit(&main_request).expect("warm submit");
+        assert!(outcome.registry_hit, "warm submit must hit the registry");
+    });
+
+    // Mixed batch: three circuits, two orders each, against the warm
+    // service — steady-state multi-tenant shape.
+    let circuits = [
+        main_netlist.clone(),
+        ladder(150, 80.0, 2e-12),
+        ladder(120, 120.0, 5e-13),
+    ];
+    let batch: Vec<ServiceRequest> = circuits
+        .iter()
+        .flat_map(|netlist| [request(netlist, 8), request(netlist, 12)])
+        .collect();
+    let _ = warm.submit_batch(&batch); // prime the other circuits
+    bench.bench("service_batch/mixed", || {
+        for result in warm.submit_batch(&batch) {
+            result.expect("batch member succeeds");
+        }
+    });
+
+    // The gate input: after replaying known work, the warm service
+    // should be overwhelmingly registry-bound.
+    let stats = warm.stats();
+    let lookups = stats.registry_hits + stats.registry_misses;
+    let ratio = if lookups == 0 {
+        0.0
+    } else {
+        stats.registry_hits as f64 / lookups as f64
+    };
+    bench.push_value("registry/warm_hit_ratio", ratio);
+
+    bench.finish();
+    mpvl_bench::export_obs();
+}

@@ -59,6 +59,15 @@ pub enum SympvlError {
         /// What was wrong.
         reason: String,
     },
+    /// A session-retained model was evicted by the store's capacity
+    /// bound before this request reached it. The id is permanently
+    /// retired (ids are never reused) — re-reduce, or raise
+    /// `SessionOptions::max_retained_models`.
+    ModelEvicted {
+        /// The retired model id (the `index()` of the session engine's
+        /// evicted `ModelId` handle).
+        id: usize,
+    },
 }
 
 impl fmt::Display for SympvlError {
@@ -82,6 +91,13 @@ impl fmt::Display for SympvlError {
             SympvlError::EmptySystem => write!(f, "system has dimension zero"),
             SympvlError::InvalidOptions { reason } => {
                 write!(f, "invalid options: {reason}")
+            }
+            SympvlError::ModelEvicted { id } => {
+                write!(
+                    f,
+                    "model {id} was evicted from the session store (ids are never \
+                     reused; re-reduce or raise the retained-model capacity)"
+                )
             }
         }
     }

@@ -40,6 +40,12 @@ pub fn write_model(model: &ReducedModel) -> String {
         u8::from(model.guarantees_passivity())
     ));
     out.push_str(&format!("original_dim {}\n", model.original_dim()));
+    // Construction metadata (optional on read, for files written before
+    // these fields existed): without them a round-tripped model loses
+    // its deflation count and exactness flag, which the service-layer
+    // model registry must preserve faithfully.
+    out.push_str(&format!("deflations {}\n", model.deflation_count()));
+    out.push_str(&format!("exhausted {}\n", u8::from(model.is_exact())));
     let dump = |out: &mut String, tag: &str, m: &Mat<f64>| {
         out.push_str(tag);
         out.push('\n');
@@ -117,8 +123,29 @@ pub fn read_model(text: &str) -> Result<ReducedModel, SympvlError> {
         });
     }
 
-    let mut read_mat = |tag: &str, rows: usize, cols: usize| -> Result<Mat<f64>, SympvlError> {
-        let (l, t) = next(None)?;
+    // Optional construction metadata (files written before these fields
+    // existed go straight to the `T` section).
+    let mut deflations = 0usize;
+    let mut exhausted = false;
+    let mut pending = next(None)?;
+    if pending.1.starts_with("deflations") {
+        deflations = scalar_field(pending, "deflations")? as usize;
+        pending = next(None)?;
+    }
+    if pending.1.starts_with("exhausted") {
+        exhausted = scalar_field(pending, "exhausted")? != 0.0;
+        pending = next(None)?;
+    }
+
+    let mut read_mat = |pre: Option<(usize, &str)>,
+                        tag: &str,
+                        rows: usize,
+                        cols: usize|
+     -> Result<Mat<f64>, SympvlError> {
+        let (l, t) = match pre {
+            Some(line) => line,
+            None => next(None)?,
+        };
         if t != tag {
             return Err(bad(l, &format!("expected `{tag}` section")));
         }
@@ -140,19 +167,14 @@ pub fn read_model(text: &str) -> Result<ReducedModel, SympvlError> {
         }
         Ok(m)
     };
-    let t = read_mat("T", order, order)?;
-    let delta = read_mat("DELTA", order, order)?;
-    let rho = read_mat("RHO", order, ports)?;
-    Ok(ReducedModel::from_parts(
-        t,
-        delta,
-        rho,
-        shift,
-        s_power,
-        osf,
-        identity_j,
-        original_dim,
-    ))
+    let t = read_mat(Some(pending), "T", order, order)?;
+    let delta = read_mat(None, "DELTA", order, order)?;
+    let rho = read_mat(None, "RHO", order, ports)?;
+    let mut model =
+        ReducedModel::from_parts(t, delta, rho, shift, s_power, osf, identity_j, original_dim);
+    model.deflations = deflations;
+    model.exhausted = exhausted;
+    Ok(model)
 }
 
 #[cfg(test)]
@@ -196,6 +218,21 @@ mod tests {
         assert_eq!(back.s_power(), 2);
         assert_eq!(back.output_s_factor(), 1);
         assert_eq!(back.shift(), model.shift());
+    }
+
+    #[test]
+    fn roundtrip_preserves_construction_metadata() {
+        let sys = MnaSystem::assemble(&random_rc(40, 18, 2)).unwrap();
+        let model = sympvl(&sys, 6, &SympvlOptions::default()).unwrap();
+        let back = read_model(&write_model(&model)).unwrap();
+        assert_eq!(back.deflation_count(), model.deflation_count());
+        assert_eq!(back.is_exact(), model.is_exact());
+        // Files from before the optional fields existed still parse,
+        // defaulting to zero deflations / not exact.
+        let legacy = "sympvl-rom v1\norder 1\nports 1\nshift 0\ns_power 1\noutput_s_factor 0\nidentity_j 1\noriginal_dim 5\nT\n1.0\nDELTA\n1.0\nRHO\n1.0\n";
+        let m = read_model(legacy).unwrap();
+        assert_eq!(m.deflation_count(), 0);
+        assert!(!m.is_exact());
     }
 
     #[test]

@@ -56,6 +56,10 @@ pub struct CacheStats {
     pub retained_runs: usize,
     /// Reduced models currently retained for [`crate::EvalRequest`]s.
     pub cached_models: usize,
+    /// Models dropped from the store — by the
+    /// `SessionOptions::max_retained_models` bound or explicit
+    /// eviction. Their ids are retired forever.
+    pub model_evictions: u64,
 }
 
 /// LRU-bounded map from [`FactorKey`] to a factorization result.

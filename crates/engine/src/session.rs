@@ -1,4 +1,28 @@
 //! The reduction session: one system, many requests.
+//!
+//! # Lock discipline
+//!
+//! The session guards four independent pieces of mutable state, each
+//! behind its own mutex: the factorization cache (`factors`), the
+//! paused-run pool (`runs`), the model store (`store`), and the AC
+//! sweeper (`sweeper`). Whenever more than one lock must be held at
+//! once they are acquired in exactly that order —
+//!
+//! > `factors` → `runs` → `store` → `sweeper`
+//!
+//! — which makes deadlock impossible by construction. Today only
+//! [`ReductionSession::cache_stats`] holds several at a time: it takes
+//! the first three simultaneously so the snapshot it returns is
+//! *consistent* (every number describes the same instant, not a torn
+//! read across concurrent requests).
+//!
+//! All acquisitions go through [`relock`], which recovers from mutex
+//! poisoning instead of propagating it: a request that panics (an
+//! application bug caught by `catch_unwind` at a service boundary)
+//! must not brick the session for every later caller. Recovery is
+//! sound here because each guarded structure is valid after any
+//! partial mutation — a panic can at worst lose one entry's worth of
+//! cached work, never a structural invariant.
 
 use crate::cache::{CacheStats, FactorCache, FactorKey};
 use crate::request::{
@@ -8,12 +32,20 @@ use crate::request::{
 use mpvl_circuit::MnaSystem;
 use mpvl_la::{Complex64, Mat};
 use mpvl_sim::{AcError, AcPoint, AcSweeper};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use sympvl::{
     certify, factor_target, reduce_adaptive_with, synthesize_rc, Certificate, EvalPlan,
     EvalWorkspace, FactorTarget, GFactor, ReducedModel, Shift, SympvlError, SympvlOptions,
     SympvlRun, SynthesizedCircuit,
 };
+
+/// Locks `m`, recovering from poison (see the module-level lock
+/// discipline): the guarded session state is valid after any partial
+/// mutation, so a panic under a lock must not turn every later request
+/// into a `PoisonError` unwrap.
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Resource bounds for a [`ReductionSession`].
 ///
@@ -27,6 +59,10 @@ pub struct SessionOptions {
     pub max_cached_factors: usize,
     /// Most paused Lanczos run states kept, LRU.
     pub max_retained_runs: usize,
+    /// Most reduced models (with their compiled eval plans) retained
+    /// for later [`crate::EvalRequest`]s, LRU. Evicted ids are retired
+    /// permanently — see [`SympvlError::ModelEvicted`].
+    pub max_retained_models: usize,
 }
 
 impl Default for SessionOptions {
@@ -34,12 +70,13 @@ impl Default for SessionOptions {
         SessionOptions {
             max_cached_factors: 8,
             max_retained_runs: 8,
+            max_retained_models: 32,
         }
     }
 }
 
 impl SessionOptions {
-    /// Starts from the defaults (8 factors, 8 runs).
+    /// Starts from the defaults (8 factors, 8 runs, 32 models).
     pub fn new() -> Self {
         Self::default()
     }
@@ -71,6 +108,21 @@ impl SessionOptions {
             });
         }
         self.max_retained_runs = n;
+        Ok(self)
+    }
+
+    /// Bounds the retained-model store.
+    ///
+    /// # Errors
+    ///
+    /// [`SympvlError::InvalidOptions`] for a zero capacity.
+    pub fn with_max_retained_models(mut self, n: usize) -> Result<Self, SympvlError> {
+        if n == 0 {
+            return Err(SympvlError::InvalidOptions {
+                reason: "retained-model capacity must be at least 1".into(),
+            });
+        }
+        self.max_retained_models = n;
         Ok(self)
     }
 }
@@ -151,6 +203,95 @@ impl RunPool {
     }
 }
 
+/// One retained model plus its lazily compiled evaluation plan.
+struct ModelEntry {
+    id: usize,
+    model: Arc<ReducedModel>,
+    plan: Option<Arc<EvalPlan>>,
+}
+
+/// How a [`ModelId`] resolves against the [`ModelStore`].
+enum Lookup {
+    /// Retained: the model, with the entry touched most-recently-used.
+    Present(Arc<ReducedModel>),
+    /// Issued once, since dropped (capacity bound or explicit
+    /// [`ReductionSession::evict_model`]). Ids are never reused, so
+    /// this is permanently distinguishable from [`Lookup::Unknown`].
+    Evicted,
+    /// Never issued by this session.
+    Unknown,
+}
+
+/// LRU-bounded store of retained models and their compiled eval plans
+/// (most recently used at the back; eval counts as a use). Ids are
+/// monotonic and never reused: a stale handle resolves to a typed
+/// [`SympvlError::ModelEvicted`], never silently to a different model.
+struct ModelStore {
+    capacity: usize,
+    next_id: usize,
+    entries: Vec<ModelEntry>,
+    evictions: u64,
+}
+
+impl ModelStore {
+    fn new(capacity: usize) -> Self {
+        ModelStore {
+            capacity: capacity.max(1),
+            next_id: 0,
+            entries: Vec::new(),
+            evictions: 0,
+        }
+    }
+
+    fn adopt(&mut self, model: Arc<ReducedModel>) -> ModelId {
+        let id = self.next_id;
+        self.next_id += 1;
+        if self.entries.len() >= self.capacity {
+            self.entries.remove(0);
+            self.evictions += 1;
+            mpvl_obs::counter_add("engine", "model_evictions", 1);
+        }
+        self.entries.push(ModelEntry {
+            id,
+            model,
+            plan: None,
+        });
+        ModelId(id)
+    }
+
+    fn position(&self, id: ModelId) -> Option<usize> {
+        self.entries.iter().position(|e| e.id == id.0)
+    }
+
+    fn lookup(&mut self, id: ModelId) -> Lookup {
+        match self.position(id) {
+            Some(pos) => {
+                let entry = self.entries.remove(pos);
+                self.entries.push(entry);
+                Lookup::Present(self.entries.last().expect("just pushed").model.clone())
+            }
+            None if id.0 < self.next_id => Lookup::Evicted,
+            None => Lookup::Unknown,
+        }
+    }
+
+    fn evict(&mut self, id: ModelId) -> bool {
+        match self.position(id) {
+            Some(pos) => {
+                self.entries.remove(pos);
+                self.evictions += 1;
+                mpvl_obs::counter_add("engine", "model_evictions", 1);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
 /// A reduction outcome before the model is registered in the store —
 /// registration is deferred so batch [`ModelId`]s can be assigned in
 /// request-index order regardless of worker scheduling.
@@ -173,7 +314,10 @@ struct PendingOutcome {
 ///   Krylov process instead of restarting it;
 /// * the AC sweeper's symbolic LDLᵀ analysis;
 /// * reduced models, addressable by [`ModelId`] for later
-///   [`EvalRequest`]s.
+///   [`EvalRequest`]s, LRU-bounded by
+///   [`SessionOptions::max_retained_models`] (evicted ids are retired,
+///   never reused — a stale handle gets
+///   [`SympvlError::ModelEvicted`]).
 ///
 /// **Determinism contract:** every model a session produces is
 /// bit-identical to the corresponding free-function call
@@ -202,10 +346,7 @@ pub struct ReductionSession {
     sys: MnaSystem,
     factors: Mutex<FactorCache>,
     runs: Mutex<RunPool>,
-    models: Mutex<Vec<Arc<ReducedModel>>>,
-    /// Compiled evaluation plans, index-aligned with `models` (compiled
-    /// lazily on the first eval of each model, then reused forever).
-    plans: Mutex<Vec<Option<Arc<EvalPlan>>>>,
+    store: Mutex<ModelStore>,
     sweeper: Mutex<Option<Arc<AcSweeper>>>,
 }
 
@@ -221,8 +362,7 @@ impl ReductionSession {
             sys,
             factors: Mutex::new(FactorCache::new(opts.max_cached_factors)),
             runs: Mutex::new(RunPool::new(opts.max_retained_runs)),
-            models: Mutex::new(Vec::new()),
-            plans: Mutex::new(Vec::new()),
+            store: Mutex::new(ModelStore::new(opts.max_retained_models)),
             sweeper: Mutex::new(None),
         }
     }
@@ -316,29 +456,76 @@ impl ReductionSession {
             .collect()
     }
 
-    /// The retained model behind an id, if it exists.
+    /// The retained model behind an id, if it is currently retained
+    /// (counts as a use for the LRU bound). For the typed
+    /// evicted-vs-unknown distinction use
+    /// [`ReductionSession::lookup_model`].
     pub fn model(&self, id: ModelId) -> Option<Arc<ReducedModel>> {
-        self.models.lock().unwrap().get(id.0).cloned()
+        match relock(&self.store).lookup(id) {
+            Lookup::Present(model) => Some(model),
+            Lookup::Evicted | Lookup::Unknown => None,
+        }
+    }
+
+    /// Resolves an id to its retained model, distinguishing the two
+    /// failure modes (counts as a use for the LRU bound).
+    ///
+    /// # Errors
+    ///
+    /// [`SympvlError::ModelEvicted`] for an id this session issued
+    /// whose model has since been dropped — by the
+    /// [`SessionOptions::max_retained_models`] bound or an explicit
+    /// [`ReductionSession::evict_model`]; ids are never reused, so the
+    /// condition is permanent. [`SympvlError::InvalidOptions`] for an
+    /// id this session never issued.
+    pub fn lookup_model(&self, id: ModelId) -> Result<Arc<ReducedModel>, SympvlError> {
+        match relock(&self.store).lookup(id) {
+            Lookup::Present(model) => Ok(model),
+            Lookup::Evicted => Err(SympvlError::ModelEvicted { id: id.0 }),
+            Lookup::Unknown => Err(SympvlError::InvalidOptions {
+                reason: format!("no model with id {} in this session", id.0),
+            }),
+        }
+    }
+
+    /// Adopts an externally constructed model — e.g. one deserialized
+    /// from a persisted registry by the service layer — into the
+    /// session store, assigning the next [`ModelId`] exactly as
+    /// [`ReductionSession::reduce`] would.
+    pub fn adopt_model(&self, model: ReducedModel) -> ModelId {
+        relock(&self.store).adopt(Arc::new(model))
+    }
+
+    /// Drops a retained model (and its compiled plan) now instead of
+    /// waiting for the LRU bound; the id is retired either way.
+    /// Returns `false` when the id is not currently retained.
+    pub fn evict_model(&self, id: ModelId) -> bool {
+        relock(&self.store).evict(id)
     }
 
     /// The compiled evaluation plan for a retained model, compiling it on
     /// first use. Obs counters: `engine/eval_plan_hits`,
     /// `engine/eval_plan_compiles`, `engine/eval_plan_fallbacks`.
     pub fn plan_for(&self, id: ModelId, model: &Arc<ReducedModel>) -> Arc<EvalPlan> {
-        let mut plans = self.plans.lock().unwrap();
-        if plans.len() <= id.0 {
-            plans.resize_with(id.0 + 1, || None);
-        }
-        if let Some(plan) = &plans[id.0] {
-            mpvl_obs::counter_add("engine", "eval_plan_hits", 1);
-            return plan.clone();
+        let mut store = relock(&self.store);
+        let pos = store.position(id);
+        if let Some(pos) = pos {
+            if let Some(plan) = &store.entries[pos].plan {
+                mpvl_obs::counter_add("engine", "eval_plan_hits", 1);
+                return plan.clone();
+            }
         }
         let plan = Arc::new(EvalPlan::compile(model));
         mpvl_obs::counter_add("engine", "eval_plan_compiles", 1);
         if !plan.is_compiled() {
             mpvl_obs::counter_add("engine", "eval_plan_fallbacks", 1);
         }
-        plans[id.0] = Some(plan.clone());
+        // The entry may be gone (evicted between lookup and planning, or
+        // a model the store never held): the one-shot plan still
+        // evaluates bit-identically, it just is not cached.
+        if let Some(pos) = pos {
+            store.entries[pos].plan = Some(plan.clone());
+        }
         plan
     }
 
@@ -349,8 +536,10 @@ impl ReductionSession {
     ///
     /// # Errors
     ///
-    /// [`SympvlError::InvalidOptions`] for an unknown [`ModelId`];
-    /// [`SympvlError::Singular`] when a frequency hits a pole.
+    /// [`SympvlError::InvalidOptions`] for a [`ModelId`] this session
+    /// never issued; [`SympvlError::ModelEvicted`] for one whose model
+    /// was dropped by the retention bound; [`SympvlError::Singular`]
+    /// when a frequency hits a pole.
     pub fn eval(&self, request: &EvalRequest) -> Result<EvalOutcome, SympvlError> {
         self.eval_with_threads(request, mpvl_par::thread_count())
     }
@@ -406,10 +595,7 @@ impl ReductionSession {
         let resolved: Vec<Result<Arc<EvalPlan>, SympvlError>> = requests
             .iter()
             .map(|request| {
-                self.model(request.model)
-                    .ok_or_else(|| SympvlError::InvalidOptions {
-                        reason: format!("no model with id {:?} in this session", request.model.0),
-                    })
+                self.lookup_model(request.model)
                     .map(|model| self.plan_for(request.model, &model))
             })
             .collect();
@@ -521,7 +707,7 @@ impl ReductionSession {
         threads: usize,
     ) -> Result<Vec<AcPoint>, AcError> {
         let sweeper = {
-            let mut guard = self.sweeper.lock().unwrap();
+            let mut guard = relock(&self.sweeper);
             guard
                 .get_or_insert_with(|| Arc::new(AcSweeper::new(&self.sys)))
                 .clone()
@@ -529,38 +715,44 @@ impl ReductionSession {
         sweeper.sweep_with_threads(freqs_hz, threads)
     }
 
-    /// Cache occupancy and hit/miss counters.
+    /// Cache occupancy and hit/miss counters, as one **consistent**
+    /// snapshot: the factor, run, and model locks are all held
+    /// simultaneously (acquired in the documented
+    /// `factors` → `runs` → `store` order) while the numbers are read,
+    /// so concurrent requests cannot tear the view — every field
+    /// describes the same instant.
     pub fn cache_stats(&self) -> CacheStats {
-        let factors = self.factors.lock().unwrap();
+        let factors = relock(&self.factors);
+        let runs = relock(&self.runs);
+        let store = relock(&self.store);
         let (factor_hits, factor_misses, factor_evictions) = factors.counters();
         CacheStats {
             factor_hits,
             factor_misses,
             factor_evictions,
             cached_factors: factors.len(),
-            retained_runs: self.runs.lock().unwrap().len(),
-            cached_models: self.models.lock().unwrap().len(),
+            retained_runs: runs.len(),
+            cached_models: store.len(),
+            model_evictions: store.evictions,
         }
     }
 
     /// Factorization with the session cache interposed — the `factor_fn`
     /// seam of [`sympvl::factor_with_shift_via`].
     fn cached_factor(&self, target: FactorTarget) -> Result<Arc<GFactor>, SympvlError> {
-        self.factors
-            .lock()
-            .unwrap()
+        relock(&self.factors)
             .get_or_insert_with(FactorKey::of(target), || factor_target(&self.sys, target))
     }
 
     fn checkout_or_create_run(&self, opts: &SympvlOptions) -> Result<SympvlRun, SympvlError> {
-        if let Some(run) = self.runs.lock().unwrap().take(&RunKey::of(opts)) {
+        if let Some(run) = relock(&self.runs).take(&RunKey::of(opts)) {
             return Ok(run);
         }
         SympvlRun::new_via(&self.sys, opts, &mut |_, target| self.cached_factor(target))
     }
 
     fn checkin_run(&self, key: RunKey, run: SympvlRun) {
-        self.runs.lock().unwrap().put(key, run);
+        relock(&self.runs).put(key, run);
     }
 
     fn execute(&self, request: &ReductionRequest) -> Result<PendingOutcome, SympvlError> {
@@ -620,9 +812,7 @@ impl ReductionSession {
     /// Retains the model and assigns its id. Called in request-index
     /// order (sequentially) so ids are deterministic.
     fn register(&self, pending: PendingOutcome) -> ReductionOutcome {
-        let mut models = self.models.lock().unwrap();
-        let model_id = ModelId(models.len());
-        models.push(Arc::new(pending.model.clone()));
+        let model_id = relock(&self.store).adopt(Arc::new(pending.model.clone()));
         ReductionOutcome {
             model_id,
             model: pending.model,
@@ -631,5 +821,146 @@ impl ReductionSession {
             certificate: pending.certificate,
             synthesis: pending.synthesis,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpvl_circuit::generators::rc_ladder;
+
+    fn session_with(max_models: usize) -> ReductionSession {
+        let sys = MnaSystem::assemble(&rc_ladder(30, 100.0, 1e-12)).unwrap();
+        ReductionSession::with_options(
+            sys,
+            SessionOptions::new()
+                .with_max_retained_models(max_models)
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn a_panic_under_a_session_lock_does_not_poison_later_requests() {
+        let session = session_with(8);
+        let first = session
+            .reduce(&ReductionRequest::fixed(4).unwrap())
+            .unwrap();
+        // Poison every session mutex: one thread per lock panics while
+        // holding the guard (the service layer catches such panics with
+        // catch_unwind, leaving exactly this state behind).
+        std::thread::scope(|scope| {
+            let handles = [
+                scope.spawn(|| {
+                    let _g = session.factors.lock().unwrap();
+                    panic!("poison factors");
+                }),
+                scope.spawn(|| {
+                    let _g = session.runs.lock().unwrap();
+                    panic!("poison runs");
+                }),
+                scope.spawn(|| {
+                    let _g = session.store.lock().unwrap();
+                    panic!("poison store");
+                }),
+                scope.spawn(|| {
+                    let _g = session.sweeper.lock().unwrap();
+                    panic!("poison sweeper");
+                }),
+            ];
+            for h in handles {
+                assert!(h.join().is_err(), "the poisoning thread must panic");
+            }
+        });
+        assert!(session.factors.is_poisoned());
+        assert!(session.store.is_poisoned());
+        // Every request path still works — and produces the same bits a
+        // never-poisoned session produces.
+        let escalated = session
+            .reduce(&ReductionRequest::fixed(6).unwrap())
+            .unwrap();
+        let clean = session_with(8);
+        clean.reduce(&ReductionRequest::fixed(4).unwrap()).unwrap();
+        let reference = clean.reduce(&ReductionRequest::fixed(6).unwrap()).unwrap();
+        assert_eq!(
+            sympvl::write_model(&escalated.model),
+            sympvl::write_model(&reference.model),
+            "post-poison reduction must stay bit-identical"
+        );
+        let sweep = session
+            .eval(&EvalRequest::new(first.model_id, vec![1e8, 1e9]).unwrap())
+            .unwrap();
+        assert_eq!(sweep.points.len(), 2);
+        assert!(session.ac_sweep(&[1e9]).is_ok());
+        let stats = session.cache_stats();
+        assert_eq!(stats.cached_models, 2);
+    }
+
+    #[test]
+    fn model_store_is_bounded_and_retires_ids() {
+        let session = session_with(2);
+        let a = session
+            .reduce(&ReductionRequest::fixed(2).unwrap())
+            .unwrap()
+            .model_id;
+        let b = session
+            .reduce(&ReductionRequest::fixed(3).unwrap())
+            .unwrap()
+            .model_id;
+        let c = session
+            .reduce(&ReductionRequest::fixed(4).unwrap())
+            .unwrap();
+        assert_eq!(
+            (a.index(), b.index(), c.model_id.index()),
+            (0, 1, 2),
+            "ids are monotonic in request order"
+        );
+        // Capacity 2: the oldest model is gone and its id is retired —
+        // a typed error, distinct from an id that never existed.
+        assert!(session.model(a).is_none());
+        let err = session
+            .eval(&EvalRequest::new(a, vec![1e9]).unwrap())
+            .unwrap_err();
+        assert_eq!(err, SympvlError::ModelEvicted { id: 0 });
+        assert!(matches!(
+            session.eval(&EvalRequest::new(ModelId(99), vec![1e9]).unwrap()),
+            Err(SympvlError::InvalidOptions { .. })
+        ));
+        // Explicit eviction retires ids the same way, and is idempotent.
+        assert!(session.evict_model(b));
+        assert!(!session.evict_model(b), "already evicted");
+        assert_eq!(
+            session.lookup_model(b).unwrap_err(),
+            SympvlError::ModelEvicted { id: 1 }
+        );
+        let stats = session.cache_stats();
+        assert_eq!(stats.cached_models, 1);
+        assert_eq!(stats.model_evictions, 2);
+        // Adoption (the registry seam) shares the same id sequence.
+        let d = session.adopt_model(c.model.clone());
+        assert_eq!(d.index(), 3);
+        let sweep = session
+            .eval(&EvalRequest::new(d, vec![1e8]).unwrap())
+            .unwrap();
+        assert_eq!(sweep.points.len(), 1);
+    }
+
+    #[test]
+    fn eval_counts_as_lru_use_for_model_retention() {
+        let session = session_with(2);
+        let a = session
+            .reduce(&ReductionRequest::fixed(2).unwrap())
+            .unwrap()
+            .model_id;
+        let _b = session.reduce(&ReductionRequest::fixed(3).unwrap());
+        // Touch `a`, then push a third model: the untouched one evicts.
+        session
+            .eval(&EvalRequest::new(a, vec![1e9]).unwrap())
+            .unwrap();
+        let _c = session.reduce(&ReductionRequest::fixed(4).unwrap());
+        assert!(session.model(a).is_some(), "recently used model survives");
+        assert_eq!(
+            session.lookup_model(ModelId(1)).unwrap_err(),
+            SympvlError::ModelEvicted { id: 1 }
+        );
     }
 }

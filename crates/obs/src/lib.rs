@@ -440,11 +440,46 @@ pub fn capture<T>(f: impl FnOnce() -> T) -> (T, Capture) {
     (result, drain())
 }
 
+/// Writes `contents` to `path` atomically: the bytes land in a uniquely
+/// named temp file next to `path` (parent directories are created) and
+/// are renamed into place, so a reader — or a concurrent writer racing
+/// for the same path, e.g. two processes both exporting
+/// `MPVL_OBS=json:<path>` — never observes a torn or interleaved file:
+/// the path always holds one complete write (last renamer wins).
+///
+/// # Errors
+///
+/// Propagates I/O failures from creating, writing, or renaming the file.
+pub fn write_atomic(path: &std::path::Path, contents: &str) -> std::io::Result<()> {
+    use std::sync::atomic::AtomicU64;
+    // pid + per-process counter make the temp name unique across the
+    // processes and threads that may race on one export path.
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(
+        ".tmp.{}.{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp); // don't leave the orphan behind
+    })
+}
+
 /// Exports the sink per the `MPVL_OBS` env knob and resets it.
 ///
 /// * `MPVL_OBS=json` — JSON lines to stderr.
 /// * `MPVL_OBS=json:<path>` — JSON lines to `<path>` (parent directories
-///   are created).
+///   are created; the write is atomic via [`write_atomic`], so exports
+///   racing from several processes — a service drain plus a bench, say —
+///   leave one complete, valid export rather than an interleaved mix).
 /// * unset / anything else — no-op.
 ///
 /// Binaries call this once at exit. Returns the path written, if any.
@@ -463,12 +498,7 @@ pub fn export_env() -> std::io::Result<Option<std::path::PathBuf>> {
     match spec.strip_prefix("json:") {
         Some(path) if !path.is_empty() => {
             let path = std::path::PathBuf::from(path);
-            if let Some(parent) = path.parent() {
-                if !parent.as_os_str().is_empty() {
-                    std::fs::create_dir_all(parent)?;
-                }
-            }
-            std::fs::write(&path, text)?;
+            write_atomic(&path, &text)?;
             Ok(Some(path))
         }
         _ => {
@@ -577,6 +607,52 @@ mod tests {
         let full = cap.to_json_lines_full();
         assert!(full.contains("\"worker\":5"), "timing lines: {full}");
         validate_json_lines(&full).expect("full export must be valid JSON lines");
+    }
+
+    #[test]
+    fn concurrent_atomic_writes_never_tear_the_export() {
+        // Regression: two exporters racing on one MPVL_OBS=json:<path>
+        // used to interleave/truncate each other via plain fs::write.
+        // With temp-file + rename, every observation of the path — during
+        // the race and after it — is one writer's complete payload.
+        let dir = std::env::temp_dir().join(format!("mpvl-obs-atomic-{}", std::process::id()));
+        let path = dir.join("export.jsonl");
+        let payload = |w: usize| {
+            // Distinct multi-line JSON per writer; big enough that a torn
+            // write would realistically show.
+            let mut text = String::new();
+            for i in 0..200 {
+                text.push_str(&format!(
+                    "{{\"kind\":\"counter\",\"stage\":\"w{w}\",\"name\":\"n{i}\",\"value\":{i}}}\n"
+                ));
+            }
+            text
+        };
+        std::thread::scope(|scope| {
+            for w in 0..8 {
+                let path = &path;
+                let text = payload(w);
+                scope.spawn(move || {
+                    for _ in 0..20 {
+                        write_atomic(path, &text).expect("atomic write");
+                    }
+                });
+            }
+        });
+        let final_text = std::fs::read_to_string(&path).expect("export exists");
+        validate_json_lines(&final_text).expect("complete, untorn JSON lines");
+        assert!(
+            (0..8).any(|w| final_text == payload(w)),
+            "file must be exactly one writer's complete payload"
+        );
+        // No orphaned temp files left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "orphan temp files: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

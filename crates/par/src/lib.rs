@@ -25,6 +25,10 @@
 //! assert_eq!(squares, vec![1, 4, 9, 16]);
 //! ```
 
+mod queue;
+
+pub use queue::{BoundedQueue, PushError};
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 

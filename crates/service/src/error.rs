@@ -1,0 +1,104 @@
+//! The service-boundary error type.
+
+use mpvl_circuit::{MnaError, ParseError};
+use std::fmt;
+use sympvl::SympvlError;
+
+/// Everything that can go wrong between a netlist arriving and a
+/// reduced model leaving. `Clone + PartialEq` like every error in the
+/// workspace, so callers can match and tests can pin exact values.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServiceError {
+    /// The netlist text did not parse.
+    Parse(ParseError),
+    /// The parsed circuit could not be assembled into an MNA system.
+    Assemble(MnaError),
+    /// The reduction (or a requested by-product, or an eval sweep)
+    /// failed inside the engine.
+    Reduce(SympvlError),
+    /// Admission control: the service already has `capacity` requests
+    /// in flight. Deterministic and immediate — nothing was queued;
+    /// retry after in-flight work completes, or shed the request
+    /// upstream.
+    Overloaded {
+        /// The configured in-flight bound
+        /// ([`ServiceOptions::max_in_flight`](crate::ServiceOptions::max_in_flight)).
+        capacity: usize,
+    },
+    /// [`ReductionService::drain`](crate::ReductionService::drain) was
+    /// called: the service finishes in-flight work but admits nothing
+    /// new.
+    ShuttingDown,
+    /// The request handler panicked. The panic was contained at the
+    /// service boundary: the session, registry, and every other
+    /// request are unaffected (session locks recover from poisoning).
+    Panicked {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// Persisting a model to the registry directory failed.
+    Persist {
+        /// The file that could not be written.
+        path: String,
+        /// The underlying I/O error, stringified (``std::io::Error``
+        /// is neither `Clone` nor `PartialEq`).
+        message: String,
+    },
+    /// The request was rejected at validation time.
+    InvalidRequest {
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Parse(e) => write!(f, "netlist ingestion failed: {e}"),
+            ServiceError::Assemble(e) => write!(f, "MNA assembly failed: {e}"),
+            ServiceError::Reduce(e) => write!(f, "reduction failed: {e}"),
+            ServiceError::Overloaded { capacity } => write!(
+                f,
+                "service overloaded: {capacity} requests already in flight"
+            ),
+            ServiceError::ShuttingDown => write!(f, "service is draining; no new requests"),
+            ServiceError::Panicked { message } => {
+                write!(f, "request handler panicked: {message}")
+            }
+            ServiceError::Persist { path, message } => {
+                write!(f, "could not persist model to {path}: {message}")
+            }
+            ServiceError::InvalidRequest { reason } => write!(f, "invalid request: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Parse(e) => Some(e),
+            ServiceError::Assemble(e) => Some(e),
+            ServiceError::Reduce(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseError> for ServiceError {
+    fn from(e: ParseError) -> Self {
+        ServiceError::Parse(e)
+    }
+}
+
+impl From<MnaError> for ServiceError {
+    fn from(e: MnaError) -> Self {
+        ServiceError::Assemble(e)
+    }
+}
+
+impl From<SympvlError> for ServiceError {
+    fn from(e: SympvlError) -> Self {
+        ServiceError::Reduce(e)
+    }
+}

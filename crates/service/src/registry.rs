@@ -1,0 +1,127 @@
+//! Content-addressed registry of reduced models.
+//!
+//! The registry maps a content address — the SHA-256 of the canonical
+//! netlist plus the exact reduction options, see
+//! [`ServiceRequest`](crate::ServiceRequest) — to a reduced model. It
+//! has two tiers:
+//!
+//! * an in-memory LRU (bounded, always present), and
+//! * an optional directory of `<hex-key>.rom` files in the
+//!   [`sympvl::write_model`] text format, written atomically
+//!   (temp + rename via [`mpvl_obs::write_atomic`]) so concurrent
+//!   services sharing the directory never observe a torn model.
+//!
+//! The directory is the durable tier: models outlive the process, and
+//! a fresh service pointed at the same directory serves warm hits
+//! immediately. Memory evictions never delete files.
+
+use crate::error::ServiceError;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use sympvl::ReducedModel;
+
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+pub(crate) struct RegistryInner {
+    /// Most recently used at the back.
+    entries: Vec<(String, Arc<ReducedModel>)>,
+    pub(crate) hits: u64,
+    pub(crate) misses: u64,
+}
+
+pub(crate) struct ModelRegistry {
+    capacity: usize,
+    dir: Option<PathBuf>,
+    inner: Mutex<RegistryInner>,
+}
+
+impl ModelRegistry {
+    pub(crate) fn new(capacity: usize, dir: Option<PathBuf>) -> Self {
+        ModelRegistry {
+            capacity: capacity.max(1),
+            dir,
+            inner: Mutex::new(RegistryInner {
+                entries: Vec::new(),
+                hits: 0,
+                misses: 0,
+            }),
+        }
+    }
+
+    pub(crate) fn lock(&self) -> MutexGuard<'_, RegistryInner> {
+        relock(&self.inner)
+    }
+
+    fn rom_path(&self, key_hex: &str) -> Option<PathBuf> {
+        self.dir.as_ref().map(|d| d.join(format!("{key_hex}.rom")))
+    }
+
+    /// Looks a key up: memory first, then the persistent directory
+    /// (a disk hit is promoted into memory). Both tiers count as hits.
+    pub(crate) fn get(&self, key_hex: &str) -> Option<Arc<ReducedModel>> {
+        {
+            let mut inner = self.lock();
+            if let Some(pos) = inner.entries.iter().position(|(k, _)| k == key_hex) {
+                let entry = inner.entries.remove(pos);
+                inner.entries.push(entry);
+                inner.hits += 1;
+                mpvl_obs::counter_add("service", "registry_hits", 1);
+                return Some(inner.entries.last().expect("just pushed").1.clone());
+            }
+        }
+        // Disk probe outside the lock: parsing a ROM file must not
+        // serialize every other registry access.
+        if let Some(path) = self.rom_path(key_hex) {
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                if let Ok(model) = sympvl::read_model(&text) {
+                    let model = Arc::new(model);
+                    self.insert(key_hex, model.clone());
+                    let mut inner = self.lock();
+                    inner.hits += 1;
+                    mpvl_obs::counter_add("service", "registry_hits", 1);
+                    return Some(model);
+                }
+            }
+        }
+        self.lock().misses += 1;
+        mpvl_obs::counter_add("service", "registry_misses", 1);
+        None
+    }
+
+    /// Registers a model under its content address: persisted first
+    /// (atomically, when a directory is configured), then cached in
+    /// memory. Idempotent — re-putting an existing key just refreshes
+    /// its recency.
+    pub(crate) fn put(&self, key_hex: &str, model: Arc<ReducedModel>) -> Result<(), ServiceError> {
+        if let Some(path) = self.rom_path(key_hex) {
+            let text = sympvl::write_model(&model);
+            mpvl_obs::write_atomic(&path, &text).map_err(|e| ServiceError::Persist {
+                path: path.display().to_string(),
+                message: e.to_string(),
+            })?;
+        }
+        self.insert(key_hex, model);
+        Ok(())
+    }
+
+    fn insert(&self, key_hex: &str, model: Arc<ReducedModel>) {
+        let mut inner = self.lock();
+        if let Some(pos) = inner.entries.iter().position(|(k, _)| k == key_hex) {
+            let entry = inner.entries.remove(pos);
+            inner.entries.push(entry);
+            return;
+        }
+        if inner.entries.len() >= self.capacity {
+            inner.entries.remove(0);
+        }
+        inner.entries.push((key_hex.to_string(), model));
+    }
+}
+
+impl RegistryInner {
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+}

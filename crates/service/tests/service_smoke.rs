@@ -1,0 +1,264 @@
+//! End-to-end service behavior: ingestion, content addressing, session
+//! eviction, admission control, drain, panic containment — and the
+//! inherited bit-identity contract against the bare engine.
+
+use mpvl_circuit::{parse_spice, MnaSystem};
+use mpvl_engine::{EvalRequest, ReductionRequest, ReductionSession};
+use mpvl_service::{ReductionService, ServiceError, ServiceOptions, ServiceRequest};
+use std::path::PathBuf;
+
+fn ladder(n: usize, r: f64, c: f64) -> String {
+    let mut s = String::new();
+    for i in 1..=n {
+        let prev = if i == 1 {
+            "in".to_string()
+        } else {
+            format!("m{}", i - 1)
+        };
+        s.push_str(&format!("R{i} {prev} m{i} {r:e}\n"));
+        s.push_str(&format!("C{i} m{i} 0 {c:e}\n"));
+    }
+    s.push_str("Pin in 0\n.end\n");
+    s
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mpvl-service-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn ingestion_rejects_bad_netlists_before_any_work() {
+    let reduction = ReductionRequest::fixed(4).unwrap();
+    assert!(matches!(
+        ServiceRequest::new("Q1 a b 1k\n.end", reduction.clone()),
+        Err(ServiceError::Parse(_))
+    ));
+    assert!(matches!(
+        ServiceRequest::new("R1 a 0 1k\n.end", reduction.clone()),
+        Err(ServiceError::InvalidRequest { .. })
+    ));
+    assert!(matches!(
+        ServiceRequest::new(&ladder(5, 100.0, 1e-12), reduction)
+            .unwrap()
+            .with_eval(vec![]),
+        Err(ServiceError::InvalidRequest { .. })
+    ));
+}
+
+#[test]
+fn content_addresses_ignore_formatting_but_not_options() {
+    let reduction = ReductionRequest::fixed(4).unwrap();
+    let a = ServiceRequest::new(
+        "R1 in out 1k\nC1 out 0 1n\nPin in 0\n.end",
+        reduction.clone(),
+    )
+    .unwrap();
+    // Same circuit, different whitespace, node names, and value spelling.
+    let b = ServiceRequest::new(
+        "* a comment\n  R1   drive sense 1000\n\n  C1 sense gnd 1e-9\n  Pin drive gnd\n.end",
+        reduction.clone(),
+    )
+    .unwrap();
+    assert_eq!(a.shard_key(), b.shard_key());
+    assert_eq!(a.registry_key(), b.registry_key());
+    // Different reduction order → different model address, same shard.
+    let c = ServiceRequest::new(
+        "R1 in out 1k\nC1 out 0 1n\nPin in 0\n.end",
+        ReductionRequest::fixed(5).unwrap(),
+    )
+    .unwrap();
+    assert_eq!(a.shard_key(), c.shard_key());
+    assert_ne!(a.registry_key(), c.registry_key());
+}
+
+#[test]
+fn submit_matches_the_bare_engine_bit_for_bit() {
+    let netlist = ladder(20, 75.0, 2e-12);
+    let freqs = vec![1e6, 1e8, 3e9];
+    let service = ReductionService::new(ServiceOptions::default());
+    let request = ServiceRequest::new(&netlist, ReductionRequest::fixed(5).unwrap())
+        .unwrap()
+        .with_eval(freqs.clone())
+        .unwrap();
+    let outcome = service.submit(&request).unwrap();
+    assert!(!outcome.registry_hit);
+
+    let (ckt, _) = parse_spice(&netlist).unwrap();
+    let session = ReductionSession::new(MnaSystem::assemble(&ckt).unwrap());
+    let direct = session
+        .reduce(&ReductionRequest::fixed(5).unwrap())
+        .unwrap();
+    assert_eq!(
+        sympvl::write_model(&outcome.model),
+        sympvl::write_model(&direct.model),
+        "service and engine must produce identical model bits"
+    );
+    let direct_eval = session
+        .eval(&EvalRequest::new(direct.model_id, freqs).unwrap())
+        .unwrap();
+    let served = outcome.eval.expect("eval requested");
+    assert_eq!(served.len(), direct_eval.points.len());
+    for (a, b) in served.iter().zip(&direct_eval.points) {
+        assert_eq!(a.freq_hz.to_bits(), b.freq_hz.to_bits());
+        for (x, y) in a.z.as_slice().iter().zip(b.z.as_slice()) {
+            assert_eq!(x.re.to_bits(), y.re.to_bits());
+            assert_eq!(x.im.to_bits(), y.im.to_bits());
+        }
+    }
+
+    // Warm resubmission: a registry hit with the same bits.
+    let warm = service.submit(&request).unwrap();
+    assert!(warm.registry_hit);
+    assert_eq!(
+        sympvl::write_model(&warm.model),
+        sympvl::write_model(&outcome.model)
+    );
+}
+
+#[test]
+fn ingest_reduce_evict_reingest_hits_the_registry() {
+    let netlist = ladder(16, 120.0, 1e-12);
+    let service = ReductionService::new(ServiceOptions::default());
+    let request = ServiceRequest::new(&netlist, ReductionRequest::fixed(4).unwrap()).unwrap();
+
+    let cold = service.submit(&request).unwrap();
+    assert!(!cold.registry_hit);
+    assert_eq!(service.stats().live_sessions, 1);
+
+    // Evicting the session drops its retained models and caches…
+    assert!(service.evict_session(&netlist));
+    assert!(!service.evict_session(&netlist), "already gone");
+    assert!(!service.evict_session("not a netlist"));
+    assert_eq!(service.stats().live_sessions, 0);
+
+    // …but re-ingesting the same circuit hits the registry: a fresh
+    // session, no re-reduction, identical bits.
+    let warm = service.submit(&request).unwrap();
+    assert!(warm.registry_hit);
+    assert_eq!(
+        sympvl::write_model(&warm.model),
+        sympvl::write_model(&cold.model)
+    );
+    let stats = service.stats();
+    assert_eq!(stats.live_sessions, 1);
+    assert_eq!(stats.sessions_evicted, 1);
+    assert!(stats.registry_hits >= 1);
+}
+
+#[test]
+fn registry_persists_across_service_instances() {
+    let dir = temp_dir("persist");
+    let netlist = ladder(14, 60.0, 3e-12);
+    let request = ServiceRequest::new(&netlist, ReductionRequest::fixed(4).unwrap()).unwrap();
+
+    let first = {
+        let service = ReductionService::new(ServiceOptions::default().with_registry_dir(&dir));
+        let outcome = service.submit(&request).unwrap();
+        assert!(!outcome.registry_hit);
+        outcome
+    }; // service dropped — only the directory survives
+
+    let service = ReductionService::new(ServiceOptions::default().with_registry_dir(&dir));
+    let warm = service.submit(&request).unwrap();
+    assert!(warm.registry_hit, "persisted model must be found on disk");
+    assert_eq!(
+        sympvl::write_model(&warm.model),
+        sympvl::write_model(&first.model),
+        "the persisted model must round-trip bit-exactly"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn admission_control_rejects_deterministically_in_index_order() {
+    let netlist = ladder(12, 90.0, 1e-12);
+    let service = ReductionService::new(ServiceOptions::default().with_max_in_flight(2).unwrap());
+    let requests: Vec<ServiceRequest> = (3..7)
+        .map(|order| {
+            ServiceRequest::new(&netlist, ReductionRequest::fixed(order).unwrap()).unwrap()
+        })
+        .collect();
+    let results = service.submit_batch(&requests);
+    assert!(results[0].is_ok());
+    assert!(results[1].is_ok());
+    for r in &results[2..] {
+        assert_eq!(
+            r.as_ref().unwrap_err(),
+            &ServiceError::Overloaded { capacity: 2 },
+            "requests past the bound are rejected in place"
+        );
+    }
+    let stats = service.stats();
+    assert_eq!(stats.admitted, 2);
+    assert_eq!(stats.rejected_overload, 2);
+    assert_eq!(stats.in_flight, 0, "tickets released after the batch");
+
+    // The rejected work can be resubmitted once the batch has drained.
+    assert!(service.submit(&requests[2]).is_ok());
+}
+
+#[test]
+fn drain_finishes_in_flight_work_then_rejects() {
+    let netlist = ladder(12, 90.0, 1e-12);
+    let service = ReductionService::new(ServiceOptions::default());
+    let request = ServiceRequest::new(&netlist, ReductionRequest::fixed(3).unwrap()).unwrap();
+    service.submit(&request).unwrap();
+    service.drain();
+    service.drain(); // idempotent
+    assert_eq!(
+        service.submit(&request).unwrap_err(),
+        ServiceError::ShuttingDown
+    );
+    let batch = service.submit_batch(std::slice::from_ref(&request));
+    assert_eq!(batch[0].as_ref().unwrap_err(), &ServiceError::ShuttingDown);
+    assert_eq!(service.stats().rejected_shutdown, 2);
+}
+
+#[test]
+fn a_panicking_request_is_contained_and_poisons_nothing() {
+    let netlist = ladder(18, 80.0, 2e-12);
+    let service = ReductionService::new(ServiceOptions::default());
+    let good = ServiceRequest::new(&netlist, ReductionRequest::fixed(4).unwrap()).unwrap();
+    let reference = service.submit(&good).unwrap();
+
+    let chaos = good.clone().with_chaos_panic();
+    let err = service.submit(&chaos).unwrap_err();
+    assert!(matches!(err, ServiceError::Panicked { .. }), "{err}");
+
+    // The same service keeps serving, with identical bits.
+    let after = service.submit(&good).unwrap();
+    assert_eq!(
+        sympvl::write_model(&after.model),
+        sympvl::write_model(&reference.model),
+        "a contained panic must not change later results"
+    );
+
+    // In a batch, only the chaotic member fails.
+    let batch = service.submit_batch(&[good.clone(), chaos, good.clone()]);
+    assert!(batch[0].is_ok());
+    assert!(matches!(
+        batch[1].as_ref().unwrap_err(),
+        ServiceError::Panicked { .. }
+    ));
+    assert!(batch[2].is_ok());
+    assert_eq!(service.stats().panics, 2);
+}
+
+#[test]
+fn session_lru_bounds_live_sessions() {
+    let service = ReductionService::new(ServiceOptions::default().with_max_sessions(2).unwrap());
+    let reduction = ReductionRequest::fixed(3).unwrap();
+    for n in [10usize, 11, 12] {
+        let request = ServiceRequest::new(&ladder(n, 100.0, 1e-12), reduction.clone()).unwrap();
+        service.submit(&request).unwrap();
+    }
+    let stats = service.stats();
+    assert_eq!(stats.live_sessions, 2);
+    assert_eq!(stats.sessions_evicted, 1);
+    // The evicted circuit still serves — a new session plus registry hit.
+    let request = ServiceRequest::new(&ladder(10, 100.0, 1e-12), reduction).unwrap();
+    let outcome = service.submit(&request).unwrap();
+    assert!(outcome.registry_hit);
+}

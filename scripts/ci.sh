@@ -127,6 +127,37 @@ echo "==> validate obs export (target/obs/ci_smoke.jsonl)"
 cargo run -q --release --offline -p mpvl-bench --bin obs_validate -- \
     target/obs/ci_smoke.jsonl
 
+echo "==> service layer across threads (MPVL_THREADS=2, stress also at 4)"
+# The MPVL_THREADS=1 workspace run above covered the inline path. The
+# service smoke suite walks ingest -> reduce -> evict -> re-ingest
+# (registry hit) end to end; the stress suite replays a multi-client
+# workload against shared sessions and asserts byte-identity with a
+# serial reference at every worker count.
+MPVL_THREADS=2 cargo test -q --offline -p mpvl-service
+MPVL_THREADS=4 cargo test -q --offline -p mpvl-service --test service_stress
+
+echo "==> poison + eviction regression (engine session hardening)"
+# One crashed request must never brick a session (locks recover from
+# poisoning) and the bounded model store must retire ids with a typed
+# error, not a silent miss. Re-run the dedicated unit tests with a pool.
+MPVL_THREADS=2 cargo test -q --offline -p mpvl-engine --lib -- \
+    a_panic_under_a_session_lock_does_not_poison_later_requests \
+    model_store_is_bounded_and_retires_ids
+
+echo "==> smoke bench (bench_service, reduced samples)"
+MPVL_BENCH_WARMUP=1 MPVL_BENCH_SAMPLES=3 \
+    cargo run -q --release --offline -p mpvl-bench --bin bench_service
+
+test -s target/bench/BENCH_service.json
+grep -q '"suite": *"service"' target/bench/BENCH_service.json
+for name in service_submit/cold service_submit/registry_warm \
+    service_batch/mixed registry/warm_hit_ratio; do
+    grep -q "\"$name" target/bench/BENCH_service.json || {
+        echo "BENCH_service.json missing result \"$name\"" >&2
+        exit 1
+    }
+done
+
 echo "==> smoke bench (bench_eval, reduced samples)"
 MPVL_BENCH_WARMUP=1 MPVL_BENCH_SAMPLES=3 \
     cargo run -q --release --offline -p mpvl-bench --bin bench_eval
@@ -140,11 +171,13 @@ for name in eval_lu/40x2001 eval_compiled/40x2001 \
     }
 done
 
-echo "==> bench gate (factor kernel, sweep scaling, compiled eval)"
+echo "==> bench gate (factor kernel, sweep scaling, compiled eval, registry)"
 # Fails if the supernodal kernel is slower than the scalar kernel at
 # n=1360, if the threads=4 large-case sweep does not beat threads=1
 # (strict on multicore; a loud skip + oversubscription bound on 1 core),
-# or if the compiled pole-residue eval is not faster than per-point LU.
+# if the compiled pole-residue eval is not faster than per-point LU, or
+# if the warm service registry hit ratio drops below 0.5 / a registry
+# hit stops being faster than a cold submit.
 cargo run -q --release --offline -p mpvl-bench --bin bench_gate
 
 echo "==> ci.sh: all green"
