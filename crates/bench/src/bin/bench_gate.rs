@@ -26,6 +26,12 @@
 //!    be strictly faster than a cold service submit. Both comparisons
 //!    are structural (a hit skips the whole reduction), so they hold on
 //!    any core count.
+//! 5. **Multi-point accuracy at equal total order** — from
+//!    `BENCH_multipoint.json`: the 2-point merged model must be
+//!    strictly more accurate (worst relative error over the 3-decade
+//!    package band) than a mid-band single-point expansion of the same
+//!    total order. The comparison is algorithmic (where the moments are
+//!    spent, not how fast), so it holds on any core count.
 //!
 //! Run with `cargo run --release -p mpvl-bench --bin bench_gate`;
 //! exits nonzero with a diagnostic on the first violated gate.
@@ -188,6 +194,26 @@ fn main() {
             warm_submit,
             cold,
             cold / warm_submit
+        );
+    }
+
+    // Gate 5: multi-point must out-approximate single-point at equal
+    // total order over the wide band.
+    let multipoint = load("multipoint");
+    let em = require(&multipoint, "multipoint", "multipoint/worst_band_error");
+    let es = require(&multipoint, "multipoint", "singlepoint/worst_band_error");
+    if !(em.is_finite() && es.is_finite()) || em >= es {
+        eprintln!(
+            "bench_gate FAIL: 2-point worst-band error {em:.3e} is not below the \
+             equal-order single-point error {es:.3e} — the multi-point merge is \
+             not paying for its points"
+        );
+        failures += 1;
+    } else {
+        println!(
+            "bench_gate ok: 2-point worst-band error {em:.3e} vs single-point \
+             {es:.3e} at equal total order ({:.2}x tighter)",
+            es / em
         );
     }
 

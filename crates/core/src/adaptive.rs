@@ -230,7 +230,10 @@ pub fn reduce_adaptive_with(
     let _span = mpvl_obs::span("adaptive", "reduce_adaptive");
     let p = sys.num_ports().max(1);
     let step = opts.order_step.max(1).div_ceil(p) * p;
-    let mut order = opts.initial_order.max(1);
+    // Clamp the starting order to the cap: without the clamp an
+    // `initial_order` above `max_order` built (and could return) a model
+    // that exceeds the cap the caller asked for.
+    let mut order = opts.initial_order.max(1).min(opts.max_order);
     let mut orders_tried = vec![order];
     let mut prev = run.model_at(sys, order)?;
     loop {
@@ -291,23 +294,42 @@ pub fn reduce_adaptive_with(
     }
 }
 
+/// Relative disagreement between two models at one frequency, or `None`
+/// when either model has a pole there (a probe that happens to hit a
+/// pole carries no convergence information). This is the per-probe form
+/// of the band signal; multi-point placement uses it to locate *where*
+/// on the band two expansion points disagree most.
+pub(crate) fn difference_at(
+    a: &ReducedModel,
+    b: &ReducedModel,
+    freq_hz: f64,
+) -> Result<Option<f64>, SympvlError> {
+    let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * freq_hz);
+    let za = match a.eval(s) {
+        Ok(z) => z,
+        Err(SympvlError::Singular { .. }) => return Ok(None), // pole hit
+        Err(e) => return Err(e),
+    };
+    let zb = match b.eval(s) {
+        Ok(z) => z,
+        Err(SympvlError::Singular { .. }) => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let scale = zb.max_abs().max(1e-300);
+    Ok(Some((&za - &zb).max_abs() / scale))
+}
+
 /// Worst entrywise relative difference between two models over the probes.
-fn band_difference(a: &ReducedModel, b: &ReducedModel, freqs: &[f64]) -> Result<f64, SympvlError> {
+pub(crate) fn band_difference(
+    a: &ReducedModel,
+    b: &ReducedModel,
+    freqs: &[f64],
+) -> Result<f64, SympvlError> {
     let mut worst = 0.0f64;
     for &f in freqs {
-        let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * f);
-        let za = match a.eval(s) {
-            Ok(z) => z,
-            Err(SympvlError::Singular { .. }) => continue, // pole hit
-            Err(e) => return Err(e),
-        };
-        let zb = match b.eval(s) {
-            Ok(z) => z,
-            Err(SympvlError::Singular { .. }) => continue,
-            Err(e) => return Err(e),
-        };
-        let scale = zb.max_abs().max(1e-300);
-        worst = worst.max((&za - &zb).max_abs() / scale);
+        if let Some(d) = difference_at(a, b, f)? {
+            worst = worst.max(d);
+        }
     }
     Ok(worst)
 }
@@ -379,6 +401,100 @@ mod tests {
         let out = reduce_adaptive(&sys, &opts).unwrap();
         assert!(out.hit_order_cap);
         assert!(out.model.order() <= 12);
+    }
+
+    #[test]
+    fn convergence_exactly_at_max_order_is_not_a_cap_hit() {
+        // Regression for the max_order boundary: when the tolerance is
+        // first met by the model built at exactly `max_order`, that
+        // model must have been built *and compared* — the outcome is
+        // converged, never `hit_order_cap: true`.
+        let ckt = interconnect(&InterconnectParams {
+            wires: 3,
+            segments: 20,
+            coupling_reach: 2,
+            ..InterconnectParams::default()
+        });
+        let sys = MnaSystem::assemble(&ckt).unwrap();
+        let opts = AdaptiveOptions::for_band(1e7, 5e9)
+            .unwrap()
+            .with_tol(1e-5)
+            .unwrap();
+        // Learn where this configuration converges with a generous cap…
+        let free = reduce_adaptive(&sys, &opts).unwrap();
+        assert!(!free.hit_order_cap);
+        let converged_order = *free.orders_tried.last().unwrap();
+        // …then pin the cap to exactly that order and rerun.
+        let capped_opts = opts.clone().with_max_order(converged_order).unwrap();
+        let capped = reduce_adaptive(&sys, &capped_opts).unwrap();
+        assert!(
+            !capped.hit_order_cap,
+            "convergence at exactly max_order misreported as a cap hit \
+             (orders {:?})",
+            capped.orders_tried
+        );
+        assert_eq!(capped.model.order(), converged_order);
+        assert_eq!(capped.estimated_error, free.estimated_error);
+    }
+
+    #[test]
+    fn initial_order_above_cap_is_clamped() {
+        let ckt = interconnect(&InterconnectParams {
+            wires: 4,
+            segments: 30,
+            coupling_reach: 3,
+            ..InterconnectParams::default()
+        });
+        let sys = MnaSystem::assemble(&ckt).unwrap();
+        let opts = AdaptiveOptions::for_band(1e7, 5e9)
+            .unwrap()
+            .with_initial_order(40)
+            .unwrap()
+            .with_max_order(12)
+            .unwrap();
+        let out = reduce_adaptive(&sys, &opts).unwrap();
+        // The first (and only) order tried is the cap, not the oversized
+        // initial order, and the returned model respects the cap.
+        assert_eq!(out.orders_tried, vec![12]);
+        assert!(out.model.order() <= 12);
+        assert!(out.hit_order_cap);
+        // A cap hit without a comparison cannot claim convergence.
+        assert!(out.estimated_error > opts.tol);
+    }
+
+    #[test]
+    fn cap_hits_never_claim_convergence() {
+        // Sweep a range of caps; whenever hit_order_cap is reported the
+        // estimated error must exceed the tolerance (i.e. `hit_max:
+        // true` is never paired with a converged outcome).
+        let ckt = interconnect(&InterconnectParams {
+            wires: 3,
+            segments: 20,
+            coupling_reach: 2,
+            ..InterconnectParams::default()
+        });
+        let sys = MnaSystem::assemble(&ckt).unwrap();
+        for cap in [3usize, 6, 9, 12, 15, 18] {
+            let opts = AdaptiveOptions::for_band(1e7, 5e9)
+                .unwrap()
+                .with_tol(1e-5)
+                .unwrap()
+                .with_initial_order(3)
+                .unwrap()
+                .with_order_step(3)
+                .unwrap()
+                .with_max_order(cap)
+                .unwrap();
+            let out = reduce_adaptive(&sys, &opts).unwrap();
+            assert!(out.model.order() <= cap, "cap {cap} violated");
+            if out.hit_order_cap {
+                assert!(
+                    out.estimated_error > opts.tol,
+                    "cap {cap}: hit_order_cap paired with converged error {}",
+                    out.estimated_error
+                );
+            }
+        }
     }
 
     #[test]

@@ -47,6 +47,7 @@ mod io;
 mod lanczos;
 mod model;
 mod moments;
+mod multipoint;
 mod operator;
 mod passivity;
 mod postprocess;
@@ -67,12 +68,17 @@ pub use io::{read_model, write_model};
 pub use lanczos::{block_lanczos, BlockLanczos, LanczosOptions, LanczosOutcome, LinearOperator};
 pub use model::{ReducedModel, StampMatrices};
 pub use moments::exact_moments;
+pub use multipoint::{
+    expansion_shift, reduce_multipoint, reduce_multipoint_with, FreshRuns, MultiPointOptions,
+    MultiPointOutcome, PointPlacement, RunProvider,
+};
 pub use operator::KrylovOperator;
 pub use passivity::{certify, is_stable, sampled_passivity, Certificate, PassivityScan};
 pub use postprocess::{stabilize, PoleResidueModel, PostprocessOptions};
 pub use rational::{ExpansionPoint, RationalModel};
 pub use reduce::{
-    factor_target, factor_with_shift_via, sympvl, FactorTarget, Shift, SympvlOptions,
+    factor_target, factor_with_options_via, factor_with_shift_via, sympvl, FactorTarget, Shift,
+    SympvlOptions, DEFAULT_AUTO_RTOL,
 };
 pub use run::SympvlRun;
 pub use state_space::{simulate_stamp, StampTransient};

@@ -45,13 +45,25 @@ pub struct SympvlOptions {
     pub shift: Shift,
     /// Lanczos-process tuning.
     pub lanczos: LanczosOptions,
+    /// Relative pivot threshold for accepting the unshifted
+    /// factorization under [`Shift::Auto`]: the factor of `G` alone is
+    /// used only when `min_pivot > auto_rtol * max_pivot`, otherwise
+    /// the automatic-shift ladder runs. Part of every cache key that
+    /// identifies a reduction (engine run pool, service registry): two
+    /// requests differing only in `auto_rtol` can legitimately resolve
+    /// to different expansion points.
+    pub auto_rtol: f64,
 }
+
+/// Default [`SympvlOptions::auto_rtol`].
+pub const DEFAULT_AUTO_RTOL: f64 = 1e-10;
 
 impl Default for SympvlOptions {
     fn default() -> Self {
         SympvlOptions {
             shift: Shift::Auto,
             lanczos: LanczosOptions::default(),
+            auto_rtol: DEFAULT_AUTO_RTOL,
         }
     }
 }
@@ -84,6 +96,23 @@ impl SympvlOptions {
     pub fn with_lanczos(mut self, lanczos: LanczosOptions) -> Self {
         self.lanczos = lanczos;
         self
+    }
+
+    /// Sets the [`Shift::Auto`] pivot-acceptance threshold.
+    ///
+    /// # Errors
+    ///
+    /// [`SympvlError::InvalidOptions`] unless `0 <= auto_rtol < 1`
+    /// (finite) — at `1` or above no factorization could ever be
+    /// accepted, since `min_pivot <= max_pivot` always.
+    pub fn with_auto_rtol(mut self, auto_rtol: f64) -> Result<Self, SympvlError> {
+        if !(auto_rtol.is_finite() && (0.0..1.0).contains(&auto_rtol)) {
+            return Err(SympvlError::InvalidOptions {
+                reason: format!("auto_rtol must be finite in [0, 1), got {auto_rtol}"),
+            });
+        }
+        self.auto_rtol = auto_rtol;
+        Ok(self)
     }
 }
 
@@ -173,6 +202,29 @@ pub fn factor_with_shift_via<F>(
 where
     F: FnMut(&MnaSystem, FactorTarget) -> Result<Arc<GFactor>, SympvlError>,
 {
+    let opts = SympvlOptions {
+        shift,
+        ..SympvlOptions::default()
+    };
+    factor_with_options_via(sys, &opts, factor_fn)
+}
+
+/// Like [`factor_with_shift_via`], but honouring the full
+/// [`SympvlOptions`] — in particular [`SympvlOptions::auto_rtol`], the
+/// `Auto` pivot-acceptance threshold. The acceptance decision is made
+/// here on every call, *outside* `factor_fn`: a cache behind the seam
+/// memoizes factorizations (including failures) per [`FactorTarget`]
+/// matrix only, so changing options re-judges a cached factor rather
+/// than being wrongly rejected by a stale decision.
+pub fn factor_with_options_via<F>(
+    sys: &MnaSystem,
+    opts: &SympvlOptions,
+    factor_fn: &mut F,
+) -> Result<(Arc<GFactor>, f64), SympvlError>
+where
+    F: FnMut(&MnaSystem, FactorTarget) -> Result<Arc<GFactor>, SympvlError>,
+{
+    let shift = opts.shift;
     if sys.dim() == 0 {
         // Also guards the Auto-accept conditioning test below: a dim-0
         // factor has no pivots, and "min pivot > tol * max pivot" on an
@@ -204,7 +256,9 @@ where
                     // reports (0, 0) for dim-0); the guard cannot pass
                     // vacuously.
                     let (lo, hi) = f.pivot_range();
-                    lo.is_finite() && lo > 1e-10 * hi
+                    // With auto_rtol == 0 this still demands lo > 0:
+                    // a zero pivot is never acceptable.
+                    lo.is_finite() && lo > opts.auto_rtol * hi
                 } =>
             {
                 Ok((f, 0.0))
@@ -459,6 +513,67 @@ mod tests {
             assert!(
                 matches!(sympvl(&sys, 1, &opts), Err(SympvlError::EmptySystem)),
                 "{shift:?} must reject a dim-0 system"
+            );
+        }
+    }
+
+    #[test]
+    fn auto_rtol_is_judged_per_request_not_per_cached_factor() {
+        // A cache behind the factor seam memoizes *factorizations* per
+        // FactorTarget — not the Auto accept/reject decision. Flipping
+        // auto_rtol between requests against the same cache must
+        // re-judge the cached unshifted factor, not replay the earlier
+        // verdict.
+        use std::cell::{Cell, RefCell};
+        use std::collections::HashMap;
+        // random_rc is grounded: G is SPD and the unshifted factor is
+        // acceptable at the default threshold (rc_ladder would not do —
+        // its G is a floating resistor chain, singular by construction).
+        let sys = MnaSystem::assemble(&random_rc(3, 25, 2)).unwrap();
+        let cache: RefCell<HashMap<String, Result<Arc<GFactor>, SympvlError>>> =
+            RefCell::new(HashMap::new());
+        let calls = Cell::new(0usize);
+        let mut cached_factor = |sys: &MnaSystem, target: FactorTarget| {
+            let key = format!("{target:?}");
+            if let Some(hit) = cache.borrow().get(&key) {
+                return hit.clone();
+            }
+            calls.set(calls.get() + 1);
+            let fresh = factor_target(sys, target);
+            cache.borrow_mut().insert(key, fresh.clone());
+            fresh
+        };
+
+        // Default threshold: the grounded RC ladder's G factors cleanly
+        // and the unshifted factor is accepted (shift 0).
+        let lenient = SympvlOptions::default();
+        let (_, s0) = factor_with_options_via(&sys, &lenient, &mut cached_factor).unwrap();
+        assert_eq!(s0, 0.0);
+        assert_eq!(calls.get(), 1);
+
+        // Absurdly strict threshold against the same warm cache: the
+        // cached unshifted factor is re-judged, rejected, and the
+        // ladder gets a genuinely fresh attempt (a new Shifted target).
+        let strict = SympvlOptions::default().with_auto_rtol(0.999).unwrap();
+        let (_, s1) = factor_with_options_via(&sys, &strict, &mut cached_factor).unwrap();
+        assert!(s1 > 0.0, "strict rtol should force an automatic shift");
+        assert_eq!(calls.get(), 2, "ladder must factor a fresh shifted target");
+
+        // And the lenient request still accepts the cached factor after
+        // the strict one rejected it — no cross-request poisoning.
+        let (_, s2) = factor_with_options_via(&sys, &lenient, &mut cached_factor).unwrap();
+        assert_eq!(s2, 0.0);
+        assert_eq!(calls.get(), 2, "both targets already cached");
+    }
+
+    #[test]
+    fn auto_rtol_builder_validates() {
+        assert!(SympvlOptions::new().with_auto_rtol(0.0).is_ok());
+        assert!(SympvlOptions::new().with_auto_rtol(1e-6).is_ok());
+        for bad in [1.0, 1.5, -1e-3, f64::NAN, f64::INFINITY] {
+            assert!(
+                SympvlOptions::new().with_auto_rtol(bad).is_err(),
+                "auto_rtol {bad} should be rejected"
             );
         }
     }

@@ -58,7 +58,7 @@ mod session;
 
 pub use cache::{CacheStats, FactorKey};
 pub use request::{
-    AdaptiveInfo, EvalOutcome, EvalPoint, EvalRequest, ModelId, OrderSpec, ReductionOutcome,
-    ReductionRequest, Want,
+    AdaptiveInfo, EvalOutcome, EvalPoint, EvalRequest, ModelId, MultiPointInfo, MultiPointRequest,
+    OrderSpec, ReductionOutcome, ReductionRequest, Want,
 };
 pub use session::{ReductionSession, SessionOptions};

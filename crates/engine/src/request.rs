@@ -6,8 +6,8 @@
 //! non-finite shift or frequency) rather than deep inside the run.
 
 use sympvl::{
-    AdaptiveOptions, Certificate, ReducedModel, Shift, SympvlError, SympvlOptions,
-    SynthesisOptions, SynthesizedCircuit,
+    AdaptiveOptions, Certificate, MultiPointOptions, ReducedModel, Shift, SympvlError,
+    SympvlOptions, SynthesisOptions, SynthesizedCircuit,
 };
 
 use mpvl_la::{Complex64, Mat};
@@ -154,6 +154,62 @@ impl ReductionRequest {
     }
 }
 
+/// One multi-point (rational-Krylov) reduction to perform against a
+/// [`ReductionSession`](crate::ReductionSession) — the session-level
+/// face of [`sympvl::reduce_multipoint`]. Per-point factorizations go
+/// through the session's shift-keyed factor cache and paused runs are
+/// pooled under their shift, so repeated multi-point requests (or a
+/// single-point request at one of the same expansion points) resume
+/// warm state.
+///
+/// ```
+/// use mpvl_engine::{MultiPointRequest, Want};
+/// use sympvl::MultiPointOptions;
+/// # fn main() -> Result<(), sympvl::SympvlError> {
+/// let req = MultiPointRequest::new(
+///     MultiPointOptions::for_band(1e7, 1e10)?.with_total_order(12)?,
+/// )
+/// .with_want(Want::model_only().with_poles());
+/// # let _ = req;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct MultiPointRequest {
+    /// Band, budget, placement, and per-point reduction options.
+    pub options: MultiPointOptions,
+    /// By-products to compute from the merged model.
+    pub want: Want,
+}
+
+impl MultiPointRequest {
+    /// A multi-point reduction with the given options and no by-products.
+    pub fn new(options: MultiPointOptions) -> Self {
+        MultiPointRequest {
+            options,
+            want: Want::default(),
+        }
+    }
+
+    /// Convenience: default options for a band (see
+    /// [`MultiPointOptions::for_band`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SympvlError::InvalidOptions`] unless `0 < f_lo < f_hi` with
+    /// both endpoints finite.
+    pub fn for_band(f_lo: f64, f_hi: f64) -> Result<Self, SympvlError> {
+        Ok(Self::new(MultiPointOptions::for_band(f_lo, f_hi)?))
+    }
+
+    /// Selects the by-products to compute.
+    pub fn with_want(mut self, want: Want) -> Self {
+        self.want = want;
+        self
+    }
+}
+
 /// Handle to a reduced model retained by the session, usable in
 /// [`EvalRequest`]s without re-reducing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -188,6 +244,22 @@ pub struct AdaptiveInfo {
     pub hit_order_cap: bool,
 }
 
+/// Placement bookkeeping from a multi-point request (mirrors
+/// [`sympvl::MultiPointOutcome`] minus the model).
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct MultiPointInfo {
+    /// Expansion frequencies actually used (Hz, ascending).
+    pub point_freqs_hz: Vec<f64>,
+    /// The σ-domain shifts corresponding to `point_freqs_hz`.
+    pub shifts: Vec<f64>,
+    /// Krylov order spent at each point.
+    pub per_point_order: usize,
+    /// Worst inter-point disagreement over the probes at the final
+    /// point set.
+    pub estimated_error: f64,
+}
+
 /// Result of one [`ReductionRequest`].
 #[derive(Debug, Clone)]
 #[non_exhaustive]
@@ -198,6 +270,9 @@ pub struct ReductionOutcome {
     pub model: ReducedModel,
     /// Present for adaptive requests.
     pub adaptive: Option<AdaptiveInfo>,
+    /// Present for multi-point requests
+    /// ([`ReductionSession::reduce_multipoint`](crate::ReductionSession::reduce_multipoint)).
+    pub multipoint: Option<MultiPointInfo>,
     /// Present when [`Want::poles`] was set.
     pub poles: Option<Vec<Complex64>>,
     /// Present when [`Want::certificate`] was set.
@@ -252,8 +327,9 @@ impl EvalRequest {
     ///
     /// # Errors
     ///
-    /// [`SympvlError::InvalidOptions`] unless `0 < f_lo < f_hi` (finite)
-    /// and `points >= 2` (see [`mpvl_sim::FreqGrid::log`]).
+    /// [`SympvlError::InvalidOptions`] unless `0 < f_lo <= f_hi` (finite)
+    /// and `points >= 1` (see [`mpvl_sim::FreqGrid::log`]; a degenerate
+    /// span collapses to a single point).
     pub fn log_sweep(
         model: ModelId,
         f_lo: f64,

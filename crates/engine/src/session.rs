@@ -26,17 +26,17 @@
 
 use crate::cache::{CacheStats, FactorCache, FactorKey};
 use crate::request::{
-    AdaptiveInfo, EvalOutcome, EvalPoint, EvalRequest, ModelId, OrderSpec, ReductionOutcome,
-    ReductionRequest,
+    AdaptiveInfo, EvalOutcome, EvalPoint, EvalRequest, ModelId, MultiPointInfo, MultiPointRequest,
+    OrderSpec, ReductionOutcome, ReductionRequest, Want,
 };
 use mpvl_circuit::MnaSystem;
 use mpvl_la::{Complex64, Mat};
 use mpvl_sim::{AcError, AcPoint, AcSweeper};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use sympvl::{
-    certify, factor_target, reduce_adaptive_with, synthesize_rc, Certificate, EvalPlan,
-    EvalWorkspace, FactorTarget, GFactor, ReducedModel, Shift, SympvlError, SympvlOptions,
-    SympvlRun, SynthesizedCircuit,
+    certify, factor_target, reduce_adaptive_with, reduce_multipoint_with, synthesize_rc,
+    Certificate, EvalPlan, EvalWorkspace, FactorTarget, GFactor, ReducedModel, RunProvider, Shift,
+    SympvlError, SympvlOptions, SympvlRun, SynthesizedCircuit,
 };
 
 /// Locks `m`, recovering from poison (see the module-level lock
@@ -133,6 +133,10 @@ impl SessionOptions {
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct RunKey {
     shift: ShiftKey,
+    /// By bits: the acceptance threshold participates in the `Auto`
+    /// ladder's outcome, so runs built under different thresholds can
+    /// sit at different shifts and must never alias.
+    auto_rtol: u64,
     dtol: u64,
     cluster_tol: u64,
     full_reorth: bool,
@@ -154,6 +158,7 @@ impl RunKey {
                 Shift::Auto => ShiftKey::Auto,
                 Shift::Value(s0) => ShiftKey::Value(s0.to_bits()),
             },
+            auto_rtol: opts.auto_rtol.to_bits(),
             dtol: opts.lanczos.dtol.to_bits(),
             cluster_tol: opts.lanczos.cluster_tol.to_bits(),
             full_reorth: opts.lanczos.full_reorth,
@@ -298,9 +303,35 @@ impl ModelStore {
 struct PendingOutcome {
     model: ReducedModel,
     adaptive: Option<AdaptiveInfo>,
+    multipoint: Option<MultiPointInfo>,
     poles: Option<Vec<Complex64>>,
     certificate: Option<Certificate>,
     synthesis: Option<SynthesizedCircuit>,
+}
+
+/// [`RunProvider`] adapter that routes the multi-point driver's
+/// per-point checkouts through the session's factor cache and run pool:
+/// each expansion point's factorization is cached under its
+/// [`FactorKey`], and its paused Lanczos state is pooled under the same
+/// [`RunKey`] a single-point request at that shift would use — so the
+/// two request kinds warm each other.
+struct SessionRuns<'a> {
+    session: &'a ReductionSession,
+}
+
+impl RunProvider for SessionRuns<'_> {
+    fn checkout(
+        &mut self,
+        sys: &MnaSystem,
+        opts: &SympvlOptions,
+    ) -> Result<SympvlRun, SympvlError> {
+        debug_assert_eq!(sys.dim(), self.session.sys.dim(), "foreign system");
+        self.session.checkout_or_create_run(opts)
+    }
+
+    fn checkin(&mut self, opts: &SympvlOptions, run: SympvlRun) {
+        self.session.checkin_run(RunKey::of(opts), run);
+    }
 }
 
 /// One system, many reductions: a [`ReductionSession`] is constructed
@@ -381,6 +412,49 @@ impl ReductionSession {
     pub fn reduce(&self, request: &ReductionRequest) -> Result<ReductionOutcome, SympvlError> {
         let _span = mpvl_obs::span("engine", "reduce");
         let pending = self.execute(request)?;
+        Ok(self.register(pending))
+    }
+
+    /// Serves one multi-point (rational-Krylov) reduction request —
+    /// the session-level face of [`sympvl::reduce_multipoint`], with
+    /// every per-point factorization cached under its [`FactorKey`] and
+    /// every paused per-point Lanczos state pooled exactly as a
+    /// single-point request at that shift would pool it. The merged
+    /// model is retained in the store like any other outcome
+    /// ([`ReductionOutcome::model_id`] works with [`EvalRequest`]).
+    ///
+    /// The driver is sequential over points, so the outcome is
+    /// bit-identical to the free-function call at any `MPVL_THREADS`
+    /// and any cache state.
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`sympvl::reduce_multipoint`] or the requested
+    /// by-products report.
+    pub fn reduce_multipoint(
+        &self,
+        request: &MultiPointRequest,
+    ) -> Result<ReductionOutcome, SympvlError> {
+        let _span = mpvl_obs::span("engine", "reduce_multipoint");
+        let out = reduce_multipoint_with(
+            &self.sys,
+            &request.options,
+            &mut SessionRuns { session: self },
+        )?;
+        let (poles, certificate, synthesis) = self.by_products(&out.model, &request.want)?;
+        let pending = PendingOutcome {
+            model: out.model,
+            adaptive: None,
+            multipoint: Some(MultiPointInfo {
+                point_freqs_hz: out.point_freqs_hz,
+                shifts: out.shifts,
+                per_point_order: out.per_point_order,
+                estimated_error: out.estimated_error,
+            }),
+            poles,
+            certificate,
+            synthesis,
+        };
         Ok(self.register(pending))
     }
 
@@ -784,29 +858,46 @@ impl ReductionSession {
                 )
             }
         };
-        let poles = if request.want.poles {
-            Some(model.poles()?)
-        } else {
-            None
-        };
-        let certificate = request
-            .want
-            .certificate
-            .map(|tol| certify(&model, tol))
-            .transpose()?;
-        let synthesis = request
-            .want
-            .synthesis
-            .as_ref()
-            .map(|opts| synthesize_rc(&model, opts))
-            .transpose()?;
+        let (poles, certificate, synthesis) = self.by_products(&model, &request.want)?;
         Ok(PendingOutcome {
             model,
             adaptive,
+            multipoint: None,
             poles,
             certificate,
             synthesis,
         })
+    }
+
+    /// Computes the optional [`Want`] by-products from a finished model.
+    #[allow(clippy::type_complexity)]
+    fn by_products(
+        &self,
+        model: &ReducedModel,
+        want: &Want,
+    ) -> Result<
+        (
+            Option<Vec<Complex64>>,
+            Option<Certificate>,
+            Option<SynthesizedCircuit>,
+        ),
+        SympvlError,
+    > {
+        let poles = if want.poles {
+            Some(model.poles()?)
+        } else {
+            None
+        };
+        let certificate = want
+            .certificate
+            .map(|tol| certify(model, tol))
+            .transpose()?;
+        let synthesis = want
+            .synthesis
+            .as_ref()
+            .map(|opts| synthesize_rc(model, opts))
+            .transpose()?;
+        Ok((poles, certificate, synthesis))
     }
 
     /// Retains the model and assigns its id. Called in request-index
@@ -817,6 +908,7 @@ impl ReductionSession {
             model_id,
             model: pending.model,
             adaptive: pending.adaptive,
+            multipoint: pending.multipoint,
             poles: pending.poles,
             certificate: pending.certificate,
             synthesis: pending.synthesis,

@@ -22,15 +22,17 @@ use crate::hash::sha256_hex;
 use crate::registry::ModelRegistry;
 use mpvl_circuit::{parse_spice, to_spice, MnaSystem};
 use mpvl_engine::{
-    AdaptiveInfo, EvalPoint, EvalRequest, ModelId, OrderSpec, ReductionRequest, ReductionSession,
-    SessionOptions,
+    AdaptiveInfo, EvalPoint, EvalRequest, ModelId, MultiPointInfo, MultiPointRequest, OrderSpec,
+    ReductionRequest, ReductionSession, SessionOptions, Want,
 };
 use mpvl_la::Complex64;
 use mpvl_par::{BoundedQueue, PushError};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
-use sympvl::{certify, synthesize_rc, Certificate, ReducedModel, Shift, SynthesizedCircuit};
+use sympvl::{
+    certify, synthesize_rc, Certificate, PointPlacement, ReducedModel, Shift, SynthesizedCircuit,
+};
 
 fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
@@ -157,9 +159,19 @@ pub struct ServiceRequest {
     canonical: String,
     shard_hex: String,
     key_hex: String,
-    reduction: ReductionRequest,
+    reduction: ReductionKind,
     eval_freqs_hz: Option<Vec<f64>>,
     chaos_panic: bool,
+}
+
+/// Which reduction a [`ServiceRequest`] carries. The two kinds
+/// serialize to disjoint canonical forms (see [`canonical_reduction`]),
+/// so a single-point and a multi-point model over the same netlist can
+/// never alias one registry address.
+#[derive(Debug, Clone)]
+enum ReductionKind {
+    Single(ReductionRequest),
+    Multi(MultiPointRequest),
 }
 
 impl ServiceRequest {
@@ -172,6 +184,27 @@ impl ServiceRequest {
     /// [`ServiceError::InvalidRequest`] for a circuit with no ports
     /// (nothing to reduce against).
     pub fn new(netlist: &str, reduction: ReductionRequest) -> Result<Self, ServiceError> {
+        Self::with_kind(netlist, ReductionKind::Single(reduction))
+    }
+
+    /// Like [`ServiceRequest::new`] for a multi-point (rational-Krylov)
+    /// reduction — served through
+    /// [`ReductionSession::reduce_multipoint`], addressed in the
+    /// registry by the full multi-point configuration (band, budget,
+    /// placement, probes, tolerances, Lanczos tuning), disjoint from
+    /// every single-point address.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServiceRequest::new`].
+    pub fn new_multipoint(
+        netlist: &str,
+        reduction: MultiPointRequest,
+    ) -> Result<Self, ServiceError> {
+        Self::with_kind(netlist, ReductionKind::Multi(reduction))
+    }
+
+    fn with_kind(netlist: &str, reduction: ReductionKind) -> Result<Self, ServiceError> {
         let (ckt, _names) = parse_spice(netlist)?;
         if ckt.num_ports() == 0 {
             return Err(ServiceError::InvalidRequest {
@@ -190,6 +223,14 @@ impl ServiceRequest {
             eval_freqs_hz: None,
             chaos_panic: false,
         })
+    }
+
+    /// The by-products this request asks for.
+    fn want(&self) -> &Want {
+        match &self.reduction {
+            ReductionKind::Single(r) => &r.want,
+            ReductionKind::Multi(m) => &m.want,
+        }
     }
 
     /// Also evaluate the reduced model at these frequencies (Hz).
@@ -239,33 +280,70 @@ impl ServiceRequest {
 
 /// The exact reduction identity, canonicalized: everything that can
 /// change a model's bits, nothing that cannot. Floats by bit pattern —
-/// "nearly the same" options must not share a model.
-fn canonical_reduction(reduction: &ReductionRequest) -> String {
+/// "nearly the same" options must not share a model. The two request
+/// kinds open with different leaders (`order …` vs `multipoint …`), so
+/// their addresses are disjoint by construction.
+fn canonical_reduction(reduction: &ReductionKind) -> String {
     let mut s = String::new();
-    match &reduction.order {
-        OrderSpec::Fixed(n) => s.push_str(&format!("order fixed {n}\n")),
-        OrderSpec::Adaptive(a) => {
+    let sympvl = match reduction {
+        ReductionKind::Single(r) => {
+            match &r.order {
+                OrderSpec::Fixed(n) => s.push_str(&format!("order fixed {n}\n")),
+                OrderSpec::Adaptive(a) => {
+                    s.push_str(&format!(
+                        "order adaptive tol={:016x} init={} step={} max={}\nprobes",
+                        a.tol.to_bits(),
+                        a.initial_order,
+                        a.order_step,
+                        a.max_order
+                    ));
+                    for f in &a.probe_freqs_hz {
+                        s.push_str(&format!(" {:016x}", f.to_bits()));
+                    }
+                    s.push('\n');
+                }
+            }
+            match r.sympvl.shift {
+                Shift::None => s.push_str("shift none\n"),
+                Shift::Auto => s.push_str("shift auto\n"),
+                Shift::Value(v) => s.push_str(&format!("shift value {:016x}\n", v.to_bits())),
+            }
+            &r.sympvl
+        }
+        ReductionKind::Multi(m) => {
+            let o = &m.options;
             s.push_str(&format!(
-                "order adaptive tol={:016x} init={} step={} max={}\nprobes",
-                a.tol.to_bits(),
-                a.initial_order,
-                a.order_step,
-                a.max_order
+                "multipoint band={:016x}..{:016x} total={} tol={:016x} btol={:016x}\n",
+                o.f_lo.to_bits(),
+                o.f_hi.to_bits(),
+                o.total_order,
+                o.tol.to_bits(),
+                o.basis_tol.to_bits()
             ));
-            for f in &a.probe_freqs_hz {
+            match &o.placement {
+                PointPlacement::Explicit(freqs) => {
+                    s.push_str("points");
+                    for f in freqs {
+                        s.push_str(&format!(" {:016x}", f.to_bits()));
+                    }
+                    s.push('\n');
+                }
+                PointPlacement::Adaptive { max_points } => {
+                    s.push_str(&format!("adaptive max_points={max_points}\n"));
+                }
+            }
+            s.push_str("probes");
+            for f in &o.probe_freqs_hz {
                 s.push_str(&format!(" {:016x}", f.to_bits()));
             }
             s.push('\n');
+            &o.sympvl
         }
-    }
-    match reduction.sympvl.shift {
-        Shift::None => s.push_str("shift none\n"),
-        Shift::Auto => s.push_str("shift auto\n"),
-        Shift::Value(v) => s.push_str(&format!("shift value {:016x}\n", v.to_bits())),
-    }
-    let l = &reduction.sympvl.lanczos;
+    };
+    let l = &sympvl.lanczos;
     s.push_str(&format!(
-        "lanczos dtol={:016x} ctol={:016x} reorth={} maxc={}\n",
+        "rtol={:016x} lanczos dtol={:016x} ctol={:016x} reorth={} maxc={}\n",
+        sympvl.auto_rtol.to_bits(),
         l.dtol.to_bits(),
         l.cluster_tol.to_bits(),
         l.full_reorth,
@@ -290,6 +368,9 @@ pub struct ServiceOutcome {
     /// Adaptive convergence info — `None` on registry hits (the
     /// escalation history is not persisted, only its result).
     pub adaptive: Option<AdaptiveInfo>,
+    /// Multi-point placement info — `None` on registry hits (the
+    /// placement history is not persisted, only its result).
+    pub multipoint: Option<MultiPointInfo>,
     /// Present when [`Want::poles`](mpvl_engine::Want) was set.
     pub poles: Option<Vec<Complex64>>,
     /// Present when a certificate was requested.
@@ -298,6 +379,16 @@ pub struct ServiceOutcome {
     pub synthesis: Option<SynthesizedCircuit>,
     /// Present when [`ServiceRequest::with_eval`] was used.
     pub eval: Option<Vec<EvalPoint>>,
+}
+
+/// A model resolved for a request — from the registry or freshly
+/// reduced — before by-products and eval are attached.
+struct Resolved {
+    model_id: ModelId,
+    model: Arc<ReducedModel>,
+    adaptive: Option<AdaptiveInfo>,
+    multipoint: Option<MultiPointInfo>,
+    registry_hit: bool,
 }
 
 /// One consistent snapshot of the service's SLO counters (all service
@@ -594,19 +685,39 @@ impl ReductionService {
             panic!("chaos: injected request panic");
         }
         let session = self.session_for(request)?;
-        let (model_id, model, adaptive, registry_hit) = match self.registry.get(&request.key_hex) {
+        let resolved = match self.registry.get(&request.key_hex) {
             Some(cached) => {
                 let id = session.adopt_model((*cached).clone());
-                (id, cached, None, true)
+                Resolved {
+                    model_id: id,
+                    model: cached,
+                    adaptive: None,
+                    multipoint: None,
+                    registry_hit: true,
+                }
             }
             None => {
-                let outcome = session.reduce(&request.reduction)?;
+                let outcome = match &request.reduction {
+                    ReductionKind::Single(r) => session.reduce(r)?,
+                    // By-products are computed in `finish` (shared with
+                    // the registry-hit path), so the engine request
+                    // carries no Want of its own.
+                    ReductionKind::Multi(m) => {
+                        session.reduce_multipoint(&MultiPointRequest::new(m.options.clone()))?
+                    }
+                };
                 let model = Arc::new(outcome.model);
                 self.registry.put(&request.key_hex, model.clone())?;
-                (outcome.model_id, model, outcome.adaptive, false)
+                Resolved {
+                    model_id: outcome.model_id,
+                    model,
+                    adaptive: outcome.adaptive,
+                    multipoint: outcome.multipoint,
+                    registry_hit: false,
+                }
             }
         };
-        self.finish(request, &session, model_id, model, adaptive, registry_hit)
+        self.finish(request, &session, resolved)
     }
 
     /// By-products and eval for a resolved model — shared by the single
@@ -615,12 +726,16 @@ impl ReductionService {
         &self,
         request: &ServiceRequest,
         session: &ReductionSession,
-        model_id: ModelId,
-        model: Arc<ReducedModel>,
-        adaptive: Option<AdaptiveInfo>,
-        registry_hit: bool,
+        resolved: Resolved,
     ) -> Result<ServiceOutcome, ServiceError> {
-        let want = &request.reduction.want;
+        let Resolved {
+            model_id,
+            model,
+            adaptive,
+            multipoint,
+            registry_hit,
+        } = resolved;
+        let want = request.want();
         let poles = if want.poles {
             Some(model.poles()?)
         } else {
@@ -647,6 +762,7 @@ impl ReductionService {
             model: (*model).clone(),
             registry_hit,
             adaptive,
+            multipoint,
             poles,
             certificate,
             synthesis,
@@ -685,40 +801,64 @@ impl ReductionService {
                 })
             })
             .collect();
-        // All misses reduce through one batch call — that is what makes
-        // the service bit-identical to the engine at any thread count.
-        let miss_members: Vec<usize> = members
+        // Single-point misses reduce through one batch call — that is
+        // what makes the service bit-identical to the engine at any
+        // thread count. Multi-point misses run inline in member order
+        // (their driver is sequential and deterministic on its own).
+        let single_misses: Vec<ReductionRequest> = members
             .iter()
             .zip(&probes)
             .filter(|(_, p)| matches!(p, Ok(None)))
-            .map(|(&i, _)| i)
+            .filter_map(|(&i, _)| match &requests[i].reduction {
+                ReductionKind::Single(r) => Some(r.clone()),
+                ReductionKind::Multi(_) => None,
+            })
             .collect();
-        let miss_requests: Vec<ReductionRequest> = miss_members
-            .iter()
-            .map(|&i| requests[i].reduction.clone())
-            .collect();
-        let mut reduced = session.reduce_batch(&miss_requests).into_iter();
+        let mut reduced = session.reduce_batch(&single_misses).into_iter();
         for (&i, probe) in members.iter().zip(probes) {
             let resolved = match probe {
                 Err(e) => Err(e),
                 Ok(Some(cached)) => {
                     let id = session.adopt_model((*cached).clone());
-                    Ok((id, cached, None, true))
+                    Ok(Resolved {
+                        model_id: id,
+                        model: cached,
+                        adaptive: None,
+                        multipoint: None,
+                        registry_hit: true,
+                    })
                 }
-                Ok(None) => match reduced.next().expect("one outcome per miss") {
-                    Ok(outcome) => {
-                        let model = Arc::new(outcome.model);
-                        match self.registry.put(&requests[i].key_hex, model.clone()) {
-                            Ok(()) => Ok((outcome.model_id, model, outcome.adaptive, false)),
-                            Err(e) => Err(e),
+                Ok(None) => {
+                    let outcome = match &requests[i].reduction {
+                        ReductionKind::Single(_) => reduced
+                            .next()
+                            .expect("one outcome per single-point miss")
+                            .map_err(ServiceError::from),
+                        ReductionKind::Multi(m) => session
+                            .reduce_multipoint(&MultiPointRequest::new(m.options.clone()))
+                            .map_err(ServiceError::from),
+                    };
+                    match outcome {
+                        Ok(outcome) => {
+                            let model = Arc::new(outcome.model);
+                            match self.registry.put(&requests[i].key_hex, model.clone()) {
+                                Ok(()) => Ok(Resolved {
+                                    model_id: outcome.model_id,
+                                    model,
+                                    adaptive: outcome.adaptive,
+                                    multipoint: outcome.multipoint,
+                                    registry_hit: false,
+                                }),
+                                Err(e) => Err(e),
+                            }
                         }
+                        Err(e) => Err(e),
                     }
-                    Err(e) => Err(e.into()),
-                },
+                }
             };
-            slots[i] = Some(resolved.and_then(|(id, model, adaptive, hit)| {
-                self.contain(|| self.finish(&requests[i], &session, id, model, adaptive, hit))
-            }));
+            slots[i] = Some(
+                resolved.and_then(|r| self.contain(|| self.finish(&requests[i], &session, r))),
+            );
         }
     }
 }

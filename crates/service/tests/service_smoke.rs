@@ -262,3 +262,68 @@ fn session_lru_bounds_live_sessions() {
     let outcome = service.submit(&request).unwrap();
     assert!(outcome.registry_hit);
 }
+
+#[test]
+fn multipoint_requests_are_addressed_disjointly_and_serve_warm() {
+    use mpvl_engine::MultiPointRequest;
+    use sympvl::MultiPointOptions;
+
+    let netlist = ladder(40, 80.0, 1e-12);
+    let multi = |total: usize| {
+        MultiPointRequest::new(
+            MultiPointOptions::for_band(1e7, 1e10)
+                .unwrap()
+                .with_total_order(total)
+                .unwrap()
+                .with_points(vec![1e7, 1e10])
+                .unwrap(),
+        )
+    };
+    let m = ServiceRequest::new_multipoint(&netlist, multi(8)).unwrap();
+    // Same circuit → same shard; multi-point never aliases single-point
+    // (not even a fixed request at the same total order), nor a
+    // different multi-point budget.
+    let single = ServiceRequest::new(&netlist, ReductionRequest::fixed(8).unwrap()).unwrap();
+    assert_eq!(m.shard_key(), single.shard_key());
+    assert_ne!(m.registry_key(), single.registry_key());
+    assert_ne!(
+        m.registry_key(),
+        ServiceRequest::new_multipoint(&netlist, multi(10))
+            .unwrap()
+            .registry_key()
+    );
+    // And the acceptance threshold is part of the single-point address.
+    let strict = ServiceRequest::new(
+        &netlist,
+        ReductionRequest::fixed(8)
+            .unwrap()
+            .with_sympvl(sympvl::SympvlOptions::new().with_auto_rtol(1e-3).unwrap()),
+    )
+    .unwrap();
+    assert_ne!(single.registry_key(), strict.registry_key());
+
+    let service = ReductionService::new(ServiceOptions::default());
+    let cold = service
+        .submit(&m.clone().with_eval(vec![1e7, 1e8, 1e10]).unwrap())
+        .unwrap();
+    assert!(!cold.registry_hit);
+    let info = cold.multipoint.as_ref().expect("placement info on a miss");
+    assert_eq!(info.point_freqs_hz, vec![1e7, 1e10]);
+    assert!(cold.model.order() <= 8);
+    assert_eq!(cold.eval.as_ref().unwrap().len(), 3);
+    // Warm: registry hit, identical bits, no placement history.
+    let warm = service.submit(&m).unwrap();
+    assert!(warm.registry_hit);
+    assert!(warm.multipoint.is_none());
+    assert_eq!(
+        sympvl::write_model(&warm.model),
+        sympvl::write_model(&cold.model)
+    );
+    // Mixed batch over one shard: single and multi members coexist.
+    let batch = service.submit_batch(&[single.clone(), m.clone(), strict.clone()]);
+    for outcome in &batch {
+        assert!(outcome.is_ok(), "{outcome:?}");
+    }
+    assert!(batch[1].as_ref().unwrap().registry_hit);
+    assert!(!batch[2].as_ref().unwrap().registry_hit);
+}

@@ -348,7 +348,9 @@ impl fmt::Display for GridError {
 
 impl std::error::Error for GridError {}
 
-/// A validated frequency grid (Hz), strictly increasing and finite.
+/// A validated frequency grid (Hz), strictly increasing and finite
+/// (degenerate spans collapse to a single point rather than repeating
+/// it).
 ///
 /// The fallible counterpart of [`log_space`] / [`lin_space`] — same
 /// floating-point formulas, but a bad span comes back as a [`GridError`]
@@ -370,9 +372,17 @@ pub struct FreqGrid {
 impl FreqGrid {
     /// Logarithmically spaced grid from `f_lo` to `f_hi` (inclusive).
     ///
+    /// Degenerate spans collapse instead of duplicating: `points == 1`
+    /// yields the single point `[f_lo]`, and coincident endpoints
+    /// (`f_lo == f_hi`) yield one point regardless of `points` —
+    /// callers that feed these grids programmatically (adaptive
+    /// multi-point placement) must never receive the same probe twice
+    /// or a probe outside `[f_lo, f_hi]`.
+    ///
     /// # Errors
     ///
-    /// [`GridError`] unless `0 < f_lo < f_hi` (finite) and `points >= 2`.
+    /// [`GridError`] unless `0 < f_lo <= f_hi` (finite) and
+    /// `points >= 1`.
     pub fn log(f_lo: f64, f_hi: f64, points: usize) -> Result<Self, GridError> {
         if !(f_lo.is_finite() && f_hi.is_finite()) {
             return Err(GridError {
@@ -384,15 +394,18 @@ impl FreqGrid {
                 reason: format!("log grid needs a positive start, got {f_lo}"),
             });
         }
-        if !(f_hi > f_lo) {
+        if f_hi < f_lo {
             return Err(GridError {
-                reason: format!("end {f_hi} must exceed start {f_lo}"),
+                reason: format!("end {f_hi} must not be below start {f_lo}"),
             });
         }
-        if points < 2 {
+        if points == 0 {
             return Err(GridError {
-                reason: format!("need at least 2 points, got {points}"),
+                reason: "need at least 1 point".to_string(),
             });
+        }
+        if points == 1 || f_hi == f_lo {
+            return Ok(FreqGrid { freqs: vec![f_lo] });
         }
         let l0 = f_lo.ln();
         let l1 = f_hi.ln();
@@ -405,24 +418,31 @@ impl FreqGrid {
 
     /// Linearly spaced grid from `f_lo` to `f_hi` (inclusive).
     ///
+    /// Degenerate spans collapse the same way as [`FreqGrid::log`]:
+    /// `points == 1` or coincident endpoints yield the single point
+    /// `[f_lo]`, never duplicates.
+    ///
     /// # Errors
     ///
-    /// [`GridError`] unless `f_lo < f_hi` (finite) and `points >= 2`.
+    /// [`GridError`] unless `f_lo <= f_hi` (finite) and `points >= 1`.
     pub fn lin(f_lo: f64, f_hi: f64, points: usize) -> Result<Self, GridError> {
         if !(f_lo.is_finite() && f_hi.is_finite()) {
             return Err(GridError {
                 reason: format!("endpoints must be finite, got {f_lo} and {f_hi}"),
             });
         }
-        if !(f_hi > f_lo) {
+        if f_hi < f_lo {
             return Err(GridError {
-                reason: format!("end {f_hi} must exceed start {f_lo}"),
+                reason: format!("end {f_hi} must not be below start {f_lo}"),
             });
         }
-        if points < 2 {
+        if points == 0 {
             return Err(GridError {
-                reason: format!("need at least 2 points, got {points}"),
+                reason: "need at least 1 point".to_string(),
             });
+        }
+        if points == 1 || f_hi == f_lo {
+            return Ok(FreqGrid { freqs: vec![f_lo] });
         }
         Ok(FreqGrid {
             freqs: (0..points)
@@ -431,7 +451,9 @@ impl FreqGrid {
         })
     }
 
-    /// Number of grid points (always at least 2).
+    /// Number of grid points (always at least 1; degenerate spans
+    /// collapse to one point, so this can be less than the `points`
+    /// argument).
     pub fn len(&self) -> usize {
         self.freqs.len()
     }
@@ -464,7 +486,7 @@ impl From<FreqGrid> for Vec<f64> {
 ///
 /// # Panics
 ///
-/// Panics unless `0 < f_lo < f_hi` and `points >= 2`.
+/// Panics unless `0 < f_lo <= f_hi` and `points >= 1`.
 pub fn log_space(f_lo: f64, f_hi: f64, points: usize) -> Vec<f64> {
     FreqGrid::log(f_lo, f_hi, points)
         .unwrap_or_else(|e| panic!("{e}"))
@@ -477,7 +499,7 @@ pub fn log_space(f_lo: f64, f_hi: f64, points: usize) -> Vec<f64> {
 ///
 /// # Panics
 ///
-/// Panics unless `f_lo < f_hi` and `points >= 2`.
+/// Panics unless `f_lo <= f_hi` and `points >= 1`.
 pub fn lin_space(f_lo: f64, f_hi: f64, points: usize) -> Vec<f64> {
     FreqGrid::lin(f_lo, f_hi, points)
         .unwrap_or_else(|e| panic!("{e}"))
@@ -510,7 +532,7 @@ mod tests {
         assert!(FreqGrid::log(0.0, 1e9, 4).is_err());
         assert!(FreqGrid::log(-1.0, 1e9, 4).is_err());
         assert!(FreqGrid::log(1e9, 1e6, 4).is_err());
-        assert!(FreqGrid::log(1e6, 1e9, 1).is_err());
+        assert!(FreqGrid::log(1e6, 1e9, 0).is_err());
         assert!(FreqGrid::log(f64::NAN, 1e9, 4).is_err());
         assert!(FreqGrid::log(1e6, f64::INFINITY, 4).is_err());
         assert!(FreqGrid::lin(1e9, 1e6, 4).is_err());
@@ -519,7 +541,42 @@ mod tests {
         // Negative starts are fine for linear grids (e.g. sweep offsets).
         assert!(FreqGrid::lin(-5.0, 5.0, 3).is_ok());
         let e = FreqGrid::log(1e9, 1e6, 4).unwrap_err();
-        assert!(e.to_string().contains("must exceed"));
+        assert!(e.to_string().contains("must not be below"));
+    }
+
+    #[test]
+    fn freq_grid_degenerate_spans_collapse_without_duplicates() {
+        // points == 1: exactly one probe, at the low endpoint.
+        let g = FreqGrid::log(1e6, 1e9, 1).unwrap();
+        assert_eq!(g.as_slice(), &[1e6]);
+        let g = FreqGrid::lin(2.5e8, 5e9, 1).unwrap();
+        assert_eq!(g.as_slice(), &[2.5e8]);
+
+        // Coincident endpoints: one probe no matter how many were
+        // requested (a repeated probe would double-count a frequency in
+        // placement heuristics, and interpolating 0/0 spans would emit
+        // NaN probes — both out of contract).
+        for points in [1usize, 2, 7] {
+            let g = FreqGrid::log(3e8, 3e8, points).unwrap();
+            assert_eq!(g.as_slice(), &[3e8]);
+            let g = FreqGrid::lin(-2.0, -2.0, points).unwrap();
+            assert_eq!(g.as_slice(), &[-2.0]);
+        }
+
+        // Collapsed grids still honour the log-grid positivity rule.
+        assert!(FreqGrid::log(0.0, 0.0, 1).is_err());
+
+        // Non-degenerate grids never contain duplicates or out-of-band
+        // points, even for spans one ulp wide.
+        let lo: f64 = 1e9;
+        let hi = f64::from_bits(lo.to_bits() + 1);
+        let g = FreqGrid::lin(lo, hi, 5).unwrap();
+        for w in g.as_slice().windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        for &f in g.as_slice() {
+            assert!((lo..=hi).contains(&f));
+        }
     }
 
     #[test]

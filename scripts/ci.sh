@@ -108,6 +108,13 @@ echo "==> session determinism across threads (MPVL_THREADS=2)"
 # path; the engine's batch fan-out must be bit-identical with a pool.
 MPVL_THREADS=2 cargo test -q --offline -p mpvl-engine --test session_determinism
 
+echo "==> multi-point determinism across threads (MPVL_THREADS=2)"
+# The multi-point driver is sequential over expansion points, so its
+# merged models must be bit-identical to the free function at any cache
+# state and any worker count (the suite also sweeps eval at 1/2/4
+# in-process).
+MPVL_THREADS=2 cargo test -q --offline -p mpvl-engine --test multipoint_determinism
+
 echo "==> smoke bench (bench_par_sweep, MPVL_THREADS=2, MPVL_OBS=json export)"
 rm -f target/obs/ci_smoke.jsonl
 MPVL_BENCH_WARMUP=1 MPVL_BENCH_SAMPLES=3 MPVL_THREADS=2 \
@@ -171,13 +178,29 @@ for name in eval_lu/40x2001 eval_compiled/40x2001 \
     }
 done
 
-echo "==> bench gate (factor kernel, sweep scaling, compiled eval, registry)"
+echo "==> smoke bench (bench_multipoint, reduced samples)"
+MPVL_BENCH_WARMUP=1 MPVL_BENCH_SAMPLES=3 \
+    cargo run -q --release --offline -p mpvl-bench --bin bench_multipoint
+
+test -s target/bench/BENCH_multipoint.json
+grep -q '"suite": *"multipoint"' target/bench/BENCH_multipoint.json
+for name in multipoint/worst_band_error singlepoint/worst_band_error \
+    multipoint/reduce_2pt multipoint_adaptive/worst_band_error; do
+    grep -q "\"$name" target/bench/BENCH_multipoint.json || {
+        echo "BENCH_multipoint.json missing result \"$name\"" >&2
+        exit 1
+    }
+done
+
+echo "==> bench gate (factor kernel, sweep scaling, compiled eval, registry, multi-point)"
 # Fails if the supernodal kernel is slower than the scalar kernel at
 # n=1360, if the threads=4 large-case sweep does not beat threads=1
 # (strict on multicore; a loud skip + oversubscription bound on 1 core),
 # if the compiled pole-residue eval is not faster than per-point LU, or
 # if the warm service registry hit ratio drops below 0.5 / a registry
-# hit stops being faster than a cold submit.
+# hit stops being faster than a cold submit, or if the 2-point merged
+# model stops beating the equal-order mid-band single-point expansion
+# on worst-over-band error.
 cargo run -q --release --offline -p mpvl-bench --bin bench_gate
 
 echo "==> ci.sh: all green"
