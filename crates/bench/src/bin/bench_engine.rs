@@ -12,7 +12,7 @@
 
 use mpvl_circuit::generators::{interconnect, rc_ladder, InterconnectParams};
 use mpvl_circuit::MnaSystem;
-use mpvl_engine::{EvalRequest, ReductionRequest, ReductionSession};
+use mpvl_engine::{EvalRequest, ReduceSpec, ReductionSession};
 use mpvl_sim::log_space;
 use mpvl_testkit::bench::Bench;
 
@@ -26,7 +26,7 @@ use mpvl_testkit::bench::Bench;
 /// path.)
 fn workload(session: &ReductionSession) {
     let outcome = session
-        .reduce(&ReductionRequest::fixed(24).expect("order"))
+        .reduce(&ReduceSpec::pade_fixed(24).expect("order"))
         .expect("reduction succeeds");
     let freqs = log_space(1e6, 1e10, 21);
     session

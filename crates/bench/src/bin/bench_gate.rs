@@ -32,6 +32,12 @@
 //!    package band) than a mid-band single-point expansion of the same
 //!    total order. The comparison is algorithmic (where the moments are
 //!    spent, not how fast), so it holds on any core count.
+//! 6. **Balanced-truncation accuracy at equal order** — from
+//!    `BENCH_bt.json`: on the strongly-coupled PEEC band, the
+//!    order-16 balanced-truncation model must be strictly more accurate
+//!    (worst relative error on the damped contour) than a mid-band
+//!    Padé expansion of the same order. Algorithmic again: the
+//!    band-global Hankel criterion vs local moment matching.
 //!
 //! Run with `cargo run --release -p mpvl-bench --bin bench_gate`;
 //! exits nonzero with a diagnostic on the first violated gate.
@@ -214,6 +220,26 @@ fn main() {
             "bench_gate ok: 2-point worst-band error {em:.3e} vs single-point \
              {es:.3e} at equal total order ({:.2}x tighter)",
             es / em
+        );
+    }
+
+    // Gate 6: balanced truncation must out-approximate the equal-order
+    // mid-band Padé expansion on the strongly-coupled PEEC band.
+    let bt = load("bt");
+    let eb = require(&bt, "bt", "bt/worst_band_error");
+    let ep = require(&bt, "bt", "pade/worst_band_error");
+    if !(eb.is_finite() && ep.is_finite()) || eb >= ep {
+        eprintln!(
+            "bench_gate FAIL: balanced-truncation worst-band error {eb:.3e} is not \
+             below the equal-order mid-band Padé error {ep:.3e} — the band-global \
+             Hankel criterion is not paying for its Lyapunov solve"
+        );
+        failures += 1;
+    } else {
+        println!(
+            "bench_gate ok: balanced-truncation worst-band error {eb:.3e} vs \
+             equal-order Padé {ep:.3e} on the PEEC band ({:.2}x tighter)",
+            ep / eb
         );
     }
 

@@ -20,7 +20,7 @@
 //! Run with `cargo run --release -p mpvl-bench --bin bench_service`;
 //! writes `target/bench/BENCH_service.json`.
 
-use mpvl_engine::ReductionRequest;
+use mpvl_engine::ReduceSpec;
 use mpvl_service::{ReductionService, ServiceOptions, ServiceRequest};
 use mpvl_sim::log_space;
 use mpvl_testkit::bench::Bench;
@@ -41,7 +41,7 @@ fn ladder(n: usize, r: f64, c: f64) -> String {
 }
 
 fn request(netlist: &str, order: usize) -> ServiceRequest {
-    ServiceRequest::new(netlist, ReductionRequest::fixed(order).expect("order"))
+    ServiceRequest::from_spec(netlist, ReduceSpec::pade_fixed(order).expect("order"))
         .expect("valid netlist")
         .with_eval(log_space(1e6, 1e10, 21))
         .expect("valid sweep")

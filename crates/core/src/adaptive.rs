@@ -325,13 +325,29 @@ pub(crate) fn band_difference(
     b: &ReducedModel,
     freqs: &[f64],
 ) -> Result<f64, SympvlError> {
+    Ok(band_disagreement(a, b, freqs)?.0)
+}
+
+/// Worst entrywise relative difference between two models over the
+/// probes, with the probe frequency where it occurs. Probes that land
+/// on a pole of either model are skipped; if every probe does, the
+/// disagreement is reported as zero at the first probe.
+pub fn band_disagreement(
+    a: &ReducedModel,
+    b: &ReducedModel,
+    freqs: &[f64],
+) -> Result<(f64, f64), SympvlError> {
     let mut worst = 0.0f64;
+    let mut worst_f = freqs.first().copied().unwrap_or(0.0);
     for &f in freqs {
         if let Some(d) = difference_at(a, b, f)? {
-            worst = worst.max(d);
+            if d > worst {
+                worst = d;
+                worst_f = f;
+            }
         }
     }
-    Ok(worst)
+    Ok((worst, worst_f))
 }
 
 #[cfg(test)]

@@ -40,6 +40,7 @@
 #![allow(clippy::needless_range_loop)]
 
 mod adaptive;
+mod balanced;
 mod error;
 mod eval;
 mod factor;
@@ -60,7 +61,13 @@ mod sypvl;
 pub mod baselines;
 pub mod synthesis;
 
-pub use adaptive::{reduce_adaptive, reduce_adaptive_with, AdaptiveOptions, AdaptiveOutcome};
+pub use adaptive::{
+    band_disagreement, reduce_adaptive, reduce_adaptive_with, AdaptiveOptions, AdaptiveOutcome,
+};
+pub use balanced::{
+    hankel_spectrum, reduce_balanced, reduce_balanced_via, BalancedOutcome, BtOptions,
+    HankelSpectrum,
+};
 pub use error::{Error, SympvlError};
 pub use eval::{EvalPlan, EvalWorkspace};
 pub use factor::GFactor;

@@ -492,7 +492,7 @@ fn worst_disagreement(models: &[ReducedModel], probes: &[f64]) -> Result<(f64, f
 /// `Ĵ = sign(Λ)`; then `T̂ = ĴM̂⁻¹ĈM̂⁻ᵀ`, `ρ̂ = ĴM̂⁻¹B̂`, `Δ̂ = Ĵ`,
 /// which reproduces `Zₙ(σ) = ρ̂ᵀΔ̂(I + (σ−s_ref)T̂)⁻¹ρ̂ =
 /// B̂ᵀ(Ĝ + σĈ)⁻¹B̂` identically.
-fn assemble_merged(
+pub(crate) fn assemble_merged(
     sys: &MnaSystem,
     stacked: &Mat<f64>,
     basis_tol: f64,

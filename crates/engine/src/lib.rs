@@ -2,9 +2,10 @@
 //!
 //! One [`ReductionSession`] is constructed from an assembled
 //! [`mpvl_circuit::MnaSystem`] and serves many requests against it:
-//! fixed-order and adaptive reductions ([`ReductionRequest`]), frequency
-//! sweeps of retained reduced models ([`EvalRequest`]), and exact AC
-//! sweeps of the full system. In between, the session reuses everything
+//! fixed-order Padé, adaptive Padé, multi-point rational-Krylov, and
+//! low-rank balanced-truncation reductions (one backend-agnostic
+//! [`ReduceSpec`]), frequency sweeps of retained reduced models
+//! ([`EvalRequest`]), and exact AC sweeps of the full system. In between, the session reuses everything
 //! the free functions would recompute:
 //!
 //! * **Factorizations** of `G + s₀C`, in a shift-keyed LRU cache
@@ -25,7 +26,7 @@
 //!
 //! ```
 //! use mpvl_circuit::{generators::rc_ladder, MnaSystem};
-//! use mpvl_engine::{EvalRequest, ReductionRequest, ReductionSession, Want};
+//! use mpvl_engine::{EvalRequest, ReduceSpec, ReductionSession, Want};
 //! # fn main() -> Result<(), sympvl::SympvlError> {
 //! let sys = MnaSystem::assemble(&rc_ladder(60, 100.0, 1e-12)).unwrap();
 //! let session = ReductionSession::new(sys);
@@ -33,9 +34,9 @@
 //! // A batch: three orders at one shift — one factorization, one
 //! // Lanczos process resumed across all three.
 //! let requests = [
-//!     ReductionRequest::fixed(4)?,
-//!     ReductionRequest::fixed(8)?.with_want(Want::model_only().with_poles()),
-//!     ReductionRequest::fixed(12)?,
+//!     ReduceSpec::pade_fixed(4)?,
+//!     ReduceSpec::pade_fixed(8)?.with_want(Want::model_only().with_poles()),
+//!     ReduceSpec::pade_fixed(12)?,
 //! ];
 //! let outcomes = session.reduce_batch(&requests);
 //! let order8 = outcomes[1].as_ref().unwrap();
@@ -58,7 +59,10 @@ mod session;
 
 pub use cache::{CacheStats, FactorKey};
 pub use request::{
-    AdaptiveInfo, EvalOutcome, EvalPoint, EvalRequest, ModelId, MultiPointInfo, MultiPointRequest,
-    OrderSpec, ReductionOutcome, ReductionRequest, Want,
+    AdaptiveInfo, Backend, BackendKind, BalancedInfo, CrossValidateOptions, CrossValidation,
+    EvalOutcome, EvalPoint, EvalRequest, ModelId, MultiPointInfo, OrderSpec, PadeSpec, ReduceSpec,
+    ReductionOutcome, Want,
 };
+#[allow(deprecated)]
+pub use request::{MultiPointRequest, ReductionRequest};
 pub use session::{ReductionSession, SessionOptions};

@@ -25,17 +25,21 @@
 //! cached work, never a structural invariant.
 
 use crate::cache::{CacheStats, FactorCache, FactorKey};
+#[allow(deprecated)]
+use crate::request::MultiPointRequest;
 use crate::request::{
-    AdaptiveInfo, EvalOutcome, EvalPoint, EvalRequest, ModelId, MultiPointInfo, MultiPointRequest,
-    OrderSpec, ReductionOutcome, ReductionRequest, Want,
+    AdaptiveInfo, Backend, BackendKind, BalancedInfo, CrossValidateOptions, CrossValidation,
+    EvalOutcome, EvalPoint, EvalRequest, ModelId, MultiPointInfo, OrderSpec, PadeSpec, ReduceSpec,
+    ReductionOutcome, Want,
 };
 use mpvl_circuit::MnaSystem;
 use mpvl_la::{Complex64, Mat};
 use mpvl_sim::{AcError, AcPoint, AcSweeper};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use sympvl::{
-    certify, factor_target, reduce_adaptive_with, reduce_multipoint_with, synthesize_rc,
-    Certificate, EvalPlan, EvalWorkspace, FactorTarget, GFactor, ReducedModel, RunProvider, Shift,
+    band_disagreement, certify, expansion_shift, factor_target, reduce_adaptive_with,
+    reduce_balanced_via, reduce_multipoint_with, synthesize_rc, BtOptions, Certificate, EvalPlan,
+    EvalWorkspace, FactorTarget, GFactor, MultiPointOptions, ReducedModel, RunProvider, Shift,
     SympvlError, SympvlOptions, SympvlRun, SynthesizedCircuit,
 };
 
@@ -304,6 +308,8 @@ struct PendingOutcome {
     model: ReducedModel,
     adaptive: Option<AdaptiveInfo>,
     multipoint: Option<MultiPointInfo>,
+    balanced: Option<BalancedInfo>,
+    cross_validation: Option<CrossValidation>,
     poles: Option<Vec<Complex64>>,
     certificate: Option<Certificate>,
     synthesis: Option<SynthesizedCircuit>,
@@ -359,12 +365,12 @@ impl RunProvider for SessionRuns<'_> {
 ///
 /// ```
 /// use mpvl_circuit::{generators::rc_ladder, MnaSystem};
-/// use mpvl_engine::{ReductionRequest, ReductionSession};
+/// use mpvl_engine::{ReduceSpec, ReductionSession};
 /// # fn main() -> Result<(), sympvl::SympvlError> {
 /// let sys = MnaSystem::assemble(&rc_ladder(40, 100.0, 1e-12)).unwrap();
 /// let session = ReductionSession::new(sys);
-/// let small = session.reduce(&ReductionRequest::fixed(4)?)?;
-/// let large = session.reduce(&ReductionRequest::fixed(8)?)?; // resumes, no refactor
+/// let small = session.reduce(&ReduceSpec::pade_fixed(4)?)?;
+/// let large = session.reduce(&ReduceSpec::pade_fixed(8)?)?; // resumes, no refactor
 /// assert_eq!(small.model.order(), 4);
 /// assert_eq!(large.model.order(), 8);
 /// // Auto-shift probed singular G (cached failure), then factored the
@@ -403,90 +409,92 @@ impl ReductionSession {
         &self.sys
     }
 
-    /// Serves one reduction request.
+    /// Serves one reduction request — any [`ReduceSpec`] backend, or a
+    /// deprecated request type through its `Into<ReduceSpec>` shim.
     ///
     /// # Errors
     ///
-    /// Whatever the underlying reduction, pole, certificate, or
-    /// synthesis computation reports.
-    pub fn reduce(&self, request: &ReductionRequest) -> Result<ReductionOutcome, SympvlError> {
+    /// Whatever the underlying reduction, cross-validation, pole,
+    /// certificate, or synthesis computation reports.
+    pub fn reduce<S: Into<ReduceSpec>>(&self, request: S) -> Result<ReductionOutcome, SympvlError> {
         let _span = mpvl_obs::span("engine", "reduce");
-        let pending = self.execute(request)?;
+        let spec = request.into();
+        let pending = self.execute_spec(&spec)?;
         Ok(self.register(pending))
     }
 
-    /// Serves one multi-point (rational-Krylov) reduction request —
-    /// the session-level face of [`sympvl::reduce_multipoint`], with
-    /// every per-point factorization cached under its [`FactorKey`] and
-    /// every paused per-point Lanczos state pooled exactly as a
-    /// single-point request at that shift would pool it. The merged
-    /// model is retained in the store like any other outcome
-    /// ([`ReductionOutcome::model_id`] works with [`EvalRequest`]).
-    ///
-    /// The driver is sequential over points, so the outcome is
-    /// bit-identical to the free-function call at any `MPVL_THREADS`
-    /// and any cache state.
+    /// Serves one multi-point (rational-Krylov) reduction request.
     ///
     /// # Errors
     ///
     /// Whatever [`sympvl::reduce_multipoint`] or the requested
     /// by-products report.
+    #[deprecated(
+        note = "superseded by `ReductionSession::reduce` with `ReduceSpec::multipoint` \
+                (see MIGRATION.md)"
+    )]
+    #[allow(deprecated)]
     pub fn reduce_multipoint(
         &self,
         request: &MultiPointRequest,
     ) -> Result<ReductionOutcome, SympvlError> {
-        let _span = mpvl_obs::span("engine", "reduce_multipoint");
-        let out = reduce_multipoint_with(
-            &self.sys,
-            &request.options,
-            &mut SessionRuns { session: self },
-        )?;
-        let (poles, certificate, synthesis) = self.by_products(&out.model, &request.want)?;
-        let pending = PendingOutcome {
-            model: out.model,
-            adaptive: None,
-            multipoint: Some(MultiPointInfo {
-                point_freqs_hz: out.point_freqs_hz,
-                shifts: out.shifts,
-                per_point_order: out.per_point_order,
-                estimated_error: out.estimated_error,
-            }),
-            poles,
-            certificate,
-            synthesis,
-        };
-        Ok(self.register(pending))
+        self.reduce(request)
     }
 
-    /// Serves a batch of reduction requests, fanning independent shift
-    /// groups across threads (`MPVL_THREADS` / [`mpvl_par::thread_count`]).
+    /// Serves a batch of reduction requests, fanning independent groups
+    /// across threads (`MPVL_THREADS` / [`mpvl_par::thread_count`]).
     ///
     /// Results come back in request-index order, with per-request errors
     /// in place, and are bit-identical to serving the requests one at a
-    /// time — requests sharing a run key are processed sequentially on
-    /// one worker so escalations still resume retained state.
-    pub fn reduce_batch(
-        &self,
-        requests: &[ReductionRequest],
-    ) -> Vec<Result<ReductionOutcome, SympvlError>> {
+    /// time — Padé requests sharing a run key are processed sequentially
+    /// on one worker so escalations still resume retained state, while
+    /// multi-point and balanced-truncation requests each form their own
+    /// group (their factorizations still share the session factor
+    /// cache).
+    pub fn reduce_batch<S>(&self, requests: &[S]) -> Vec<Result<ReductionOutcome, SympvlError>>
+    where
+        for<'a> &'a S: Into<ReduceSpec>,
+    {
         self.reduce_batch_with_threads(requests, mpvl_par::thread_count())
     }
 
     /// [`ReductionSession::reduce_batch`] with an explicit thread count.
-    pub fn reduce_batch_with_threads(
+    pub fn reduce_batch_with_threads<S>(
         &self,
-        requests: &[ReductionRequest],
+        requests: &[S],
+        threads: usize,
+    ) -> Vec<Result<ReductionOutcome, SympvlError>>
+    where
+        for<'a> &'a S: Into<ReduceSpec>,
+    {
+        let specs: Vec<ReduceSpec> = requests.iter().map(Into::into).collect();
+        self.reduce_specs(&specs, threads)
+    }
+
+    fn reduce_specs(
+        &self,
+        specs: &[ReduceSpec],
         threads: usize,
     ) -> Vec<Result<ReductionOutcome, SympvlError>> {
         let _span = mpvl_obs::span("engine", "reduce_batch");
-        // Group by run key, preserving first-appearance order; each
-        // group runs sequentially against one checked-out run.
-        let mut groups: Vec<(RunKey, Vec<usize>)> = Vec::new();
-        for (i, request) in requests.iter().enumerate() {
-            let key = RunKey::of(&request.sympvl);
-            match groups.iter_mut().find(|(k, _)| *k == key) {
-                Some((_, members)) => members.push(i),
-                None => groups.push((key, vec![i])),
+        // Group Padé requests by run key, preserving first-appearance
+        // order; each group runs sequentially against one checked-out
+        // run. Multi-point and balanced requests are their own groups
+        // (key `None`) — they have no single resumable run state, but
+        // their factorizations share the session cache.
+        let mut groups: Vec<(Option<RunKey>, Vec<usize>)> = Vec::new();
+        for (i, spec) in specs.iter().enumerate() {
+            match &spec.backend {
+                Backend::Pade(pade) => {
+                    let key = Some(RunKey::of(&pade.sympvl));
+                    match groups.iter_mut().find(|(k, _)| *k == key) {
+                        Some((_, members)) => members.push(i),
+                        None => groups.push((key, vec![i])),
+                    }
+                }
+                Backend::MultiPoint(_) | Backend::BalancedTruncation(_) => {
+                    groups.push((None, vec![i]));
+                }
             }
         }
         let per_group: Vec<Vec<(usize, Result<PendingOutcome, SympvlError>)>> =
@@ -496,17 +504,34 @@ impl ReductionSession {
                 |_| (),
                 |_, _, (key, members)| {
                     let mut results = Vec::with_capacity(members.len());
-                    match self.checkout_or_create_run(&requests[members[0]].sympvl) {
-                        Ok(mut run) => {
-                            for &i in members {
-                                results.push((i, self.execute_with_run(&mut run, &requests[i])));
+                    match key {
+                        Some(key) => {
+                            let Backend::Pade(first) = &specs[members[0]].backend else {
+                                unreachable!("keyed groups hold Padé requests only");
+                            };
+                            match self.checkout_or_create_run(&first.sympvl) {
+                                Ok(mut run) => {
+                                    for &i in members {
+                                        let Backend::Pade(pade) = &specs[i].backend else {
+                                            unreachable!("keyed groups hold Padé requests only");
+                                        };
+                                        results.push((
+                                            i,
+                                            self.execute_pade_with_run(&mut run, pade, &specs[i]),
+                                        ));
+                                    }
+                                    self.checkin_run(*key, run);
+                                }
+                                Err(e) => {
+                                    for &i in members {
+                                        results.push((i, Err(e.clone())));
+                                    }
+                                }
                             }
-                            self.checkin_run(*key, run);
                         }
-                        Err(e) => {
-                            for &i in members {
-                                results.push((i, Err(e.clone())));
-                            }
+                        None => {
+                            let i = members[0];
+                            results.push((i, self.execute_spec(&specs[i])));
                         }
                     }
                     results
@@ -515,7 +540,7 @@ impl ReductionSession {
         // Scatter back to request order, then register models in that
         // order so ModelIds are deterministic under any thread count.
         let mut slots: Vec<Option<Result<PendingOutcome, SympvlError>>> =
-            requests.iter().map(|_| None).collect();
+            specs.iter().map(|_| None).collect();
         for group in per_group {
             for (i, result) in group {
                 slots[i] = Some(result);
@@ -829,24 +854,32 @@ impl ReductionSession {
         relock(&self.runs).put(key, run);
     }
 
-    fn execute(&self, request: &ReductionRequest) -> Result<PendingOutcome, SympvlError> {
-        let key = RunKey::of(&request.sympvl);
-        let mut run = self.checkout_or_create_run(&request.sympvl)?;
-        let result = self.execute_with_run(&mut run, request);
-        self.checkin_run(key, run);
-        result
+    /// Routes one spec to its backend executor.
+    fn execute_spec(&self, spec: &ReduceSpec) -> Result<PendingOutcome, SympvlError> {
+        match &spec.backend {
+            Backend::Pade(pade) => {
+                let key = RunKey::of(&pade.sympvl);
+                let mut run = self.checkout_or_create_run(&pade.sympvl)?;
+                let result = self.execute_pade_with_run(&mut run, pade, spec);
+                self.checkin_run(key, run);
+                result
+            }
+            Backend::MultiPoint(opts) => self.execute_multipoint(opts, spec),
+            Backend::BalancedTruncation(opts) => self.execute_balanced(opts, spec),
+        }
     }
 
-    fn execute_with_run(
+    fn execute_pade_with_run(
         &self,
         run: &mut SympvlRun,
-        request: &ReductionRequest,
+        pade: &PadeSpec,
+        spec: &ReduceSpec,
     ) -> Result<PendingOutcome, SympvlError> {
-        let (model, adaptive) = match &request.order {
+        let (model, adaptive) = match &pade.order {
             OrderSpec::Fixed(order) => (run.model_at(&self.sys, *order)?, None),
             OrderSpec::Adaptive(adaptive_opts) => {
                 let mut opts = adaptive_opts.clone();
-                opts.sympvl = request.sympvl.clone();
+                opts.sympvl = pade.sympvl.clone();
                 let out = reduce_adaptive_with(&self.sys, &opts, run)?;
                 (
                     out.model,
@@ -858,14 +891,122 @@ impl ReductionSession {
                 )
             }
         };
-        let (poles, certificate, synthesis) = self.by_products(&model, &request.want)?;
+        self.finish_pending(model, adaptive, None, None, spec)
+    }
+
+    /// The session-level face of [`sympvl::reduce_multipoint`]: every
+    /// per-point factorization is cached under its [`FactorKey`] and
+    /// every paused per-point Lanczos state is pooled exactly as a
+    /// single-point request at that shift would pool it. The driver is
+    /// sequential over points, so the outcome is bit-identical to the
+    /// free-function call at any `MPVL_THREADS` and any cache state.
+    fn execute_multipoint(
+        &self,
+        opts: &MultiPointOptions,
+        spec: &ReduceSpec,
+    ) -> Result<PendingOutcome, SympvlError> {
+        let _span = mpvl_obs::span("engine", "reduce_multipoint");
+        let out = reduce_multipoint_with(&self.sys, opts, &mut SessionRuns { session: self })?;
+        let info = MultiPointInfo {
+            point_freqs_hz: out.point_freqs_hz,
+            shifts: out.shifts,
+            per_point_order: out.per_point_order,
+            estimated_error: out.estimated_error,
+        };
+        self.finish_pending(out.model, None, Some(info), None, spec)
+    }
+
+    /// The session-level face of [`sympvl::reduce_balanced`]: both
+    /// shifted factorizations (the reference arm and the inverse arm)
+    /// go through the session factor cache, so a balanced request warms
+    /// — and is warmed by — Padé and multi-point requests at the same
+    /// expansion points.
+    fn execute_balanced(
+        &self,
+        opts: &BtOptions,
+        spec: &ReduceSpec,
+    ) -> Result<PendingOutcome, SympvlError> {
+        let _span = mpvl_obs::span("engine", "reduce_balanced");
+        let out =
+            reduce_balanced_via(&self.sys, opts, &mut |_, target| self.cached_factor(target))?;
+        let info = BalancedInfo {
+            hankel: out.hankel,
+            hankel_bound: out.hankel_bound,
+            basis_dim: out.basis_dim,
+            iterations: out.iterations,
+            converged: out.converged,
+            estimated_band_error: out.estimated_band_error,
+        };
+        self.finish_pending(out.model, None, None, Some(info), spec)
+    }
+
+    /// Shared tail of every backend executor: optional cross-validation
+    /// against the complementary backend, then the [`Want`] by-products.
+    fn finish_pending(
+        &self,
+        model: ReducedModel,
+        adaptive: Option<AdaptiveInfo>,
+        multipoint: Option<MultiPointInfo>,
+        balanced: Option<BalancedInfo>,
+        spec: &ReduceSpec,
+    ) -> Result<PendingOutcome, SympvlError> {
+        let cross_validation = match &spec.cross_validate {
+            Some(cv) => Some(self.cross_validate(&model, &spec.backend, cv)?),
+            None => None,
+        };
+        let (poles, certificate, synthesis) = self.by_products(&model, &spec.want)?;
         Ok(PendingOutcome {
             model,
             adaptive,
-            multipoint: None,
+            multipoint,
+            balanced,
+            cross_validation,
             poles,
             certificate,
             synthesis,
+        })
+    }
+
+    /// Runs the complementary backend at the primary model's order and
+    /// measures the band-worst disagreement: a balanced-truncation
+    /// primary is refereed by a single-point Padé model expanded at the
+    /// band's geometric-mean frequency; a Padé or multi-point primary
+    /// is refereed by balanced truncation over the band. Both referees
+    /// reuse the session's factor cache (and, for Padé, the run pool).
+    fn cross_validate(
+        &self,
+        model: &ReducedModel,
+        backend: &Backend,
+        cv: &CrossValidateOptions,
+    ) -> Result<CrossValidation, SympvlError> {
+        let _span = mpvl_obs::span("engine", "cross_validate");
+        let order = model.order().max(1);
+        let (referee_model, referee) = match backend {
+            Backend::BalancedTruncation(_) => {
+                let f_mid = (cv.f_lo * cv.f_hi).sqrt();
+                let s0 = expansion_shift(f_mid, self.sys.s_power);
+                let opts = SympvlOptions::default().with_shift(Shift::Value(s0))?;
+                let key = RunKey::of(&opts);
+                let mut run = self.checkout_or_create_run(&opts)?;
+                let result = run.model_at(&self.sys, order);
+                self.checkin_run(key, run);
+                (result?, BackendKind::Pade)
+            }
+            Backend::Pade(_) | Backend::MultiPoint(_) => {
+                let opts = BtOptions::for_band(cv.f_lo, cv.f_hi)?.with_order(order)?;
+                let out = reduce_balanced_via(&self.sys, &opts, &mut |_, target| {
+                    self.cached_factor(target)
+                })?;
+                (out.model, BackendKind::BalancedTruncation)
+            }
+        };
+        let (disagreement, at_freq_hz) =
+            band_disagreement(model, &referee_model, &cv.probe_freqs_hz)?;
+        Ok(CrossValidation {
+            disagreement,
+            at_freq_hz,
+            referee,
+            referee_order: referee_model.order(),
         })
     }
 
@@ -909,6 +1050,8 @@ impl ReductionSession {
             model: pending.model,
             adaptive: pending.adaptive,
             multipoint: pending.multipoint,
+            balanced: pending.balanced,
+            cross_validation: pending.cross_validation,
             poles: pending.poles,
             certificate: pending.certificate,
             synthesis: pending.synthesis,
@@ -934,9 +1077,7 @@ mod tests {
     #[test]
     fn a_panic_under_a_session_lock_does_not_poison_later_requests() {
         let session = session_with(8);
-        let first = session
-            .reduce(&ReductionRequest::fixed(4).unwrap())
-            .unwrap();
+        let first = session.reduce(&ReduceSpec::pade_fixed(4).unwrap()).unwrap();
         // Poison every session mutex: one thread per lock panics while
         // holding the guard (the service layer catches such panics with
         // catch_unwind, leaving exactly this state behind).
@@ -967,12 +1108,10 @@ mod tests {
         assert!(session.store.is_poisoned());
         // Every request path still works — and produces the same bits a
         // never-poisoned session produces.
-        let escalated = session
-            .reduce(&ReductionRequest::fixed(6).unwrap())
-            .unwrap();
+        let escalated = session.reduce(&ReduceSpec::pade_fixed(6).unwrap()).unwrap();
         let clean = session_with(8);
-        clean.reduce(&ReductionRequest::fixed(4).unwrap()).unwrap();
-        let reference = clean.reduce(&ReductionRequest::fixed(6).unwrap()).unwrap();
+        clean.reduce(&ReduceSpec::pade_fixed(4).unwrap()).unwrap();
+        let reference = clean.reduce(&ReduceSpec::pade_fixed(6).unwrap()).unwrap();
         assert_eq!(
             sympvl::write_model(&escalated.model),
             sympvl::write_model(&reference.model),
@@ -991,16 +1130,14 @@ mod tests {
     fn model_store_is_bounded_and_retires_ids() {
         let session = session_with(2);
         let a = session
-            .reduce(&ReductionRequest::fixed(2).unwrap())
+            .reduce(&ReduceSpec::pade_fixed(2).unwrap())
             .unwrap()
             .model_id;
         let b = session
-            .reduce(&ReductionRequest::fixed(3).unwrap())
+            .reduce(&ReduceSpec::pade_fixed(3).unwrap())
             .unwrap()
             .model_id;
-        let c = session
-            .reduce(&ReductionRequest::fixed(4).unwrap())
-            .unwrap();
+        let c = session.reduce(&ReduceSpec::pade_fixed(4).unwrap()).unwrap();
         assert_eq!(
             (a.index(), b.index(), c.model_id.index()),
             (0, 1, 2),
@@ -1040,15 +1177,15 @@ mod tests {
     fn eval_counts_as_lru_use_for_model_retention() {
         let session = session_with(2);
         let a = session
-            .reduce(&ReductionRequest::fixed(2).unwrap())
+            .reduce(&ReduceSpec::pade_fixed(2).unwrap())
             .unwrap()
             .model_id;
-        let _b = session.reduce(&ReductionRequest::fixed(3).unwrap());
+        let _b = session.reduce(&ReduceSpec::pade_fixed(3).unwrap());
         // Touch `a`, then push a third model: the untouched one evicts.
         session
             .eval(&EvalRequest::new(a, vec![1e9]).unwrap())
             .unwrap();
-        let _c = session.reduce(&ReductionRequest::fixed(4).unwrap());
+        let _c = session.reduce(&ReduceSpec::pade_fixed(4).unwrap());
         assert!(session.model(a).is_some(), "recently used model survives");
         assert_eq!(
             session.lookup_model(ModelId(1)).unwrap_err(),

@@ -1,0 +1,93 @@
+//! The deprecated engine request types must keep compiling (one-release
+//! grace period, see MIGRATION.md) and must behave as exact shims over
+//! the backend-agnostic [`mpvl_engine::ReduceSpec`] path. This file
+//! opts out of the workspace-wide `-D deprecated` gate on purpose — it
+//! is the one place the old names are allowed.
+#![allow(deprecated)]
+
+use mpvl_circuit::generators::rc_ladder;
+use mpvl_circuit::{Circuit, MnaSystem};
+use mpvl_engine::{MultiPointRequest, ReduceSpec, ReductionRequest, ReductionSession, Want};
+use sympvl::{write_model, MultiPointOptions, Shift};
+
+fn ladder() -> Circuit {
+    rc_ladder(30, 100.0, 1e-12)
+}
+
+#[test]
+fn reduction_request_is_an_exact_shim_over_reduce_spec() {
+    let sys = MnaSystem::assemble(&ladder()).unwrap();
+    let old = ReductionSession::new(sys.clone())
+        .reduce(
+            &ReductionRequest::fixed(8)
+                .unwrap()
+                .with_shift(Shift::Value(1e9))
+                .unwrap()
+                .with_want(Want::model_only().with_poles()),
+        )
+        .unwrap();
+    let new = ReductionSession::new(sys)
+        .reduce(
+            &ReduceSpec::pade_fixed(8)
+                .unwrap()
+                .with_shift(Shift::Value(1e9))
+                .unwrap()
+                .with_want(Want::model_only().with_poles()),
+        )
+        .unwrap();
+    assert_eq!(
+        write_model(&old.model),
+        write_model(&new.model),
+        "the shim must route through the same execution path, bit for bit"
+    );
+    assert_eq!(
+        old.poles.as_ref().map(Vec::len),
+        new.poles.as_ref().map(Vec::len)
+    );
+    // The shimmed request carries no backend-specific extras.
+    assert!(old.balanced.is_none());
+    assert!(old.cross_validation.is_none());
+}
+
+#[test]
+fn multipoint_request_and_session_method_are_exact_shims() {
+    let sys = MnaSystem::assemble(&ladder()).unwrap();
+    let opts = MultiPointOptions::for_band(1e6, 1e10)
+        .unwrap()
+        .with_total_order(8)
+        .unwrap()
+        .with_points(vec![1e6, 1e10])
+        .unwrap();
+    let session = ReductionSession::new(sys.clone());
+    let old = session
+        .reduce_multipoint(&MultiPointRequest::new(opts.clone()))
+        .unwrap();
+    let new = ReductionSession::new(sys)
+        .reduce(&ReduceSpec::multipoint(opts))
+        .unwrap();
+    assert_eq!(write_model(&old.model), write_model(&new.model));
+    let (oi, ni) = (old.multipoint.unwrap(), new.multipoint.unwrap());
+    assert_eq!(oi.point_freqs_hz, ni.point_freqs_hz);
+    assert_eq!(oi.shifts, ni.shifts);
+    assert_eq!(oi.estimated_error.to_bits(), ni.estimated_error.to_bits());
+}
+
+#[test]
+fn owned_and_borrowed_requests_convert_into_reduce_spec() {
+    // Both `From<T>` and `From<&T>` shims exist, so batches of the old
+    // request type still satisfy `for<'a> &'a S: Into<ReduceSpec>`.
+    let sys = MnaSystem::assemble(&ladder()).unwrap();
+    let session = ReductionSession::new(sys);
+    let requests = vec![
+        ReductionRequest::fixed(4).unwrap(),
+        ReductionRequest::fixed(6).unwrap(),
+    ];
+    let outcomes = session.reduce_batch(&requests);
+    assert!(outcomes.iter().all(Result::is_ok));
+    let owned: ReduceSpec = ReductionRequest::fixed(4).unwrap().into();
+    let spec_out = session.reduce(owned).unwrap();
+    assert_eq!(
+        write_model(&outcomes[0].as_ref().unwrap().model),
+        write_model(&spec_out.model)
+    );
+}

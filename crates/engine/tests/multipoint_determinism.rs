@@ -9,7 +9,7 @@
 
 use mpvl_circuit::generators::{package, random_rc, rc_ladder, PackageParams};
 use mpvl_circuit::MnaSystem;
-use mpvl_engine::{EvalRequest, MultiPointRequest, ReductionRequest, ReductionSession, Want};
+use mpvl_engine::{EvalRequest, ReduceSpec, ReductionSession, Want};
 use mpvl_la::{Complex64, Mat};
 use sympvl::{
     expansion_shift, reduce_multipoint, sampled_passivity, sympvl, Certificate, MultiPointOptions,
@@ -100,7 +100,7 @@ fn session_multipoint_matches_free_function_warm_and_cold() {
     let cold = reduce_multipoint(&sys, &opts).unwrap();
     let session = ReductionSession::new(sys.clone());
     let first = session
-        .reduce_multipoint(&MultiPointRequest::new(opts.clone()))
+        .reduce(&ReduceSpec::multipoint(opts.clone()))
         .unwrap();
     // Cold cache and free function: bit-identical, same placement.
     assert_eq!(
@@ -118,9 +118,7 @@ fn session_multipoint_matches_free_function_warm_and_cold() {
     // Warm cache (every per-point factorization and run retained): still
     // bit-identical, and the factor cache actually got hit.
     let misses_after_first = session.cache_stats().factor_misses;
-    let second = session
-        .reduce_multipoint(&MultiPointRequest::new(opts))
-        .unwrap();
+    let second = session.reduce(&ReduceSpec::multipoint(opts)).unwrap();
     assert_eq!(
         model_fingerprint(&second.model),
         model_fingerprint(&cold.model)
@@ -151,15 +149,13 @@ fn multipoint_and_single_point_share_per_shift_state() {
         .with_points(vec![1e7, 1e10])
         .unwrap();
     let session = ReductionSession::new(sys.clone());
-    let out = session
-        .reduce_multipoint(&MultiPointRequest::new(opts))
-        .unwrap();
+    let out = session.reduce(&ReduceSpec::multipoint(opts)).unwrap();
     let info = out.multipoint.as_ref().unwrap();
     let sigma = info.shifts[0];
     let misses_before = session.cache_stats().factor_misses;
     let single = session
         .reduce(
-            &ReductionRequest::fixed(4)
+            &ReduceSpec::pade_fixed(4)
                 .unwrap()
                 .with_shift(Shift::Value(sigma))
                 .unwrap(),
@@ -186,7 +182,9 @@ fn merged_model_eval_is_thread_invariant() {
     let sys = small_package_sys();
     let session = ReductionSession::new(sys);
     let out = session
-        .reduce_multipoint(&MultiPointRequest::for_band(1e7, 1e10).unwrap())
+        .reduce(&ReduceSpec::multipoint(
+            MultiPointOptions::for_band(1e7, 1e10).unwrap(),
+        ))
         .unwrap();
     let request = EvalRequest::new(out.model_id, log_band(1e7, 1e10, 33)).unwrap();
     let mut per_thread = Vec::new();
@@ -207,8 +205,8 @@ fn merged_model_eval_is_thread_invariant() {
 fn rc_multipoint_is_certified_passive_through_the_session() {
     let sys = MnaSystem::assemble(&rc_ladder(80, 60.0, 1e-12)).unwrap();
     let out = ReductionSession::new(sys)
-        .reduce_multipoint(
-            &MultiPointRequest::new(
+        .reduce(
+            &ReduceSpec::multipoint(
                 MultiPointOptions::for_band(1e6, 1e10)
                     .unwrap()
                     .with_total_order(8)
@@ -280,10 +278,11 @@ fn auto_rtol_requests_never_share_runs_or_shifts() {
     // and a cached factorization outcome must be re-judged per request.
     let sys = MnaSystem::assemble(&random_rc(3, 25, 2)).unwrap();
     let session = ReductionSession::new(sys);
-    let lenient = ReductionRequest::fixed(4).unwrap();
-    let strict = ReductionRequest::fixed(4)
+    let lenient = ReduceSpec::pade_fixed(4).unwrap();
+    let strict = ReduceSpec::pade_fixed(4)
         .unwrap()
-        .with_sympvl(SympvlOptions::new().with_auto_rtol(1.0 - 1e-3).unwrap());
+        .with_sympvl(SympvlOptions::new().with_auto_rtol(1.0 - 1e-3).unwrap())
+        .unwrap();
     // Grounded RC: the unshifted factor passes the default acceptance
     // test, so the lenient request expands at s0 = 0.
     let a = session.reduce(&lenient).unwrap();

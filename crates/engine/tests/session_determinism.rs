@@ -8,7 +8,7 @@
 
 use mpvl_circuit::generators::{interconnect, rc_ladder, InterconnectParams};
 use mpvl_circuit::MnaSystem;
-use mpvl_engine::{EvalRequest, ReductionRequest, ReductionSession, SessionOptions, Want};
+use mpvl_engine::{EvalRequest, ReduceSpec, ReductionSession, SessionOptions, Want};
 use mpvl_la::{Complex64, Mat};
 use sympvl::{reduce_adaptive, sympvl, AdaptiveOptions, ReducedModel, Shift, SympvlOptions};
 
@@ -70,7 +70,7 @@ fn fixed_order_requests_match_cold_free_function() {
     // Deliberately out of order: escalate, shrink, escalate again.
     for order in [6, 12, 9, 15] {
         let warm = session
-            .reduce(&ReductionRequest::fixed(order).unwrap())
+            .reduce(&ReduceSpec::pade_fixed(order).unwrap())
             .unwrap();
         let cold = sympvl(&sys, order, &SympvlOptions::default()).unwrap();
         assert_eq!(
@@ -95,7 +95,7 @@ fn adaptive_request_matches_cold_reduce_adaptive() {
         .unwrap();
     let session = ReductionSession::new(sys.clone());
     let warm = session
-        .reduce(&ReductionRequest::adaptive(opts.clone()))
+        .reduce(&ReduceSpec::pade_adaptive(opts.clone()))
         .unwrap();
     let cold = reduce_adaptive(&sys, &opts).unwrap();
     assert_eq!(
@@ -112,7 +112,7 @@ fn adaptive_request_matches_cold_reduce_adaptive() {
     // and still matches cold.
     let order = cold.model.order();
     let again = session
-        .reduce(&ReductionRequest::fixed(order).unwrap())
+        .reduce(&ReduceSpec::pade_fixed(order).unwrap())
         .unwrap();
     let cold_again = sympvl(&sys, order, &SympvlOptions::default()).unwrap();
     assert_eq!(
@@ -139,7 +139,7 @@ fn eviction_churn_never_changes_results() {
         for &s0 in &shifts {
             let warm = session
                 .reduce(
-                    &ReductionRequest::fixed(9)
+                    &ReduceSpec::pade_fixed(9)
                         .unwrap()
                         .with_shift(Shift::Value(s0))
                         .unwrap(),
@@ -171,19 +171,19 @@ fn eviction_churn_never_changes_results() {
 fn batch_results_are_order_stable_and_thread_invariant() {
     let sys = interconnect_sys();
     let requests = vec![
-        ReductionRequest::fixed(6).unwrap(),
-        ReductionRequest::fixed(12)
+        ReduceSpec::pade_fixed(6).unwrap(),
+        ReduceSpec::pade_fixed(12)
             .unwrap()
             .with_shift(Shift::Value(5e8))
             .unwrap(),
-        ReductionRequest::fixed(9).unwrap(),
-        ReductionRequest::adaptive(
+        ReduceSpec::pade_fixed(9).unwrap(),
+        ReduceSpec::pade_adaptive(
             AdaptiveOptions::for_band(1e7, 5e9)
                 .unwrap()
                 .with_tol(1e-4)
                 .unwrap(),
         ),
-        ReductionRequest::fixed(3).unwrap(),
+        ReduceSpec::pade_fixed(3).unwrap(),
     ];
     let mut per_thread_fingerprints = Vec::new();
     for threads in [1usize, 2, 4] {
@@ -210,11 +210,14 @@ fn batch_results_are_order_stable_and_thread_invariant() {
     let outcomes = session.reduce_batch_with_threads(&requests, 2);
     for (request, outcome) in requests.iter().zip(&outcomes) {
         let outcome = outcome.as_ref().unwrap();
-        let cold = match &request.order {
-            mpvl_engine::OrderSpec::Fixed(n) => sympvl(&sys, *n, &request.sympvl).unwrap(),
+        let mpvl_engine::Backend::Pade(pade) = &request.backend else {
+            panic!("this batch is Padé-only");
+        };
+        let cold = match &pade.order {
+            mpvl_engine::OrderSpec::Fixed(n) => sympvl(&sys, *n, &pade.sympvl).unwrap(),
             mpvl_engine::OrderSpec::Adaptive(a) => {
                 let mut a = a.clone();
-                a.sympvl = request.sympvl.clone();
+                a.sympvl = pade.sympvl.clone();
                 reduce_adaptive(&sys, &a).unwrap().model
             }
         };
@@ -250,7 +253,7 @@ fn eval_matches_compiled_plan_and_lu_accuracy() {
     let sys = interconnect_sys();
     let session = ReductionSession::new(sys.clone());
     let outcome = session
-        .reduce(&ReductionRequest::fixed(12).unwrap())
+        .reduce(&ReduceSpec::pade_fixed(12).unwrap())
         .unwrap();
     let freqs = vec![1e6, 1e8, 2e9];
     let sweep = session
@@ -292,7 +295,7 @@ fn eval_batch_is_thread_invariant_with_ragged_points() {
         .iter()
         .map(|&order| {
             session
-                .reduce(&ReductionRequest::fixed(order).unwrap())
+                .reduce(&ReduceSpec::pade_fixed(order).unwrap())
                 .unwrap()
                 .model_id
         })
@@ -324,9 +327,7 @@ fn eval_batch_is_thread_invariant_with_ragged_points() {
 fn eval_plans_are_cached_per_model() {
     let sys = interconnect_sys();
     let session = ReductionSession::new(sys);
-    let outcome = session
-        .reduce(&ReductionRequest::fixed(8).unwrap())
-        .unwrap();
+    let outcome = session.reduce(&ReduceSpec::pade_fixed(8).unwrap()).unwrap();
     let request = EvalRequest::new(outcome.model_id, vec![1e7, 1e9]).unwrap();
     let (_, report) = mpvl_obs::capture(|| {
         session.eval(&request).unwrap();
@@ -344,7 +345,7 @@ fn wants_are_computed_from_the_same_model() {
     let session = ReductionSession::new(sys.clone());
     let outcome = session
         .reduce(
-            &ReductionRequest::fixed(8).unwrap().with_want(
+            &ReduceSpec::pade_fixed(8).unwrap().with_want(
                 Want::model_only()
                     .with_poles()
                     .with_certificate(1e-9)

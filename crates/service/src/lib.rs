@@ -37,18 +37,23 @@
 //! `MPVL_THREADS`, warm or cold.
 //!
 //! ```
-//! use mpvl_engine::ReductionRequest;
+//! use mpvl_engine::ReduceSpec;
 //! use mpvl_service::{ReductionService, ServiceOptions, ServiceRequest};
 //! # fn main() -> Result<(), mpvl_service::ServiceError> {
 //! let service = ReductionService::new(ServiceOptions::default());
 //! let netlist = "R1 in mid 50\nC1 mid 0 2n\nR2 mid out 50\nC2 out 0 1n\nPdrv in 0\n.end";
-//! let request = ServiceRequest::new(netlist, ReductionRequest::fixed(3)?)?;
+//! let request = ServiceRequest::from_spec(netlist, ReduceSpec::pade_fixed(3)?)?;
 //! let outcome = service.submit(&request)?;
 //! assert!(outcome.model.order() >= 1);
 //! assert!(service.submit(&request)?.registry_hit); // content-addressed
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! The registry key includes the *backend kind*: a Padé, a multi-point,
+//! and a balanced-truncation request over the same netlist serialize to
+//! disjoint canonical leaders, so their models can never alias one
+//! address — even at identical orders and bands.
 
 mod error;
 mod hash;
@@ -60,4 +65,6 @@ pub use hash::sha256_hex;
 pub use service::{ReductionService, ServiceOptions, ServiceOutcome, ServiceRequest, ServiceStats};
 
 // Convenience re-exports so a service caller needs one `use` line.
-pub use mpvl_engine::{ReductionRequest, ReductionSession, SessionOptions, Want};
+#[allow(deprecated)]
+pub use mpvl_engine::ReductionRequest;
+pub use mpvl_engine::{Backend, BackendKind, ReduceSpec, ReductionSession, SessionOptions, Want};

@@ -22,9 +22,11 @@ use crate::hash::sha256_hex;
 use crate::registry::ModelRegistry;
 use mpvl_circuit::{parse_spice, to_spice, MnaSystem};
 use mpvl_engine::{
-    AdaptiveInfo, EvalPoint, EvalRequest, ModelId, MultiPointInfo, MultiPointRequest, OrderSpec,
-    ReductionRequest, ReductionSession, SessionOptions, Want,
+    AdaptiveInfo, Backend, BalancedInfo, CrossValidation, EvalPoint, EvalRequest, ModelId,
+    MultiPointInfo, OrderSpec, ReduceSpec, ReductionSession, SessionOptions, Want,
 };
+#[allow(deprecated)]
+use mpvl_engine::{MultiPointRequest, ReductionRequest};
 use mpvl_la::Complex64;
 use mpvl_par::{BoundedQueue, PushError};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -159,52 +161,25 @@ pub struct ServiceRequest {
     canonical: String,
     shard_hex: String,
     key_hex: String,
-    reduction: ReductionKind,
+    spec: ReduceSpec,
     eval_freqs_hz: Option<Vec<f64>>,
     chaos_panic: bool,
 }
 
-/// Which reduction a [`ServiceRequest`] carries. The two kinds
-/// serialize to disjoint canonical forms (see [`canonical_reduction`]),
-/// so a single-point and a multi-point model over the same netlist can
-/// never alias one registry address.
-#[derive(Debug, Clone)]
-enum ReductionKind {
-    Single(ReductionRequest),
-    Multi(MultiPointRequest),
-}
-
 impl ServiceRequest {
     /// Parses and validates `netlist`, deriving the canonical form and
-    /// both content addresses.
+    /// both content addresses, for any [`ReduceSpec`] backend. The
+    /// three backends serialize to disjoint canonical leaders (see
+    /// [`canonical_reduction`]), so a Padé, a multi-point, and a
+    /// balanced-truncation model over the same netlist can never alias
+    /// one registry address — even at identical orders and bands.
     ///
     /// # Errors
     ///
     /// [`ServiceError::Parse`] on malformed input;
     /// [`ServiceError::InvalidRequest`] for a circuit with no ports
     /// (nothing to reduce against).
-    pub fn new(netlist: &str, reduction: ReductionRequest) -> Result<Self, ServiceError> {
-        Self::with_kind(netlist, ReductionKind::Single(reduction))
-    }
-
-    /// Like [`ServiceRequest::new`] for a multi-point (rational-Krylov)
-    /// reduction — served through
-    /// [`ReductionSession::reduce_multipoint`], addressed in the
-    /// registry by the full multi-point configuration (band, budget,
-    /// placement, probes, tolerances, Lanczos tuning), disjoint from
-    /// every single-point address.
-    ///
-    /// # Errors
-    ///
-    /// As [`ServiceRequest::new`].
-    pub fn new_multipoint(
-        netlist: &str,
-        reduction: MultiPointRequest,
-    ) -> Result<Self, ServiceError> {
-        Self::with_kind(netlist, ReductionKind::Multi(reduction))
-    }
-
-    fn with_kind(netlist: &str, reduction: ReductionKind) -> Result<Self, ServiceError> {
+    pub fn from_spec(netlist: &str, spec: ReduceSpec) -> Result<Self, ServiceError> {
         let (ckt, _names) = parse_spice(netlist)?;
         if ckt.num_ports() == 0 {
             return Err(ServiceError::InvalidRequest {
@@ -214,23 +189,60 @@ impl ServiceRequest {
         let canonical = to_spice(&ckt);
         let shard_hex = sha256_hex(canonical.as_bytes());
         let key_hex =
-            sha256_hex(format!("{canonical}\x00{}", canonical_reduction(&reduction)).as_bytes());
+            sha256_hex(format!("{canonical}\x00{}", canonical_reduction(&spec)).as_bytes());
         Ok(ServiceRequest {
             canonical,
             shard_hex,
             key_hex,
-            reduction,
+            spec,
             eval_freqs_hz: None,
             chaos_panic: false,
         })
     }
 
+    /// [`ServiceRequest::from_spec`] for a single-point Padé request.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServiceRequest::from_spec`].
+    #[deprecated(
+        note = "superseded by `ServiceRequest::from_spec` with a `ReduceSpec` \
+                (see MIGRATION.md)"
+    )]
+    #[allow(deprecated)]
+    pub fn new(netlist: &str, reduction: ReductionRequest) -> Result<Self, ServiceError> {
+        Self::from_spec(netlist, (&reduction).into())
+    }
+
+    /// [`ServiceRequest::from_spec`] for a multi-point request.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServiceRequest::from_spec`].
+    #[deprecated(
+        note = "superseded by `ServiceRequest::from_spec` with a `ReduceSpec` \
+                (see MIGRATION.md)"
+    )]
+    #[allow(deprecated)]
+    pub fn new_multipoint(
+        netlist: &str,
+        reduction: MultiPointRequest,
+    ) -> Result<Self, ServiceError> {
+        Self::from_spec(netlist, (&reduction).into())
+    }
+
     /// The by-products this request asks for.
     fn want(&self) -> &Want {
-        match &self.reduction {
-            ReductionKind::Single(r) => &r.want,
-            ReductionKind::Multi(m) => &m.want,
-        }
+        &self.spec.want
+    }
+
+    /// The reduction to run on a registry miss: the caller's backend
+    /// and cross-validation, with by-products stripped — those are
+    /// computed in `finish`, shared with the registry-hit path.
+    fn engine_spec(&self) -> ReduceSpec {
+        let mut spec = self.spec.clone();
+        spec.want = Want::default();
+        spec
     }
 
     /// Also evaluate the reduced model at these frequencies (Hz).
@@ -280,14 +292,18 @@ impl ServiceRequest {
 
 /// The exact reduction identity, canonicalized: everything that can
 /// change a model's bits, nothing that cannot. Floats by bit pattern —
-/// "nearly the same" options must not share a model. The two request
-/// kinds open with different leaders (`order …` vs `multipoint …`), so
-/// their addresses are disjoint by construction.
-fn canonical_reduction(reduction: &ReductionKind) -> String {
+/// "nearly the same" options must not share a model. The three
+/// backends open with disjoint leaders (`order …` vs `multipoint …` vs
+/// `balanced …`), so their addresses can never alias — a backend kind
+/// is part of the key by construction. Cross-validation and
+/// [`Want`](mpvl_engine::Want) by-products are deliberately excluded:
+/// they never change the model's bits, so they must not fragment the
+/// registry.
+fn canonical_reduction(spec: &ReduceSpec) -> String {
     let mut s = String::new();
-    let sympvl = match reduction {
-        ReductionKind::Single(r) => {
-            match &r.order {
+    let sympvl = match &spec.backend {
+        Backend::Pade(p) => {
+            match &p.order {
                 OrderSpec::Fixed(n) => s.push_str(&format!("order fixed {n}\n")),
                 OrderSpec::Adaptive(a) => {
                     s.push_str(&format!(
@@ -303,15 +319,14 @@ fn canonical_reduction(reduction: &ReductionKind) -> String {
                     s.push('\n');
                 }
             }
-            match r.sympvl.shift {
+            match p.sympvl.shift {
                 Shift::None => s.push_str("shift none\n"),
                 Shift::Auto => s.push_str("shift auto\n"),
                 Shift::Value(v) => s.push_str(&format!("shift value {:016x}\n", v.to_bits())),
             }
-            &r.sympvl
+            &p.sympvl
         }
-        ReductionKind::Multi(m) => {
-            let o = &m.options;
+        Backend::MultiPoint(o) => {
             s.push_str(&format!(
                 "multipoint band={:016x}..{:016x} total={} tol={:016x} btol={:016x}\n",
                 o.f_lo.to_bits(),
@@ -338,6 +353,35 @@ fn canonical_reduction(reduction: &ReductionKind) -> String {
             }
             s.push('\n');
             &o.sympvl
+        }
+        Backend::BalancedTruncation(o) => {
+            // Balanced truncation runs no Lanczos process, so there is
+            // no trailing sympvl line — the leader alone is the whole
+            // identity, still disjoint from both other backends.
+            match o.order {
+                Some(q) => s.push_str(&format!(
+                    "balanced band={:016x}..{:016x} order={q}",
+                    o.f_lo.to_bits(),
+                    o.f_hi.to_bits()
+                )),
+                None => s.push_str(&format!(
+                    "balanced band={:016x}..{:016x} order=auto hsv={:016x}",
+                    o.f_lo.to_bits(),
+                    o.f_hi.to_bits(),
+                    o.hsv_tol.to_bits()
+                )),
+            }
+            s.push_str(&format!(
+                " tol={:016x} maxbasis={} btol={:016x}\nprobes",
+                o.tol.to_bits(),
+                o.max_basis,
+                o.basis_tol.to_bits()
+            ));
+            for f in &o.probe_freqs_hz {
+                s.push_str(&format!(" {:016x}", f.to_bits()));
+            }
+            s.push('\n');
+            return s;
         }
     };
     let l = &sympvl.lanczos;
@@ -371,6 +415,12 @@ pub struct ServiceOutcome {
     /// Multi-point placement info — `None` on registry hits (the
     /// placement history is not persisted, only its result).
     pub multipoint: Option<MultiPointInfo>,
+    /// Balanced-truncation diagnostics (Hankel spectrum, error bound) —
+    /// `None` on registry hits (only the model is persisted).
+    pub balanced: Option<BalancedInfo>,
+    /// Cross-validation verdict — `None` on registry hits (the referee
+    /// run is not persisted, only the primary model).
+    pub cross_validation: Option<CrossValidation>,
     /// Present when [`Want::poles`](mpvl_engine::Want) was set.
     pub poles: Option<Vec<Complex64>>,
     /// Present when a certificate was requested.
@@ -388,7 +438,25 @@ struct Resolved {
     model: Arc<ReducedModel>,
     adaptive: Option<AdaptiveInfo>,
     multipoint: Option<MultiPointInfo>,
+    balanced: Option<BalancedInfo>,
+    cross_validation: Option<CrossValidation>,
     registry_hit: bool,
+}
+
+impl Resolved {
+    /// A registry hit: only the model survives persistence, so every
+    /// reduction-time diagnostic is absent by construction.
+    fn from_registry(model_id: ModelId, model: Arc<ReducedModel>) -> Self {
+        Resolved {
+            model_id,
+            model,
+            adaptive: None,
+            multipoint: None,
+            balanced: None,
+            cross_validation: None,
+            registry_hit: true,
+        }
+    }
 }
 
 /// One consistent snapshot of the service's SLO counters (all service
@@ -453,12 +521,12 @@ impl Drop for Ticket<'_> {
 /// bit-identical to driving a session directly, at any thread count.
 ///
 /// ```
-/// use mpvl_engine::ReductionRequest;
+/// use mpvl_engine::ReduceSpec;
 /// use mpvl_service::{ReductionService, ServiceOptions, ServiceRequest};
 /// # fn main() -> Result<(), mpvl_service::ServiceError> {
 /// let service = ReductionService::new(ServiceOptions::default());
 /// let netlist = "R1 in mid 100\nC1 mid 0 1n\nR2 mid out 100\nC2 out 0 1n\nPdrv in 0\n.end";
-/// let request = ServiceRequest::new(netlist, ReductionRequest::fixed(4)?)?
+/// let request = ServiceRequest::from_spec(netlist, ReduceSpec::pade_fixed(4)?)?
 ///     .with_eval(vec![1e6, 1e9])?;
 /// let cold = service.submit(&request)?;
 /// let warm = service.submit(&request)?; // same address → registry hit
@@ -688,24 +756,14 @@ impl ReductionService {
         let resolved = match self.registry.get(&request.key_hex) {
             Some(cached) => {
                 let id = session.adopt_model((*cached).clone());
-                Resolved {
-                    model_id: id,
-                    model: cached,
-                    adaptive: None,
-                    multipoint: None,
-                    registry_hit: true,
-                }
+                Resolved::from_registry(id, cached)
             }
             None => {
-                let outcome = match &request.reduction {
-                    ReductionKind::Single(r) => session.reduce(r)?,
-                    // By-products are computed in `finish` (shared with
-                    // the registry-hit path), so the engine request
-                    // carries no Want of its own.
-                    ReductionKind::Multi(m) => {
-                        session.reduce_multipoint(&MultiPointRequest::new(m.options.clone()))?
-                    }
-                };
+                // By-products are computed in `finish` (shared with the
+                // registry-hit path), so the engine spec carries no
+                // Want of its own — only the backend and any
+                // cross-validation.
+                let outcome = session.reduce(request.engine_spec())?;
                 let model = Arc::new(outcome.model);
                 self.registry.put(&request.key_hex, model.clone())?;
                 Resolved {
@@ -713,6 +771,8 @@ impl ReductionService {
                     model,
                     adaptive: outcome.adaptive,
                     multipoint: outcome.multipoint,
+                    balanced: outcome.balanced,
+                    cross_validation: outcome.cross_validation,
                     registry_hit: false,
                 }
             }
@@ -733,6 +793,8 @@ impl ReductionService {
             model,
             adaptive,
             multipoint,
+            balanced,
+            cross_validation,
             registry_hit,
         } = resolved;
         let want = request.want();
@@ -763,6 +825,8 @@ impl ReductionService {
             registry_hit,
             adaptive,
             multipoint,
+            balanced,
+            cross_validation,
             poles,
             certificate,
             synthesis,
@@ -801,43 +865,30 @@ impl ReductionService {
                 })
             })
             .collect();
-        // Single-point misses reduce through one batch call — that is
-        // what makes the service bit-identical to the engine at any
-        // thread count. Multi-point misses run inline in member order
-        // (their driver is sequential and deterministic on its own).
-        let single_misses: Vec<ReductionRequest> = members
+        // Every miss — whatever its backend — reduces through one
+        // `reduce_batch` call: the engine groups Padé specs by shared
+        // run state and runs multi-point and balanced-truncation specs
+        // as their own deterministic units, so the service stays
+        // bit-identical to the engine at any thread count.
+        let misses: Vec<ReduceSpec> = members
             .iter()
             .zip(&probes)
             .filter(|(_, p)| matches!(p, Ok(None)))
-            .filter_map(|(&i, _)| match &requests[i].reduction {
-                ReductionKind::Single(r) => Some(r.clone()),
-                ReductionKind::Multi(_) => None,
-            })
+            .map(|(&i, _)| requests[i].engine_spec())
             .collect();
-        let mut reduced = session.reduce_batch(&single_misses).into_iter();
+        let mut reduced = session.reduce_batch(&misses).into_iter();
         for (&i, probe) in members.iter().zip(probes) {
             let resolved = match probe {
                 Err(e) => Err(e),
                 Ok(Some(cached)) => {
                     let id = session.adopt_model((*cached).clone());
-                    Ok(Resolved {
-                        model_id: id,
-                        model: cached,
-                        adaptive: None,
-                        multipoint: None,
-                        registry_hit: true,
-                    })
+                    Ok(Resolved::from_registry(id, cached))
                 }
                 Ok(None) => {
-                    let outcome = match &requests[i].reduction {
-                        ReductionKind::Single(_) => reduced
-                            .next()
-                            .expect("one outcome per single-point miss")
-                            .map_err(ServiceError::from),
-                        ReductionKind::Multi(m) => session
-                            .reduce_multipoint(&MultiPointRequest::new(m.options.clone()))
-                            .map_err(ServiceError::from),
-                    };
+                    let outcome = reduced
+                        .next()
+                        .expect("one outcome per registry miss")
+                        .map_err(ServiceError::from);
                     match outcome {
                         Ok(outcome) => {
                             let model = Arc::new(outcome.model);
@@ -847,6 +898,8 @@ impl ReductionService {
                                     model,
                                     adaptive: outcome.adaptive,
                                     multipoint: outcome.multipoint,
+                                    balanced: outcome.balanced,
+                                    cross_validation: outcome.cross_validation,
                                     registry_hit: false,
                                 }),
                                 Err(e) => Err(e),

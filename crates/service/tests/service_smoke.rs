@@ -3,7 +3,7 @@
 //! inherited bit-identity contract against the bare engine.
 
 use mpvl_circuit::{parse_spice, MnaSystem};
-use mpvl_engine::{EvalRequest, ReductionRequest, ReductionSession};
+use mpvl_engine::{EvalRequest, ReduceSpec, ReductionSession};
 use mpvl_service::{ReductionService, ServiceError, ServiceOptions, ServiceRequest};
 use std::path::PathBuf;
 
@@ -30,17 +30,17 @@ fn temp_dir(tag: &str) -> PathBuf {
 
 #[test]
 fn ingestion_rejects_bad_netlists_before_any_work() {
-    let reduction = ReductionRequest::fixed(4).unwrap();
+    let reduction = ReduceSpec::pade_fixed(4).unwrap();
     assert!(matches!(
-        ServiceRequest::new("Q1 a b 1k\n.end", reduction.clone()),
+        ServiceRequest::from_spec("Q1 a b 1k\n.end", reduction.clone()),
         Err(ServiceError::Parse(_))
     ));
     assert!(matches!(
-        ServiceRequest::new("R1 a 0 1k\n.end", reduction.clone()),
+        ServiceRequest::from_spec("R1 a 0 1k\n.end", reduction.clone()),
         Err(ServiceError::InvalidRequest { .. })
     ));
     assert!(matches!(
-        ServiceRequest::new(&ladder(5, 100.0, 1e-12), reduction)
+        ServiceRequest::from_spec(&ladder(5, 100.0, 1e-12), reduction)
             .unwrap()
             .with_eval(vec![]),
         Err(ServiceError::InvalidRequest { .. })
@@ -49,14 +49,14 @@ fn ingestion_rejects_bad_netlists_before_any_work() {
 
 #[test]
 fn content_addresses_ignore_formatting_but_not_options() {
-    let reduction = ReductionRequest::fixed(4).unwrap();
-    let a = ServiceRequest::new(
+    let reduction = ReduceSpec::pade_fixed(4).unwrap();
+    let a = ServiceRequest::from_spec(
         "R1 in out 1k\nC1 out 0 1n\nPin in 0\n.end",
         reduction.clone(),
     )
     .unwrap();
     // Same circuit, different whitespace, node names, and value spelling.
-    let b = ServiceRequest::new(
+    let b = ServiceRequest::from_spec(
         "* a comment\n  R1   drive sense 1000\n\n  C1 sense gnd 1e-9\n  Pin drive gnd\n.end",
         reduction.clone(),
     )
@@ -64,9 +64,9 @@ fn content_addresses_ignore_formatting_but_not_options() {
     assert_eq!(a.shard_key(), b.shard_key());
     assert_eq!(a.registry_key(), b.registry_key());
     // Different reduction order → different model address, same shard.
-    let c = ServiceRequest::new(
+    let c = ServiceRequest::from_spec(
         "R1 in out 1k\nC1 out 0 1n\nPin in 0\n.end",
-        ReductionRequest::fixed(5).unwrap(),
+        ReduceSpec::pade_fixed(5).unwrap(),
     )
     .unwrap();
     assert_eq!(a.shard_key(), c.shard_key());
@@ -78,7 +78,7 @@ fn submit_matches_the_bare_engine_bit_for_bit() {
     let netlist = ladder(20, 75.0, 2e-12);
     let freqs = vec![1e6, 1e8, 3e9];
     let service = ReductionService::new(ServiceOptions::default());
-    let request = ServiceRequest::new(&netlist, ReductionRequest::fixed(5).unwrap())
+    let request = ServiceRequest::from_spec(&netlist, ReduceSpec::pade_fixed(5).unwrap())
         .unwrap()
         .with_eval(freqs.clone())
         .unwrap();
@@ -87,9 +87,7 @@ fn submit_matches_the_bare_engine_bit_for_bit() {
 
     let (ckt, _) = parse_spice(&netlist).unwrap();
     let session = ReductionSession::new(MnaSystem::assemble(&ckt).unwrap());
-    let direct = session
-        .reduce(&ReductionRequest::fixed(5).unwrap())
-        .unwrap();
+    let direct = session.reduce(&ReduceSpec::pade_fixed(5).unwrap()).unwrap();
     assert_eq!(
         sympvl::write_model(&outcome.model),
         sympvl::write_model(&direct.model),
@@ -121,7 +119,7 @@ fn submit_matches_the_bare_engine_bit_for_bit() {
 fn ingest_reduce_evict_reingest_hits_the_registry() {
     let netlist = ladder(16, 120.0, 1e-12);
     let service = ReductionService::new(ServiceOptions::default());
-    let request = ServiceRequest::new(&netlist, ReductionRequest::fixed(4).unwrap()).unwrap();
+    let request = ServiceRequest::from_spec(&netlist, ReduceSpec::pade_fixed(4).unwrap()).unwrap();
 
     let cold = service.submit(&request).unwrap();
     assert!(!cold.registry_hit);
@@ -151,7 +149,7 @@ fn ingest_reduce_evict_reingest_hits_the_registry() {
 fn registry_persists_across_service_instances() {
     let dir = temp_dir("persist");
     let netlist = ladder(14, 60.0, 3e-12);
-    let request = ServiceRequest::new(&netlist, ReductionRequest::fixed(4).unwrap()).unwrap();
+    let request = ServiceRequest::from_spec(&netlist, ReduceSpec::pade_fixed(4).unwrap()).unwrap();
 
     let first = {
         let service = ReductionService::new(ServiceOptions::default().with_registry_dir(&dir));
@@ -177,7 +175,7 @@ fn admission_control_rejects_deterministically_in_index_order() {
     let service = ReductionService::new(ServiceOptions::default().with_max_in_flight(2).unwrap());
     let requests: Vec<ServiceRequest> = (3..7)
         .map(|order| {
-            ServiceRequest::new(&netlist, ReductionRequest::fixed(order).unwrap()).unwrap()
+            ServiceRequest::from_spec(&netlist, ReduceSpec::pade_fixed(order).unwrap()).unwrap()
         })
         .collect();
     let results = service.submit_batch(&requests);
@@ -203,7 +201,7 @@ fn admission_control_rejects_deterministically_in_index_order() {
 fn drain_finishes_in_flight_work_then_rejects() {
     let netlist = ladder(12, 90.0, 1e-12);
     let service = ReductionService::new(ServiceOptions::default());
-    let request = ServiceRequest::new(&netlist, ReductionRequest::fixed(3).unwrap()).unwrap();
+    let request = ServiceRequest::from_spec(&netlist, ReduceSpec::pade_fixed(3).unwrap()).unwrap();
     service.submit(&request).unwrap();
     service.drain();
     service.drain(); // idempotent
@@ -220,7 +218,7 @@ fn drain_finishes_in_flight_work_then_rejects() {
 fn a_panicking_request_is_contained_and_poisons_nothing() {
     let netlist = ladder(18, 80.0, 2e-12);
     let service = ReductionService::new(ServiceOptions::default());
-    let good = ServiceRequest::new(&netlist, ReductionRequest::fixed(4).unwrap()).unwrap();
+    let good = ServiceRequest::from_spec(&netlist, ReduceSpec::pade_fixed(4).unwrap()).unwrap();
     let reference = service.submit(&good).unwrap();
 
     let chaos = good.clone().with_chaos_panic();
@@ -249,28 +247,28 @@ fn a_panicking_request_is_contained_and_poisons_nothing() {
 #[test]
 fn session_lru_bounds_live_sessions() {
     let service = ReductionService::new(ServiceOptions::default().with_max_sessions(2).unwrap());
-    let reduction = ReductionRequest::fixed(3).unwrap();
+    let reduction = ReduceSpec::pade_fixed(3).unwrap();
     for n in [10usize, 11, 12] {
-        let request = ServiceRequest::new(&ladder(n, 100.0, 1e-12), reduction.clone()).unwrap();
+        let request =
+            ServiceRequest::from_spec(&ladder(n, 100.0, 1e-12), reduction.clone()).unwrap();
         service.submit(&request).unwrap();
     }
     let stats = service.stats();
     assert_eq!(stats.live_sessions, 2);
     assert_eq!(stats.sessions_evicted, 1);
     // The evicted circuit still serves — a new session plus registry hit.
-    let request = ServiceRequest::new(&ladder(10, 100.0, 1e-12), reduction).unwrap();
+    let request = ServiceRequest::from_spec(&ladder(10, 100.0, 1e-12), reduction).unwrap();
     let outcome = service.submit(&request).unwrap();
     assert!(outcome.registry_hit);
 }
 
 #[test]
 fn multipoint_requests_are_addressed_disjointly_and_serve_warm() {
-    use mpvl_engine::MultiPointRequest;
     use sympvl::MultiPointOptions;
 
     let netlist = ladder(40, 80.0, 1e-12);
     let multi = |total: usize| {
-        MultiPointRequest::new(
+        ReduceSpec::multipoint(
             MultiPointOptions::for_band(1e7, 1e10)
                 .unwrap()
                 .with_total_order(total)
@@ -279,25 +277,26 @@ fn multipoint_requests_are_addressed_disjointly_and_serve_warm() {
                 .unwrap(),
         )
     };
-    let m = ServiceRequest::new_multipoint(&netlist, multi(8)).unwrap();
+    let m = ServiceRequest::from_spec(&netlist, multi(8)).unwrap();
     // Same circuit → same shard; multi-point never aliases single-point
     // (not even a fixed request at the same total order), nor a
     // different multi-point budget.
-    let single = ServiceRequest::new(&netlist, ReductionRequest::fixed(8).unwrap()).unwrap();
+    let single = ServiceRequest::from_spec(&netlist, ReduceSpec::pade_fixed(8).unwrap()).unwrap();
     assert_eq!(m.shard_key(), single.shard_key());
     assert_ne!(m.registry_key(), single.registry_key());
     assert_ne!(
         m.registry_key(),
-        ServiceRequest::new_multipoint(&netlist, multi(10))
+        ServiceRequest::from_spec(&netlist, multi(10))
             .unwrap()
             .registry_key()
     );
     // And the acceptance threshold is part of the single-point address.
-    let strict = ServiceRequest::new(
+    let strict = ServiceRequest::from_spec(
         &netlist,
-        ReductionRequest::fixed(8)
+        ReduceSpec::pade_fixed(8)
             .unwrap()
-            .with_sympvl(sympvl::SympvlOptions::new().with_auto_rtol(1e-3).unwrap()),
+            .with_sympvl(sympvl::SympvlOptions::new().with_auto_rtol(1e-3).unwrap())
+            .unwrap(),
     )
     .unwrap();
     assert_ne!(single.registry_key(), strict.registry_key());

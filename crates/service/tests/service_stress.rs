@@ -5,7 +5,7 @@
 //! engine's internal parallelism must not interact with client-side
 //! concurrency.
 
-use mpvl_engine::ReductionRequest;
+use mpvl_engine::ReduceSpec;
 use mpvl_service::{ReductionService, ServiceOptions, ServiceRequest};
 use std::collections::{HashMap, HashSet};
 use std::sync::Mutex;
@@ -55,10 +55,11 @@ fn workload() -> Vec<(String, ServiceRequest)> {
     let mut out = Vec::new();
     for (ci, netlist) in circuits.iter().enumerate() {
         for order in [3usize, 4, 6] {
-            let request = ServiceRequest::new(netlist, ReductionRequest::fixed(order).unwrap())
-                .unwrap()
-                .with_eval(vec![1e6, 1e8, 1e9, 5e9])
-                .unwrap();
+            let request =
+                ServiceRequest::from_spec(netlist, ReduceSpec::pade_fixed(order).unwrap())
+                    .unwrap()
+                    .with_eval(vec![1e6, 1e8, 1e9, 5e9])
+                    .unwrap();
             out.push((format!("c{ci}/o{order}"), request));
         }
     }

@@ -11,9 +11,9 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 # Deprecated names are shims for one release cycle: external code gets a
-# warning, in-tree code must not use them. crates/core/tests/
-# deprecated_compat.rs opts back in with #![allow(deprecated)], which
-# overrides the command-line deny.
+# warning, in-tree code must not use them. The deprecated_compat.rs
+# suites (crates/core/tests/ and crates/engine/tests/) opt back in with
+# #![allow(deprecated)], which overrides the command-line deny.
 export RUSTFLAGS="-D deprecated"
 
 echo "==> cargo fmt --check"
@@ -115,6 +115,14 @@ echo "==> multi-point determinism across threads (MPVL_THREADS=2)"
 # in-process).
 MPVL_THREADS=2 cargo test -q --offline -p mpvl-engine --test multipoint_determinism
 
+echo "==> backend cross-validation golden (MPVL_THREADS=2,4)"
+# Padé and balanced truncation share no approximation machinery; the
+# golden suite pins their agreement inside the Hankel bound and every
+# cross-validation scalar bit-identical at any worker count (the
+# MPVL_THREADS=1 workspace run above covered the inline path).
+MPVL_THREADS=2 cargo test -q --offline -p mpvl-engine --test cross_validate_golden
+MPVL_THREADS=4 cargo test -q --offline -p mpvl-engine --test cross_validate_golden
+
 echo "==> smoke bench (bench_par_sweep, MPVL_THREADS=2, MPVL_OBS=json export)"
 rm -f target/obs/ci_smoke.jsonl
 MPVL_BENCH_WARMUP=1 MPVL_BENCH_SAMPLES=3 MPVL_THREADS=2 \
@@ -192,7 +200,21 @@ for name in multipoint/worst_band_error singlepoint/worst_band_error \
     }
 done
 
-echo "==> bench gate (factor kernel, sweep scaling, compiled eval, registry, multi-point)"
+echo "==> smoke bench (bench_bt, reduced samples)"
+MPVL_BENCH_WARMUP=1 MPVL_BENCH_SAMPLES=3 \
+    cargo run -q --release --offline -p mpvl-bench --bin bench_bt
+
+test -s target/bench/BENCH_bt.json
+grep -q '"suite": *"bt"' target/bench/BENCH_bt.json
+for name in bt/worst_band_error pade/worst_band_error \
+    bt/hankel_spectrum bt/reduce bt/hankel_bound; do
+    grep -q "\"$name" target/bench/BENCH_bt.json || {
+        echo "BENCH_bt.json missing result \"$name\"" >&2
+        exit 1
+    }
+done
+
+echo "==> bench gate (factor kernel, sweep scaling, compiled eval, registry, multi-point, balanced truncation)"
 # Fails if the supernodal kernel is slower than the scalar kernel at
 # n=1360, if the threads=4 large-case sweep does not beat threads=1
 # (strict on multicore; a loud skip + oversubscription bound on 1 core),
@@ -200,7 +222,8 @@ echo "==> bench gate (factor kernel, sweep scaling, compiled eval, registry, mul
 # if the warm service registry hit ratio drops below 0.5 / a registry
 # hit stops being faster than a cold submit, or if the 2-point merged
 # model stops beating the equal-order mid-band single-point expansion
-# on worst-over-band error.
+# on worst-over-band error, or if balanced truncation stops beating the
+# equal-order mid-band Pade expansion on the strongly-coupled PEEC band.
 cargo run -q --release --offline -p mpvl-bench --bin bench_gate
 
 echo "==> ci.sh: all green"
